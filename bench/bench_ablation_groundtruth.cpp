@@ -1,0 +1,66 @@
+// Ablation A3: litmus-test validation against simulator ground truth —
+// the check the paper's authors could not run on production logs. We
+// sweep the platform's inherent noise level and verify the litmus-5
+// estimate tracks the configured value; then sweep the contention
+// strength and verify the concurrent-duplicate bound responds to
+// contention while the configured noise floor stays put.
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+int main() {
+  using namespace iotax;
+  bench::banner("Litmus validation vs simulator ground truth",
+                "DESIGN.md A3: estimator tracks injected noise/contention");
+  bench::Timer timer;
+
+  std::printf("--- sweep 1: platform noise sigma (contention fixed) ---\n");
+  std::printf("%12s %14s %12s %10s\n", "true sigma", "estimated", "band68(%)",
+              "ratio");
+  bool tracks = true;
+  for (const double sigma : {0.008, 0.016, 0.024, 0.036, 0.050}) {
+    auto cfg = sim::tiny_system(61);
+    cfg.workload.n_jobs = 4000;
+    cfg.workload.batch_prob = 0.10;
+    cfg.platform.noise_sigma_log10 = sigma;
+    cfg.platform.contention_strength = 0.05;  // keep ζ_l small
+    const auto res = sim::simulate(cfg);
+    const auto noise = taxonomy::litmus_noise_bound(res.dataset, 1.0);
+    // App noise sensitivities are lognormal(0, 0.35): mean multiplier
+    // exp(0.35^2/2) ~= 1.06, so estimates sit slightly above sigma.
+    const double ratio = noise.sigma_log10 / sigma;
+    std::printf("%12.4f %14.4f %12.2f %10.2f\n", sigma, noise.sigma_log10,
+                noise.band68_pct, ratio);
+    if (ratio < 0.85 || ratio > 1.6) tracks = false;
+  }
+  std::printf("shape check: estimate within [0.85, 1.6]x of injected "
+              "sigma at every level: %s\n\n",
+              tracks ? "PASS" : "MISS");
+
+  std::printf("--- sweep 2: contention strength (noise fixed) ---\n");
+  std::printf("%12s %14s %14s\n", "strength", "dt=0 bound(%)",
+              "all-dup bound(%)");
+  std::vector<double> floors;
+  for (const double strength : {0.0, 0.2, 0.4, 0.8}) {
+    auto cfg = sim::tiny_system(62);
+    cfg.workload.n_jobs = 4000;
+    cfg.workload.batch_prob = 0.10;
+    cfg.platform.contention_strength = strength;
+    const auto res = sim::simulate(cfg);
+    const auto noise = taxonomy::litmus_noise_bound(res.dataset, 1.0);
+    const auto app = taxonomy::litmus_application_bound(res.dataset);
+    std::printf("%12.2f %14.2f %14.2f\n", strength,
+                bench::pct(noise.median_abs_error),
+                bench::pct(app.median_abs_error));
+    floors.push_back(noise.median_abs_error);
+  }
+  std::printf("shape check: the contention share of the dt=0 floor grows "
+              "with strength: %s\n",
+              floors.back() > floors.front() * 1.2 ? "PASS" : "MISS");
+  std::printf("(contention and noise are inseparable at dt=0 — exactly "
+              "the paper's point in §IX)\n");
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A1: model-family ladder on the Theta-like dataset. The paper
+// argues (§VI.B) that once tuned, different model families hit the same
+// wall — the duplicate bound — so the gap between a mean predictor,
+// ridge regression, an MLP, and a GBT should shrink to near zero at the
+// top of the ladder while all stay above the bound.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/data/split.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/nn.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+int main() {
+  using namespace iotax;
+  bench::banner("Model-family ablation (Theta-like)",
+                "§VI.B: tuned families converge to the duplicate bound");
+  bench::Timer timer;
+
+  const auto res = sim::simulate(sim::theta_like());
+  const auto& ds = res.dataset;
+  const auto bound = taxonomy::litmus_application_bound(ds);
+
+  util::Rng rng(47);
+  auto split = data::random_split(ds.size(), 0.7, 0.0, rng);
+  // Cap MLP cost.
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto x_train = taxonomy::feature_matrix(ds, feats, split.train);
+  const auto y_train = taxonomy::targets(ds, split.train);
+  const auto x_test = taxonomy::feature_matrix(ds, feats, split.test);
+  const auto y_test = taxonomy::targets(ds, split.test);
+
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  models.push_back(std::make_unique<ml::MeanRegressor>());
+  models.push_back(std::make_unique<ml::LinearRegressor>(1.0));
+  {
+    ml::MlpParams mp;
+    mp.hidden = {64, 64};
+    mp.epochs = 40;
+    mp.learning_rate = 2e-3;
+    models.push_back(std::make_unique<ml::Mlp>(mp));
+  }
+  {
+    ml::GbtParams gp;
+    gp.n_estimators = 96;
+    gp.max_depth = 8;
+    gp.subsample = 0.9;
+    gp.colsample = 0.9;
+    models.push_back(std::make_unique<ml::GradientBoostedTrees>(gp));
+  }
+
+  std::printf("%-28s %10s %12s\n", "model", "err(%)", "x bound");
+  std::printf("%-28s %10.2f %12s\n", "duplicate bound (litmus 1)",
+              bench::pct(bound.median_abs_error), "1.00");
+  std::vector<double> errs;
+  for (const auto& model : models) {
+    bench::Timer fit_timer;
+    model->fit(x_train, y_train);
+    const double err =
+        ml::median_abs_log_error(y_test, model->predict(x_test));
+    errs.push_back(err);
+    std::printf("%-28s %10.2f %12.2f  [fit %.1fs]\n", model->name().c_str(),
+                bench::pct(err), err / bound.median_abs_error,
+                fit_timer.seconds());
+  }
+
+  const double mean_err = errs[0];
+  const double gbt_err = errs.back();
+  const double mlp_err = errs[errs.size() - 2];
+  std::printf("\nshape check: GBT and MLP both land within 1.5x of the "
+              "bound: %s\n",
+              gbt_err < 1.5 * bound.median_abs_error &&
+                      mlp_err < 1.6 * bound.median_abs_error
+                  ? "PASS"
+                  : "MISS");
+  std::printf("shape check: learning beats the mean predictor by >2x: %s\n",
+              mean_err > 2.0 * gbt_err ? "PASS" : "MISS");
+  std::printf("shape check: nobody beats the bound: %s\n",
+              gbt_err >= bound.median_abs_error * 0.95 &&
+                      mlp_err >= bound.median_abs_error * 0.95
+                  ? "PASS"
+                  : "MISS");
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}

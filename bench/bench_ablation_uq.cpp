@@ -1,0 +1,121 @@
+// Ablation A4: uncertainty estimators against simulator ground truth.
+// Per-job aleatory sigma is known exactly in this repo:
+//   sigma_true(job) = platform.noise_sigma * app.noise_sensitivity
+//   (plus the contention jitter spread, which AU estimators also absorb).
+// We compare the deep ensemble's AU (AutoDEUQ style, §VIII) with the
+// tree-based residual-variance estimator, both on calibration (does
+// predicted sigma track true sigma across apps?) and on ranking (are
+// high-noise apps ranked noisier?).
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/data/split.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/uq_gbt.hpp"
+#include "src/stats/descriptive.hpp"
+
+int main() {
+  using namespace iotax;
+  bench::banner("UQ estimator ablation (Theta-like)",
+                "ensemble AU vs tree residual-variance vs ground truth");
+  bench::Timer timer;
+
+  const auto res = sim::simulate(sim::theta_like());
+  const auto& ds = res.dataset;
+  std::map<std::uint64_t, double> true_sens;
+  for (const auto& app : res.catalog) {
+    true_sens[app.app_id] = app.noise_sensitivity;
+  }
+
+  util::Rng rng(53);
+  auto split = data::random_split(ds.size(), 0.7, 0.0, rng);
+  if (split.train.size() > util::scaled_count(5000, 2000)) {
+    split.train.resize(util::scaled_count(5000, 2000));
+  }
+  if (split.test.size() > util::scaled_count(3000, 1000)) {
+    split.test.resize(util::scaled_count(3000, 1000));
+  }
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto x_train = taxonomy::feature_matrix(ds, feats, split.train);
+  const auto y_train = taxonomy::targets(ds, split.train);
+  const auto x_test = taxonomy::feature_matrix(ds, feats, split.test);
+
+  // Estimator 1: deep ensemble (AutoDEUQ stand-in).
+  ml::EnsembleParams ens_params;
+  ens_params.size = 5;
+  ens_params.epochs = 25;
+  ml::DeepEnsemble ensemble(ens_params);
+  ensemble.fit(x_train, y_train);
+  const auto ens_pred = ensemble.predict_uncertainty(x_test);
+
+  // Estimator 2: GBT mean + GBT residual variance.
+  ml::GbtParams mean_p;
+  mean_p.n_estimators = 96;
+  mean_p.max_depth = 8;
+  ml::GbtParams var_p;
+  var_p.n_estimators = 64;
+  var_p.max_depth = 4;
+  ml::GbtUncertainty tree_uq(mean_p, var_p);
+  tree_uq.fit(x_train, y_train);
+  const auto tree_pred = tree_uq.predict_dist(x_test);
+
+  // Ground truth per test job: the *aleatory-only* sigma. Model error
+  // also contains app/system modeling error, so predicted AU should sit
+  // at or above this value.
+  std::vector<double> sigma_true(split.test.size());
+  std::vector<double> sigma_ens(split.test.size());
+  std::vector<double> sigma_tree(split.test.size());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    const auto& m = ds.meta[split.test[i]];
+    sigma_true[i] = res.config.platform.noise_sigma_log10 *
+                    true_sens.at(m.app_id);
+    sigma_ens[i] = std::sqrt(ens_pred.aleatory[i]);
+    sigma_tree[i] = std::sqrt(tree_pred.variance[i]);
+  }
+
+  std::printf("per-job sigma (log10 units):\n");
+  std::printf("%-22s %10s %10s %10s\n", "", "median", "p10", "p90");
+  const auto row = [](const char* name, std::span<const double> v) {
+    std::printf("%-22s %10.4f %10.4f %10.4f\n", name, stats::median(v),
+                stats::quantile(v, 0.1), stats::quantile(v, 0.9));
+  };
+  row("ground-truth noise", sigma_true);
+  row("ensemble AU", sigma_ens);
+  row("tree residual-var", sigma_tree);
+
+  const double corr_ens = stats::correlation(sigma_true, sigma_ens);
+  const double corr_tree = stats::correlation(sigma_true, sigma_tree);
+  std::printf("\ncorrelation with ground-truth sigma: ensemble %.3f, "
+              "tree %.3f\n",
+              corr_ens, corr_tree);
+
+  const bool ens_floor = stats::median(sigma_ens) >=
+                         0.8 * stats::median(sigma_true);
+  const bool tree_floor = stats::median(sigma_tree) >=
+                          0.8 * stats::median(sigma_true);
+  std::printf("shape check: both estimators sit at or above the true "
+              "noise floor: %s\n",
+              ens_floor && tree_floor ? "PASS" : "MISS");
+  std::printf("shape check: the ensemble ranks noisy jobs correctly "
+              "(corr > 0.1): %s\n",
+              corr_ens > 0.1 ? "PASS" : "MISS");
+  std::printf("shape check: the ensemble isolates noise sensitivity "
+              "better than the residual tree (ablation finding — the "
+              "tree's AU conflates modeling residual with noise): %s\n",
+              corr_ens > corr_tree + 0.1 ? "PASS" : "MISS");
+  std::printf("note: only the ensemble also yields epistemic uncertainty "
+              "(median EU sigma %.4f here) — trees cannot flag OoD jobs.\n",
+              stats::median(std::vector<double>{
+                  [&] {
+                    std::vector<double> eu(split.test.size());
+                    for (std::size_t i = 0; i < eu.size(); ++i) {
+                      eu[i] = std::sqrt(ens_pred.epistemic[i]);
+                    }
+                    return stats::median(eu);
+                  }()}));
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}

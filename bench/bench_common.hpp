@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// regenerates one figure/table of the paper (see DESIGN.md's experiment
+// index) and prints the series as aligned text. Dataset sizes honour
+// IOTAX_SCALE.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/ml/metrics.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/feature_sets.hpp"
+#include "src/util/env.hpp"
+
+namespace iotax::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("IOTAX_SCALE=%.2f\n", util::env_scale());
+  std::printf("==========================================================\n");
+}
+
+inline double pct(double log_err) {
+  return ml::log_error_to_percent(log_err);
+}
+
+/// ASCII bar of `width` cells filled proportionally to value/maximum.
+inline std::string bar(double value, double maximum, std::size_t width = 40) {
+  if (maximum <= 0.0) return std::string(width, '.');
+  double frac = value / maximum;
+  if (frac < 0.0) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  const auto n = static_cast<std::size_t>(frac * static_cast<double>(width));
+  return std::string(n, '#') + std::string(width - n, '.');
+}
+
+}  // namespace iotax::bench

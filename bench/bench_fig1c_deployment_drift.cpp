@@ -1,0 +1,108 @@
+// Fig. 1(c) + §VIII: generalization error after deployment. A model is
+// trained on the training period; its median error on held-out
+// same-period data (paper: green line) is compared with its error on
+// data collected after the training period (red line), bucketed by
+// month. Novel applications appear only after the cutoff; their share
+// and error are reported separately.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/data/split.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/stats/descriptive.hpp"
+
+int main() {
+  using namespace iotax;
+  bench::banner("Deployment drift (Theta-like)",
+                "Fig. 1(c): error before (green) vs after (red) deployment");
+  bench::Timer timer;
+
+  const auto res = sim::simulate(sim::theta_like());
+  const auto& ds = res.dataset;
+  const double cutoff = res.train_cutoff_time;
+
+  // Train on a random 80% of the pre-cutoff period; the rest of that
+  // period is the "before deployment" evaluation set.
+  auto in_rows = ds.rows_in_window(0.0, cutoff);
+  const auto post_rows = ds.rows_in_window(cutoff, 1e300);
+  util::Rng rng(17);
+  rng.shuffle(in_rows);
+  const std::size_t n_train = in_rows.size() * 8 / 10;
+  const std::vector<std::size_t> train(in_rows.begin(),
+                                       in_rows.begin() + n_train);
+  const std::vector<std::size_t> held(in_rows.begin() + n_train,
+                                      in_rows.end());
+
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  ml::GbtParams params;
+  params.n_estimators = 64;
+  params.max_depth = 8;
+  ml::GradientBoostedTrees model(params);
+  model.fit(taxonomy::feature_matrix(ds, feats, train),
+            taxonomy::targets(ds, train));
+
+  const auto eval_rows = [&](const std::vector<std::size_t>& rows) {
+    const auto y = taxonomy::targets(ds, rows);
+    const auto p = model.predict(taxonomy::feature_matrix(ds, feats, rows));
+    return ml::median_abs_log_error(y, p);
+  };
+
+  const double err_before = eval_rows(held);
+  const double err_after = eval_rows(post_rows);
+  std::printf("before deployment (held-out, green): %.2f%%\n",
+              bench::pct(err_before));
+  std::printf("after  deployment (red):             %.2f%%\n\n",
+              bench::pct(err_after));
+
+  // Monthly series across the whole timeline.
+  const double month = 86400.0 * 30.0;
+  std::printf("%8s %10s %8s %7s  %s\n", "month", "phase", "err(%)",
+              "novel%", "");
+  const double horizon = res.config.workload.horizon;
+  std::vector<bool> is_train(ds.size(), false);
+  for (const auto t : train) is_train[t] = true;
+  double peak = 0.0;
+  std::vector<std::tuple<int, double, double, bool>> series;
+  for (int m = 0; m * month < horizon; ++m) {
+    auto rows = ds.rows_in_window(m * month, (m + 1) * month);
+    // Exclude training rows so pre-cutoff months are held-out too.
+    std::vector<std::size_t> eval;
+    for (const auto r : rows) {
+      if (!is_train[r]) eval.push_back(r);
+    }
+    if (eval.size() < 20) continue;
+    const double err = eval_rows(eval);
+    std::size_t novel = 0;
+    for (const auto r : eval) novel += ds.meta[r].novel_app ? 1 : 0;
+    const double novel_frac =
+        static_cast<double>(novel) / static_cast<double>(eval.size());
+    peak = std::max(peak, err);
+    series.emplace_back(m, err, novel_frac, m * month >= cutoff);
+  }
+  for (const auto& [m, err, novel_frac, post] : series) {
+    std::printf("%8d %10s %8.2f %7.1f  %s\n", m,
+                post ? "deployed" : "train-era", bench::pct(err),
+                novel_frac * 100.0, bench::bar(err, peak).c_str());
+  }
+
+  // Error on ground-truth novel jobs vs the rest of the post period.
+  std::vector<std::size_t> novel_rows;
+  std::vector<std::size_t> known_rows;
+  for (const auto r : post_rows) {
+    (ds.meta[r].novel_app ? novel_rows : known_rows).push_back(r);
+  }
+  if (novel_rows.size() >= 10) {
+    std::printf("\npost-period novel-app jobs: %zu (%.1f%%), error %.2f%% "
+                "vs %.2f%% on known apps\n",
+                novel_rows.size(),
+                100.0 * static_cast<double>(novel_rows.size()) /
+                    static_cast<double>(post_rows.size()),
+                bench::pct(eval_rows(novel_rows)),
+                bench::pct(eval_rows(known_rows)));
+  }
+  std::printf("shape check: post-deployment error above held-out error: %s\n",
+              err_after > err_before ? "PASS" : "MISS");
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}

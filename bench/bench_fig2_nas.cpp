@@ -1,0 +1,90 @@
+// Fig. 2 + §VI.B: neural architecture search results on the Cori-like
+// system. Generations of MLPs approach the estimated error lower bound
+// (duplicate litmus test, red line in the paper) but do not cross it,
+// and only a handful of candidates improve on the best-so-far (the gold
+// stars). Paper: best NN 14.3% vs bound 14.15%.
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/data/split.hpp"
+#include "src/ml/nas.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+int main() {
+  using namespace iotax;
+  bench::banner("Neural architecture search vs bound (Cori-like)",
+                "Fig. 2; text §VI.B: NAS best 14.3% vs bound 14.15%");
+  bench::Timer timer;
+
+  const auto res = sim::simulate(sim::cori_like());
+  const auto& ds = res.dataset;
+  const auto bound = taxonomy::litmus_application_bound(ds);
+  std::printf("estimated error lower bound (red line): %.2f%%\n\n",
+              bench::pct(bound.median_abs_error));
+
+  // NAS trains dozens of networks; cap the training rows for time.
+  util::Rng rng(29);
+  auto split = data::random_split(ds.size(), 0.6, 0.2, rng);
+  const auto cap = [](std::vector<std::size_t>* rows, std::size_t n) {
+    if (rows->size() > n) rows->resize(n);
+  };
+  cap(&split.train, util::scaled_count(5000, 1500));
+  cap(&split.val, util::scaled_count(2500, 800));
+  cap(&split.test, util::scaled_count(2500, 800));
+
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto x_train = taxonomy::feature_matrix(ds, feats, split.train);
+  const auto y_train = taxonomy::targets(ds, split.train);
+  const auto x_val = taxonomy::feature_matrix(ds, feats, split.val);
+  const auto y_val = taxonomy::targets(ds, split.val);
+
+  ml::NasParams nas;
+  nas.population = 10;
+  nas.generations = 5;
+  nas.epochs = 12;
+  nas.widths = {16, 32, 64};
+  const auto result = ml::nas_search(nas, x_train, y_train, x_val, y_val);
+
+  std::printf("%5s %10s %8s %6s  %s\n", "gen", "val err(%)", "arch",
+              "best?", "distance above bound");
+  const double ref = bound.median_abs_error;
+  for (const auto& cand : result.history) {
+    std::string arch;
+    for (const auto w : cand.params.hidden) {
+      if (!arch.empty()) arch += "x";
+      arch += std::to_string(w);
+    }
+    std::printf("%5zu %10.2f %8s %6s  %s\n", cand.generation,
+                bench::pct(cand.val_error), arch.c_str(),
+                cand.improved_best ? "*" : "",
+                bench::bar(cand.val_error - ref, ref).c_str());
+  }
+
+  // Test error of the winner, retrained with a bigger epoch budget.
+  ml::MlpParams final_params = result.best.params;
+  final_params.epochs = 40;
+  ml::Mlp final_model(final_params);
+  final_model.fit(x_train, y_train);
+  const auto y_test = taxonomy::targets(ds, split.test);
+  const double test_err = ml::median_abs_log_error(
+      y_test,
+      final_model.predict(taxonomy::feature_matrix(ds, feats, split.test)));
+
+  const std::size_t n_stars = static_cast<std::size_t>(std::count_if(
+      result.history.begin(), result.history.end(),
+      [](const ml::NasCandidate& c) { return c.improved_best; }));
+  std::printf("\nbest architecture: %s, val %.2f%%; retrained test error "
+              "%.2f%% vs bound %.2f%%\n",
+              result.best.params.to_string().c_str(),
+              bench::pct(result.best.val_error), bench::pct(test_err),
+              bench::pct(bound.median_abs_error));
+  std::printf("best-so-far improvements (gold stars): %zu of %zu candidates "
+              "(paper: 6)\n",
+              n_stars, result.history.size());
+  std::printf("shape check: NAS approaches but does not beat the bound: %s\n",
+              test_err >= bound.median_abs_error * 0.95 ? "PASS" : "MISS");
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Performance microbenchmarks (google-benchmark) for the library's hot
+// kernels: simulation, log writing/parsing, feature binning, GBT and MLP
+// training, and prediction. These guard the single-core throughput that
+// keeps the figure benches tractable.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/ml/binning.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/nn.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/duplicates.hpp"
+#include "src/taxonomy/feature_sets.hpp"
+#include "src/telemetry/darshan_log.hpp"
+
+namespace {
+
+using namespace iotax;
+
+const sim::SimulationResult& shared_result() {
+  static const sim::SimulationResult res = [] {
+    auto cfg = sim::tiny_system(71);
+    cfg.workload.n_jobs = 2000;
+    return sim::simulate(cfg);
+  }();
+  return res;
+}
+
+void BM_Simulate(benchmark::State& state) {
+  auto cfg = sim::tiny_system(72);
+  cfg.workload.n_jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = sim::simulate(cfg);
+    benchmark::DoNotOptimize(res.dataset.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Simulate)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_WriteArchive(benchmark::State& state) {
+  const auto& res = shared_result();
+  for (auto _ : state) {
+    std::ostringstream out;
+    for (const auto& rec : res.records) telemetry::write_record(out, rec);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(res.records.size()));
+}
+BENCHMARK(BM_WriteArchive)->Unit(benchmark::kMillisecond);
+
+void BM_ParseArchive(benchmark::State& state) {
+  const auto& res = shared_result();
+  std::ostringstream out;
+  for (const auto& rec : res.records) telemetry::write_record(out, rec);
+  const std::string text = out.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    const auto parsed = telemetry::parse_archive(in);
+    benchmark::DoNotOptimize(parsed.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(res.records.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(text.size()));
+}
+BENCHMARK(BM_ParseArchive)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureBinning(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  for (auto _ : state) {
+    ml::BinnedMatrix binned(x, 64);
+    benchmark::DoNotOptimize(binned.max_bins_used());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(x.rows() * x.cols()));
+}
+BENCHMARK(BM_FeatureBinning)->Unit(benchmark::kMillisecond);
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ml::GbtParams params;
+  params.n_estimators = static_cast<std::size_t>(state.range(0));
+  params.max_depth = 6;
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.n_trees());
+  }
+}
+BENCHMARK(BM_GbtFit)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_GbtPredict(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ml::GbtParams params;
+  params.n_estimators = 64;
+  ml::GradientBoostedTrees model(params);
+  model.fit(x, y);
+  for (auto _ : state) {
+    const auto pred = model.predict(x);
+    benchmark::DoNotOptimize(pred.back());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(x.rows()));
+}
+BENCHMARK(BM_GbtPredict)->Unit(benchmark::kMillisecond);
+
+void BM_MlpFitEpoch(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ml::MlpParams params;
+  params.hidden = {64, 64};
+  params.epochs = 1;
+  for (auto _ : state) {
+    ml::Mlp model(params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.name().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(x.rows()));
+}
+BENCHMARK(BM_MlpFitEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_FindDuplicates(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  for (auto _ : state) {
+    const auto sets = taxonomy::find_duplicate_sets(ds);
+    benchmark::DoNotOptimize(sets.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(ds.size()));
+}
+BENCHMARK(BM_FindDuplicates)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// System noise audit: the practical tool §IX promises system operators —
+// "a job running on Theta can expect an I/O throughput within +-5.71% of
+// the predicted value 68% of the time".
+//
+// Given job logs (here: freshly simulated Theta-like and Cori-like
+// archives), the audit finds concurrent duplicate jobs, fits Normal and
+// Student-t models to their spread, applies Bessel's correction, and
+// reports the I/O variability bands a user of the system should expect.
+//
+//   $ ./example_system_noise_audit
+#include <cstdio>
+
+#include "src/ml/metrics.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+int main() {
+  using namespace iotax;
+  for (const auto& config : {sim::theta_like(), sim::cori_like()}) {
+    const auto res = sim::simulate(config);
+    const auto noise = taxonomy::litmus_noise_bound(res.dataset,
+                                                    /*dt_window=*/1.0);
+    std::printf("=== %s ===\n", config.name.c_str());
+    std::printf("  concurrent duplicate sets: %zu (%zu jobs)\n",
+                noise.n_sets, noise.n_jobs);
+    std::printf("  sets with exactly 2 members: %.0f%%, <= 6 members: %.0f%%\n",
+                noise.frac_sets_of_two * 100.0,
+                noise.frac_sets_leq_six * 100.0);
+    std::printf("  Student-t fit: df=%.1f scale=%.4f  (t beats Normal by "
+                "%.4f nats/sample)\n",
+                noise.t_fit.df, noise.t_fit.scale, noise.t_preference);
+    std::printf("  irreducible model error floor (median |log10|): %.2f%%\n",
+                ml::log_error_to_percent(noise.median_abs_error));
+    std::printf("  expect throughput within +-%.2f%% of prediction 68%% of "
+                "the time,\n                     within +-%.2f%% 95%% of the "
+                "time\n",
+                noise.band68_pct, noise.band95_pct);
+    // Ground-truth check, unique to simulation: the configured noise.
+    std::printf("  (simulator ground truth: platform noise sigma = %.4f "
+                "log10)\n\n",
+                config.platform.noise_sigma_log10);
+  }
+  return 0;
+}

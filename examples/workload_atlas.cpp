@@ -1,0 +1,92 @@
+// Workload atlas: the I/O-expert's dashboard view of a system. Clusters
+// the workload by I/O behaviour (§II's clustering direction), breaks the
+// throughput model's error down per cluster, attaches per-job prediction
+// intervals from quantile GBTs, and checks which features drifted over
+// the system's lifetime.
+//
+//   $ ./example_workload_atlas
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "src/data/split.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/clusters.hpp"
+#include "src/taxonomy/drift.hpp"
+
+int main() {
+  using namespace iotax;
+  auto cfg = sim::tiny_system(/*seed=*/91);
+  cfg.workload.n_jobs = 2500;
+  const auto res = sim::simulate(cfg);
+  const auto& ds = res.dataset;
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+
+  // Train the median model plus a 10%-90% interval pair.
+  util::Rng rng(1);
+  const auto split = data::random_split(ds.size(), 0.7, 0.0, rng);
+  const auto x_train = taxonomy::feature_matrix(ds, feats, split.train);
+  const auto y_train = taxonomy::targets(ds, split.train);
+  ml::GbtParams base;
+  base.n_estimators = 96;
+  base.max_depth = 8;
+  ml::GradientBoostedTrees median_model(base);
+  median_model.fit(x_train, y_train);
+  ml::GbtParams lo_p = base;
+  lo_p.loss = ml::GbtLoss::kQuantile;
+  lo_p.quantile_alpha = 0.1;
+  lo_p.max_depth = 4;
+  ml::GbtParams hi_p = lo_p;
+  hi_p.quantile_alpha = 0.9;
+  ml::GradientBoostedTrees lo(lo_p);
+  ml::GradientBoostedTrees hi(hi_p);
+  lo.fit(x_train, y_train);
+  hi.fit(x_train, y_train);
+
+  // Interval coverage on held-out jobs.
+  const auto x_test = taxonomy::feature_matrix(ds, feats, split.test);
+  const auto y_test = taxonomy::targets(ds, split.test);
+  const auto lo_pred = lo.predict(x_test);
+  const auto hi_pred = hi.predict(x_test);
+  std::size_t covered = 0;
+  double width = 0.0;
+  for (std::size_t i = 0; i < y_test.size(); ++i) {
+    covered += (y_test[i] >= lo_pred[i] && y_test[i] <= hi_pred[i]) ? 1 : 0;
+    width += hi_pred[i] - lo_pred[i];
+  }
+  std::printf("per-job 10-90%% interval: coverage %.1f%% (nominal 80%%), "
+              "mean width %.3f log10 (~+-%.0f%%)\n\n",
+              100.0 * static_cast<double>(covered) /
+                  static_cast<double>(y_test.size()),
+              width / static_cast<double>(y_test.size()),
+              (std::pow(10.0, width / y_test.size() / 2.0) - 1.0) * 100.0);
+
+  // Per-cluster error atlas over the whole dataset.
+  const auto pred_all =
+      median_model.predict(taxonomy::feature_matrix(ds, feats));
+  std::vector<double> errors(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    errors[i] = pred_all[i] - ds.target[i];
+  }
+  ml::KMeansParams kp;
+  kp.k = 6;
+  const auto atlas = taxonomy::cluster_error_breakdown(ds, errors, feats, kp);
+  std::cout << taxonomy::render_cluster_breakdown(atlas);
+
+  // Which features drifted between the first and last third of the
+  // timeline? (Novel apps shift metadata/file-count features.)
+  const double horizon = res.config.workload.horizon;
+  const auto early = ds.rows_in_window(0.0, horizon / 3.0);
+  const auto late = ds.rows_in_window(2.0 * horizon / 3.0, 1e300);
+  std::printf("\ntop drifting features (first vs last third of the "
+              "timeline):\n");
+  for (const auto& d :
+       taxonomy::feature_drift(ds.features, early, late, 5)) {
+    std::printf("  %-28s KS=%.3f\n", d.feature.c_str(), d.ks);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/cli/args.hpp"
+
+#include <stdexcept>
+
+#include "src/util/str.hpp"
+
+namespace iotax::cli {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    if (name.empty()) {
+      throw std::invalid_argument("Args: bare '--' is not supported");
+    }
+    const bool has_value =
+        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+    if (has_value) {
+      options_[name] = argv[++i];
+    } else {
+      options_[name] = "";
+      flags_.insert(name);
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || flags_.count(name) > 0) {
+    throw std::invalid_argument("missing value for --" + name);
+  }
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name,
+                         const std::string& fallback) const {
+  return has(name) && flags_.count(name) == 0 ? options_.at(name) : fallback;
+}
+
+double Args::get_double_or(const std::string& name, double fallback) const {
+  return has(name) ? util::parse_double(get(name)) : fallback;
+}
+
+long long Args::get_int_or(const std::string& name, long long fallback) const {
+  return has(name) ? util::parse_int(get(name)) : fallback;
+}
+
+void Args::check_allowed(const std::set<std::string>& allowed) const {
+  for (const auto& [name, value] : options_) {
+    if (allowed.count(name) == 0) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+  }
+}
+
+}  // namespace iotax::cli

@@ -1,0 +1,41 @@
+// Minimal command-line parsing for the iotax tool: positional subcommand
+// plus --flag / --key value options, with typed accessors and unknown-
+// option detection.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iotax::cli {
+
+class Args {
+ public:
+  /// Parse argv after the program name. Tokens starting with "--" become
+  /// options; an option is a boolean flag unless it is followed by a
+  /// non-option token, which becomes its value. Everything else is a
+  /// positional argument.
+  Args(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& name) const;
+
+  /// Value of --name; throws std::invalid_argument if absent or a flag.
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+  long long get_int_or(const std::string& name, long long fallback) const;
+
+  /// Throws std::invalid_argument when an option outside `allowed` was
+  /// passed — catches typos like --sedd.
+  void check_allowed(const std::set<std::string>& allowed) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // flag -> "" for booleans
+  std::set<std::string> flags_;                 // options with no value
+};
+
+}  // namespace iotax::cli

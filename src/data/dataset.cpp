@@ -1,0 +1,47 @@
+#include "src/data/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::data {
+
+Dataset Dataset::take(std::span<const std::size_t> rows) const {
+  Dataset out;
+  out.system_name = system_name;
+  out.features = features.take(rows);
+  out.meta.reserve(rows.size());
+  out.target.reserve(rows.size());
+  for (std::size_t r : rows) {
+    out.meta.push_back(meta.at(r));
+    out.target.push_back(target.at(r));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::rows_in_window(double t0, double t1) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (meta[i].start_time >= t0 && meta[i].start_time < t1) {
+      rows.push_back(i);
+    }
+  }
+  return rows;
+}
+
+void Dataset::validate() const {
+  if (features.n_rows() != meta.size() || meta.size() != target.size()) {
+    throw std::logic_error("Dataset: features/meta/target size mismatch");
+  }
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (meta[i].end_time < meta[i].start_time) {
+      throw std::logic_error("Dataset: job ends before it starts");
+    }
+    const double recomposed = meta[i].log_throughput();
+    if (std::fabs(recomposed - target[i]) > 1e-9) {
+      throw std::logic_error(
+          "Dataset: target does not match ground-truth decomposition");
+    }
+  }
+}
+
+}  // namespace iotax::data

@@ -1,0 +1,38 @@
+#include "src/data/matrix.hpp"
+
+#include <stdexcept>
+
+#include "src/data/table.hpp"
+
+namespace iotax::data {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::take_rows(std::span<const std::size_t> rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = row(rows[i]);
+    auto dst = out.mutable_row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix to_matrix(const Table& table) {
+  Matrix m(table.n_rows(), table.n_cols());
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    const auto col = table.col(c);
+    for (std::size_t r = 0; r < col.size(); ++r) m(r, c) = col[r];
+  }
+  return m;
+}
+
+}  // namespace iotax::data

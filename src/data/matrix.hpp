@@ -1,0 +1,54 @@
+// Dense row-major matrix used as model input. Row-major because model
+// inference walks samples row-wise; training code that needs column scans
+// (tree split search) builds its own sorted index once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotax::data {
+
+class Table;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> mutable_row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const double> flat() const { return data_; }
+  std::span<double> mutable_flat() { return data_; }
+
+  /// Extract one column as a vector (copy).
+  std::vector<double> col(std::size_t c) const;
+
+  /// New matrix with the given rows, in order.
+  Matrix take_rows(std::span<const std::size_t> rows) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Convert a Table to a Matrix (all columns, table order).
+Matrix to_matrix(const Table& table);
+
+}  // namespace iotax::data

@@ -1,0 +1,74 @@
+#include "src/data/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::data {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler: empty input");
+  means_.assign(x.cols(), 0.0);
+  stddevs_.assign(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) m += x(r, c);
+    m /= static_cast<double>(x.rows());
+    double v = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double d = x(r, c) - m;
+      v += d * d;
+    }
+    v /= static_cast<double>(x.rows());
+    means_[c] = m;
+    stddevs_[c] = v > 1e-24 ? std::sqrt(v) : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+StandardScaler StandardScaler::from_params(std::vector<double> means,
+                                           std::vector<double> stddevs) {
+  if (means.size() != stddevs.size() || means.empty()) {
+    throw std::invalid_argument("StandardScaler::from_params: bad sizes");
+  }
+  for (const double s : stddevs) {
+    if (s <= 0.0) {
+      throw std::invalid_argument(
+          "StandardScaler::from_params: non-positive stddev");
+    }
+  }
+  StandardScaler scaler;
+  scaler.means_ = std::move(means);
+  scaler.stddevs_ = std::move(stddevs);
+  return scaler;
+}
+
+Matrix signed_log1p(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double v = x(r, c);
+      out(r, c) = std::copysign(std::log10(1.0 + std::fabs(v)), v);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotax::data

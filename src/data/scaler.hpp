@@ -1,0 +1,40 @@
+// Feature preprocessing: log1p compression of heavy-tailed I/O counters
+// followed by per-column standardisation. Trees don't need it; the MLPs
+// and the deep ensemble do.
+#pragma once
+
+#include <vector>
+
+#include "src/data/matrix.hpp"
+
+namespace iotax::data {
+
+class StandardScaler {
+ public:
+  /// Learn per-column mean/stddev from the training matrix. Constant
+  /// columns get stddev 1 so they map to zero rather than NaN.
+  void fit(const Matrix& x);
+
+  /// (x - mean) / stddev, column-wise. Must be fit first.
+  Matrix transform(const Matrix& x) const;
+
+  Matrix fit_transform(const Matrix& x);
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+  /// Rebuild a fitted scaler from stored parameters (model loading).
+  static StandardScaler from_params(std::vector<double> means,
+                                    std::vector<double> stddevs);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// Signed log1p: sign(x) * log10(1 + |x|). Compresses byte counts spanning
+/// 10 orders of magnitude while keeping zero at zero.
+Matrix signed_log1p(const Matrix& x);
+
+}  // namespace iotax::data

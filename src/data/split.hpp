@@ -1,0 +1,31 @@
+// Train/val/test splitting. The paper's deployment experiments (§VIII,
+// Fig. 1c) split by time: train on the first part of the system's life,
+// deploy on the rest. Random splits are used for in-distribution tests.
+#pragma once
+
+#include "src/data/dataset.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::data {
+
+/// Random split with the given fractions (must sum to <= 1; any remainder
+/// goes to test).
+Split random_split(std::size_t n, double train_frac, double val_frac,
+                   util::Rng& rng);
+
+/// Time-ordered split: jobs starting before `train_end` go to train,
+/// between `train_end` and `val_end` to val, the rest to test.
+Split time_split(const Dataset& ds, double train_end, double val_end);
+
+/// Time split by fractions of the dataset's time extent, e.g. (0.6, 0.2)
+/// trains on the first 60% of wall time and validates on the next 20%.
+Split time_split_fractions(const Dataset& ds, double train_frac,
+                           double val_frac);
+
+/// Duplicate-set-aware random split: whole duplicate sets are assigned to
+/// one side so that identical jobs never straddle the train/test boundary
+/// (prevents the memorisation leak discussed in §VI.C).
+Split grouped_random_split(const Dataset& ds, double train_frac,
+                           double val_frac, util::Rng& rng);
+
+}  // namespace iotax::data

@@ -1,0 +1,111 @@
+#include "src/data/table.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace iotax::data {
+
+Table::Table(std::vector<std::string> names) : names_(std::move(names)) {
+  cols_.resize(names_.size());
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names_) {
+    if (!seen.insert(n).second) {
+      throw std::invalid_argument("Table: duplicate column name '" + n + "'");
+    }
+  }
+}
+
+bool Table::has_column(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::size_t Table::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("Table: no column named '" + name + "'");
+}
+
+std::span<const double> Table::col(std::size_t i) const { return cols_.at(i); }
+
+std::span<const double> Table::col(const std::string& name) const {
+  return cols_[index_of(name)];
+}
+
+std::vector<double>& Table::mutable_col(std::size_t i) { return cols_.at(i); }
+
+std::vector<double>& Table::mutable_col(const std::string& name) {
+  return cols_[index_of(name)];
+}
+
+double Table::at(std::size_t row, std::size_t col) const {
+  return cols_.at(col).at(row);
+}
+
+void Table::add_column(std::string name, std::vector<double> values) {
+  if (has_column(name)) {
+    throw std::invalid_argument("Table::add_column: duplicate name '" + name +
+                                "'");
+  }
+  if (!cols_.empty() && values.size() != n_rows()) {
+    throw std::invalid_argument("Table::add_column: row count mismatch");
+  }
+  names_.push_back(std::move(name));
+  cols_.push_back(std::move(values));
+}
+
+void Table::add_row(std::span<const double> values) {
+  if (values.size() != n_cols()) {
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cols_[i].push_back(values[i]);
+  }
+}
+
+Table Table::select(std::span<const std::string> names) const {
+  Table out;
+  for (const auto& name : names) {
+    const auto& src = cols_[index_of(name)];
+    out.add_column(name, src);
+  }
+  return out;
+}
+
+Table Table::take(std::span<const std::size_t> rows) const {
+  Table out(names_);
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    auto& dst = out.cols_[c];
+    dst.reserve(rows.size());
+    for (std::size_t r : rows) dst.push_back(cols_[c].at(r));
+  }
+  return out;
+}
+
+Table Table::hcat(const Table& other) const {
+  if (n_rows() != other.n_rows() && n_cols() != 0 && other.n_cols() != 0) {
+    throw std::invalid_argument("Table::hcat: row count mismatch");
+  }
+  Table out = *this;
+  for (std::size_t c = 0; c < other.n_cols(); ++c) {
+    out.add_column(other.names_[c], other.cols_[c]);
+  }
+  return out;
+}
+
+Table Table::vcat(const Table& other) const {
+  if (names_ != other.names_) {
+    throw std::invalid_argument("Table::vcat: column name mismatch");
+  }
+  Table out = *this;
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    out.cols_[c].insert(out.cols_[c].end(), other.cols_[c].begin(),
+                        other.cols_[c].end());
+  }
+  return out;
+}
+
+}  // namespace iotax::data

@@ -1,0 +1,60 @@
+// Column-major numeric table with named columns: the in-memory dataset
+// format every model and litmus test consumes. Column-major because ML
+// training touches features column-wise (tree split scans, scaling).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotax::data {
+
+class Table {
+ public:
+  Table() = default;
+
+  /// Construct with named empty columns.
+  explicit Table(std::vector<std::string> names);
+
+  std::size_t n_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+  std::size_t n_cols() const { return cols_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool has_column(const std::string& name) const;
+  /// Column index by name; throws std::out_of_range if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  std::span<const double> col(std::size_t i) const;
+  std::span<const double> col(const std::string& name) const;
+  std::vector<double>& mutable_col(std::size_t i);
+  std::vector<double>& mutable_col(const std::string& name);
+
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Append a column; values.size() must equal n_rows() (or the table must
+  /// be empty). Duplicate names are rejected.
+  void add_column(std::string name, std::vector<double> values);
+
+  /// Append one row; values.size() must equal n_cols().
+  void add_row(std::span<const double> values);
+
+  /// New table with only the named columns, in the given order.
+  Table select(std::span<const std::string> names) const;
+
+  /// New table with only the given rows, in the given order.
+  Table take(std::span<const std::size_t> rows) const;
+
+  /// Horizontally concatenate; other must have the same row count and no
+  /// overlapping column names.
+  Table hcat(const Table& other) const;
+
+  /// Vertically concatenate; other must have identical column names.
+  Table vcat(const Table& other) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> cols_;
+};
+
+}  // namespace iotax::data

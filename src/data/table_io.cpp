@@ -1,0 +1,133 @@
+#include "src/data/table_io.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/csv.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax::data {
+
+namespace {
+
+constexpr const char* kMetaCols[] = {
+    "__meta_job_id", "__meta_app_id",    "__meta_config_id",
+    "__meta_start",  "__meta_end",       "__meta_nodes",
+    "__meta_novel",  "__meta_log_fa",    "__meta_log_fg",
+    "__meta_log_fl", "__meta_log_fn",    "__meta_target"};
+
+util::Csv table_to_csv(const Table& table) {
+  util::Csv csv;
+  csv.header = table.names();
+  csv.rows.resize(table.n_rows());
+  for (auto& row : csv.rows) row.reserve(table.n_cols());
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    const auto col = table.col(c);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      // %.17g keeps doubles round-trippable.
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", col[r]);
+      csv.rows[r].emplace_back(buf);
+    }
+  }
+  return csv;
+}
+
+Table csv_to_table(const util::Csv& csv) {
+  Table table(csv.header);
+  std::vector<double> row(csv.header.size());
+  for (const auto& fields : csv.rows) {
+    if (fields.size() != csv.header.size()) {
+      throw std::runtime_error("csv_to_table: ragged row");
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      row[i] = util::parse_double(fields[i]);
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+}  // namespace
+
+void write_table_csv(const std::string& path, const Table& table) {
+  util::write_csv_file(path, table_to_csv(table));
+}
+
+Table read_table_csv(const std::string& path) {
+  return csv_to_table(util::read_csv_file(path));
+}
+
+void write_dataset_csv(const std::string& path, const Dataset& ds) {
+  Table combined = ds.features;
+  const std::size_t n = ds.size();
+  std::vector<std::vector<double>> meta_cols(std::size(kMetaCols),
+                                             std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = ds.meta[i];
+    meta_cols[0][i] = static_cast<double>(m.job_id);
+    meta_cols[1][i] = static_cast<double>(m.app_id);
+    meta_cols[2][i] = static_cast<double>(m.config_id);
+    meta_cols[3][i] = m.start_time;
+    meta_cols[4][i] = m.end_time;
+    meta_cols[5][i] = static_cast<double>(m.nodes);
+    meta_cols[6][i] = m.novel_app ? 1.0 : 0.0;
+    meta_cols[7][i] = m.log_fa;
+    meta_cols[8][i] = m.log_fg;
+    meta_cols[9][i] = m.log_fl;
+    meta_cols[10][i] = m.log_fn;
+    meta_cols[11][i] = ds.target[i];
+  }
+  for (std::size_t c = 0; c < std::size(kMetaCols); ++c) {
+    combined.add_column(kMetaCols[c], std::move(meta_cols[c]));
+  }
+  write_table_csv(path, combined);
+}
+
+Dataset read_dataset_csv(const std::string& path,
+                         const std::string& system_name) {
+  const Table combined = read_table_csv(path);
+  Dataset ds;
+  ds.system_name = system_name;
+  std::vector<std::string> feature_names;
+  for (const auto& name : combined.names()) {
+    if (!util::starts_with(name, "__meta_")) feature_names.push_back(name);
+  }
+  ds.features = combined.select(feature_names);
+  const std::size_t n = combined.n_rows();
+  ds.meta.resize(n);
+  ds.target.resize(n);
+  const auto col = [&combined](const char* name) {
+    return combined.col(name);
+  };
+  const auto job = col("__meta_job_id");
+  const auto app = col("__meta_app_id");
+  const auto cfg = col("__meta_config_id");
+  const auto start = col("__meta_start");
+  const auto end = col("__meta_end");
+  const auto nodes = col("__meta_nodes");
+  const auto novel = col("__meta_novel");
+  const auto fa = col("__meta_log_fa");
+  const auto fg = col("__meta_log_fg");
+  const auto fl = col("__meta_log_fl");
+  const auto fn = col("__meta_log_fn");
+  const auto target = col("__meta_target");
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& m = ds.meta[i];
+    m.job_id = static_cast<std::uint64_t>(std::llround(job[i]));
+    m.app_id = static_cast<std::uint64_t>(std::llround(app[i]));
+    m.config_id = static_cast<std::uint64_t>(std::llround(cfg[i]));
+    m.start_time = start[i];
+    m.end_time = end[i];
+    m.nodes = static_cast<std::uint32_t>(std::llround(nodes[i]));
+    m.novel_app = novel[i] != 0.0;
+    m.log_fa = fa[i];
+    m.log_fg = fg[i];
+    m.log_fl = fl[i];
+    m.log_fn = fn[i];
+    ds.target[i] = target[i];
+  }
+  return ds;
+}
+
+}  // namespace iotax::data

@@ -1,0 +1,21 @@
+// Table and Dataset persistence as CSV, so experiments can be inspected
+// with standard tools and re-loaded without re-running the simulator.
+#pragma once
+
+#include <string>
+
+#include "src/data/dataset.hpp"
+#include "src/data/table.hpp"
+
+namespace iotax::data {
+
+void write_table_csv(const std::string& path, const Table& table);
+Table read_table_csv(const std::string& path);
+
+/// Dataset round-trip: writes features plus reserved `__meta_*` columns
+/// (job/app/config ids, times, ground-truth components).
+void write_dataset_csv(const std::string& path, const Dataset& ds);
+Dataset read_dataset_csv(const std::string& path,
+                         const std::string& system_name);
+
+}  // namespace iotax::data

@@ -1,0 +1,68 @@
+#include "src/ml/binning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iotax::ml {
+
+BinnedMatrix::BinnedMatrix(const data::Matrix& x, std::size_t max_bins)
+    : rows_(x.rows()), cols_(x.cols()) {
+  if (max_bins < 2 || max_bins > kMaxBins) {
+    throw std::invalid_argument("BinnedMatrix: max_bins must be in [2,4096]");
+  }
+  build(x, std::vector<std::size_t>(cols_, max_bins));
+}
+
+BinnedMatrix::BinnedMatrix(const data::Matrix& x,
+                           const std::vector<std::size_t>& per_feature_bins)
+    : rows_(x.rows()), cols_(x.cols()) {
+  if (per_feature_bins.size() != cols_) {
+    throw std::invalid_argument("BinnedMatrix: per-feature budget size");
+  }
+  for (const auto b : per_feature_bins) {
+    if (b < 2 || b > kMaxBins) {
+      throw std::invalid_argument("BinnedMatrix: bin budget not in [2,4096]");
+    }
+  }
+  build(x, per_feature_bins);
+}
+
+void BinnedMatrix::build(const data::Matrix& x,
+                         const std::vector<std::size_t>& per_feature_bins) {
+  if (rows_ == 0) throw std::invalid_argument("BinnedMatrix: empty matrix");
+  codes_.resize(rows_ * cols_);
+  uppers_.resize(cols_);
+
+  std::vector<double> col(rows_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const std::size_t max_bins = per_feature_bins[c];
+    for (std::size_t r = 0; r < rows_; ++r) col[r] = x(r, c);
+    std::sort(col.begin(), col.end());
+    // Candidate edges at evenly spaced quantiles; dedupe so constant or
+    // low-cardinality features get fewer bins.
+    auto& uppers = uppers_[c];
+    uppers.clear();
+    for (std::size_t b = 1; b < max_bins; ++b) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<double>(b) * static_cast<double>(rows_) /
+          static_cast<double>(max_bins));
+      const double edge = col[std::min(pos, rows_ - 1)];
+      if (uppers.empty() || edge > uppers.back()) uppers.push_back(edge);
+    }
+    // Drop the top edge if it equals the max (nothing would be right of it).
+    while (!uppers.empty() && uppers.back() >= col.back()) uppers.pop_back();
+    max_bins_used_ = std::max(max_bins_used_, uppers.size() + 1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      codes_[r * cols_ + c] = encode(c, x(r, c));
+    }
+  }
+}
+
+std::uint16_t BinnedMatrix::encode(std::size_t feature, double value) const {
+  const auto& uppers = uppers_[feature];
+  const auto it = std::lower_bound(uppers.begin(), uppers.end(), value);
+  // value <= uppers[b] -> bin b; above all edges -> last bin.
+  return static_cast<std::uint16_t>(std::distance(uppers.begin(), it));
+}
+
+}  // namespace iotax::ml

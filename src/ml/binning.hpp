@@ -1,0 +1,64 @@
+// Quantile feature binning for histogram-based tree training (the same
+// trick XGBoost's `hist` method uses): each feature is discretised once,
+// after which split finding is O(bins) per feature instead of
+// O(n log n).
+//
+// Bin budgets are per-feature: most counters are fine at 64 bins, but a
+// raw start-time feature needs ~day-level resolution to express the
+// system's I/O weather (§VII.A), i.e. thousands of bins over a
+// multi-year trace. Codes are 16-bit to allow that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/matrix.hpp"
+
+namespace iotax::ml {
+
+inline constexpr std::size_t kMaxBins = 4096;
+
+class BinnedMatrix {
+ public:
+  /// Uniform bin budget for every feature.
+  BinnedMatrix(const data::Matrix& x, std::size_t max_bins = 64);
+
+  /// Per-feature budgets; size must equal x.cols(), entries in [2, 4096].
+  BinnedMatrix(const data::Matrix& x,
+               const std::vector<std::size_t>& per_feature_bins);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t n_bins(std::size_t feature) const {
+    return uppers_[feature].size() + 1;
+  }
+  /// Largest n_bins over all features (histogram workspace size).
+  std::size_t max_bins_used() const { return max_bins_used_; }
+
+  /// Bin code of sample r, feature c.
+  std::uint16_t code(std::size_t r, std::size_t c) const {
+    return codes_[r * cols_ + c];
+  }
+
+  /// Real-valued split threshold for "bin <= b goes left": the upper edge
+  /// of bin b. Requires b < n_bins(feature) - 1.
+  double threshold(std::size_t feature, std::size_t b) const {
+    return uppers_[feature][b];
+  }
+
+  /// Encode a raw value into this feature's bin (for prediction paths that
+  /// want parity with training codes).
+  std::uint16_t encode(std::size_t feature, double value) const;
+
+ private:
+  void build(const data::Matrix& x,
+             const std::vector<std::size_t>& per_feature_bins);
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t max_bins_used_ = 1;
+  std::vector<std::uint16_t> codes_;         // row-major
+  std::vector<std::vector<double>> uppers_;  // per feature, ascending
+};
+
+}  // namespace iotax::ml

@@ -1,0 +1,93 @@
+#include "src/ml/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::ml {
+
+DeepEnsemble::DeepEnsemble(EnsembleParams params)
+    : params_(std::move(params)) {
+  if (params_.size < 2) {
+    throw std::invalid_argument("DeepEnsemble: need >= 2 members");
+  }
+}
+
+void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
+                       const std::vector<NasCandidate>& nas_history) {
+  util::Rng rng(params_.seed);
+  members_.clear();
+
+  // Candidate architectures: best NAS candidates (deduplicated by order)
+  // or fresh random samples from the search space.
+  std::vector<MlpParams> seeds;
+  if (!nas_history.empty()) {
+    auto sorted = nas_history;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const NasCandidate& a, const NasCandidate& b) {
+                return a.val_error < b.val_error;
+              });
+    for (const auto& cand : sorted) {
+      seeds.push_back(cand.params);
+      if (seeds.size() >= params_.size) break;
+    }
+  }
+
+  NasParams space = params_.space;
+  space.nll_head = true;
+  for (std::size_t k = 0; k < params_.size; ++k) {
+    MlpParams mp;
+    if (k < seeds.size()) {
+      mp = seeds[k];
+    } else {
+      // Sample fresh: small random architecture from the space.
+      mp.hidden.clear();
+      const auto layers = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(space.max_layers)));
+      for (std::size_t l = 0; l < layers; ++l) {
+        mp.hidden.push_back(rng.choice(space.widths));
+      }
+      mp.learning_rate = std::pow(10.0, rng.uniform(-3.3, -2.2));
+      mp.dropout = rng.uniform(0.0, 0.2);
+      mp.weight_decay = std::pow(10.0, rng.uniform(-6.0, -4.0));
+    }
+    mp.nll_head = true;
+    mp.epochs = params_.epochs;
+    mp.seed = rng.next();  // different init + shuffle per member
+    auto member = std::make_unique<Mlp>(mp);
+    member->fit(x, y);
+    members_.push_back(std::move(member));
+  }
+}
+
+UncertaintyPrediction DeepEnsemble::predict_uncertainty(
+    const data::Matrix& x) const {
+  if (members_.empty()) {
+    throw std::logic_error("DeepEnsemble::predict_uncertainty: not fitted");
+  }
+  const std::size_t n = x.rows();
+  const auto k = static_cast<double>(members_.size());
+  UncertaintyPrediction out;
+  out.mean.assign(n, 0.0);
+  out.aleatory.assign(n, 0.0);
+  out.epistemic.assign(n, 0.0);
+  std::vector<double> mean_sq(n, 0.0);
+  for (const auto& member : members_) {
+    const auto pred = member->predict_dist(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.mean[i] += pred.mean[i] / k;
+      mean_sq[i] += pred.mean[i] * pred.mean[i] / k;
+      out.aleatory[i] += pred.variance[i] / k;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.epistemic[i] = std::max(0.0, mean_sq[i] - out.mean[i] * out.mean[i]);
+  }
+  return out;
+}
+
+std::vector<double> DeepEnsemble::predict(const data::Matrix& x) const {
+  return predict_uncertainty(x).mean;
+}
+
+}  // namespace iotax::ml

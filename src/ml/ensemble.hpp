@@ -1,0 +1,55 @@
+// AutoDEUQ-style deep ensemble with uncertainty decomposition (§VIII).
+//
+// K NLL-head MLPs with diverse architectures are trained on the same
+// data; by the law of total variance the predictive variance splits into
+//   aleatory  AU(x) = E_k[ sigma_k^2(x) ]   (mean predicted noise)
+//   epistemic EU(x) = Var_k[ mu_k(x) ]      (model disagreement)
+// High-EU samples are flagged out-of-distribution; the paper attributes
+// their full error to the OoD class (litmus test 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/nas.hpp"
+#include "src/ml/nn.hpp"
+
+namespace iotax::ml {
+
+struct EnsembleParams {
+  std::size_t size = 8;
+  /// Architectures: either mutated from a NAS result (preferred, as in
+  /// AutoDEUQ) or sampled randomly when no NAS history is given.
+  NasParams space;
+  std::size_t epochs = 25;
+  std::uint64_t seed = 31;
+};
+
+struct UncertaintyPrediction {
+  std::vector<double> mean;       // ensemble mean prediction
+  std::vector<double> aleatory;   // AU(x), variance units (log10^2)
+  std::vector<double> epistemic;  // EU(x), variance units (log10^2)
+};
+
+class DeepEnsemble {
+ public:
+  explicit DeepEnsemble(EnsembleParams params = {});
+
+  /// Train the ensemble. When `nas_history` is non-empty the member
+  /// architectures are drawn from its best candidates (mutated for
+  /// diversity); this is AutoDEUQ's reuse of the NAS population.
+  void fit(const data::Matrix& x, std::span<const double> y,
+           const std::vector<NasCandidate>& nas_history = {});
+
+  UncertaintyPrediction predict_uncertainty(const data::Matrix& x) const;
+  std::vector<double> predict(const data::Matrix& x) const;
+
+  std::size_t size() const { return members_.size(); }
+  const Mlp& member(std::size_t i) const { return *members_.at(i); }
+
+ private:
+  EnsembleParams params_;
+  std::vector<std::unique_ptr<Mlp>> members_;
+};
+
+}  // namespace iotax::ml

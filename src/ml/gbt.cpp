@@ -1,0 +1,391 @@
+#include "src/ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::ml {
+
+void GbtParams::validate() const {
+  if (n_estimators == 0) throw std::invalid_argument("GbtParams: 0 trees");
+  if (max_depth == 0) throw std::invalid_argument("GbtParams: 0 depth");
+  if (learning_rate <= 0.0 || learning_rate > 1.0) {
+    throw std::invalid_argument("GbtParams: learning_rate not in (0,1]");
+  }
+  if (reg_lambda < 0.0) throw std::invalid_argument("GbtParams: reg_lambda < 0");
+  if (subsample <= 0.0 || subsample > 1.0 || colsample <= 0.0 ||
+      colsample > 1.0) {
+    throw std::invalid_argument("GbtParams: subsample/colsample not in (0,1]");
+  }
+  if (max_bins < 2 || max_bins > kMaxBins) {
+    throw std::invalid_argument("GbtParams: max_bins not in [2,4096]");
+  }
+  for (const auto b : per_feature_bins) {
+    if (b < 2 || b > kMaxBins) {
+      throw std::invalid_argument("GbtParams: per-feature bins not in [2,4096]");
+    }
+  }
+  if (loss == GbtLoss::kQuantile &&
+      (quantile_alpha <= 0.0 || quantile_alpha >= 1.0)) {
+    throw std::invalid_argument("GbtParams: quantile_alpha not in (0,1)");
+  }
+}
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+double GradientBoostedTrees::Tree::predict(std::span<const double> row) const {
+  int idx = 0;
+  while (nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+    const auto& n = nodes[static_cast<std::size_t>(idx)];
+    idx = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right;
+  }
+  return nodes[static_cast<std::size_t>(idx)].value;
+}
+
+GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
+    const BinnedMatrix& binned, const std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& features, std::span<const double> grad) {
+  Tree tree;
+  // Work queue: (node index, row slice [lo, hi) in `order`, depth).
+  std::vector<std::size_t> order = rows;
+  struct Item {
+    int node;
+    std::size_t lo;
+    std::size_t hi;
+    std::size_t depth;
+  };
+  std::vector<Item> stack;
+  tree.nodes.push_back({});
+  stack.push_back({0, 0, order.size(), 0});
+
+  // Per-feature histogram workspace (hessian == 1 for squared loss, so we
+  // track gradient sums and counts).
+  std::vector<double> hist_grad(binned.max_bins_used());
+  std::vector<double> hist_count(binned.max_bins_used());
+
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    auto& node = tree.nodes[static_cast<std::size_t>(item.node)];
+    const std::size_t n = item.hi - item.lo;
+    double g_total = 0.0;
+    for (std::size_t i = item.lo; i < item.hi; ++i) g_total += grad[order[i]];
+    const double h_total = static_cast<double>(n);
+    const double leaf_value =
+        -g_total / (h_total + params_.reg_lambda) * params_.learning_rate;
+    const double parent_score =
+        g_total * g_total / (h_total + params_.reg_lambda);
+
+    if (item.depth >= params_.max_depth ||
+        h_total < 2.0 * params_.min_child_weight) {
+      node.value = leaf_value;
+      continue;
+    }
+
+    // Best split over the sampled features.
+    int best_feature = -1;
+    std::size_t best_bin = 0;
+    double best_gain = params_.min_split_gain;
+    for (const std::size_t f : features) {
+      const std::size_t bins = binned.n_bins(f);
+      if (bins < 2) continue;
+      std::fill(hist_grad.begin(), hist_grad.begin() + bins, 0.0);
+      std::fill(hist_count.begin(), hist_count.begin() + bins, 0.0);
+      for (std::size_t i = item.lo; i < item.hi; ++i) {
+        const std::size_t r = order[i];
+        const auto b = binned.code(r, f);
+        hist_grad[b] += grad[r];
+        hist_count[b] += 1.0;
+      }
+      double gl = 0.0;
+      double hl = 0.0;
+      for (std::size_t b = 0; b + 1 < bins; ++b) {
+        gl += hist_grad[b];
+        hl += hist_count[b];
+        const double hr = h_total - hl;
+        if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
+          continue;
+        }
+        const double gr = g_total - gl;
+        const double gain = gl * gl / (hl + params_.reg_lambda) +
+                            gr * gr / (hr + params_.reg_lambda) -
+                            parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      node.value = leaf_value;
+      continue;
+    }
+
+    // Partition rows in place: codes <= best_bin go left.
+    const auto f = static_cast<std::size_t>(best_feature);
+    auto mid_it = std::partition(
+        order.begin() + static_cast<long>(item.lo),
+        order.begin() + static_cast<long>(item.hi),
+        [&](std::size_t r) { return binned.code(r, f) <= best_bin; });
+    const auto mid = static_cast<std::size_t>(mid_it - order.begin());
+    if (mid == item.lo || mid == item.hi) {
+      node.value = leaf_value;  // degenerate split (shouldn't happen)
+      continue;
+    }
+
+    node.feature = best_feature;
+    node.threshold = binned.threshold(f, best_bin);
+    node.left = static_cast<int>(tree.nodes.size());
+    node.right = node.left + 1;
+    importance_[f] += best_gain;
+    const int left = node.left;
+    const int right = node.right;
+    tree.nodes.push_back({});
+    tree.nodes.push_back({});
+    stack.push_back({left, item.lo, mid, item.depth + 1});
+    stack.push_back({right, mid, item.hi, item.depth + 1});
+  }
+  return tree;
+}
+
+void GradientBoostedTrees::fit(const data::Matrix& x,
+                               std::span<const double> y) {
+  fit_eval(x, y, data::Matrix(), {});
+}
+
+void GradientBoostedTrees::fit_eval(const data::Matrix& x,
+                                    std::span<const double> y,
+                                    const data::Matrix& x_val,
+                                    std::span<const double> y_val) {
+  if (x_val.rows() != y_val.size()) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::fit_eval: validation size mismatch");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("GradientBoostedTrees::fit: size mismatch");
+  }
+  if (x.rows() < 2) {
+    throw std::invalid_argument("GradientBoostedTrees::fit: need >= 2 rows");
+  }
+  n_features_ = x.cols();
+  importance_.assign(n_features_, 0.0);
+  trees_.clear();
+  base_score_ = params_.loss == GbtLoss::kQuantile
+                    ? stats::quantile(std::vector<double>(y.begin(), y.end()),
+                                      params_.quantile_alpha)
+                    : stats::mean(y);
+
+  const BinnedMatrix binned =
+      params_.per_feature_bins.empty()
+          ? BinnedMatrix(x, params_.max_bins)
+          : BinnedMatrix(x, params_.per_feature_bins);
+  util::Rng rng(params_.seed);
+
+  std::vector<double> preds(x.rows(), base_score_);
+  std::vector<double> grad(x.rows());
+  std::vector<std::size_t> all_rows(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) all_rows[i] = i;
+  std::vector<std::size_t> all_features(n_features_);
+  for (std::size_t i = 0; i < n_features_; ++i) all_features[i] = i;
+
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(params_.subsample *
+                                  static_cast<double>(x.rows())));
+  const auto n_col = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.colsample *
+                                  static_cast<double>(n_features_)));
+
+  // Early-stopping bookkeeping.
+  const bool use_eval =
+      params_.early_stopping_rounds > 0 && x_val.rows() > 0;
+  std::vector<double> val_preds(x_val.rows(), base_score_);
+  double best_val_rmse = std::numeric_limits<double>::infinity();
+  std::size_t best_round = 0;
+  std::size_t rounds_since_best = 0;
+
+  for (std::size_t t = 0; t < params_.n_estimators; ++t) {
+    if (params_.loss == GbtLoss::kQuantile) {
+      // Pinball-loss gradient: -alpha below the prediction target,
+      // (1-alpha) above; unit hessian (function-space gradient descent).
+      const double a = params_.quantile_alpha;
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        grad[i] = preds[i] >= y[i] ? (1.0 - a) : -a;
+      }
+    } else {
+      for (std::size_t i = 0; i < x.rows(); ++i) grad[i] = preds[i] - y[i];
+    }
+
+    std::vector<std::size_t> rows =
+        params_.subsample < 1.0 ? rng.sample_without_replacement(x.rows(),
+                                                                 n_sub)
+                                : all_rows;
+    std::vector<std::size_t> features =
+        params_.colsample < 1.0
+            ? rng.sample_without_replacement(n_features_, n_col)
+            : all_features;
+
+    Tree tree = build_tree(binned, rows, features, grad);
+    // Update running predictions on all rows.
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      preds[i] += tree.predict(x.row(i));
+    }
+    if (use_eval) {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < x_val.rows(); ++i) {
+        val_preds[i] += tree.predict(x_val.row(i));
+        const double d = val_preds[i] - y_val[i];
+        sq += d * d;
+      }
+      const double rmse = std::sqrt(sq / static_cast<double>(x_val.rows()));
+      if (rmse < best_val_rmse - 1e-12) {
+        best_val_rmse = rmse;
+        best_round = t + 1;
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= params_.early_stopping_rounds) {
+        trees_.push_back(std::move(tree));
+        break;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+  if (use_eval && best_round < trees_.size()) {
+    trees_.resize(best_round);  // keep the best-validation prefix
+  }
+  fitted_ = true;
+}
+
+std::vector<double> GradientBoostedTrees::predict(
+    const data::Matrix& x) const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::predict: not fitted");
+  }
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::predict: feature count mismatch");
+  }
+  std::vector<double> out(x.rows(), base_score_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (const auto& tree : trees_) out[i] += tree.predict(row);
+  }
+  return out;
+}
+
+std::string GradientBoostedTrees::name() const {
+  return "gbt[trees=" + std::to_string(params_.n_estimators) +
+         ",depth=" + std::to_string(params_.max_depth) + "]";
+}
+
+std::vector<double> GradientBoostedTrees::feature_importances() const {
+  std::vector<double> imp = importance_;
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+
+namespace {
+
+void expect_token(std::istream& in, const char* expected) {
+  std::string token;
+  in >> token;
+  if (token != expected) {
+    throw std::runtime_error(std::string("GradientBoostedTrees::load: "
+                                         "expected '") +
+                             expected + "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void GradientBoostedTrees::save(std::ostream& out) const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::save: not fitted");
+  }
+  out.precision(17);
+  out << "iotax-gbt 1\n";
+  out << "params " << params_.n_estimators << ' ' << params_.max_depth << ' '
+      << params_.learning_rate << ' ' << params_.reg_lambda << ' '
+      << params_.min_child_weight << ' ' << params_.min_split_gain << ' '
+      << params_.subsample << ' ' << params_.colsample << ' '
+      << params_.max_bins << ' ' << params_.seed << ' '
+      << (params_.loss == GbtLoss::kQuantile ? 1 : 0) << ' '
+      << params_.quantile_alpha << '\n';
+  out << "base_score " << base_score_ << '\n';
+  out << "n_features " << n_features_ << '\n';
+  out << "importance";
+  for (const double v : importance_) out << ' ' << v;
+  out << '\n';
+  out << "trees " << trees_.size() << '\n';
+  for (const auto& tree : trees_) {
+    out << "tree " << tree.nodes.size() << '\n';
+    for (const auto& n : tree.nodes) {
+      out << n.feature << ' ' << n.threshold << ' ' << n.left << ' '
+          << n.right << ' ' << n.value << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("GradientBoostedTrees::save: stream");
+}
+
+GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
+  expect_token(in, "iotax-gbt");
+  int version = 0;
+  in >> version;
+  if (version != 1) {
+    throw std::runtime_error("GradientBoostedTrees::load: bad version");
+  }
+  GbtParams params;
+  expect_token(in, "params");
+  int loss = 0;
+  in >> params.n_estimators >> params.max_depth >> params.learning_rate >>
+      params.reg_lambda >> params.min_child_weight >>
+      params.min_split_gain >> params.subsample >> params.colsample >>
+      params.max_bins >> params.seed >> loss >> params.quantile_alpha;
+  params.loss = loss != 0 ? GbtLoss::kQuantile : GbtLoss::kSquaredError;
+  GradientBoostedTrees model(params);
+  expect_token(in, "base_score");
+  in >> model.base_score_;
+  expect_token(in, "n_features");
+  in >> model.n_features_;
+  expect_token(in, "importance");
+  model.importance_.resize(model.n_features_);
+  for (auto& v : model.importance_) in >> v;
+  expect_token(in, "trees");
+  std::size_t n_trees = 0;
+  in >> n_trees;
+  model.trees_.resize(n_trees);
+  for (auto& tree : model.trees_) {
+    expect_token(in, "tree");
+    std::size_t n_nodes = 0;
+    in >> n_nodes;
+    tree.nodes.resize(n_nodes);
+    for (auto& n : tree.nodes) {
+      in >> n.feature >> n.threshold >> n.left >> n.right >> n.value;
+      if (n.feature >= static_cast<int>(model.n_features_) ||
+          n.left >= static_cast<int>(n_nodes) ||
+          n.right >= static_cast<int>(n_nodes)) {
+        throw std::runtime_error(
+            "GradientBoostedTrees::load: node out of range");
+      }
+    }
+  }
+  if (!in) throw std::runtime_error("GradientBoostedTrees::load: truncated");
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace iotax::ml

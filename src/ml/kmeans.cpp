@@ -1,0 +1,155 @@
+#include "src/ml/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace iotax::ml {
+
+void KMeansParams::validate() const {
+  if (k < 2) throw std::invalid_argument("KMeansParams: k must be >= 2");
+  if (max_iters == 0 || n_init == 0) {
+    throw std::invalid_argument("KMeansParams: zero iterations/inits");
+  }
+  if (tol < 0.0) throw std::invalid_argument("KMeansParams: negative tol");
+}
+
+KMeans::KMeans(KMeansParams params) : params_(params) { params_.validate(); }
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++ seeding: each next centre is drawn proportionally to the
+// squared distance from the nearest existing centre.
+data::Matrix plus_plus_init(const data::Matrix& z, std::size_t k,
+                            util::Rng& rng) {
+  data::Matrix centroids(k, z.cols());
+  const auto first = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(z.rows()) - 1));
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    centroids(0, c) = z(first, c);
+  }
+  std::vector<double> d2(z.rows());
+  for (std::size_t chosen = 1; chosen < k; ++chosen) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < chosen; ++c) {
+        best = std::min(best, sq_dist(z.row(r), centroids.row(c)));
+      }
+      d2[r] = best;
+      total += best;
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        target -= d2[r];
+        if (target <= 0.0) {
+          pick = r;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(z.rows()) - 1));
+    }
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      centroids(chosen, c) = z(pick, c);
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double KMeans::assign(const data::Matrix& z, const data::Matrix& centroids,
+                      std::vector<std::size_t>* labels) const {
+  double inertia = 0.0;
+  labels->resize(z.rows());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < centroids.rows(); ++c) {
+      const double d = sq_dist(z.row(r), centroids.row(c));
+      if (d < best) {
+        best = d;
+        arg = c;
+      }
+    }
+    (*labels)[r] = arg;
+    inertia += best;
+  }
+  return inertia;
+}
+
+void KMeans::fit(const data::Matrix& x) {
+  if (x.rows() < params_.k) {
+    throw std::invalid_argument("KMeans::fit: fewer rows than clusters");
+  }
+  const data::Matrix z = scaler_.fit_transform(data::signed_log1p(x));
+  util::Rng rng(params_.seed);
+
+  double best_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t init = 0; init < params_.n_init; ++init) {
+    data::Matrix centroids = plus_plus_init(z, params_.k, rng);
+    std::vector<std::size_t> labels;
+    double inertia = assign(z, centroids, &labels);
+    for (std::size_t iter = 0; iter < params_.max_iters; ++iter) {
+      // Recompute centroids.
+      data::Matrix next(params_.k, z.cols(), 0.0);
+      std::vector<std::size_t> counts(params_.k, 0);
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        const auto l = labels[r];
+        ++counts[l];
+        for (std::size_t c = 0; c < z.cols(); ++c) next(l, c) += z(r, c);
+      }
+      for (std::size_t l = 0; l < params_.k; ++l) {
+        if (counts[l] == 0) {
+          // Re-seed an empty cluster at a random point.
+          const auto r = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(z.rows()) - 1));
+          for (std::size_t c = 0; c < z.cols(); ++c) next(l, c) = z(r, c);
+        } else {
+          for (std::size_t c = 0; c < z.cols(); ++c) {
+            next(l, c) /= static_cast<double>(counts[l]);
+          }
+        }
+      }
+      centroids = std::move(next);
+      const double new_inertia = assign(z, centroids, &labels);
+      if (inertia - new_inertia < params_.tol * (1.0 + inertia)) {
+        inertia = new_inertia;
+        break;
+      }
+      inertia = new_inertia;
+    }
+    if (inertia < best_inertia) {
+      best_inertia = inertia;
+      centroids_ = centroids;
+      labels_ = labels;
+    }
+  }
+  inertia_ = best_inertia;
+  fitted_ = true;
+}
+
+std::vector<std::size_t> KMeans::predict(const data::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("KMeans::predict: not fitted");
+  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
+  std::vector<std::size_t> labels;
+  assign(z, centroids_, &labels);
+  return labels;
+}
+
+}  // namespace iotax::ml

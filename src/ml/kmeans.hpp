@@ -1,0 +1,60 @@
+// K-means clustering of jobs by their I/O features — the other ML
+// direction the paper surveys in §II (workload clustering, as in the
+// authors' Gauge tool): group the workload so experts can reason about
+// classes of jobs instead of individual ones. Here it feeds the
+// per-cluster error breakdown: *which kinds of jobs* does a throughput
+// model fail on?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/matrix.hpp"
+#include "src/data/scaler.hpp"
+
+namespace iotax::ml {
+
+struct KMeansParams {
+  std::size_t k = 8;
+  std::size_t max_iters = 100;
+  /// Restarts with different initialisations; best inertia wins.
+  std::size_t n_init = 4;
+  double tol = 1e-6;
+  std::uint64_t seed = 67;
+
+  void validate() const;
+};
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansParams params = {});
+
+  /// Cluster rows of x (internally signed-log1p + standardised, like the
+  /// MLPs, so counters on wild scales cluster sanely). k-means++ init.
+  void fit(const data::Matrix& x);
+
+  /// Nearest-centroid assignment for new rows.
+  std::vector<std::size_t> predict(const data::Matrix& x) const;
+
+  /// Assignments of the training rows.
+  const std::vector<std::size_t>& labels() const { return labels_; }
+  /// Within-cluster sum of squared distances (standardised space).
+  double inertia() const { return inertia_; }
+  std::size_t k() const { return params_.k; }
+  /// Centroids in the standardised feature space (k x features).
+  const data::Matrix& centroids() const { return centroids_; }
+
+ private:
+  double assign(const data::Matrix& z, const data::Matrix& centroids,
+                std::vector<std::size_t>* labels) const;
+
+  KMeansParams params_;
+  data::StandardScaler scaler_;
+  data::Matrix centroids_{0, 0};
+  std::vector<std::size_t> labels_;
+  double inertia_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace iotax::ml

@@ -1,0 +1,55 @@
+#include "src/ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::ml {
+
+std::vector<double> log_errors(std::span<const double> y_true_log,
+                               std::span<const double> y_pred_log) {
+  if (y_true_log.size() != y_pred_log.size()) {
+    throw std::invalid_argument("log_errors: size mismatch");
+  }
+  std::vector<double> errs(y_true_log.size());
+  for (std::size_t i = 0; i < errs.size(); ++i) {
+    errs[i] = y_pred_log[i] - y_true_log[i];
+  }
+  return errs;
+}
+
+double median_abs_log_error(std::span<const double> y_true_log,
+                            std::span<const double> y_pred_log) {
+  auto errs = log_errors(y_true_log, y_pred_log);
+  for (auto& e : errs) e = std::fabs(e);
+  return stats::median(errs);
+}
+
+double mean_abs_log_error(std::span<const double> y_true_log,
+                          std::span<const double> y_pred_log) {
+  auto errs = log_errors(y_true_log, y_pred_log);
+  for (auto& e : errs) e = std::fabs(e);
+  return stats::mean(errs);
+}
+
+double rmse_log(std::span<const double> y_true_log,
+                std::span<const double> y_pred_log) {
+  const auto errs = log_errors(y_true_log, y_pred_log);
+  double acc = 0.0;
+  for (double e : errs) acc += e * e;
+  return std::sqrt(acc / static_cast<double>(errs.size()));
+}
+
+double log_error_to_percent(double log_err) {
+  return (std::pow(10.0, log_err) - 1.0) * 100.0;
+}
+
+double percent_to_log_error(double percent) {
+  if (percent <= -100.0) {
+    throw std::invalid_argument("percent_to_log_error: percent <= -100");
+  }
+  return std::log10(1.0 + percent / 100.0);
+}
+
+}  // namespace iotax::ml

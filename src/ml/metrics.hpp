@@ -1,0 +1,37 @@
+// Error metrics. The paper optimises and reports
+//   e(y, yhat) = mean_i |log10(y_i / yhat_i)|                     (Eq. 6)
+// and quotes medians because the distributions are heavy-tailed. Targets
+// in this library are already log10 throughputs, so the ratio error is a
+// simple difference in model space.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace iotax::ml {
+
+/// Per-sample signed log10 ratio errors (prediction minus truth, both in
+/// log10 space).
+std::vector<double> log_errors(std::span<const double> y_true_log,
+                               std::span<const double> y_pred_log);
+
+/// Median of |log10 ratio|, the paper's headline metric.
+double median_abs_log_error(std::span<const double> y_true_log,
+                            std::span<const double> y_pred_log);
+
+/// Mean of |log10 ratio| (the training objective, Eq. 6).
+double mean_abs_log_error(std::span<const double> y_true_log,
+                          std::span<const double> y_pred_log);
+
+/// Root mean squared error in log space.
+double rmse_log(std::span<const double> y_true_log,
+                std::span<const double> y_pred_log);
+
+/// Convert a log10 ratio error to the paper's percentage convention:
+/// +0.041 log10 -> "+10.01%" (model overestimates by 10%).
+double log_error_to_percent(double log_err);
+
+/// Inverse of log_error_to_percent.
+double percent_to_log_error(double percent);
+
+}  // namespace iotax::ml

@@ -1,0 +1,23 @@
+#include "src/ml/model.hpp"
+
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::ml {
+
+void MeanRegressor::fit(const data::Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("MeanRegressor::fit: size mismatch");
+  }
+  if (y.empty()) throw std::invalid_argument("MeanRegressor::fit: empty");
+  mean_ = stats::mean(y);
+  fitted_ = true;
+}
+
+std::vector<double> MeanRegressor::predict(const data::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("MeanRegressor::predict: not fitted");
+  return std::vector<double>(x.rows(), mean_);
+}
+
+}  // namespace iotax::ml

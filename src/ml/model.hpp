@@ -1,0 +1,42 @@
+// Common regressor interface: every model maps a feature Matrix to log10
+// I/O throughput predictions.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/data/matrix.hpp"
+
+namespace iotax::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on features x (n_samples x n_features) and targets y (log10
+  /// throughput). Implementations must be deterministic given their
+  /// configured seed.
+  virtual void fit(const data::Matrix& x, std::span<const double> y) = 0;
+
+  /// Predict one value per row; requires fit() first.
+  virtual std::vector<double> predict(const data::Matrix& x) const = 0;
+
+  /// Short human-readable description ("gbt[trees=32,depth=21]").
+  virtual std::string name() const = 0;
+};
+
+/// Baseline that predicts the training-set mean: the weakest legitimate
+/// model, used to normalise taxonomy error fractions.
+class MeanRegressor final : public Regressor {
+ public:
+  void fit(const data::Matrix& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::Matrix& x) const override;
+  std::string name() const override { return "mean"; }
+
+ private:
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace iotax::ml

@@ -1,0 +1,128 @@
+#include "src/ml/nas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace iotax::ml {
+
+namespace {
+
+MlpParams random_architecture(const NasParams& nas, util::Rng& rng) {
+  MlpParams p;
+  const auto n_layers = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(nas.max_layers)));
+  p.hidden.clear();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    p.hidden.push_back(rng.choice(nas.widths));
+  }
+  p.learning_rate = std::pow(10.0, rng.uniform(-3.5, -2.0));
+  p.dropout = rng.uniform(0.0, 0.3);
+  p.weight_decay = std::pow(10.0, rng.uniform(-6.0, -3.5));
+  p.epochs = nas.epochs;
+  p.nll_head = nas.nll_head;
+  p.seed = rng.next();
+  return p;
+}
+
+MlpParams mutate(const MlpParams& parent, const NasParams& nas,
+                 util::Rng& rng) {
+  MlpParams p = parent;
+  switch (rng.uniform_int(0, 4)) {
+    case 0:  // change one layer width
+      if (!p.hidden.empty()) {
+        const auto l = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(p.hidden.size()) - 1));
+        p.hidden[l] = rng.choice(nas.widths);
+      }
+      break;
+    case 1:  // add or remove a layer
+      if (p.hidden.size() < nas.max_layers && rng.bernoulli(0.5)) {
+        p.hidden.push_back(rng.choice(nas.widths));
+      } else if (p.hidden.size() > 1) {
+        p.hidden.pop_back();
+      }
+      break;
+    case 2:  // perturb learning rate
+      p.learning_rate = std::clamp(
+          p.learning_rate * std::pow(10.0, rng.uniform(-0.4, 0.4)),
+          std::pow(10.0, -4.0), std::pow(10.0, -1.5));
+      break;
+    case 3:  // perturb dropout
+      p.dropout = std::clamp(p.dropout + rng.uniform(-0.1, 0.1), 0.0, 0.5);
+      break;
+    default:  // perturb weight decay
+      p.weight_decay = std::clamp(
+          p.weight_decay * std::pow(10.0, rng.uniform(-0.5, 0.5)), 1e-7, 1e-2);
+      break;
+  }
+  p.seed = rng.next();
+  return p;
+}
+
+}  // namespace
+
+NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
+                     std::span<const double> y_train, const data::Matrix& x_val,
+                     std::span<const double> y_val) {
+  if (nas.population < 2 || nas.generations == 0) {
+    throw std::invalid_argument("nas_search: need population>=2, generations>=1");
+  }
+  if (nas.survivor_frac <= 0.0 || nas.survivor_frac > 1.0) {
+    throw std::invalid_argument("nas_search: bad survivor_frac");
+  }
+  util::Rng rng(nas.seed);
+  NasResult result;
+  result.best.val_error = std::numeric_limits<double>::infinity();
+
+  const auto evaluate = [&](MlpParams params,
+                            std::size_t gen) -> NasCandidate {
+    Mlp model(params);
+    model.fit(x_train, y_train);
+    NasCandidate cand;
+    cand.params = std::move(params);
+    cand.val_error = median_abs_log_error(y_val, model.predict(x_val));
+    cand.generation = gen;
+    return cand;
+  };
+
+  std::vector<NasCandidate> population;
+  for (std::size_t i = 0; i < nas.population; ++i) {
+    auto cand = evaluate(random_architecture(nas, rng), 0);
+    if (cand.val_error < result.best.val_error) {
+      cand.improved_best = true;
+      result.best = cand;
+    }
+    result.history.push_back(cand);
+    population.push_back(std::move(cand));
+  }
+
+  const auto n_survivors = std::max<std::size_t>(
+      1, static_cast<std::size_t>(nas.survivor_frac *
+                                  static_cast<double>(nas.population)));
+  for (std::size_t gen = 1; gen < nas.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [](const NasCandidate& a, const NasCandidate& b) {
+                return a.val_error < b.val_error;
+              });
+    population.resize(n_survivors);
+    while (population.size() < nas.population) {
+      // Rank-biased parent choice: better candidates breed more.
+      const auto rank = static_cast<std::size_t>(std::min<double>(
+          static_cast<double>(n_survivors) - 1.0,
+          std::floor(std::fabs(rng.normal(0.0, 1.0)) *
+                     static_cast<double>(n_survivors) / 2.0)));
+      auto cand = evaluate(mutate(population[rank].params, nas, rng), gen);
+      if (cand.val_error < result.best.val_error) {
+        cand.improved_best = true;
+        result.best = cand;
+      }
+      result.history.push_back(cand);
+      population.push_back(std::move(cand));
+    }
+  }
+  return result;
+}
+
+}  // namespace iotax::ml

@@ -1,0 +1,52 @@
+// Neural architecture + hyperparameter search in the AgEBO style (§VI.B,
+// Fig. 2): an aging-evolution loop over MLP architectures where each new
+// generation mutates the better half of the previous population, so both
+// architecture (layer count/widths) and hyperparameters (learning rate,
+// dropout, weight decay) evolve jointly. Selection uses a held-out
+// validation set to avoid leaking the test set into the search, exactly
+// as the paper stresses.
+#pragma once
+
+#include <vector>
+
+#include "src/ml/metrics.hpp"
+#include "src/ml/nn.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::ml {
+
+struct NasParams {
+  std::size_t population = 12;
+  std::size_t generations = 6;
+  /// Fraction of each generation kept as parents.
+  double survivor_frac = 0.5;
+  /// Epochs each candidate trains for (search-time budget, not final).
+  std::size_t epochs = 15;
+  bool nll_head = false;
+  std::uint64_t seed = 23;
+
+  // Architecture space.
+  std::size_t max_layers = 4;
+  std::vector<std::size_t> widths = {16, 32, 64, 96};
+};
+
+struct NasCandidate {
+  MlpParams params;
+  double val_error = 0.0;
+  std::size_t generation = 0;
+  /// True when this candidate improved on the best seen so far (the gold
+  /// stars in Fig. 2).
+  bool improved_best = false;
+};
+
+struct NasResult {
+  std::vector<NasCandidate> history;  // all evaluated candidates, in order
+  NasCandidate best;
+};
+
+/// Run the evolutionary search; deterministic in (params, data).
+NasResult nas_search(const NasParams& params, const data::Matrix& x_train,
+                     std::span<const double> y_train, const data::Matrix& x_val,
+                     std::span<const double> y_val);
+
+}  // namespace iotax::ml

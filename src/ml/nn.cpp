@@ -1,0 +1,382 @@
+#include "src/ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::ml {
+
+void MlpParams::validate() const {
+  for (std::size_t h : hidden) {
+    if (h == 0) throw std::invalid_argument("MlpParams: zero-width layer");
+  }
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("MlpParams: learning_rate <= 0");
+  }
+  if (weight_decay < 0.0) {
+    throw std::invalid_argument("MlpParams: weight_decay < 0");
+  }
+  if (dropout < 0.0 || dropout >= 1.0) {
+    throw std::invalid_argument("MlpParams: dropout not in [0,1)");
+  }
+  if (epochs == 0 || batch_size == 0) {
+    throw std::invalid_argument("MlpParams: zero epochs/batch");
+  }
+}
+
+std::string MlpParams::to_string() const {
+  std::string s = "mlp[";
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    if (i != 0) s += "x";
+    s += std::to_string(hidden[i]);
+  }
+  s += ",lr=" + std::to_string(learning_rate);
+  s += ",do=" + std::to_string(dropout);
+  if (nll_head) s += ",nll";
+  s += "]";
+  return s;
+}
+
+Mlp::Mlp(MlpParams params) : params_(std::move(params)) { params_.validate(); }
+
+namespace {
+constexpr double kLogVarMin = -8.0;
+constexpr double kLogVarMax = 4.0;
+}  // namespace
+
+void Mlp::forward(std::span<const double> input, std::vector<double>* acts,
+                  util::Rng* dropout_rng, std::vector<char>* masks) const {
+  // acts holds [input | layer0 out | layer1 out | ...]; pre-activation
+  // values are ReLU'd in place for hidden layers.
+  std::copy(input.begin(), input.end(), acts->begin());
+  const double keep = 1.0 - params_.dropout;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const double* in = acts->data() + act_offsets_[l];
+    double* out = acts->data() + act_offsets_[l + 1];
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* w = layer.w.data() + o * layer.in;
+      double acc = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += w[i] * in[i];
+      out[o] = acc;
+    }
+    const bool is_hidden = l + 1 < layers_.size();
+    if (is_hidden) {
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        out[o] = std::max(0.0, out[o]);  // ReLU
+      }
+      if (dropout_rng != nullptr && params_.dropout > 0.0) {
+        // Inverted dropout; masks recorded for the backward pass.
+        char* m = masks->data() + act_offsets_[l + 1];
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          const bool kept = dropout_rng->uniform() < keep;
+          m[o] = kept ? 1 : 0;
+          out[o] = kept ? out[o] / keep : 0.0;
+        }
+      }
+    }
+  }
+}
+
+void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("Mlp::fit: size mismatch");
+  }
+  if (x.rows() < 2) throw std::invalid_argument("Mlp::fit: need >= 2 rows");
+
+  const data::Matrix z = scaler_.fit_transform(data::signed_log1p(x));
+  y_mean_ = stats::mean(y);
+  y_scale_ = std::max(stats::stddev(y), 1e-6);
+  std::vector<double> ty(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ty[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  // Architecture: input -> hidden... -> output (1 or 2 units).
+  const std::size_t out_dim = params_.nll_head ? 2 : 1;
+  std::vector<std::size_t> widths;
+  widths.push_back(z.cols());
+  for (std::size_t h : params_.hidden) widths.push_back(h);
+  widths.push_back(out_dim);
+
+  util::Rng rng(params_.seed);
+  layers_.clear();
+  act_offsets_.assign(1, 0);
+  act_total_ = widths[0];
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    Layer layer;
+    layer.in = widths[l];
+    layer.out = widths[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    // He initialisation for ReLU nets.
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (auto& w : layer.w) w = rng.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    act_offsets_.push_back(act_total_);
+    act_total_ += widths[l + 1];
+  }
+
+  // Adam state.
+  struct Adam {
+    std::vector<double> mw, vw, mb, vb;
+  };
+  std::vector<Adam> adam(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].mw.assign(layers_[l].w.size(), 0.0);
+    adam[l].vw.assign(layers_[l].w.size(), 0.0);
+    adam[l].mb.assign(layers_[l].b.size(), 0.0);
+    adam[l].vb.assign(layers_[l].b.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  std::size_t step = 0;
+
+  std::vector<double> acts(act_total_);
+  std::vector<double> deltas(act_total_);
+  std::vector<char> masks(act_total_, 1);
+  std::vector<std::vector<double>> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  std::vector<std::size_t> order(z.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng shuffle_rng = rng.fork(1);
+  util::Rng dropout_rng = rng.fork(2);
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += params_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + params_.batch_size);
+      const auto batch_n = static_cast<double>(end - start);
+      for (auto& g : gw) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : gb) std::fill(g.begin(), g.end(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t r = order[bi];
+        forward(z.row(r), &acts,
+                params_.dropout > 0.0 ? &dropout_rng : nullptr, &masks);
+
+        // Output deltas (dLoss/dPreactivation of the output layer).
+        const std::size_t out_off = act_offsets_.back();
+        std::fill(deltas.begin(), deltas.end(), 0.0);
+        if (params_.nll_head) {
+          const double mu = acts[out_off];
+          const double log_var =
+              std::clamp(acts[out_off + 1], kLogVarMin, kLogVarMax);
+          const double var = std::exp(log_var);
+          const double diff = mu - ty[r];
+          deltas[out_off] = diff / var;
+          deltas[out_off + 1] = 0.5 - 0.5 * diff * diff / var;
+        } else {
+          deltas[out_off] = acts[out_off] - ty[r];
+        }
+
+        // Backprop.
+        for (std::size_t li = layers_.size(); li > 0; --li) {
+          const std::size_t l = li - 1;
+          const Layer& layer = layers_[l];
+          const double* in = acts.data() + act_offsets_[l];
+          const double* dout = deltas.data() + act_offsets_[l + 1];
+          double* din = deltas.data() + act_offsets_[l];
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const double d = dout[o];
+            if (d == 0.0) continue;
+            double* gwp = gw[l].data() + o * layer.in;
+            const double* w = layer.w.data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+              gwp[i] += d * in[i];
+              din[i] += d * w[i];
+            }
+            gb[l][o] += d;
+          }
+          if (l > 0) {
+            // Through ReLU (and dropout mask) of the previous layer.
+            const char* m = masks.data() + act_offsets_[l];
+            const double keep = 1.0 - params_.dropout;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+              if (in[i] <= 0.0) {
+                din[i] = 0.0;
+              } else if (params_.dropout > 0.0) {
+                din[i] = m[i] != 0 ? din[i] / keep : 0.0;
+              }
+            }
+          }
+        }
+      }
+
+      // Adam update with decoupled weight decay.
+      ++step;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t i = 0; i < layer.w.size(); ++i) {
+          const double g = gw[l][i] / batch_n;
+          adam[l].mw[i] = kBeta1 * adam[l].mw[i] + (1.0 - kBeta1) * g;
+          adam[l].vw[i] = kBeta2 * adam[l].vw[i] + (1.0 - kBeta2) * g * g;
+          const double mhat = adam[l].mw[i] / bc1;
+          const double vhat = adam[l].vw[i] / bc2;
+          layer.w[i] -= params_.learning_rate *
+                        (mhat / (std::sqrt(vhat) + kEps) +
+                         params_.weight_decay * layer.w[i]);
+        }
+        for (std::size_t i = 0; i < layer.b.size(); ++i) {
+          const double g = gb[l][i] / batch_n;
+          adam[l].mb[i] = kBeta1 * adam[l].mb[i] + (1.0 - kBeta1) * g;
+          adam[l].vb[i] = kBeta2 * adam[l].vb[i] + (1.0 - kBeta2) * g * g;
+          const double mhat = adam[l].mb[i] / bc1;
+          const double vhat = adam[l].vb[i] / bc2;
+          layer.b[i] -= params_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+        }
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> Mlp::predict(const data::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
+  std::vector<double> acts(act_total_);
+  std::vector<char> masks;
+  std::vector<double> out(z.rows());
+  const std::size_t out_off = act_offsets_.back();
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    forward(z.row(r), &acts, nullptr, &masks);
+    out[r] = acts[out_off] * y_scale_ + y_mean_;
+  }
+  return out;
+}
+
+DistPrediction Mlp::predict_dist(const data::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict_dist: not fitted");
+  if (!params_.nll_head) {
+    throw std::logic_error("Mlp::predict_dist: requires an NLL head");
+  }
+  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
+  std::vector<double> acts(act_total_);
+  std::vector<char> masks;
+  DistPrediction pred;
+  pred.mean.resize(z.rows());
+  pred.variance.resize(z.rows());
+  const std::size_t out_off = act_offsets_.back();
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    forward(z.row(r), &acts, nullptr, &masks);
+    pred.mean[r] = acts[out_off] * y_scale_ + y_mean_;
+    const double log_var =
+        std::clamp(acts[out_off + 1], kLogVarMin, kLogVarMax);
+    pred.variance[r] = std::exp(log_var) * y_scale_ * y_scale_;
+  }
+  return pred;
+}
+
+std::string Mlp::name() const { return params_.to_string(); }
+
+
+namespace {
+
+void expect_token(std::istream& in, const char* expected) {
+  std::string token;
+  in >> token;
+  if (token != expected) {
+    throw std::runtime_error(std::string("Mlp::load: expected '") + expected +
+                             "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void Mlp::save(std::ostream& out) const {
+  if (!fitted_) throw std::logic_error("Mlp::save: not fitted");
+  out.precision(17);
+  out << "iotax-mlp 1\n";
+  out << "hidden " << params_.hidden.size();
+  for (const auto h : params_.hidden) out << ' ' << h;
+  out << '\n';
+  out << "hyper " << params_.learning_rate << ' ' << params_.weight_decay
+      << ' ' << params_.dropout << ' ' << params_.epochs << ' '
+      << params_.batch_size << ' ' << (params_.nll_head ? 1 : 0) << ' '
+      << params_.seed << '\n';
+  out << "target " << y_mean_ << ' ' << y_scale_ << '\n';
+  out << "scaler " << scaler_.means().size() << '\n';
+  for (const auto m : scaler_.means()) out << m << ' ';
+  out << '\n';
+  for (const auto s : scaler_.stddevs()) out << s << ' ';
+  out << '\n';
+  out << "layers " << layers_.size() << '\n';
+  for (const auto& layer : layers_) {
+    out << "layer " << layer.in << ' ' << layer.out << '\n';
+    for (const auto w : layer.w) out << w << ' ';
+    out << '\n';
+    for (const auto b : layer.b) out << b << ' ';
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("Mlp::save: stream failure");
+}
+
+Mlp Mlp::load(std::istream& in) {
+  expect_token(in, "iotax-mlp");
+  int version = 0;
+  in >> version;
+  if (version != 1) throw std::runtime_error("Mlp::load: bad version");
+
+  MlpParams params;
+  expect_token(in, "hidden");
+  std::size_t n_hidden = 0;
+  in >> n_hidden;
+  params.hidden.resize(n_hidden);
+  for (auto& h : params.hidden) in >> h;
+  expect_token(in, "hyper");
+  int nll = 0;
+  in >> params.learning_rate >> params.weight_decay >> params.dropout >>
+      params.epochs >> params.batch_size >> nll >> params.seed;
+  params.nll_head = nll != 0;
+
+  Mlp model(params);
+  expect_token(in, "target");
+  in >> model.y_mean_ >> model.y_scale_;
+  expect_token(in, "scaler");
+  std::size_t n_features = 0;
+  in >> n_features;
+  std::vector<double> means(n_features);
+  std::vector<double> stds(n_features);
+  for (auto& v : means) in >> v;
+  for (auto& v : stds) in >> v;
+  model.scaler_ = data::StandardScaler::from_params(std::move(means),
+                                                    std::move(stds));
+  expect_token(in, "layers");
+  std::size_t n_layers = 0;
+  in >> n_layers;
+  model.layers_.resize(n_layers);
+  model.act_offsets_.assign(1, 0);
+  model.act_total_ = n_features;
+  for (auto& layer : model.layers_) {
+    expect_token(in, "layer");
+    in >> layer.in >> layer.out;
+    layer.w.resize(layer.in * layer.out);
+    layer.b.resize(layer.out);
+    for (auto& w : layer.w) in >> w;
+    for (auto& b : layer.b) in >> b;
+    model.act_offsets_.push_back(model.act_total_);
+    model.act_total_ += layer.out;
+  }
+  if (!in) throw std::runtime_error("Mlp::load: truncated");
+  if (model.layers_.empty() || model.layers_.front().in != n_features) {
+    throw std::runtime_error("Mlp::load: inconsistent architecture");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace iotax::ml

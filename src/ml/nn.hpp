@@ -1,0 +1,84 @@
+// Feedforward neural network regressor with Adam, dropout, weight decay,
+// and an optional heteroscedastic Gaussian-NLL head (mean + log-variance
+// outputs). The NLL head is what the AutoDEUQ-style deep ensemble needs
+// to separate aleatory from epistemic uncertainty (§VIII).
+//
+// Inputs are preprocessed internally (signed log1p + standardisation) and
+// the target is centred/scaled, so callers pass raw counter features.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/data/scaler.hpp"
+#include "src/ml/model.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::ml {
+
+struct MlpParams {
+  std::vector<std::size_t> hidden = {64, 64};
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  double dropout = 0.0;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  /// Two-output Gaussian head (mean, log variance) trained with NLL
+  /// instead of a single-output MSE head.
+  bool nll_head = false;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+  std::string to_string() const;
+};
+
+/// Mean/variance prediction from an NLL-head network (variance is the
+/// predicted *aleatory* variance in target units).
+struct DistPrediction {
+  std::vector<double> mean;
+  std::vector<double> variance;
+};
+
+class Mlp final : public Regressor {
+ public:
+  explicit Mlp(MlpParams params = {});
+
+  void fit(const data::Matrix& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::Matrix& x) const override;
+  std::string name() const override;
+
+  /// Mean and aleatory variance; requires an NLL head.
+  DistPrediction predict_dist(const data::Matrix& x) const;
+
+  /// Serialize the fitted network (weights + preprocessing) as versioned
+  /// text; load() restores bit-identical predictions.
+  void save(std::ostream& out) const;
+  static Mlp load(std::istream& in);
+
+  const MlpParams& params() const { return params_; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> w;  // out x in, row-major
+    std::vector<double> b;  // out
+  };
+
+  void forward(std::span<const double> input, std::vector<double>* acts,
+               util::Rng* dropout_rng, std::vector<char>* masks) const;
+
+  MlpParams params_;
+  std::vector<Layer> layers_;
+  data::StandardScaler scaler_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+  bool fitted_ = false;
+
+  // Activation buffer offsets per layer (input + each layer output).
+  std::vector<std::size_t> act_offsets_;
+  std::size_t act_total_ = 0;
+};
+
+}  // namespace iotax::ml

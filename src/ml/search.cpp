@@ -1,0 +1,161 @@
+#include "src/ml/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace iotax::ml {
+
+namespace {
+
+SearchPoint evaluate(const GbtParams& params, const data::Matrix& x_train,
+                     std::span<const double> y_train, const data::Matrix& x_val,
+                     std::span<const double> y_val) {
+  GradientBoostedTrees model(params);
+  model.fit(x_train, y_train);
+  SearchPoint point;
+  point.params = params;
+  point.val_error = median_abs_log_error(y_val, model.predict(x_val));
+  return point;
+}
+
+}  // namespace
+
+SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
+                         std::span<const double> y_train,
+                         const data::Matrix& x_val,
+                         std::span<const double> y_val,
+                         const SearchCallback& on_point) {
+  if (grid.n_estimators.empty() || grid.max_depth.empty() ||
+      grid.subsample.empty() || grid.colsample.empty()) {
+    throw std::invalid_argument("grid_search: empty grid axis");
+  }
+  SearchResult result;
+  result.best.val_error = std::numeric_limits<double>::infinity();
+  for (const auto trees : grid.n_estimators) {
+    for (const auto depth : grid.max_depth) {
+      for (const double sub : grid.subsample) {
+        for (const double col : grid.colsample) {
+          GbtParams p = grid.base;
+          p.n_estimators = trees;
+          p.max_depth = depth;
+          p.subsample = sub;
+          p.colsample = col;
+          auto point = evaluate(p, x_train, y_train, x_val, y_val);
+          if (on_point) on_point(point);
+          if (point.val_error < result.best.val_error) result.best = point;
+          result.evaluated.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
+                           const data::Matrix& x_train,
+                           std::span<const double> y_train,
+                           const data::Matrix& x_val,
+                           std::span<const double> y_val, util::Rng& rng,
+                           const SearchCallback& on_point) {
+  if (n_samples == 0) throw std::invalid_argument("random_search: 0 samples");
+  SearchResult result;
+  result.best.val_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    GbtParams p = grid.base;
+    p.n_estimators = rng.choice(grid.n_estimators);
+    p.max_depth = rng.choice(grid.max_depth);
+    p.subsample = rng.choice(grid.subsample);
+    p.colsample = rng.choice(grid.colsample);
+    p.seed = rng.next();
+    auto point = evaluate(p, x_train, y_train, x_val, y_val);
+    if (on_point) on_point(point);
+    if (point.val_error < result.best.val_error) result.best = point;
+    result.evaluated.push_back(std::move(point));
+  }
+  return result;
+}
+
+
+SearchResult successive_halving(const GbtGrid& grid,
+                                const HalvingParams& params,
+                                const data::Matrix& x_train,
+                                std::span<const double> y_train,
+                                const data::Matrix& x_val,
+                                std::span<const double> y_val,
+                                const SearchCallback& on_point) {
+  if (params.initial_configs < 2 || params.elim_factor < 2) {
+    throw std::invalid_argument("successive_halving: bad params");
+  }
+  if (params.initial_budget_frac <= 0.0 || params.initial_budget_frac > 1.0) {
+    throw std::invalid_argument("successive_halving: bad budget fraction");
+  }
+  util::Rng rng(params.seed);
+
+  // Sample the initial population of configurations.
+  std::vector<GbtParams> population;
+  for (std::size_t i = 0; i < params.initial_configs; ++i) {
+    GbtParams p = grid.base;
+    p.n_estimators = rng.choice(grid.n_estimators);
+    p.max_depth = rng.choice(grid.max_depth);
+    p.subsample = rng.choice(grid.subsample);
+    p.colsample = rng.choice(grid.colsample);
+    p.seed = rng.next();
+    population.push_back(p);
+  }
+
+  SearchResult result;
+  result.best.val_error = std::numeric_limits<double>::infinity();
+  double budget_frac = params.initial_budget_frac;
+  std::vector<std::size_t> all_rows(x_train.rows());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+
+  while (!population.empty()) {
+    const bool last_rung =
+        budget_frac >= 1.0 ||
+        population.size() <= 1;
+    // Rung training subset (a prefix of a fixed shuffle keeps rungs
+    // nested, as successive halving prescribes).
+    const auto n_rows = std::max<std::size_t>(
+        16, static_cast<std::size_t>(std::min(1.0, budget_frac) *
+                                     static_cast<double>(x_train.rows())));
+    util::Rng shuffle_rng(params.seed);  // same shuffle at every rung
+    auto rows = all_rows;
+    shuffle_rng.shuffle(rows);
+    rows.resize(n_rows);
+    const auto x_sub = x_train.take_rows(rows);
+    std::vector<double> y_sub(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) y_sub[i] = y_train[rows[i]];
+
+    std::vector<SearchPoint> rung;
+    for (const auto& p : population) {
+      GradientBoostedTrees model(p);
+      model.fit(x_sub, y_sub);
+      SearchPoint point;
+      point.params = p;
+      point.val_error = median_abs_log_error(y_val, model.predict(x_val));
+      if (on_point) on_point(point);
+      if (last_rung && point.val_error < result.best.val_error) {
+        result.best = point;
+      }
+      result.evaluated.push_back(point);
+      rung.push_back(std::move(point));
+    }
+    if (last_rung) break;
+    // Keep the best 1/elim_factor of this rung.
+    std::sort(rung.begin(), rung.end(),
+              [](const SearchPoint& a, const SearchPoint& b) {
+                return a.val_error < b.val_error;
+              });
+    const auto survivors = std::max<std::size_t>(
+        1, rung.size() / params.elim_factor);
+    population.clear();
+    for (std::size_t i = 0; i < survivors; ++i) {
+      population.push_back(rung[i].params);
+    }
+    budget_frac *= static_cast<double>(params.elim_factor);
+  }
+  return result;
+}
+
+}  // namespace iotax::ml

@@ -1,0 +1,73 @@
+// Hyperparameter search for the GBT models (§VI.B): the paper trains
+// 8046 XGBoost configurations over four hyperparameters — number of
+// trees, tree depth, row fraction and column fraction — and selects on a
+// validation set. GridSearch reproduces that; RandomSearch is the cheaper
+// alternative used by the ablation benches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/ml/gbt.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace iotax::ml {
+
+struct SearchPoint {
+  GbtParams params;
+  double val_error = 0.0;  // median |log10 ratio| on the validation set
+};
+
+struct SearchResult {
+  std::vector<SearchPoint> evaluated;  // in evaluation order
+  SearchPoint best;
+};
+
+struct GbtGrid {
+  std::vector<std::size_t> n_estimators = {8, 16, 32, 64, 128};
+  std::vector<std::size_t> max_depth = {3, 6, 9, 12, 15, 18, 21};
+  std::vector<double> subsample = {0.8, 1.0};
+  std::vector<double> colsample = {0.8, 1.0};
+  GbtParams base;  // learning rate, lambda etc. shared by all points
+};
+
+using SearchCallback = std::function<void(const SearchPoint&)>;
+
+/// Exhaustive grid search; selects by validation median |log10| error.
+SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
+                         std::span<const double> y_train,
+                         const data::Matrix& x_val,
+                         std::span<const double> y_val,
+                         const SearchCallback& on_point = nullptr);
+
+/// Random search over the same space.
+SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
+                           const data::Matrix& x_train,
+                           std::span<const double> y_train,
+                           const data::Matrix& x_val,
+                           std::span<const double> y_val, util::Rng& rng,
+                           const SearchCallback& on_point = nullptr);
+
+/// Successive halving (Hyperband's inner loop): start many random
+/// configurations on a small row budget, keep the best `1/elim_factor`
+/// fraction at each rung, and multiply the budget by `elim_factor` until
+/// the full training set is reached. Finds near-grid-quality configs at
+/// a fraction of the grid's cost — the budget-aware alternative to the
+/// paper's 8046-model exhaustive sweep.
+struct HalvingParams {
+  std::size_t initial_configs = 27;
+  std::size_t elim_factor = 3;
+  /// Row budget of the first rung as a fraction of the training set.
+  double initial_budget_frac = 0.1;
+  std::uint64_t seed = 59;
+};
+
+SearchResult successive_halving(const GbtGrid& grid,
+                                const HalvingParams& params,
+                                const data::Matrix& x_train,
+                                std::span<const double> y_train,
+                                const data::Matrix& x_val,
+                                std::span<const double> y_val,
+                                const SearchCallback& on_point = nullptr);
+
+}  // namespace iotax::ml

@@ -1,0 +1,49 @@
+#include "src/ml/uq_gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::ml {
+
+namespace {
+// Floor on residual^2 before taking logs; also the smallest variance the
+// model will ever predict (log10^2 units).
+constexpr double kVarFloor = 1e-8;
+}  // namespace
+
+GbtUncertainty::GbtUncertainty(GbtParams mean_params, GbtParams variance_params)
+    : mean_(mean_params), variance_(variance_params) {}
+
+void GbtUncertainty::fit(const data::Matrix& x, std::span<const double> y) {
+  mean_.fit(x, y);
+  const auto mean_pred = mean_.predict(x);
+  // Target: log(residual^2). Training-set residuals understate the true
+  // noise (the mean model has fit part of it); inflate by the classic
+  // n/(n - #trees-ish) factor being unknowable, we instead rely on the
+  // variance model's own smoothing and document the bias.
+  std::vector<double> log_sq(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - mean_pred[i];
+    log_sq[i] = std::log(std::max(r * r, kVarFloor));
+  }
+  variance_.fit(x, log_sq);
+  fitted_ = true;
+}
+
+GbtDistPrediction GbtUncertainty::predict_dist(const data::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("GbtUncertainty: not fitted");
+  GbtDistPrediction out;
+  out.mean = mean_.predict(x);
+  const auto log_var = variance_.predict(x);
+  out.variance.resize(log_var.size());
+  for (std::size_t i = 0; i < log_var.size(); ++i) {
+    // E[log r^2] = log sigma^2 - 1.27 for Gaussian residuals (the
+    // expectation of log chi^2_1); undo that bias.
+    out.variance[i] =
+        std::max(std::exp(log_var[i] + 1.2704), kVarFloor);
+  }
+  return out;
+}
+
+}  // namespace iotax::ml

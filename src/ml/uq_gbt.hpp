@@ -1,0 +1,40 @@
+// Tree-based aleatory-variance estimation: an alternative to the deep
+// ensemble's NLL heads for sites that only run tree models. A mean GBT is
+// fitted first; a second GBT then regresses log(residual^2) on the same
+// features, yielding a per-job heteroscedastic variance estimate
+// (cf. the paper's reference [20], which models I/O variability with a
+// conditional model). Used by the UQ ablation to show the ensemble and
+// the tree estimator broadly agree on *aleatory* uncertainty — while only
+// the ensemble can expose *epistemic* uncertainty.
+#pragma once
+
+#include "src/ml/gbt.hpp"
+
+namespace iotax::ml {
+
+/// Mean + variance prediction (kept separate from nn.hpp's DistPrediction
+/// to avoid a dependency between the tree and NN stacks).
+struct GbtDistPrediction {
+  std::vector<double> mean;
+  std::vector<double> variance;
+};
+
+class GbtUncertainty {
+ public:
+  GbtUncertainty(GbtParams mean_params, GbtParams variance_params);
+
+  void fit(const data::Matrix& x, std::span<const double> y);
+
+  /// Mean prediction and aleatory variance per row.
+  GbtDistPrediction predict_dist(const data::Matrix& x) const;
+
+  const GradientBoostedTrees& mean_model() const { return mean_; }
+  const GradientBoostedTrees& variance_model() const { return variance_; }
+
+ private:
+  GradientBoostedTrees mean_;
+  GradientBoostedTrees variance_;
+  bool fitted_ = false;
+};
+
+}  // namespace iotax::ml

@@ -1,0 +1,310 @@
+#include "src/sim/app_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::sim {
+
+using telemetry::IoSignature;
+using telemetry::kSizeBuckets;
+
+double ideal_log_throughput(const IoSignature& sig,
+                            const PlatformConfig& platform) {
+  sig.validate();
+  platform.validate();
+  const double total = sig.total_bytes();
+  const double read_w = total > 0.0 ? sig.bytes_read / total : 0.5;
+  const double write_w = 1.0 - read_w;
+
+  // Access-size efficiency: tiny accesses waste most of the pipeline.
+  static constexpr double kBucketEff[kSizeBuckets] = {
+      0.02, 0.05, 0.12, 0.25, 0.45, 0.70, 0.85, 0.95, 1.0, 1.0};
+  double size_eff = 0.0;
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    size_eff += (read_w * sig.read_size_frac[b] +
+                 write_w * sig.write_size_frac[b]) *
+                kBucketEff[b];
+  }
+  // Collective MPI-IO aggregation rescues small accesses (two-phase I/O).
+  double small_frac = 0.0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    small_frac += read_w * sig.read_size_frac[b] +
+                  write_w * sig.write_size_frac[b];
+  }
+  if (sig.uses_mpiio && small_frac > 0.0) {
+    size_eff += small_frac * 0.45 * sig.coll_frac;
+  }
+  size_eff = std::clamp(size_eff, 0.01, 1.0);
+
+  // Sequentiality: prefetch and write-behind reward ordered access.
+  const double seq = read_w * sig.seq_read_frac + write_w * sig.seq_write_frac;
+  const double consec =
+      read_w * sig.consec_read_frac + write_w * sig.consec_write_frac;
+  const double pattern_eff = 0.55 + 0.25 * seq + 0.20 * consec;
+
+  // Alignment and read/write interleaving penalties.
+  const double align_eff = (1.0 - 0.30 * sig.file_unaligned_frac) *
+                           (1.0 - 0.10 * sig.mem_unaligned_frac);
+  const double switch_eff = 1.0 - 0.40 * sig.rw_switch_frac;
+
+  // Shared-file lock contention grows with process count.
+  const double proc_scale =
+      std::log10(1.0 + static_cast<double>(sig.n_procs)) / 3.0;
+  const double shared_eff =
+      1.0 - 0.55 * sig.files_shared_frac * std::min(1.0, proc_scale);
+
+  // Metadata pressure: many opens/stats per byte moved stall the MDS.
+  const double opens =
+      sig.files_total * sig.opens_per_file * (1.0 + sig.stats_per_open);
+  const double meta_per_gib = opens / std::max(total / 1.074e9, 1e-3);
+  const double meta_eff =
+      1.0 / (1.0 + 0.004 * meta_per_gib + 0.06 * sig.meta_intensity);
+
+  // Parallel scaling: per-process ceiling, saturating at a fraction of the
+  // filesystem peak (one job cannot monopolise the whole machine).
+  const double parallel_bw = std::min(
+      static_cast<double>(sig.n_procs) * platform.per_proc_bandwidth_mib,
+      0.5 * platform.peak_bandwidth_mib);
+
+  const double throughput = parallel_bw * size_eff * pattern_eff * align_eff *
+                            switch_eff * shared_eff * meta_eff;
+  return std::log10(std::max(throughput, 1.0));
+}
+
+namespace {
+
+enum class Archetype : int {
+  kCheckpointWriter = 0,  // write-heavy, large sequential
+  kAnalysisReader,        // read-heavy, medium accesses
+  kSmallIo,               // tiny accesses, many files
+  kSharedCollective,      // shared files, MPI-IO collectives
+  kMetadataHeavy,         // open/stat storms
+  kCount
+};
+
+void normalize(std::array<double, kSizeBuckets>& frac) {
+  double sum = 0.0;
+  for (double f : frac) sum += f;
+  if (sum <= 0.0) {
+    frac[5] = 1.0;
+    return;
+  }
+  for (double& f : frac) f /= sum;
+}
+
+// Concentrate bucket mass around `center` with some spread.
+std::array<double, kSizeBuckets> bucket_mix(util::Rng& rng, double center,
+                                            double spread) {
+  std::array<double, kSizeBuckets> frac{};
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    const double d = (static_cast<double>(b) - center) / spread;
+    frac[b] = std::exp(-0.5 * d * d) * rng.uniform(0.6, 1.4);
+  }
+  normalize(frac);
+  return frac;
+}
+
+IoSignature random_signature(util::Rng& rng, Archetype arch, double shift,
+                             const PlatformConfig& platform) {
+  IoSignature sig;
+  // Process count: powers of two up to a fraction of the machine.
+  const double max_procs_log2 = std::log2(
+      static_cast<double>(platform.n_nodes) * platform.cores_per_node / 4.0);
+  const auto procs_log2 =
+      static_cast<int>(rng.uniform(2.0, std::min(14.0, max_procs_log2)));
+  sig.n_procs = static_cast<std::uint32_t>(1u << procs_log2);
+
+  // Volume: 1 GiB .. ~100 TiB, log-uniform, archetype-flavoured.
+  const double volume = std::pow(10.0, rng.uniform(9.05, 13.0 + 0.4 * shift));
+  double read_share = 0.5;
+  double size_center = 5.0;
+  double size_spread = 1.5;
+  sig.files_total = std::max(1.0, std::round(rng.lognormal(2.0, 1.0)));
+  sig.meta_intensity = rng.uniform(0.0, 0.5);
+  switch (arch) {
+    case Archetype::kCheckpointWriter:
+      read_share = rng.uniform(0.0, 0.2);
+      size_center = 7.0 + shift * rng.uniform(-1.0, 0.5);
+      size_spread = 1.0;
+      sig.seq_write_frac = rng.uniform(0.85, 1.0);
+      sig.consec_write_frac = sig.seq_write_frac * rng.uniform(0.6, 1.0);
+      sig.seq_read_frac = rng.uniform(0.3, 0.9);
+      sig.files_writeonly_frac = rng.uniform(0.7, 1.0);
+      break;
+    case Archetype::kAnalysisReader:
+      read_share = rng.uniform(0.8, 1.0);
+      size_center = 5.5 + shift * rng.uniform(-1.5, 0.5);
+      sig.seq_read_frac = rng.uniform(0.5, 0.95);
+      sig.consec_read_frac = sig.seq_read_frac * rng.uniform(0.4, 0.9);
+      sig.seq_write_frac = rng.uniform(0.5, 1.0);
+      sig.files_readonly_frac = rng.uniform(0.6, 1.0);
+      break;
+    case Archetype::kSmallIo:
+      read_share = rng.uniform(0.3, 0.7);
+      size_center = 1.5 + shift * rng.uniform(0.0, 1.0);
+      size_spread = 1.0;
+      sig.seq_read_frac = rng.uniform(0.1, 0.6);
+      sig.consec_read_frac = sig.seq_read_frac * rng.uniform(0.2, 0.7);
+      sig.seq_write_frac = rng.uniform(0.1, 0.6);
+      sig.consec_write_frac = sig.seq_write_frac * rng.uniform(0.2, 0.7);
+      sig.files_total = std::max(4.0, std::round(rng.lognormal(4.0, 1.0)));
+      sig.rw_switch_frac = rng.uniform(0.1, 0.5);
+      break;
+    case Archetype::kSharedCollective:
+      read_share = rng.uniform(0.2, 0.8);
+      size_center = 4.0 + shift * rng.uniform(-1.0, 1.0);
+      sig.files_shared_frac = rng.uniform(0.6, 1.0);
+      sig.files_total = std::max(1.0, std::round(rng.lognormal(0.7, 0.6)));
+      sig.uses_mpiio = true;
+      sig.coll_frac = rng.uniform(0.5, 1.0);
+      sig.nonblocking_frac = rng.uniform(0.0, 0.3);
+      sig.seq_read_frac = rng.uniform(0.5, 1.0);
+      sig.seq_write_frac = rng.uniform(0.5, 1.0);
+      break;
+    case Archetype::kMetadataHeavy:
+      read_share = rng.uniform(0.2, 0.8);
+      size_center = 3.0 + shift * rng.uniform(-0.5, 0.5);
+      sig.files_total = std::max(16.0, std::round(rng.lognormal(5.5, 1.0)));
+      sig.opens_per_file = rng.uniform(2.0, 8.0);
+      sig.stats_per_open = rng.uniform(1.0, 6.0);
+      sig.meta_intensity = rng.uniform(1.0, 4.0);
+      sig.seq_read_frac = rng.uniform(0.2, 0.8);
+      sig.seq_write_frac = rng.uniform(0.2, 0.8);
+      break;
+    default:
+      throw std::logic_error("random_signature: bad archetype");
+  }
+  sig.bytes_read = volume * read_share;
+  sig.bytes_written = volume * (1.0 - read_share);
+  sig.read_size_frac = bucket_mix(rng, size_center, size_spread);
+  sig.write_size_frac =
+      bucket_mix(rng, size_center + rng.uniform(-0.5, 0.5), size_spread);
+  sig.mem_unaligned_frac = rng.uniform(0.0, 0.6);
+  sig.file_unaligned_frac = rng.uniform(0.0, 0.7);
+  sig.seeks_per_op = rng.uniform(0.0, 0.4);
+  sig.fsyncs = std::floor(rng.uniform(0.0, 16.0));
+  if (shift > 0.0) {
+    // Novel applications occupy feature regions the training population
+    // never visits: metadata storms, extreme file counts, oversubscribed
+    // process counts. These are the regions where a trained model must
+    // extrapolate and fail (§VIII, Fig. 1c).
+    sig.meta_intensity += shift * rng.uniform(0.5, 3.0);
+    sig.files_total = std::min(
+        1e6, sig.files_total * std::exp(shift * rng.uniform(0.5, 2.0)));
+    sig.opens_per_file += shift * rng.uniform(0.0, 4.0);
+    sig.stats_per_open += shift * rng.uniform(0.0, 4.0);
+    sig.seeks_per_op = std::min(1.0, sig.seeks_per_op + shift * 0.3);
+  }
+  if (!sig.uses_mpiio && rng.bernoulli(0.35)) {
+    sig.uses_mpiio = true;
+    sig.coll_frac = rng.uniform(0.0, 0.8);
+    sig.nonblocking_frac = rng.uniform(0.0, 0.2);
+  }
+  // Keep file-role fractions consistent.
+  if (sig.files_readonly_frac + sig.files_writeonly_frac > 1.0) {
+    const double scale =
+        1.0 / (sig.files_readonly_frac + sig.files_writeonly_frac);
+    sig.files_readonly_frac *= scale;
+    sig.files_writeonly_frac *= scale;
+  }
+  sig.validate();
+  return sig;
+}
+
+AppConfig derive_config(util::Rng& rng, const IoSignature& base,
+                        std::uint64_t config_id,
+                        const PlatformConfig& platform) {
+  AppConfig cfg;
+  cfg.config_id = config_id;
+  cfg.signature = base;
+  // Configurations of one app vary volume and concurrency, not pattern.
+  const double volume_scale = std::pow(2.0, rng.uniform_int(-2, 3));
+  cfg.signature.bytes_read *= volume_scale;
+  cfg.signature.bytes_written *= volume_scale;
+  const int proc_shift = static_cast<int>(rng.uniform_int(-1, 2));
+  double procs = static_cast<double>(base.n_procs) * std::pow(2.0, proc_shift);
+  procs = std::clamp(procs, 1.0,
+                     static_cast<double>(platform.n_nodes) *
+                         platform.cores_per_node / 4.0);
+  cfg.signature.n_procs = static_cast<std::uint32_t>(procs);
+  cfg.nodes = static_cast<std::uint32_t>(std::max(
+      1.0, std::ceil(procs / static_cast<double>(platform.cores_per_node))));
+  cfg.compute_time_s = rng.lognormal(std::log(1200.0), 0.8);
+  cfg.signature.validate();
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<Application> generate_catalog(const CatalogParams& params,
+                                          const PlatformConfig& platform,
+                                          util::Rng& rng) {
+  if (params.n_apps < 2) {
+    throw std::invalid_argument("generate_catalog: need at least 2 apps");
+  }
+  if (params.novel_app_frac < 0.0 || params.novel_app_frac >= 1.0) {
+    throw std::invalid_argument("generate_catalog: bad novel_app_frac");
+  }
+  std::vector<Application> apps;
+  apps.reserve(params.n_apps);
+
+  // App 0: the periodic filesystem benchmark ("iobench", an IOR stand-in).
+  {
+    Application bench;
+    bench.app_id = 0;
+    bench.name = "iobench";
+    util::Rng arng = rng.fork(1000);
+    IoSignature sig = random_signature(arng, Archetype::kSharedCollective,
+                                       0.0, platform);
+    sig.n_procs = 512;
+    AppConfig cfg;
+    cfg.config_id = 0;
+    cfg.signature = sig;
+    cfg.nodes = static_cast<std::uint32_t>(
+        std::ceil(512.0 / platform.cores_per_node));
+    cfg.compute_time_s = 120.0;
+    bench.configs.push_back(cfg);
+    bench.popularity = 0.0;  // scheduled explicitly, not sampled
+    bench.contention_sensitivity = arng.uniform(0.8, 1.2);
+    bench.noise_sensitivity = arng.uniform(0.8, 1.2);
+    bench.introduced_at = 0.0;
+    apps.push_back(std::move(bench));
+  }
+
+  const auto n_novel = static_cast<std::size_t>(
+      static_cast<double>(params.n_apps) * params.novel_app_frac);
+  for (std::size_t i = 1; i < params.n_apps; ++i) {
+    Application app;
+    app.app_id = i;
+    app.name = "app" + std::to_string(i);
+    util::Rng arng = rng.fork(2000 + i);
+    const bool novel = i >= params.n_apps - n_novel;
+    const double shift = novel ? params.novel_shift : 0.0;
+    const auto arch = static_cast<Archetype>(
+        arng.uniform_int(0, static_cast<int>(Archetype::kCount) - 1));
+    const IoSignature base = random_signature(arng, arch, shift, platform);
+    const auto n_configs = static_cast<std::size_t>(arng.uniform_int(
+        static_cast<std::int64_t>(params.min_configs_per_app),
+        static_cast<std::int64_t>(params.max_configs_per_app)));
+    for (std::size_t c = 0; c < n_configs; ++c) {
+      app.configs.push_back(derive_config(arng, base, c, platform));
+    }
+    // Zipf-like popularity by rank. Novel applications draw an effective
+    // rank near the head of the distribution: a newly adopted code is run
+    // heavily once it appears, which is what makes post-deployment error
+    // spikes visible (Fig. 1c).
+    const double rank =
+        novel ? arng.uniform(3.0, static_cast<double>(params.n_apps) / 3.0)
+              : static_cast<double>(i);
+    app.popularity = 1.0 / std::pow(rank, params.popularity_zipf_s);
+    app.contention_sensitivity = arng.lognormal(0.0, 0.45);
+    app.noise_sensitivity = arng.lognormal(0.0, 0.35);
+    app.introduced_at =
+        novel ? arng.uniform(params.novel_after, params.horizon) : 0.0;
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace iotax::sim

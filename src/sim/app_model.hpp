@@ -1,0 +1,79 @@
+// The synthetic application population.
+//
+// Each application owns a family of run configurations; a configuration
+// fixes the observable IoSignature (and therefore the Darshan counters),
+// so repeated runs of one configuration form a "duplicate set" in the
+// paper's sense (§VI.A). Applications also carry *unobservable* traits —
+// contention sensitivity and noise sensitivity — which produce the
+// per-application spread differences of Fig. 1(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/platform.hpp"
+#include "src/telemetry/io_signature.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::sim {
+
+struct AppConfig {
+  std::uint64_t config_id = 0;
+  telemetry::IoSignature signature;
+  std::uint32_t nodes = 1;
+  /// Nominal wall time of the non-I/O portion of a run (seconds).
+  double compute_time_s = 600.0;
+};
+
+struct Application {
+  std::uint64_t app_id = 0;
+  std::string name;
+  std::vector<AppConfig> configs;
+  /// Relative probability of being selected by the workload generator.
+  double popularity = 1.0;
+  /// Multiplier on the platform contention impact (Fig. 1b: some apps are
+  /// far more sensitive to their neighbours than others). Unobservable.
+  double contention_sensitivity = 1.0;
+  /// Multiplier on the platform inherent-noise sigma. Unobservable.
+  double noise_sensitivity = 1.0;
+  /// Simulation time at which the application first exists; jobs of this
+  /// app never start earlier. Apps introduced after the train cutoff are
+  /// the ground-truth out-of-distribution population (§VIII).
+  double introduced_at = 0.0;
+};
+
+/// Idealized application throughput f_a(j) in log10(MiB/s): the paper's
+/// Eq. 3 first component — the job alone on a healthy, static system.
+/// Deterministic in (signature, platform); smooth but nonlinear so that
+/// models must genuinely learn I/O behaviour.
+double ideal_log_throughput(const telemetry::IoSignature& sig,
+                            const PlatformConfig& platform);
+
+struct CatalogParams {
+  std::size_t n_apps = 120;
+  std::size_t min_configs_per_app = 1;
+  std::size_t max_configs_per_app = 6;
+  /// Zipf exponent of application popularity (heavy-tailed, like real
+  /// workloads where a few apps dominate the job mix).
+  double popularity_zipf_s = 1.4;
+  /// Fraction of apps introduced after `novel_after` (the OoD population).
+  double novel_app_frac = 0.08;
+  /// Time after which novel apps may be introduced (seconds).
+  double novel_after = 0.0;
+  /// End of the simulated period (seconds).
+  double horizon = 86400.0 * 365.0;
+  /// Novel apps draw their signatures from a shifted distribution, making
+  /// them genuinely out-of-distribution rather than merely unseen.
+  double novel_shift = 1.0;
+};
+
+/// Generate a deterministic application catalog. The first application is
+/// always the "iobench" system benchmark (an IOR stand-in) with a single
+/// configuration and very high popularity, giving the dataset at least
+/// one very large duplicate set, as on real systems (§VI.A).
+std::vector<Application> generate_catalog(const CatalogParams& params,
+                                          const PlatformConfig& platform,
+                                          util::Rng& rng);
+
+}  // namespace iotax::sim

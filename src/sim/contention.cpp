@@ -1,0 +1,69 @@
+#include "src/sim/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::sim {
+
+LoadTimeline::LoadTimeline(double horizon, double bin_seconds)
+    : horizon_(horizon), bin_s_(bin_seconds) {
+  if (horizon <= 0.0 || bin_seconds <= 0.0) {
+    throw std::invalid_argument("LoadTimeline: non-positive horizon/bin");
+  }
+  bins_.assign(static_cast<std::size_t>(std::ceil(horizon / bin_seconds)) + 1,
+               0.0);
+}
+
+std::size_t LoadTimeline::bin_index(double t) const {
+  const double clamped = std::clamp(t, 0.0, horizon_);
+  return std::min(static_cast<std::size_t>(clamped / bin_s_),
+                  bins_.size() - 1);
+}
+
+void LoadTimeline::add_demand(double start, double duration, double demand_mib,
+                              double peak_mib) {
+  if (duration <= 0.0 || demand_mib <= 0.0) return;
+  if (peak_mib <= 0.0) {
+    throw std::invalid_argument("LoadTimeline: non-positive peak");
+  }
+  const double frac = demand_mib / peak_mib;
+  const std::size_t b0 = bin_index(start);
+  const std::size_t b1 = bin_index(start + duration);
+  for (std::size_t b = b0; b <= b1; ++b) bins_[b] += frac;
+}
+
+void LoadTimeline::add_background(std::span<const double> per_bin_frac) {
+  if (per_bin_frac.size() != bins_.size()) {
+    throw std::invalid_argument("LoadTimeline: background bin count mismatch");
+  }
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    if (per_bin_frac[b] < 0.0) {
+      throw std::invalid_argument("LoadTimeline: negative background demand");
+    }
+    bins_[b] += per_bin_frac[b];
+  }
+}
+
+double LoadTimeline::load_at(double t) const { return bins_[bin_index(t)]; }
+
+double LoadTimeline::mean_load(double start, double end) const {
+  if (end < start) throw std::invalid_argument("LoadTimeline: end < start");
+  const std::size_t b0 = bin_index(start);
+  const std::size_t b1 = bin_index(end);
+  double sum = 0.0;
+  for (std::size_t b = b0; b <= b1; ++b) sum += bins_[b];
+  return sum / static_cast<double>(b1 - b0 + 1);
+}
+
+double contention_log_impact(double load_others, double sensitivity,
+                             double placement_spread,
+                             const PlatformConfig& platform) {
+  if (load_others < 0.0) load_others = 0.0;
+  // Wider placements cross more network/IO paths: 0.7x..1.3x impact.
+  const double placement_factor = 0.7 + 0.6 * placement_spread;
+  return -platform.contention_strength * sensitivity * placement_factor *
+         std::log10(1.0 + load_others);
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,61 @@
+// Aggregate I/O load over time and the per-job contention impact ζ_l(t,j).
+//
+// Unlike the global weather, contention is job-specific: it depends on
+// what else runs while the job runs, how the job was placed, and how
+// sensitive its application is to neighbours (§IV "Contention errors").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sim/platform.hpp"
+#include "src/sim/workload.hpp"
+
+namespace iotax::sim {
+
+/// Binned timeline of aggregate bandwidth demand as a fraction of the
+/// filesystem peak. Demand can exceed 1.0 (overcommit).
+class LoadTimeline {
+ public:
+  LoadTimeline(double horizon, double bin_seconds);
+
+  /// Add a job's demand (MiB/s) over [start, start+duration).
+  void add_demand(double start, double duration, double demand_mib,
+                  double peak_mib);
+
+  /// Add per-bin background demand fractions (size must equal bins()).
+  /// Models the mass of small jobs that production systems run but that
+  /// the >=1 GiB study datasets exclude (§V): they dominate the storage
+  /// servers' aggregate rates and contention.
+  void add_background(std::span<const double> per_bin_frac);
+
+  /// Demand fraction at time t (clamped to the timeline).
+  double load_at(double t) const;
+
+  /// Mean demand fraction over [start, end].
+  double mean_load(double start, double end) const;
+
+  double bin_seconds() const { return bin_s_; }
+  std::size_t bins() const { return bins_.size(); }
+
+ private:
+  double horizon_;
+  double bin_s_;
+  std::vector<double> bins_;
+
+  std::size_t bin_index(double t) const;
+};
+
+/// ζ_l for one job, in log10 units (<= 0): the throughput impact of
+/// sharing the system. `load_others` is the mean demand fraction seen by
+/// this job's *own OST stripes* during its run (per-OST placement is
+/// what makes ζ_l job-specific and practically unobservable — a model
+/// never learns which neighbours shared its servers, §IX),
+/// `sensitivity` the application's contention sensitivity, and
+/// `placement_spread` the scheduler allocation spread from the Cobalt
+/// record (wider allocations cross more switches).
+double contention_log_impact(double load_others, double sensitivity,
+                             double placement_spread,
+                             const PlatformConfig& platform);
+
+}  // namespace iotax::sim

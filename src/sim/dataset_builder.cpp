@@ -1,0 +1,98 @@
+#include "src/sim/dataset_builder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/telemetry/cobalt.hpp"
+#include "src/telemetry/counters.hpp"
+
+namespace iotax::sim {
+
+std::vector<std::string> dataset_feature_names(bool with_lmt) {
+  std::vector<std::string> names = telemetry::posix_feature_names();
+  const auto& mpiio = telemetry::mpiio_feature_names();
+  names.insert(names.end(), mpiio.begin(), mpiio.end());
+  const auto& cobalt = telemetry::cobalt_feature_names();
+  names.insert(names.end(), cobalt.begin(), cobalt.end());
+  if (with_lmt) {
+    const auto& lmt = telemetry::lmt_feature_names();
+    names.insert(names.end(), lmt.begin(), lmt.end());
+  }
+  return names;
+}
+
+data::Dataset build_dataset(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const telemetry::LmtTimeline* lmt, const std::string& system_name,
+    const TruthMap* truth) {
+  const bool with_lmt = lmt != nullptr;
+  data::Dataset ds;
+  ds.system_name = system_name;
+  ds.features = data::Table(dataset_feature_names(with_lmt));
+  ds.meta.reserve(records.size());
+  ds.target.reserve(records.size());
+
+  std::vector<double> row;
+  row.reserve(ds.features.n_cols());
+  for (const auto& rec : records) {
+    if (rec.posix.size() != telemetry::posix_feature_names().size() ||
+        rec.mpiio.size() != telemetry::mpiio_feature_names().size()) {
+      throw std::invalid_argument("build_dataset: malformed record counters");
+    }
+    if (rec.agg_perf_mib <= 0.0) {
+      throw std::invalid_argument("build_dataset: non-positive throughput");
+    }
+    row.clear();
+    row.insert(row.end(), rec.posix.begin(), rec.posix.end());
+    row.insert(row.end(), rec.mpiio.begin(), rec.mpiio.end());
+    telemetry::CobaltRecord cob;
+    cob.job_id = rec.job_id;
+    cob.nodes = rec.nodes;
+    cob.cores = rec.n_procs;  // Darshan nprocs as the core-count proxy
+    cob.start_time = rec.start_time;
+    cob.end_time = rec.end_time;
+    cob.placement_spread = rec.placement_spread;
+    const auto cob_f = telemetry::cobalt_features(cob);
+    row.insert(row.end(), cob_f.begin(), cob_f.end());
+    if (with_lmt) {
+      const auto lmt_f = lmt->aggregate(rec.start_time, rec.end_time);
+      row.insert(row.end(), lmt_f.begin(), lmt_f.end());
+    }
+    ds.features.add_row(row);
+
+    data::JobMeta m;
+    m.job_id = rec.job_id;
+    m.app_id = rec.app_id;
+    m.config_id = rec.config_id;
+    m.start_time = rec.start_time;
+    m.end_time = rec.end_time;
+    m.nodes = rec.nodes;
+    const double log_phi = std::log10(rec.agg_perf_mib);
+    if (truth != nullptr) {
+      const auto it = truth->find(rec.job_id);
+      if (it == truth->end()) {
+        throw std::invalid_argument("build_dataset: job missing from truth");
+      }
+      m.log_fa = it->second.log_fa;
+      m.log_fg = it->second.log_fg;
+      m.log_fl = it->second.log_fl;
+      m.log_fn = it->second.log_fn;
+      m.novel_app = it->second.novel_app;
+      const double recomposed = m.log_throughput();
+      if (std::fabs(recomposed - log_phi) > 1e-6) {
+        throw std::invalid_argument(
+            "build_dataset: truth does not match measured throughput");
+      }
+      // Absorb the residual from the text round-trip of agg_perf_mib so
+      // Dataset::validate()'s exact check holds.
+      m.log_fn += log_phi - recomposed;
+    } else {
+      m.log_fa = log_phi;
+    }
+    ds.meta.push_back(m);
+    ds.target.push_back(log_phi);
+  }
+  return ds;
+}
+
+}  // namespace iotax::sim

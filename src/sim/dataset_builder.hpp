@@ -1,0 +1,45 @@
+// Assemble the per-job model dataset from telemetry, exactly as a site
+// would: parse the Darshan-style job records, join the LMT window
+// aggregates by job time span, and attach scheduler features.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/telemetry/darshan_log.hpp"
+#include "src/telemetry/lmt.hpp"
+
+namespace iotax::sim {
+
+/// Ground-truth throughput decomposition for one job (simulator output);
+/// absent for datasets built from logs alone.
+struct JobTruth {
+  double log_fa = 0.0;
+  double log_fg = 0.0;
+  double log_fl = 0.0;
+  double log_fn = 0.0;
+  bool novel_app = false;
+};
+
+using TruthMap = std::unordered_map<std::uint64_t, JobTruth>;
+
+/// Build a Dataset from job log records. Feature columns: 48 POSIX +
+/// 48 MPI-IO + 5 Cobalt, plus 37 LMT aggregates when `lmt` is non-null
+/// (i.e. the site collects storage telemetry).
+///
+/// When `truth` is provided, each job's ground-truth decomposition is
+/// stored in the metadata (enabling litmus-test validation); otherwise
+/// the full measured log-throughput is attributed to log_fa so the
+/// dataset still satisfies Dataset::validate().
+data::Dataset build_dataset(const std::vector<telemetry::JobLogRecord>& records,
+                            const telemetry::LmtTimeline* lmt,
+                            const std::string& system_name,
+                            const TruthMap* truth = nullptr);
+
+/// Names of the feature columns a built dataset contains, in order.
+std::vector<std::string> dataset_feature_names(bool with_lmt);
+
+}  // namespace iotax::sim

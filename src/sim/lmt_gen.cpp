@@ -1,0 +1,58 @@
+#include "src/sim/lmt_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotax::sim {
+
+telemetry::LmtTimeline generate_lmt_timeline(const LoadTimeline& load,
+                                             const GlobalWeather& weather,
+                                             const PlatformConfig& platform,
+                                             double horizon, util::Rng& rng) {
+  telemetry::LmtTimeline tl;
+  tl.set_ost_count(static_cast<double>(platform.n_ost));
+  for (double t = 0.0; t <= horizon; t += platform.lmt_period_s) {
+    const double demand = load.load_at(t);            // fraction of peak
+    const double weather_off = weather.log_offset(t); // log10, <= ~0.05
+    const double health = std::pow(10.0, std::min(0.0, weather_off));
+
+    telemetry::LmtSample s;
+    s.time = t;
+    // Server CPU: baseline + load + degradation overhead (rebuilds etc.).
+    s.oss_cpu = std::clamp(0.12 + 0.55 * std::min(demand, 1.5) / 1.5 +
+                               2.2 * std::max(0.0, -weather_off) +
+                               rng.normal(0.0, 0.02),
+                           0.0, 1.0);
+    s.oss_mem = std::clamp(0.35 + 0.3 * std::min(demand, 1.0) +
+                               rng.normal(0.0, 0.03),
+                           0.0, 1.0);
+    // Transfer rates: demanded bandwidth, capped by degraded capability.
+    const double served =
+        std::min(demand, 1.0) * platform.peak_bandwidth_mib * health;
+    const double read_share = 0.5 + 0.2 * std::sin(2.0 * M_PI * t / 86400.0);
+    s.ost_read_rate = std::max(0.0, served * read_share *
+                                        rng.lognormal(0.0, 0.05));
+    s.ost_write_rate = std::max(0.0, served * (1.0 - read_share) *
+                                         rng.lognormal(0.0, 0.05));
+    // Fullness creeps up over the system's life, with purge sawtooth.
+    const double life = t / std::max(horizon, 1.0);
+    const double sawtooth =
+        0.06 * (std::fmod(t, 86400.0 * 30.0) / (86400.0 * 30.0));
+    s.ost_fullness = std::clamp(0.35 + 0.35 * life + sawtooth +
+                                    rng.normal(0.0, 0.01),
+                                0.0, 0.99);
+    // Metadata servers: load-correlated plus degradation storms.
+    s.mds_cpu = std::clamp(0.08 + 0.4 * std::min(demand, 1.0) +
+                               1.8 * std::max(0.0, -weather_off) +
+                               rng.normal(0.0, 0.02),
+                           0.0, 1.0);
+    const double meta_rate = 2000.0 + 30000.0 * std::min(demand, 1.0);
+    s.mds_ops_rate = std::max(0.0, meta_rate * rng.lognormal(0.0, 0.1));
+    s.mds_open_rate = 0.35 * s.mds_ops_rate;
+    s.mds_close_rate = 0.34 * s.mds_ops_rate;
+    tl.add_sample(s);
+  }
+  return tl;
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,21 @@
+// Generates the storage-side LMT telemetry stream from the simulated
+// load and weather. The key property (§VII.B): the LMT signals *encode*
+// the global system state — server CPU spikes and transfer rates sag
+// during degradations — so a Lustre-enriched model can recover ζ_g(t)
+// without being told the time.
+#pragma once
+
+#include "src/sim/contention.hpp"
+#include "src/sim/platform.hpp"
+#include "src/sim/weather.hpp"
+#include "src/telemetry/lmt.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::sim {
+
+telemetry::LmtTimeline generate_lmt_timeline(const LoadTimeline& load,
+                                             const GlobalWeather& weather,
+                                             const PlatformConfig& platform,
+                                             double horizon, util::Rng& rng);
+
+}  // namespace iotax::sim

@@ -1,0 +1,88 @@
+#include "src/sim/ost_load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace iotax::sim {
+
+OstLoadTimeline::OstLoadTimeline(std::uint32_t n_ost, double horizon,
+                                 double bin_seconds, double peak_per_ost_mib)
+    : n_ost_(n_ost),
+      horizon_(horizon),
+      bin_s_(bin_seconds),
+      peak_per_ost_(peak_per_ost_mib) {
+  if (n_ost == 0 || horizon <= 0.0 || bin_seconds <= 0.0 ||
+      peak_per_ost_mib <= 0.0) {
+    throw std::invalid_argument("OstLoadTimeline: bad construction params");
+  }
+  bins_ = static_cast<std::size_t>(std::ceil(horizon / bin_seconds)) + 1;
+  load_.assign(static_cast<std::size_t>(n_ost_) * bins_, 0.0f);
+}
+
+std::size_t OstLoadTimeline::bin_index(double t) const {
+  const double clamped = std::clamp(t, 0.0, horizon_);
+  return std::min(static_cast<std::size_t>(clamped / bin_s_), bins_ - 1);
+}
+
+void OstLoadTimeline::add_demand(const StripePlacement& placement,
+                                 double start, double duration,
+                                 double demand_mib) {
+  if (placement.count == 0 || placement.count > n_ost_) {
+    throw std::invalid_argument("OstLoadTimeline: bad stripe count");
+  }
+  if (duration <= 0.0 || demand_mib <= 0.0) return;
+  const double frac_per_ost =
+      demand_mib / static_cast<double>(placement.count) / peak_per_ost_;
+  const std::size_t b0 = bin_index(start);
+  const std::size_t b1 = bin_index(start + duration);
+  for (std::uint32_t s = 0; s < placement.count; ++s) {
+    const std::uint32_t ost = (placement.begin + s) % n_ost_;
+    for (std::size_t b = b0; b <= b1; ++b) {
+      cell(ost, b) += static_cast<float>(frac_per_ost);
+    }
+  }
+}
+
+void OstLoadTimeline::add_background_bin(std::size_t bin,
+                                         std::span<const double> frac) {
+  if (bin >= bins_) {
+    throw std::invalid_argument("OstLoadTimeline: bin out of range");
+  }
+  if (frac.size() != n_ost_) {
+    throw std::invalid_argument("OstLoadTimeline: background size mismatch");
+  }
+  for (std::uint32_t ost = 0; ost < n_ost_; ++ost) {
+    if (frac[ost] < 0.0) {
+      throw std::invalid_argument("OstLoadTimeline: negative background");
+    }
+    cell(ost, bin) += static_cast<float>(frac[ost]);
+  }
+}
+
+double OstLoadTimeline::mean_load(const StripePlacement& placement, double t0,
+                                  double t1) const {
+  if (placement.count == 0 || placement.count > n_ost_) {
+    throw std::invalid_argument("OstLoadTimeline: bad stripe count");
+  }
+  if (t1 < t0) throw std::invalid_argument("OstLoadTimeline: t1 < t0");
+  const std::size_t b0 = bin_index(t0);
+  const std::size_t b1 = bin_index(t1);
+  double sum = 0.0;
+  for (std::uint32_t s = 0; s < placement.count; ++s) {
+    const std::uint32_t ost = (placement.begin + s) % n_ost_;
+    for (std::size_t b = b0; b <= b1; ++b) sum += cell(ost, b);
+  }
+  return sum / static_cast<double>(placement.count) /
+         static_cast<double>(b1 - b0 + 1);
+}
+
+double OstLoadTimeline::aggregate_load_at(double t) const {
+  const std::size_t b = bin_index(t);
+  double sum = 0.0;
+  for (std::uint32_t ost = 0; ost < n_ost_; ++ost) sum += cell(ost, b);
+  return sum / static_cast<double>(n_ost_);
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,69 @@
+// Per-OST (object storage target) load tracking. Files on Lustre are
+// striped over a subset of OSTs; two jobs contend only where their
+// stripe sets overlap, and "placement luck" — which neighbours you share
+// servers with — is exactly the job-specific, practically-unobservable
+// ζ_l component of the paper (§IX: a model never sees who your
+// neighbours were). The aggregate LMT view exposes only cross-OST
+// summary statistics, so the per-OST detail stays hidden from models,
+// as on the real systems.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iotax::sim {
+
+/// A job's stripe placement: `count` consecutive OSTs starting at
+/// `begin` (wrapping around the ring, as Lustre round-robins).
+struct StripePlacement {
+  std::uint32_t begin = 0;
+  std::uint32_t count = 1;
+};
+
+class OstLoadTimeline {
+ public:
+  /// `n_ost` targets over `horizon` seconds in `bin_seconds` buckets.
+  /// `peak_per_ost_mib` is one target's bandwidth capability.
+  OstLoadTimeline(std::uint32_t n_ost, double horizon, double bin_seconds,
+                  double peak_per_ost_mib);
+
+  /// Spread a job's demand (MiB/s, total) evenly over its stripes for
+  /// [start, start+duration).
+  void add_demand(const StripePlacement& placement, double start,
+                  double duration, double demand_mib);
+
+  /// Add per-OST background load fractions for one time bin; used by the
+  /// simulator to give every OST its own background level. `frac` must
+  /// have n_ost entries (fractions of one OST's peak).
+  void add_background_bin(std::size_t bin, std::span<const double> frac);
+
+  /// Mean demand fraction over the job's stripes and time window.
+  double mean_load(const StripePlacement& placement, double t0,
+                   double t1) const;
+
+  /// Mean demand fraction across all OSTs at time t (the LMT-style view).
+  double aggregate_load_at(double t) const;
+
+  std::uint32_t n_ost() const { return n_ost_; }
+  std::size_t bins() const { return bins_; }
+  double bin_seconds() const { return bin_s_; }
+
+ private:
+  std::size_t bin_index(double t) const;
+  float& cell(std::uint32_t ost, std::size_t bin) {
+    return load_[static_cast<std::size_t>(ost) * bins_ + bin];
+  }
+  float cell(std::uint32_t ost, std::size_t bin) const {
+    return load_[static_cast<std::size_t>(ost) * bins_ + bin];
+  }
+
+  std::uint32_t n_ost_;
+  double horizon_;
+  double bin_s_;
+  double peak_per_ost_;
+  std::size_t bins_;
+  std::vector<float> load_;  // [ost][bin], fraction of one OST's peak
+};
+
+}  // namespace iotax::sim

@@ -1,0 +1,56 @@
+#include "src/sim/platform.hpp"
+
+#include <stdexcept>
+
+namespace iotax::sim {
+
+void PlatformConfig::validate() const {
+  if (n_nodes == 0 || cores_per_node == 0 || n_oss == 0 || n_ost == 0 ||
+      n_mds == 0) {
+    throw std::invalid_argument("PlatformConfig: zero-sized component");
+  }
+  if (peak_bandwidth_mib <= 0.0 || per_proc_bandwidth_mib <= 0.0) {
+    throw std::invalid_argument("PlatformConfig: non-positive bandwidth");
+  }
+  if (noise_sigma_log10 < 0.0) {
+    throw std::invalid_argument("PlatformConfig: negative noise sigma");
+  }
+  if (contention_strength < 0.0) {
+    throw std::invalid_argument("PlatformConfig: negative contention strength");
+  }
+  if (lmt_period_s <= 0.0) {
+    throw std::invalid_argument("PlatformConfig: non-positive LMT period");
+  }
+}
+
+PlatformConfig theta_platform() {
+  PlatformConfig p;
+  p.name = "theta";
+  p.n_nodes = 4392;
+  p.cores_per_node = 64;
+  p.n_oss = 28;
+  p.n_ost = 56;
+  p.peak_bandwidth_mib = 200000.0;
+  p.per_proc_bandwidth_mib = 1200.0;
+  p.noise_sigma_log10 = 0.0235;  // +-5.7% @ 68% incl. contention jitter
+  p.contention_strength = 0.20;
+  p.lmt_enabled = false;
+  return p;
+}
+
+PlatformConfig cori_platform() {
+  PlatformConfig p;
+  p.name = "cori";
+  p.n_nodes = 12076;
+  p.cores_per_node = 68;
+  p.n_oss = 64;
+  p.n_ost = 248;
+  p.peak_bandwidth_mib = 700000.0;
+  p.per_proc_bandwidth_mib = 1500.0;
+  p.noise_sigma_log10 = 0.0275;  // +-7.2% @ 68% incl. contention jitter
+  p.contention_strength = 0.26;
+  p.lmt_enabled = true;
+  return p;
+}
+
+}  // namespace iotax::sim

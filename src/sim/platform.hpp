@@ -1,0 +1,44 @@
+// Static description of the simulated HPC platform (compute + Lustre-like
+// storage). Values are loosely modelled on ALCF Theta and NERSC Cori but
+// only the *structure* matters for the taxonomy experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotax::sim {
+
+struct PlatformConfig {
+  std::string name = "generic";
+  std::uint32_t n_nodes = 4096;
+  std::uint32_t cores_per_node = 64;
+  std::uint32_t n_oss = 28;      // object storage servers
+  std::uint32_t n_ost = 56;      // object storage targets
+  std::uint32_t n_mds = 1;       // metadata servers
+
+  /// Aggregate filesystem peak bandwidth (MiB/s).
+  double peak_bandwidth_mib = 700000.0;
+  /// Single-process achievable bandwidth ceiling (MiB/s).
+  double per_proc_bandwidth_mib = 1200.0;
+
+  /// Standard deviation of inherent multiplicative I/O noise, in log10
+  /// units (log10(1.0571) ~= 0.024 reproduces Theta's +-5.71%).
+  double noise_sigma_log10 = 0.024;
+  /// How strongly concurrent load degrades a job's throughput.
+  double contention_strength = 0.22;
+  /// Whether the site runs LMT collection (Cori yes, Theta no).
+  bool lmt_enabled = false;
+  /// LMT sampling cadence in seconds (paper: 5 s; we default coarser so a
+  /// multi-year timeline stays in memory; see DESIGN.md).
+  double lmt_period_s = 300.0;
+
+  void validate() const;
+};
+
+/// Platform presets. Numbers follow the public system specs roughly:
+/// Theta: 4392 KNL nodes, Lustre ~200 GB/s, no LMT collection.
+PlatformConfig theta_platform();
+/// Cori: 9688 KNL + 2388 Haswell nodes, ~700 GB/s scratch, LMT enabled.
+PlatformConfig cori_platform();
+
+}  // namespace iotax::sim

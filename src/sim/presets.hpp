@@ -1,0 +1,21 @@
+// Ready-made simulation configurations mirroring the paper's two study
+// systems. Job counts default far below the real datasets (100K / 1.1M
+// jobs) to stay single-core friendly; IOTAX_SCALE grows them.
+#pragma once
+
+#include "src/sim/simulator.hpp"
+
+namespace iotax::sim {
+
+/// ALCF-Theta-like: 3 simulated years, ~23.5% duplicate jobs, no LMT,
+/// noise calibrated to a +-5.7% (68%) throughput band.
+SimConfig theta_like(std::uint64_t seed = 7);
+
+/// NERSC-Cori-like: 2 simulated years, ~54% duplicate jobs, LMT enabled,
+/// noise calibrated to a +-7.2% (68%) band.
+SimConfig cori_like(std::uint64_t seed = 11);
+
+/// Small fast config for unit tests and the quickstart example.
+SimConfig tiny_system(std::uint64_t seed = 3);
+
+}  // namespace iotax::sim

@@ -1,0 +1,184 @@
+#include "src/sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/sim/lmt_gen.hpp"
+#include "src/telemetry/counters.hpp"
+
+namespace iotax::sim {
+
+void SimConfig::validate() const {
+  platform.validate();
+  if (train_cutoff_frac <= 0.0 || train_cutoff_frac >= 1.0) {
+    throw std::invalid_argument("SimConfig: train_cutoff_frac not in (0,1)");
+  }
+  if (workload.horizon != weather.horizon ||
+      workload.horizon != catalog.horizon) {
+    throw std::invalid_argument(
+        "SimConfig: workload/weather/catalog horizons must agree");
+  }
+}
+
+SimulationResult simulate(const SimConfig& config) {
+  config.validate();
+  SimulationResult out;
+  out.config = config;
+  out.train_cutoff_time = config.workload.horizon * config.train_cutoff_frac;
+
+  util::Rng root(config.seed);
+  util::Rng catalog_rng = root.fork(1);
+  util::Rng workload_rng = root.fork(2);
+  util::Rng weather_rng = root.fork(3);
+  util::Rng lmt_rng = root.fork(4);
+
+  // 1. Application population (novel apps appear after the cutoff).
+  CatalogParams cat = config.catalog;
+  cat.novel_after = out.train_cutoff_time;
+  out.catalog = generate_catalog(cat, config.platform, catalog_rng);
+
+  // 2. Schedule.
+  const auto jobs = generate_workload(config.workload, out.catalog,
+                                      config.platform, workload_rng);
+
+  // 3. Global weather and aggregate load.
+  out.weather = std::make_shared<GlobalWeather>(config.weather, weather_rng);
+
+  // Global (fleet-average) load drives the LMT telemetry; the per-OST
+  // view drives contention, because a job only feels the neighbours that
+  // share its stripe targets.
+  LoadTimeline load(config.workload.horizon, 900.0);
+  OstLoadTimeline ost_load(config.platform.n_ost, config.workload.horizon,
+                           3600.0,
+                           config.platform.peak_bandwidth_mib /
+                               static_cast<double>(config.platform.n_ost));
+  for (const auto& j : jobs) {
+    const double demand =
+        j.config.signature.total_bytes() / 1048576.0 / j.duration;
+    load.add_demand(j.start_time, j.duration, demand,
+                    config.platform.peak_bandwidth_mib);
+    ost_load.add_demand(j.stripes, j.start_time, j.duration, demand);
+  }
+  {
+    // Background demand: a fleet-level OU walk with a diurnal cycle (see
+    // SimConfig) plus an independent slow multiplier per OST — the file
+    // layout of the thousands of small jobs below the dataset's 1 GiB
+    // cut never spreads evenly over the targets.
+    util::Rng bg_rng = root.fork(5);
+    const auto& bg = config.background;
+    const std::uint32_t n_ost = config.platform.n_ost;
+    // Per-OST multipliers follow independent OU walks in log space.
+    std::vector<double> ost_log_mult(n_ost, 0.0);
+    for (auto& m : ost_log_mult) m = bg_rng.normal(0.0, bg.ost_spread_sigma);
+
+    std::vector<double> frac(load.bins());
+    std::vector<double> ost_frac(n_ost);
+    double x = bg.mean_frac;
+    double next_step = 0.0;
+    std::size_t ost_bin = 0;
+    double next_ost_fill = 0.0;
+    for (std::size_t b = 0; b < frac.size(); ++b) {
+      const double t = static_cast<double>(b) * load.bin_seconds();
+      if (t >= next_step) {
+        x += bg.reversion * (bg.mean_frac - x) +
+             bg_rng.normal(0.0, bg.walk_sigma);
+        x = std::max(x, bg.min_frac);
+        for (auto& m : ost_log_mult) {
+          m += 0.2 * (0.0 - m) + bg_rng.normal(0.0, bg.ost_spread_sigma / 3.0);
+        }
+        next_step += bg.step_seconds;
+      }
+      const double diurnal =
+          1.0 + bg.diurnal_amplitude * std::sin(2.0 * M_PI * t / 86400.0);
+      frac[b] = std::max(0.0, x * diurnal);
+      // Fill the coarser per-OST bins as their windows begin.
+      while (next_ost_fill <= t && ost_bin < ost_load.bins()) {
+        double mean_mult = 0.0;
+        for (const double m : ost_log_mult) mean_mult += std::exp(m);
+        mean_mult /= static_cast<double>(n_ost);
+        for (std::uint32_t o = 0; o < n_ost; ++o) {
+          // Normalise so the fleet-average background stays frac[b].
+          ost_frac[o] = frac[b] * std::exp(ost_log_mult[o]) / mean_mult;
+        }
+        ost_load.add_background_bin(ost_bin, ost_frac);
+        ++ost_bin;
+        next_ost_fill += ost_load.bin_seconds();
+      }
+    }
+    load.add_background(frac);
+  }
+
+  // App lookup by id for sensitivities.
+  std::unordered_map<std::uint64_t, const Application*> app_by_id;
+  for (const auto& app : out.catalog) app_by_id[app.app_id] = &app;
+
+  // 4. Per-job throughput decomposition and telemetry records.
+  out.records.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    const Application& app = *app_by_id.at(j.app_id);
+    const double t_end = j.start_time + j.duration;
+
+    const double log_fa =
+        ideal_log_throughput(j.config.signature, config.platform);
+    const double log_fg = out.weather->log_offset(0.5 * (j.start_time + t_end));
+
+    // Contention is what this job's own stripe targets see from others:
+    // per-stripe-OST fraction of the job's own demand is subtracted out.
+    const double own_per_ost_frac =
+        j.config.signature.total_bytes() / 1048576.0 / j.duration /
+        static_cast<double>(j.stripes.count) /
+        (config.platform.peak_bandwidth_mib /
+         static_cast<double>(config.platform.n_ost));
+    const double load_others = std::max(
+        0.0, ost_load.mean_load(j.stripes, j.start_time, t_end) -
+                 own_per_ost_frac);
+    const double log_fl = contention_log_impact(
+        load_others, app.contention_sensitivity, j.placement_spread,
+        config.platform);
+    // Per-job stream keyed by job id, so re-simulating is reproducible
+    // and concurrent duplicates still draw independently.
+    util::Rng noise_rng = root.fork(0x5eed0000ULL + j.job_id);
+    const double log_fn = noise_rng.normal(
+        0.0, config.platform.noise_sigma_log10 * app.noise_sensitivity);
+
+    const double log_phi = log_fa + log_fg + log_fl + log_fn;
+
+    telemetry::JobLogRecord rec;
+    rec.job_id = j.job_id;
+    rec.app_id = j.app_id;
+    rec.config_id = j.config_uid;
+    rec.n_procs = j.config.signature.n_procs;
+    rec.nodes = j.config.nodes;
+    rec.start_time = j.start_time;
+    rec.end_time = t_end;
+    rec.placement_spread = j.placement_spread;
+    rec.agg_perf_mib = std::pow(10.0, log_phi);
+    rec.posix = telemetry::compute_posix_counters(j.config.signature);
+    rec.mpiio = telemetry::compute_mpiio_counters(j.config.signature);
+    out.records.push_back(std::move(rec));
+
+    JobTruth truth;
+    truth.log_fa = log_fa;
+    truth.log_fg = log_fg;
+    truth.log_fl = log_fl;
+    truth.log_fn = log_fn;
+    truth.novel_app = app.introduced_at > out.train_cutoff_time;
+    out.truth.emplace(j.job_id, truth);
+  }
+
+  // 5. Storage telemetry (only where the site collects it).
+  if (config.platform.lmt_enabled) {
+    out.lmt = generate_lmt_timeline(load, *out.weather, config.platform,
+                                    config.workload.horizon, lmt_rng);
+  }
+
+  // 6. Joined dataset with ground truth.
+  out.dataset = build_dataset(out.records,
+                              config.platform.lmt_enabled ? &out.lmt : nullptr,
+                              config.name, &out.truth);
+  out.dataset.validate();
+  return out;
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,76 @@
+// End-to-end simulation: catalog -> schedule -> weather/contention/noise
+// -> per-job throughput decomposition (the paper's Eq. 3) -> Darshan-style
+// records, LMT stream, and the joined model Dataset with ground truth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/sim/app_model.hpp"
+#include "src/sim/contention.hpp"
+#include "src/sim/dataset_builder.hpp"
+#include "src/sim/ost_load.hpp"
+#include "src/sim/platform.hpp"
+#include "src/sim/weather.hpp"
+#include "src/sim/workload.hpp"
+#include "src/telemetry/darshan_log.hpp"
+#include "src/telemetry/lmt.hpp"
+
+namespace iotax::sim {
+
+/// Background demand from the mass of small jobs the study datasets
+/// exclude (everything under 1 GiB, §V). Modelled as a mean-reverting
+/// (Ornstein-Uhlenbeck) random walk with a diurnal cycle, in fractions of
+/// the filesystem peak bandwidth. This is what makes LMT rates reflect
+/// the *system*, not any single studied job.
+struct BackgroundParams {
+  double mean_frac = 0.35;
+  double reversion = 0.15;     // OU pull toward the mean per step
+  double walk_sigma = 0.05;    // OU innovation per step
+  /// OU step length. Daily by default: the paper's "I/O weather" moves on
+  /// day-to-week scales, which is what keeps it compressible into a
+  /// start-time feature (§VII.A).
+  double step_seconds = 86400.0;
+  double diurnal_amplitude = 0.08;
+  double min_frac = 0.02;
+  /// Log-space spread of the slow per-OST background multipliers: how
+  /// unevenly the small-job mass lands on individual targets. This is
+  /// the mechanistic source of concurrent-duplicate contention
+  /// differences (two placements sample different targets).
+  double ost_spread_sigma = 0.55;
+};
+
+struct SimConfig {
+  std::string name = "generic";
+  PlatformConfig platform;
+  CatalogParams catalog;
+  WorkloadParams workload;
+  WeatherParams weather;
+  BackgroundParams background;
+  std::uint64_t seed = 1;
+  /// Fraction of the horizon used as the model training period; novel
+  /// applications only appear after this point.
+  double train_cutoff_frac = 0.70;
+
+  void validate() const;
+};
+
+struct SimulationResult {
+  SimConfig config;
+  std::vector<Application> catalog;
+  std::vector<telemetry::JobLogRecord> records;
+  telemetry::LmtTimeline lmt;  // empty when !platform.lmt_enabled
+  TruthMap truth;
+  data::Dataset dataset;       // features + ground-truth metadata
+  double train_cutoff_time = 0.0;
+
+  /// Convenience: weather object used for the run (for plotting benches).
+  std::shared_ptr<const GlobalWeather> weather;
+};
+
+/// Run the full simulation. Deterministic in `config`.
+SimulationResult simulate(const SimConfig& config);
+
+}  // namespace iotax::sim

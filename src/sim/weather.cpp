@@ -1,0 +1,76 @@
+#include "src/sim/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::sim {
+
+GlobalWeather::GlobalWeather(const WeatherParams& params, util::Rng& rng)
+    : params_(params) {
+  if (params.horizon <= 0.0) {
+    throw std::invalid_argument("GlobalWeather: non-positive horizon");
+  }
+  if (params.degradation_min_days > params.degradation_max_days ||
+      params.degradation_min_severity > params.degradation_max_severity) {
+    throw std::invalid_argument("GlobalWeather: inverted degradation range");
+  }
+  // Epoch boundaries: uniform over the horizon, sorted.
+  for (std::size_t i = 0; i + 1 < params.n_epochs; ++i) {
+    epoch_boundaries_.push_back(rng.uniform(0.0, params.horizon));
+  }
+  std::sort(epoch_boundaries_.begin(), epoch_boundaries_.end());
+  for (std::size_t i = 0; i < params.n_epochs; ++i) {
+    epoch_offsets_.push_back(rng.normal(0.0, params.epoch_offset_sigma));
+  }
+
+  const double years = params.horizon / (86400.0 * 365.0);
+  const auto n_degradations = static_cast<std::size_t>(
+      rng.poisson(params.degradations_per_year * years));
+  for (std::size_t i = 0; i < n_degradations; ++i) {
+    Degradation d;
+    d.start = rng.uniform(0.0, params.horizon);
+    d.duration = 86400.0 * rng.uniform(params.degradation_min_days,
+                                       params.degradation_max_days);
+    d.severity = rng.uniform(params.degradation_min_severity,
+                             params.degradation_max_severity);
+    d.ramp = std::max(3600.0, 0.05 * d.duration);
+    degradations_.push_back(d);
+  }
+  std::sort(degradations_.begin(), degradations_.end(),
+            [](const Degradation& a, const Degradation& b) {
+              return a.start < b.start;
+            });
+}
+
+double GlobalWeather::log_offset(double t) const {
+  // Epoch step level.
+  const auto it = std::upper_bound(epoch_boundaries_.begin(),
+                                   epoch_boundaries_.end(), t);
+  const auto epoch = static_cast<std::size_t>(
+      std::distance(epoch_boundaries_.begin(), it));
+  double offset = epoch_offsets_[epoch];
+
+  // Seasonal drift.
+  offset += params_.seasonal_amplitude *
+            std::sin(2.0 * M_PI * t / params_.seasonal_period);
+
+  // Degradation dips with smooth ramps.
+  for (const auto& d : degradations_) {
+    const double rel_in = (t - d.start) / d.ramp;
+    const double rel_out = (d.start + d.duration - t) / d.ramp;
+    const double gate = (1.0 / (1.0 + std::exp(-rel_in))) *
+                        (1.0 / (1.0 + std::exp(-rel_out)));
+    offset -= d.severity * gate;
+  }
+  return offset;
+}
+
+bool GlobalWeather::degraded(double t) const {
+  for (const auto& d : degradations_) {
+    if (t >= d.start && t <= d.start + d.duration) return true;
+  }
+  return false;
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,61 @@
+// Global system state over time — the paper's ζ_g(t) ("I/O climate and
+// weather", §VII). Three ingredients:
+//   * configuration epochs: step changes at provisioning/upgrade events,
+//   * degradation episodes: dips lasting hours to weeks (failing OSTs,
+//     metadata storms, rebuilds),
+//   * seasonal drift: a small smooth periodic component.
+// The impact is a log10 offset applied to every job running at time t,
+// which is exactly what makes it learnable from a start-time feature.
+#pragma once
+
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace iotax::sim {
+
+struct Degradation {
+  double start = 0.0;
+  double duration = 0.0;
+  double severity = 0.0;  // positive magnitude of the log10 dip
+  double ramp = 0.0;      // edge smoothing time constant (seconds)
+};
+
+struct WeatherParams {
+  double horizon = 86400.0 * 365.0;  // seconds simulated
+  std::size_t n_epochs = 4;
+  double epoch_offset_sigma = 0.02;  // log10
+  double degradations_per_year = 9.0;
+  double degradation_min_days = 0.25;
+  double degradation_max_days = 12.0;
+  double degradation_min_severity = 0.04;  // log10 (~ -9%)
+  double degradation_max_severity = 0.30;  // log10 (~ -50%)
+  double seasonal_amplitude = 0.008;       // log10
+  double seasonal_period = 86400.0 * 91.0;
+};
+
+class GlobalWeather {
+ public:
+  GlobalWeather(const WeatherParams& params, util::Rng& rng);
+
+  /// ζ_g(t): the log10 throughput offset applied to all jobs at time t.
+  double log_offset(double t) const;
+
+  /// True when t falls inside any degradation episode.
+  bool degraded(double t) const;
+
+  const std::vector<Degradation>& degradations() const {
+    return degradations_;
+  }
+  const std::vector<double>& epoch_boundaries() const {
+    return epoch_boundaries_;
+  }
+
+ private:
+  WeatherParams params_;
+  std::vector<double> epoch_boundaries_;  // ascending, inside (0, horizon)
+  std::vector<double> epoch_offsets_;     // size = boundaries + 1
+  std::vector<Degradation> degradations_; // sorted by start
+};
+
+}  // namespace iotax::sim

@@ -1,0 +1,173 @@
+#include "src/sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::sim {
+
+namespace {
+
+/// Planned wall time: compute phase (with unobservable run-to-run jitter)
+/// plus the I/O phase at the configuration's idealized rate. The jitter
+/// dominates, which is what stops a model from simply inverting
+/// runtime -> throughput when Cobalt timing features are added (§VI.C).
+double planned_duration(const AppConfig& cfg, const PlatformConfig& platform,
+                        util::Rng& rng) {
+  const double ideal_mib =
+      std::pow(10.0, ideal_log_throughput(cfg.signature, platform));
+  const double io_time = cfg.signature.total_bytes() / 1048576.0 / ideal_mib;
+  const double compute = cfg.compute_time_s * rng.lognormal(0.0, 0.35);
+  return std::max(10.0, compute + io_time);
+}
+
+/// Jitter a catalog configuration into a fresh, almost-surely-unique one:
+/// same application, different input scale. The volume perturbation flows
+/// into the byte counters, so no other job shares its feature vector.
+AppConfig fresh_variant(const AppConfig& base, const PlatformConfig& platform,
+                        util::Rng& rng) {
+  AppConfig cfg = base;
+  const double vol_scale = rng.lognormal(0.0, 0.55);
+  cfg.signature.bytes_read *= vol_scale;
+  cfg.signature.bytes_written *= vol_scale;
+  if (rng.bernoulli(0.3)) {
+    const double procs = std::clamp(
+        static_cast<double>(cfg.signature.n_procs) *
+            std::pow(2.0, static_cast<double>(rng.uniform_int(-1, 1))),
+        1.0,
+        static_cast<double>(platform.n_nodes) * platform.cores_per_node / 4.0);
+    cfg.signature.n_procs = static_cast<std::uint32_t>(procs);
+    cfg.nodes = static_cast<std::uint32_t>(std::max(
+        1.0,
+        std::ceil(procs / static_cast<double>(platform.cores_per_node))));
+  }
+  cfg.compute_time_s = base.compute_time_s * rng.lognormal(0.0, 0.2);
+  cfg.signature.validate();
+  return cfg;
+}
+
+
+/// Stripe placement for one run: stripe width grows with node count (big
+/// jobs stripe wide, as admins configure), capped by the platform; the
+/// starting OST is the per-run placement roll.
+StripePlacement roll_stripes(std::uint32_t nodes,
+                             const PlatformConfig& platform,
+                             util::Rng& rng) {
+  std::uint32_t count = 1;
+  while (count < nodes && count < 64) count *= 2;
+  StripePlacement p;
+  p.count = std::min(count, platform.n_ost);
+  p.begin = static_cast<std::uint32_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(platform.n_ost) - 1));
+  return p;
+}
+
+}  // namespace
+
+std::vector<PlannedJob> generate_workload(
+    const WorkloadParams& params, const std::vector<Application>& catalog,
+    const PlatformConfig& platform, util::Rng& rng) {
+  if (catalog.empty()) {
+    throw std::invalid_argument("generate_workload: empty catalog");
+  }
+  if (params.horizon <= 0.0 || params.n_jobs == 0) {
+    throw std::invalid_argument("generate_workload: bad params");
+  }
+  if (params.config_reuse_prob < 0.0 || params.config_reuse_prob > 1.0 ||
+      params.batch_prob < 0.0 || params.batch_prob > 1.0) {
+    throw std::invalid_argument("generate_workload: bad probabilities");
+  }
+  std::vector<PlannedJob> jobs;
+  jobs.reserve(params.n_jobs + params.n_jobs / 8);
+  std::uint64_t next_id = 1;
+  // config_uid space: catalog configs use app_id * 4096 + config_index;
+  // fresh configs use a disjoint high range keyed by the first job id.
+  constexpr std::uint64_t kFreshBase = 1ULL << 40;
+
+  // Periodic benchmark runs (app 0): `bench_runs` concurrent copies at
+  // every firing, spanning the whole timeline.
+  if (!catalog[0].configs.empty() && params.bench_period > 0.0) {
+    for (double t = params.bench_period / 2.0; t < params.horizon;
+         t += params.bench_period) {
+      for (std::size_t r = 0; r < params.bench_runs; ++r) {
+        PlannedJob j;
+        j.job_id = next_id++;
+        j.app_id = catalog[0].app_id;
+        j.config_uid = catalog[0].app_id * 4096;
+        j.config = catalog[0].configs[0];
+        j.start_time = t + rng.uniform(0.0, 0.5);
+        j.duration = planned_duration(j.config, platform, rng);
+        j.placement_spread = rng.uniform(0.0, 1.0);
+        j.stripes = roll_stripes(j.config.nodes, platform, rng);
+        jobs.push_back(std::move(j));
+      }
+    }
+  }
+
+  // Popularity weights (the benchmark has popularity 0).
+  std::vector<double> weights;
+  weights.reserve(catalog.size());
+  for (const auto& app : catalog) weights.push_back(app.popularity);
+
+  while (jobs.size() < params.n_jobs) {
+    // Arrival time with diurnal modulation, via thinning.
+    double t = 0.0;
+    for (;;) {
+      t = rng.uniform(0.0, params.horizon);
+      const double day_phase = 2.0 * M_PI * t / 86400.0;
+      const double accept =
+          (1.0 + params.diurnal_amplitude * std::sin(day_phase)) /
+          (1.0 + params.diurnal_amplitude);
+      if (rng.uniform() < accept) break;
+    }
+    // Pick an application that exists at time t.
+    std::size_t app_idx = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      app_idx = rng.categorical(weights);
+      if (catalog[app_idx].introduced_at <= t) break;
+      app_idx = 0;
+    }
+    if (app_idx == 0) continue;  // benchmark handled above
+    const auto& app = catalog[app_idx];
+    const auto cfg_idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(app.configs.size()) - 1));
+
+    std::size_t copies = 1;
+    if (rng.bernoulli(params.batch_prob)) {
+      copies = 2 + static_cast<std::size_t>(rng.zipf(
+                       static_cast<std::int64_t>(params.max_batch),
+                       params.batch_zipf_s));
+    }
+    // Materialize the configuration once per arrival; all batch members
+    // share it (they are duplicates of each other even when fresh).
+    AppConfig cfg;
+    std::uint64_t config_uid = 0;
+    if (rng.bernoulli(params.config_reuse_prob)) {
+      cfg = app.configs[cfg_idx];
+      config_uid = app.app_id * 4096 + cfg_idx;
+    } else {
+      cfg = fresh_variant(app.configs[cfg_idx], platform, rng);
+      config_uid = kFreshBase + next_id;
+    }
+    for (std::size_t c = 0; c < copies; ++c) {
+      PlannedJob j;
+      j.job_id = next_id++;
+      j.app_id = app.app_id;
+      j.config_uid = config_uid;
+      j.config = cfg;
+      j.start_time = t + rng.uniform(0.0, 0.5);
+      j.duration = planned_duration(cfg, platform, rng);
+      j.placement_spread = rng.uniform(0.0, 1.0);
+      j.stripes = roll_stripes(cfg.nodes, platform, rng);
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  std::sort(jobs.begin(), jobs.end(),
+            [](const PlannedJob& a, const PlannedJob& b) {
+              return a.start_time < b.start_time;
+            });
+  return jobs;
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,39 @@
+#include "src/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::stats {
+
+BootstrapResult bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples, double level, util::Rng& rng) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty input");
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("bootstrap_ci: level must be in (0,1)");
+  }
+  BootstrapResult result;
+  result.level = level;
+  result.point = statistic(xs);
+
+  std::vector<double> resample(xs.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  result.lo = quantile(stats, alpha);
+  result.hi = quantile(stats, 1.0 - alpha);
+  return result;
+}
+
+}  // namespace iotax::stats

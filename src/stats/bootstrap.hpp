@@ -1,0 +1,26 @@
+// Bootstrap confidence intervals for litmus-test estimates. The paper's
+// bounds are single numbers; we attach percentile-bootstrap CIs so that a
+// user can tell whether "tuned model ≈ bound" is within sampling noise.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/util/rng.hpp"
+
+namespace iotax::stats {
+
+struct BootstrapResult {
+  double point = 0.0;
+  double lo = 0.0;   // lower CI bound
+  double hi = 0.0;   // upper CI bound
+  double level = 0.95;
+};
+
+/// Percentile bootstrap of an arbitrary statistic.
+BootstrapResult bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples, double level, util::Rng& rng);
+
+}  // namespace iotax::stats

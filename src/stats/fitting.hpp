@@ -1,0 +1,51 @@
+// Distribution fitting for the Δt≈0 duplicate analysis (§IX.A): the paper
+// shows concurrent-duplicate errors follow a Student-t rather than a
+// Normal because small duplicate sets bias the set-mean estimate.
+#pragma once
+
+#include <span>
+
+#include "src/stats/distributions.hpp"
+
+namespace iotax::stats {
+
+struct NormalFit {
+  double mean = 0.0;
+  double stddev = 1.0;
+  double log_likelihood = 0.0;
+};
+
+struct StudentTFit {
+  double df = 1.0;
+  double loc = 0.0;
+  double scale = 1.0;
+  double log_likelihood = 0.0;
+};
+
+/// Maximum-likelihood Normal fit (population stddev, per MLE).
+NormalFit fit_normal(std::span<const double> xs);
+
+/// Student-t fit: for each candidate df, loc/scale are estimated with an
+/// EM-style iteratively reweighted scheme (exact MLE for fixed df); df is
+/// then chosen by golden-section search on the profile likelihood.
+StudentTFit fit_student_t(std::span<const double> xs, double df_min = 1.0,
+                          double df_max = 200.0);
+
+/// Log-likelihood of data under each distribution.
+double log_likelihood(const Normal& d, std::span<const double> xs);
+double log_likelihood(const StudentT& d, std::span<const double> xs);
+
+/// One-sample Kolmogorov-Smirnov statistic against a fitted CDF.
+template <typename Dist>
+double ks_statistic(const Dist& d, std::span<const double> xs);
+
+/// Likelihood-ratio preference: positive when t fits better than normal
+/// per-sample (mean log-likelihood difference).
+double t_vs_normal_preference(std::span<const double> xs);
+
+/// Two-sample Kolmogorov-Smirnov statistic: max distance between the
+/// empirical CDFs of a and b. Used by the drift monitor to compare error
+/// distributions across time windows.
+double two_sample_ks(std::span<const double> a, std::span<const double> b);
+
+}  // namespace iotax::stats

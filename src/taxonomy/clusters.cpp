@@ -1,0 +1,100 @@
+#include "src/taxonomy/clusters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/ml/metrics.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/taxonomy/duplicates.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax::taxonomy {
+
+ClusterBreakdown cluster_error_breakdown(
+    const data::Dataset& ds, std::span<const double> errors,
+    const std::vector<FeatureSet>& feature_sets, ml::KMeansParams params) {
+  if (errors.size() != ds.size() || ds.size() == 0) {
+    throw std::invalid_argument("cluster_error_breakdown: bad input sizes");
+  }
+  const auto names = feature_columns(ds, feature_sets);
+  const auto x = feature_matrix(ds, feature_sets);
+  ml::KMeans kmeans(params);
+  kmeans.fit(x);
+  const auto& labels = kmeans.labels();
+
+  // Duplicate membership per row.
+  std::vector<bool> is_dup(ds.size(), false);
+  for (const auto& set : find_duplicate_sets(ds)) {
+    for (const auto r : set.rows) is_dup[r] = true;
+  }
+
+  ClusterBreakdown out;
+  std::vector<double> abs_all(errors.size());
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    abs_all[i] = std::fabs(errors[i]);
+  }
+  out.overall_median_error = stats::median(abs_all);
+
+  for (std::size_t c = 0; c < kmeans.k(); ++c) {
+    ClusterStats cs;
+    cs.cluster = c;
+    std::vector<double> abs_err;
+    std::vector<double> targets;
+    std::set<std::uint64_t> apps;
+    std::size_t dups = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (labels[i] != c) continue;
+      ++cs.n_jobs;
+      abs_err.push_back(std::fabs(errors[i]));
+      targets.push_back(ds.target[i]);
+      apps.insert(ds.meta[i].app_id);
+      dups += is_dup[i] ? 1 : 0;
+    }
+    if (cs.n_jobs == 0) continue;
+    cs.n_apps = apps.size();
+    cs.median_abs_error = stats::median(abs_err);
+    cs.median_target = stats::median(targets);
+    cs.duplicate_fraction =
+        static_cast<double>(dups) / static_cast<double>(cs.n_jobs);
+    // Defining feature: centroid coordinate with largest |value|.
+    const auto centroid = kmeans.centroids().row(c);
+    std::size_t arg = 0;
+    for (std::size_t f = 1; f < centroid.size(); ++f) {
+      if (std::fabs(centroid[f]) > std::fabs(centroid[arg])) arg = f;
+    }
+    cs.defining_feature = names[arg];
+    cs.defining_value = centroid[arg];
+    out.clusters.push_back(std::move(cs));
+  }
+  std::sort(out.clusters.begin(), out.clusters.end(),
+            [](const ClusterStats& a, const ClusterStats& b) {
+              return a.median_abs_error > b.median_abs_error;
+            });
+  return out;
+}
+
+std::string render_cluster_breakdown(const ClusterBreakdown& breakdown) {
+  std::ostringstream out;
+  out << "overall median |log10| error: "
+      << util::format_double(
+             ml::log_error_to_percent(breakdown.overall_median_error), 2)
+      << "%\n";
+  out << "cluster  jobs  apps  err(%)  dup%  median_thpt  defining feature\n";
+  for (const auto& c : breakdown.clusters) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%7zu %5zu %5zu %7.2f %5.0f %12.2f  %s (%+.1f sd)\n",
+                  c.cluster, c.n_jobs, c.n_apps,
+                  ml::log_error_to_percent(c.median_abs_error),
+                  c.duplicate_fraction * 100.0, c.median_target,
+                  c.defining_feature.c_str(), c.defining_value);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace iotax::taxonomy

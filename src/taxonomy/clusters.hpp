@@ -1,0 +1,43 @@
+// Workload clustering meets the taxonomy: group jobs by their I/O
+// features (the §II "workload clustering" direction) and break a model's
+// error down per cluster, so an I/O expert sees *which kinds of jobs*
+// the model fails on rather than a single aggregate number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/ml/kmeans.hpp"
+#include "src/taxonomy/feature_sets.hpp"
+
+namespace iotax::taxonomy {
+
+struct ClusterStats {
+  std::size_t cluster = 0;
+  std::size_t n_jobs = 0;
+  std::size_t n_apps = 0;          // distinct applications inside
+  double median_abs_error = 0.0;   // model error within the cluster
+  double median_target = 0.0;      // median log10 throughput
+  double duplicate_fraction = 0.0; // share of jobs in duplicate sets
+  /// The feature (by name) whose standardised centroid coordinate has
+  /// the largest magnitude — a one-word hint at what the cluster *is*.
+  std::string defining_feature;
+  double defining_value = 0.0;     // that coordinate (standardised units)
+};
+
+struct ClusterBreakdown {
+  std::vector<ClusterStats> clusters;  // sorted by median error, desc
+  double overall_median_error = 0.0;
+};
+
+/// Cluster the jobs (application features) and attribute model errors.
+/// `errors` are signed log10 prediction errors, parallel to ds rows.
+ClusterBreakdown cluster_error_breakdown(
+    const data::Dataset& ds, std::span<const double> errors,
+    const std::vector<FeatureSet>& feature_sets, ml::KMeansParams params = {});
+
+/// Render as aligned rows.
+std::string render_cluster_breakdown(const ClusterBreakdown& breakdown);
+
+}  // namespace iotax::taxonomy

@@ -1,0 +1,142 @@
+#include "src/taxonomy/duplicates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax::taxonomy {
+
+std::vector<DuplicateSet> find_duplicate_sets(const data::Dataset& ds) {
+  // std::map gives a deterministic (sorted) set order.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    groups[{ds.meta[i].app_id, ds.meta[i].config_id}].push_back(i);
+  }
+  std::vector<DuplicateSet> sets;
+  for (auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    DuplicateSet set;
+    set.app_id = key.first;
+    set.config_id = key.second;
+    set.rows = std::move(rows);
+    double sum = 0.0;
+    for (std::size_t r : set.rows) sum += ds.target[r];
+    set.mean_target = sum / static_cast<double>(set.rows.size());
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+DuplicateStats duplicate_stats(const data::Dataset& ds,
+                               const std::vector<DuplicateSet>& sets) {
+  DuplicateStats stats;
+  stats.n_sets = sets.size();
+  for (const auto& s : sets) {
+    stats.n_duplicate_jobs += s.rows.size();
+    stats.largest_set = std::max(stats.largest_set, s.rows.size());
+  }
+  stats.duplicate_fraction =
+      ds.size() == 0 ? 0.0
+                     : static_cast<double>(stats.n_duplicate_jobs) /
+                           static_cast<double>(ds.size());
+  return stats;
+}
+
+std::vector<double> duplicate_errors(const data::Dataset& ds,
+                                     const std::vector<DuplicateSet>& sets) {
+  std::vector<double> errors;
+  for (const auto& s : sets) {
+    const auto n = static_cast<double>(s.rows.size());
+    // Bessel factor: the sample mean is closer to the samples than the
+    // true mean, shrinking raw deviations by sqrt((n-1)/n) on average.
+    const double bessel = std::sqrt(n / (n - 1.0));
+    for (std::size_t r : s.rows) {
+      errors.push_back((ds.target[r] - s.mean_target) * bessel);
+    }
+  }
+  return errors;
+}
+
+std::vector<DuplicatePair> duplicate_pairs(const data::Dataset& ds,
+                                           const std::vector<DuplicateSet>& sets,
+                                           std::size_t max_set_pairs_from) {
+  std::vector<DuplicatePair> pairs;
+  for (const auto& s : sets) {
+    // Sort rows of the set by start time so consecutive subsampling picks
+    // natural neighbours.
+    auto rows = s.rows;
+    std::sort(rows.begin(), rows.end(), [&ds](std::size_t a, std::size_t b) {
+      return ds.meta[a].start_time < ds.meta[b].start_time;
+    });
+    std::vector<std::pair<std::size_t, std::size_t>> idx_pairs;
+    if (rows.size() <= max_set_pairs_from) {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t j = i + 1; j < rows.size(); ++j) {
+          idx_pairs.emplace_back(rows[i], rows[j]);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        idx_pairs.emplace_back(rows[i], rows[i + 1]);
+      }
+    }
+    if (idx_pairs.empty()) continue;
+    const double w = 1.0 / static_cast<double>(idx_pairs.size());
+    for (const auto& [a, b] : idx_pairs) {
+      DuplicatePair p;
+      p.row_a = a;
+      p.row_b = b;
+      p.dt = std::fabs(ds.meta[a].start_time - ds.meta[b].start_time);
+      p.dphi = ds.target[a] - ds.target[b];
+      p.weight = w;
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+std::vector<DuplicateSet> concurrent_subsets(
+    const data::Dataset& ds, const std::vector<DuplicateSet>& sets,
+    double dt_window) {
+  if (dt_window <= 0.0) {
+    throw std::invalid_argument("concurrent_subsets: dt_window must be > 0");
+  }
+  std::vector<DuplicateSet> out;
+  for (const auto& s : sets) {
+    auto rows = s.rows;
+    std::sort(rows.begin(), rows.end(), [&ds](std::size_t a, std::size_t b) {
+      return ds.meta[a].start_time < ds.meta[b].start_time;
+    });
+    std::size_t cluster_begin = 0;
+    const auto flush = [&](std::size_t begin, std::size_t end) {
+      if (end - begin < 2) return;
+      DuplicateSet sub;
+      sub.app_id = s.app_id;
+      sub.config_id = s.config_id;
+      sub.rows.assign(rows.begin() + static_cast<long>(begin),
+                      rows.begin() + static_cast<long>(end));
+      double sum = 0.0;
+      for (std::size_t r : sub.rows) sum += ds.target[r];
+      sub.mean_target = sum / static_cast<double>(sub.rows.size());
+      out.push_back(std::move(sub));
+    };
+    for (std::size_t i = 1; i <= rows.size(); ++i) {
+      const bool breaks =
+          i == rows.size() ||
+          ds.meta[rows[i]].start_time -
+                  ds.meta[rows[cluster_begin]].start_time >
+              dt_window;
+      if (breaks) {
+        flush(cluster_begin, i);
+        cluster_begin = i;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iotax::taxonomy

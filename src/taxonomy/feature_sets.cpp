@@ -1,0 +1,69 @@
+#include "src/taxonomy/feature_sets.hpp"
+
+#include <stdexcept>
+
+#include "src/telemetry/cobalt.hpp"
+#include "src/telemetry/counters.hpp"
+#include "src/telemetry/lmt.hpp"
+
+namespace iotax::taxonomy {
+
+std::vector<std::string> feature_columns(const data::Dataset& ds,
+                                         const std::vector<FeatureSet>& sets) {
+  std::vector<std::string> cols;
+  const auto append = [&cols, &ds](const std::vector<std::string>& names) {
+    for (const auto& n : names) {
+      if (!ds.features.has_column(n)) {
+        throw std::invalid_argument("feature_columns: dataset for system '" +
+                                    ds.system_name + "' lacks column " + n);
+      }
+      cols.push_back(n);
+    }
+  };
+  for (const auto set : sets) {
+    switch (set) {
+      case FeatureSet::kPosix:
+        append(telemetry::posix_feature_names());
+        break;
+      case FeatureSet::kMpiio:
+        append(telemetry::mpiio_feature_names());
+        break;
+      case FeatureSet::kCobalt:
+        append(telemetry::cobalt_feature_names());
+        break;
+      case FeatureSet::kLmt:
+        append(telemetry::lmt_feature_names());
+        break;
+      case FeatureSet::kStartTimeOnly:
+        append({telemetry::start_time_feature_name()});
+        break;
+    }
+  }
+  return cols;
+}
+
+data::Matrix feature_matrix(const data::Dataset& ds,
+                            const std::vector<FeatureSet>& sets,
+                            std::span<const std::size_t> rows) {
+  const auto cols = feature_columns(ds, sets);
+  data::Matrix m(rows.empty() ? ds.size() : rows.size(), cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto col = ds.features.col(cols[c]);
+    if (rows.empty()) {
+      for (std::size_t r = 0; r < col.size(); ++r) m(r, c) = col[r];
+    } else {
+      for (std::size_t r = 0; r < rows.size(); ++r) m(r, c) = col[rows[r]];
+    }
+  }
+  return m;
+}
+
+std::vector<double> targets(const data::Dataset& ds,
+                            std::span<const std::size_t> rows) {
+  if (rows.empty()) return ds.target;
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = ds.target[rows[i]];
+  return out;
+}
+
+}  // namespace iotax::taxonomy

@@ -1,0 +1,38 @@
+// Feature-set selection for the paper's experiments: POSIX-only,
+// POSIX+MPI-IO, POSIX+Cobalt (Fig. 3), POSIX+start-time (litmus 2),
+// and Darshan+Lustre (Fig. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/data/matrix.hpp"
+
+namespace iotax::taxonomy {
+
+enum class FeatureSet {
+  kPosix,          // 48 POSIX counters
+  kMpiio,          // 48 MPI-IO counters
+  kCobalt,         // 5 scheduler features (includes start/end times)
+  kLmt,            // 37 storage-side aggregates
+  kStartTimeOnly,  // the single COBALT_START_TIME column (litmus 2)
+};
+
+/// Column names for a combination of feature sets, in canonical order.
+/// Throws if the dataset lacks one of the requested groups (e.g. LMT on a
+/// Theta-like system).
+std::vector<std::string> feature_columns(const data::Dataset& ds,
+                                         const std::vector<FeatureSet>& sets);
+
+/// Materialize the selected features as a model-input Matrix for the given
+/// rows (pass all rows with an empty span).
+data::Matrix feature_matrix(const data::Dataset& ds,
+                            const std::vector<FeatureSet>& sets,
+                            std::span<const std::size_t> rows = {});
+
+/// Targets for the given rows (all rows when empty).
+std::vector<double> targets(const data::Dataset& ds,
+                            std::span<const std::size_t> rows = {});
+
+}  // namespace iotax::taxonomy

@@ -1,0 +1,97 @@
+#include "src/taxonomy/interpret.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/str.hpp"
+
+namespace iotax::taxonomy {
+
+std::vector<FeatureImportance> ranked_importances(
+    const ml::GradientBoostedTrees& model,
+    const std::vector<std::string>& feature_names) {
+  const auto imp = model.feature_importances();
+  if (imp.size() != feature_names.size()) {
+    throw std::invalid_argument(
+        "ranked_importances: feature-name count mismatch");
+  }
+  std::vector<FeatureImportance> out(imp.size());
+  for (std::size_t i = 0; i < imp.size(); ++i) {
+    out[i] = {feature_names[i], imp[i]};
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+namespace {
+
+std::string group_of(const std::string& name) {
+  const auto contains = [&name](const char* s) {
+    return name.find(s) != std::string::npos;
+  };
+  if (util::starts_with(name, "LMT_")) return "storage (LMT)";
+  if (contains("START_TIME") || contains("RUNTIME")) return "time";
+  if (contains("BYTES") || contains("SIZE_") || contains("MAX_BYTE")) {
+    return "volume";
+  }
+  if (contains("SEQ_") || contains("CONSEC") || contains("SWITCH") ||
+      contains("ALIGN")) {
+    return "access pattern";
+  }
+  if (contains("OPEN") || contains("STAT") || contains("SEEK") ||
+      contains("SYNC") || contains("VIEWS") || contains("HINT")) {
+    return "metadata";
+  }
+  if (contains("FILES")) return "files";
+  if (contains("NPROCS") || contains("NODES") || contains("CORES") ||
+      contains("PLACEMENT")) {
+    return "scale";
+  }
+  if (contains("COLL") || contains("INDEP") || contains("SPLIT") ||
+      contains("NB_") || contains("READS") || contains("WRITES") ||
+      contains("ACCESS")) {
+    return "operations";
+  }
+  return "other";
+}
+
+}  // namespace
+
+std::vector<GroupImportance> grouped_importances(
+    const std::vector<FeatureImportance>& features) {
+  std::map<std::string, double> acc;
+  for (const auto& f : features) acc[group_of(f.name)] += f.importance;
+  std::vector<GroupImportance> out;
+  out.reserve(acc.size());
+  for (const auto& [group, imp] : acc) out.push_back({group, imp});
+  std::sort(out.begin(), out.end(),
+            [](const GroupImportance& a, const GroupImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+std::string render_importance_report(
+    const std::vector<FeatureImportance>& features, std::size_t top_k) {
+  std::ostringstream out;
+  out << "top features by split gain:\n";
+  for (std::size_t i = 0; i < std::min(top_k, features.size()); ++i) {
+    out << "  " << features[i].name;
+    for (std::size_t p = features[i].name.size(); p < 30; ++p) out << ' ';
+    out << util::format_double(features[i].importance * 100.0, 2) << "%\n";
+  }
+  out << "feature groups:\n";
+  for (const auto& g : grouped_importances(features)) {
+    out << "  " << g.group;
+    for (std::size_t p = g.group.size(); p < 30; ++p) out << ' ';
+    out << util::format_double(g.importance * 100.0, 2) << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace iotax::taxonomy

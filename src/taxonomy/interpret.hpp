@@ -1,0 +1,41 @@
+// Model interpretation for I/O experts, in the spirit of the authors'
+// earlier "explainable local models" work ([2] in the paper): rank which
+// counters a trained throughput model actually relies on, aggregate them
+// into human-level feature groups, and contrast app-feature importance
+// with the share taken by time/system features when they are available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ml/gbt.hpp"
+
+namespace iotax::taxonomy {
+
+struct FeatureImportance {
+  std::string name;
+  double importance = 0.0;  // normalised gain share, sums to 1 over all
+};
+
+/// Per-feature gain importances of a fitted GBT, sorted descending.
+std::vector<FeatureImportance> ranked_importances(
+    const ml::GradientBoostedTrees& model,
+    const std::vector<std::string>& feature_names);
+
+struct GroupImportance {
+  std::string group;
+  double importance = 0.0;
+};
+
+/// Aggregate importances into semantic groups by counter-name prefix:
+/// volume (BYTES/SIZE buckets), access pattern (SEQ/CONSEC/SWITCH/ALIGN),
+/// metadata (OPENS/STATS/SEEKS/FSYNC), files (FILES), scale (NPROCS/
+/// NODES/CORES), time (START_TIME/RUNTIME), storage (LMT_*), other.
+std::vector<GroupImportance> grouped_importances(
+    const std::vector<FeatureImportance>& features);
+
+/// Render the top-k features and all groups as aligned text.
+std::string render_importance_report(
+    const std::vector<FeatureImportance>& features, std::size_t top_k = 15);
+
+}  // namespace iotax::taxonomy

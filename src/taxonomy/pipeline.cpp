@@ -1,0 +1,201 @@
+#include "src/taxonomy/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/ml/metrics.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax::taxonomy {
+
+TaxonomyReport run_taxonomy(const data::Dataset& ds,
+                            const PipelineConfig& config) {
+  TaxonomyReport report;
+  report.system = ds.system_name;
+  report.n_jobs = ds.size();
+  util::Rng split_rng(config.split_seed);
+  report.split = data::random_split(ds.size(), config.train_frac,
+                                    config.val_frac, split_rng);
+  const auto& split = report.split;
+
+  const auto x_train = feature_matrix(ds, config.app_features, split.train);
+  const auto y_train = targets(ds, split.train);
+  const auto x_val = feature_matrix(ds, config.app_features, split.val);
+  const auto y_val = targets(ds, split.val);
+  const auto x_test = feature_matrix(ds, config.app_features, split.test);
+  const auto y_test = targets(ds, split.test);
+
+  // ---- Step 1: baseline model with library-default hyperparameters.
+  {
+    ml::GradientBoostedTrees baseline;  // 100 trees, depth 6 — the defaults
+    baseline.fit(x_train, y_train);
+    report.baseline_error =
+        ml::median_abs_log_error(y_test, baseline.predict(x_test));
+  }
+
+  // ---- Step 2.1: application-modeling bound from duplicate sets.
+  report.app_bound = litmus_application_bound(ds);
+
+  // ---- Step 2.2: hyperparameter search toward the bound.
+  {
+    const auto search =
+        ml::grid_search(config.grid, x_train, y_train, x_val, y_val);
+    report.tuned_params = search.best.params;
+    ml::GradientBoostedTrees tuned(report.tuned_params);
+    tuned.fit(x_train, y_train);
+    report.tuned_error =
+        ml::median_abs_log_error(y_test, tuned.predict(x_test));
+  }
+
+  // ---- Step 3.1: system bound via the start-time golden model.
+  report.system_bound = litmus_system_bound(ds, split, config.app_features,
+                                            report.tuned_params);
+
+  // ---- Step 3.2: realized improvement from storage telemetry.
+  if (ds.features.has_column("LMT_OSS_CPU_MEAN")) {
+    auto enriched_sets = config.app_features;
+    enriched_sets.push_back(FeatureSet::kLmt);
+    ml::GbtParams params = report.tuned_params;
+    params.n_estimators = std::max<std::size_t>(params.n_estimators * 2, 128);
+    ml::GradientBoostedTrees model(params);
+    model.fit(feature_matrix(ds, enriched_sets, split.train), y_train);
+    report.lmt_enriched_error = ml::median_abs_log_error(
+        y_test,
+        model.predict(feature_matrix(ds, enriched_sets, split.test)));
+  }
+
+  // ---- Step 4: OoD attribution via deep-ensemble epistemic uncertainty.
+  std::vector<bool> exclude(ds.size(), false);
+  if (config.run_uq) {
+    // Cap UQ training cost: take the most recent rows of the train period.
+    std::vector<std::size_t> uq_rows = split.train;
+    if (uq_rows.size() > config.uq_train_cap) {
+      uq_rows.erase(uq_rows.begin(),
+                    uq_rows.end() - static_cast<long>(config.uq_train_cap));
+    }
+    ml::DeepEnsemble ensemble(config.ensemble);
+    ensemble.fit(feature_matrix(ds, config.app_features, uq_rows),
+                 targets(ds, uq_rows));
+    const auto uq = ensemble.predict_uncertainty(x_test);
+    std::vector<double> abs_err(y_test.size());
+    for (std::size_t i = 0; i < y_test.size(); ++i) {
+      abs_err[i] = std::fabs(uq.mean[i] - y_test[i]);
+    }
+    report.ood = litmus_ood(uq.epistemic, abs_err);
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      if (report.ood->is_ood[i]) exclude[split.test[i]] = true;
+    }
+  }
+
+  // ---- Step 5: contention+noise floor from concurrent duplicates.
+  report.noise = litmus_noise_bound(ds, config.dt_window, &exclude);
+
+  // ---- Fig. 7 segment arithmetic (fractions of the baseline error).
+  const double base = std::max(report.baseline_error, 1e-12);
+  const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+  report.share_app =
+      clamp01((report.baseline_error - report.app_bound.median_abs_error) /
+              base);
+  report.share_app_realized =
+      clamp01((report.baseline_error - report.tuned_error) / base);
+  report.share_system =
+      clamp01((report.app_bound.median_abs_error -
+               report.system_bound.err_with_time) /
+              base);
+  if (report.lmt_enriched_error.has_value()) {
+    report.share_system_realized = clamp01(
+        (report.tuned_error - *report.lmt_enriched_error) / base);
+  }
+  if (report.ood.has_value()) {
+    report.share_ood = clamp01(report.ood->error_share_ood *
+                               report.system_bound.err_with_time / base);
+  }
+  report.share_aleatory = clamp01(report.noise.median_abs_error / base);
+  report.share_unexplained =
+      clamp01(1.0 - report.share_app - report.share_system -
+              report.share_ood - report.share_aleatory);
+  return report;
+}
+
+namespace {
+
+std::string pct(double frac_or_logerr, bool is_share) {
+  return util::format_double(
+             is_share ? frac_or_logerr * 100.0
+                      : ml::log_error_to_percent(frac_or_logerr),
+             2) +
+         "%";
+}
+
+void bar_line(std::ostream& out, const std::string& label, double share,
+              const std::string& note = "") {
+  const auto width = static_cast<std::size_t>(std::clamp(share, 0.0, 1.0) *
+                                              50.0);
+  out << "  " << label;
+  for (std::size_t i = label.size(); i < 26; ++i) out << ' ';
+  out << std::string(width, '#') << std::string(50 - width, '.') << "  "
+      << pct(share, true);
+  if (!note.empty()) out << "  (" << note << ")";
+  out << '\n';
+}
+
+}  // namespace
+
+std::string render_report(const TaxonomyReport& report) {
+  std::ostringstream out;
+  out << "=== I/O error taxonomy report: " << report.system << " ("
+      << report.n_jobs << " jobs) ===\n";
+  out << "Step 1   baseline model test error (median |log10|): "
+      << pct(report.baseline_error, false) << "\n";
+  out << "Step 2.1 application-modeling bound: "
+      << pct(report.app_bound.median_abs_error, false) << "  ["
+      << report.app_bound.stats.n_duplicate_jobs << " duplicates, "
+      << report.app_bound.stats.n_sets << " sets, "
+      << util::format_double(report.app_bound.stats.duplicate_fraction * 100,
+                             1)
+      << "% of jobs]\n";
+  out << "Step 2.2 tuned model error: " << pct(report.tuned_error, false)
+      << "  [" << report.tuned_params.n_estimators << " trees, depth "
+      << report.tuned_params.max_depth << "]\n";
+  out << "Step 3.1 app+system bound (start-time golden model): "
+      << pct(report.system_bound.err_with_time, false) << "  [error drop "
+      << util::format_double(report.system_bound.reduction_frac * 100, 1)
+      << "%]\n";
+  if (report.lmt_enriched_error.has_value()) {
+    out << "Step 3.2 LMT-enriched model error: "
+        << pct(*report.lmt_enriched_error, false) << "\n";
+  } else {
+    out << "Step 3.2 skipped: this system does not collect LMT logs\n";
+  }
+  if (report.ood.has_value()) {
+    out << "Step 4   OoD jobs: "
+        << util::format_double(report.ood->frac_ood * 100, 2)
+        << "% of test jobs carrying "
+        << util::format_double(report.ood->error_share_ood * 100, 2)
+        << "% of error (" << util::format_double(report.ood->error_ratio, 1)
+        << "x average), EU threshold "
+        << util::format_double(report.ood->eu_threshold, 4) << "\n";
+  } else {
+    out << "Step 4   skipped (run_uq = false)\n";
+  }
+  out << "Step 5   contention+noise floor: "
+      << pct(report.noise.median_abs_error, false) << " median; jobs expect "
+      << "+-" << util::format_double(report.noise.band68_pct, 2)
+      << "% (68%) / +-" << util::format_double(report.noise.band95_pct, 2)
+      << "% (95%); Student-t df="
+      << util::format_double(report.noise.t_fit.df, 1) << "\n";
+  out << "--- error attribution (fractions of baseline error) ---\n";
+  bar_line(out, "application modeling", report.share_app,
+           "realized by tuning: " + pct(report.share_app_realized, true));
+  bar_line(out, "system modeling", report.share_system,
+           report.lmt_enriched_error.has_value()
+               ? "realized by LMT: " + pct(report.share_system_realized, true)
+               : "no LMT on this system");
+  bar_line(out, "out-of-distribution", report.share_ood);
+  bar_line(out, "contention+noise", report.share_aleatory);
+  bar_line(out, "unexplained", report.share_unexplained);
+  return out.str();
+}
+
+}  // namespace iotax::taxonomy

@@ -1,0 +1,96 @@
+// The practical framework of §X / Fig. 7: five steps that take a raw
+// job dataset to a pie-chart attribution of baseline model error across
+// the taxonomy's five classes.
+//
+//   Step 1   train/evaluate a baseline model
+//   Step 2.1 application-modeling bound from duplicate sets
+//   Step 2.2 hyperparameter search toward that bound
+//   Step 3.1 system-modeling bound from a start-time golden model
+//   Step 3.2 close the gap with real system telemetry (LMT), if collected
+//   Step 4   flag OoD jobs via deep-ensemble epistemic uncertainty
+//   Step 5   contention+noise floor from concurrent duplicates
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/data/split.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/ml/search.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+namespace iotax::taxonomy {
+
+struct PipelineConfig {
+  /// Application feature sets the models see (POSIX+MPI-IO by default).
+  std::vector<FeatureSet> app_features = {FeatureSet::kPosix,
+                                          FeatureSet::kMpiio};
+  /// Train/val fractions; the rest is test. The split is uniformly
+  /// random, as in the paper: duplicates straddle the boundary (which is
+  /// exactly what makes the litmus-1 bound *achievable* — a model can
+  /// only predict a duplicate set's mean if it has seen members of that
+  /// set), and the jobs interleave in time, so the golden start-time
+  /// model of Step 3.1 can "compress the I/O weather". Deployment drift
+  /// is a separate experiment (Fig. 1c bench); a leakage-free grouped
+  /// split is available as data::grouped_random_split.
+  double train_frac = 0.60;
+  double val_frac = 0.15;
+  std::uint64_t split_seed = 41;
+  /// Step 2.2 search budget.
+  ml::GbtGrid grid = {.n_estimators = {16, 32, 64, 128},
+                      .max_depth = {4, 8, 12, 16},
+                      .subsample = {0.9},
+                      .colsample = {0.9},
+                      .base = {}};
+  /// Step 4 budget: ensemble size/epochs and a cap on the rows used to
+  /// train it (UQ is the most expensive step).
+  ml::EnsembleParams ensemble = {};
+  std::size_t uq_train_cap = 3000;
+  bool run_uq = true;
+  /// Step 5 concurrency window (seconds).
+  double dt_window = 1.0;
+};
+
+struct TaxonomyReport {
+  std::string system;
+  std::size_t n_jobs = 0;
+  data::Split split;
+
+  // Step 1.
+  double baseline_error = 0.0;  // median |log10|, test set
+
+  // Step 2.
+  AppBoundResult app_bound;
+  double tuned_error = 0.0;
+  ml::GbtParams tuned_params;
+
+  // Step 3.
+  SystemBoundResult system_bound;
+  std::optional<double> lmt_enriched_error;
+
+  // Step 4 (absent when run_uq is false).
+  std::optional<OodResult> ood;
+
+  // Step 5.
+  NoiseBoundResult noise;
+
+  // Fig. 7 segments, as fractions of the baseline error (estimates; they
+  // deliberately do not sum to 1 — the paper's "unexplained" remainder).
+  double share_app = 0.0;            // estimated fixable by modeling
+  double share_app_realized = 0.0;   // actually fixed by the search
+  double share_system = 0.0;         // estimated fixable by system info
+  double share_system_realized = 0.0;  // fixed by LMT logs (if any)
+  double share_ood = 0.0;
+  double share_aleatory = 0.0;
+  double share_unexplained = 0.0;
+};
+
+/// Run the full five-step framework on a dataset.
+TaxonomyReport run_taxonomy(const data::Dataset& ds,
+                            const PipelineConfig& config = {});
+
+/// Render the report as aligned text, including an ASCII rendition of the
+/// Fig. 7 pie segments.
+std::string render_report(const TaxonomyReport& report);
+
+}  // namespace iotax::taxonomy

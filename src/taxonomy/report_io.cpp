@@ -1,0 +1,141 @@
+#include "src/taxonomy/report_io.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "src/ml/metrics.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax::taxonomy {
+
+void write_report_csv(const std::string& path, const TaxonomyReport& report) {
+  util::Csv csv;
+  csv.header = {"key", "value"};
+  const auto put = [&csv](const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    csv.rows.push_back({key, buf});
+  };
+  csv.rows.push_back({"system", report.system});
+  put("n_jobs", static_cast<double>(report.n_jobs));
+  put("baseline_error", report.baseline_error);
+  put("baseline_error_pct", ml::log_error_to_percent(report.baseline_error));
+  put("app_bound", report.app_bound.median_abs_error);
+  put("app_bound_mean", report.app_bound.mean_abs_error);
+  put("dup_sets", static_cast<double>(report.app_bound.stats.n_sets));
+  put("dup_jobs",
+      static_cast<double>(report.app_bound.stats.n_duplicate_jobs));
+  put("dup_fraction", report.app_bound.stats.duplicate_fraction);
+  put("tuned_error", report.tuned_error);
+  put("tuned_trees", static_cast<double>(report.tuned_params.n_estimators));
+  put("tuned_depth", static_cast<double>(report.tuned_params.max_depth));
+  put("system_bound_app_only", report.system_bound.err_app_only);
+  put("system_bound_with_time", report.system_bound.err_with_time);
+  put("system_bound_reduction", report.system_bound.reduction_frac);
+  if (report.lmt_enriched_error.has_value()) {
+    put("lmt_enriched_error", *report.lmt_enriched_error);
+  }
+  if (report.ood.has_value()) {
+    put("ood_threshold", report.ood->eu_threshold);
+    put("ood_frac", report.ood->frac_ood);
+    put("ood_error_share", report.ood->error_share_ood);
+    put("ood_error_ratio", report.ood->error_ratio);
+  }
+  put("noise_median", report.noise.median_abs_error);
+  put("noise_sigma", report.noise.sigma_log10);
+  put("noise_band68_pct", report.noise.band68_pct);
+  put("noise_band95_pct", report.noise.band95_pct);
+  put("noise_t_df", report.noise.t_fit.df);
+  put("noise_sets", static_cast<double>(report.noise.n_sets));
+  put("share_app", report.share_app);
+  put("share_app_realized", report.share_app_realized);
+  put("share_system", report.share_system);
+  put("share_system_realized", report.share_system_realized);
+  put("share_ood", report.share_ood);
+  put("share_aleatory", report.share_aleatory);
+  put("share_unexplained", report.share_unexplained);
+  util::write_csv_file(path, csv);
+}
+
+TaxonomyReport read_report_csv(const std::string& path) {
+  const auto csv = util::read_csv_file(path);
+  if (csv.header != std::vector<std::string>{"key", "value"}) {
+    throw std::runtime_error("read_report_csv: unexpected header in " + path);
+  }
+  std::map<std::string, std::string> kv;
+  for (const auto& row : csv.rows) {
+    if (row.size() != 2) {
+      throw std::runtime_error("read_report_csv: malformed row");
+    }
+    kv[row[0]] = row[1];
+  }
+  const auto num = [&kv](const std::string& key) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error("read_report_csv: missing key " + key);
+    }
+    return util::parse_double(it->second);
+  };
+  const auto has = [&kv](const std::string& key) {
+    return kv.find(key) != kv.end();
+  };
+
+  TaxonomyReport report;
+  report.system = kv.at("system");
+  report.n_jobs = static_cast<std::size_t>(num("n_jobs"));
+  report.baseline_error = num("baseline_error");
+  report.app_bound.median_abs_error = num("app_bound");
+  report.app_bound.mean_abs_error = num("app_bound_mean");
+  report.app_bound.stats.n_sets = static_cast<std::size_t>(num("dup_sets"));
+  report.app_bound.stats.n_duplicate_jobs =
+      static_cast<std::size_t>(num("dup_jobs"));
+  report.app_bound.stats.duplicate_fraction = num("dup_fraction");
+  report.tuned_error = num("tuned_error");
+  report.tuned_params.n_estimators =
+      static_cast<std::size_t>(num("tuned_trees"));
+  report.tuned_params.max_depth = static_cast<std::size_t>(num("tuned_depth"));
+  report.system_bound.err_app_only = num("system_bound_app_only");
+  report.system_bound.err_with_time = num("system_bound_with_time");
+  report.system_bound.reduction_frac = num("system_bound_reduction");
+  if (has("lmt_enriched_error")) {
+    report.lmt_enriched_error = num("lmt_enriched_error");
+  }
+  if (has("ood_threshold")) {
+    OodResult ood;
+    ood.eu_threshold = num("ood_threshold");
+    ood.frac_ood = num("ood_frac");
+    ood.error_share_ood = num("ood_error_share");
+    ood.error_ratio = num("ood_error_ratio");
+    report.ood = ood;
+  }
+  report.noise.median_abs_error = num("noise_median");
+  report.noise.sigma_log10 = num("noise_sigma");
+  report.noise.band68_pct = num("noise_band68_pct");
+  report.noise.band95_pct = num("noise_band95_pct");
+  report.noise.t_fit.df = num("noise_t_df");
+  report.noise.n_sets = static_cast<std::size_t>(num("noise_sets"));
+  report.share_app = num("share_app");
+  report.share_app_realized = num("share_app_realized");
+  report.share_system = num("share_system");
+  report.share_system_realized = num("share_system_realized");
+  report.share_ood = num("share_ood");
+  report.share_aleatory = num("share_aleatory");
+  report.share_unexplained = num("share_unexplained");
+  return report;
+}
+
+std::string summary_line(const TaxonomyReport& report) {
+  const auto pct = [](double v) {
+    return util::format_double(v * 100.0, 1) + "%";
+  };
+  return report.system + " base=" +
+         util::format_double(ml::log_error_to_percent(report.baseline_error),
+                             2) +
+         "% app=" + pct(report.share_app) +
+         " sys=" + pct(report.share_system) + " ood=" +
+         pct(report.share_ood) + " noise=" + pct(report.share_aleatory) +
+         " unexplained=" + pct(report.share_unexplained);
+}
+
+}  // namespace iotax::taxonomy

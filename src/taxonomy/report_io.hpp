@@ -1,0 +1,25 @@
+// TaxonomyReport persistence: a flat key/value CSV that downstream
+// tooling (dashboards, regression tracking across system upgrades) can
+// consume, with a loader for comparison workflows.
+#pragma once
+
+#include <string>
+
+#include "src/taxonomy/pipeline.hpp"
+
+namespace iotax::taxonomy {
+
+/// Serialize a report as two-column CSV (key,value). Model/bound errors
+/// are stored in log10 units; `*_pct` duplicates give the paper's
+/// percentage convention. Split indices are not stored.
+void write_report_csv(const std::string& path, const TaxonomyReport& report);
+
+/// Load a report written by write_report_csv. Fields absent from the file
+/// (e.g. `lmt_enriched_error` on Theta-like systems, `ood_*` when UQ was
+/// skipped) stay unset.
+TaxonomyReport read_report_csv(const std::string& path);
+
+/// One-line summary for logs: "theta-like base=7.9% app=21% sys=13% ...".
+std::string summary_line(const TaxonomyReport& report);
+
+}  // namespace iotax::taxonomy

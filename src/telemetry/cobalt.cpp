@@ -1,0 +1,28 @@
+#include "src/telemetry/cobalt.hpp"
+
+#include <stdexcept>
+
+namespace iotax::telemetry {
+
+const std::vector<std::string>& cobalt_feature_names() {
+  static const std::vector<std::string> names = {
+      "COBALT_NODES", "COBALT_CORES", "COBALT_START_TIME", "COBALT_RUNTIME",
+      "COBALT_PLACEMENT_SPREAD"};
+  return names;
+}
+
+const std::string& start_time_feature_name() {
+  static const std::string name = "COBALT_START_TIME";
+  return name;
+}
+
+std::vector<double> cobalt_features(const CobaltRecord& rec) {
+  if (rec.end_time < rec.start_time) {
+    throw std::invalid_argument("cobalt_features: job ends before it starts");
+  }
+  return {static_cast<double>(rec.nodes), static_cast<double>(rec.cores),
+          rec.start_time, rec.end_time - rec.start_time,
+          rec.placement_spread};
+}
+
+}  // namespace iotax::telemetry

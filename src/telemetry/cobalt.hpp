@@ -1,0 +1,32 @@
+// Cobalt-scheduler-style job records. Cobalt logs what Darshan cannot
+// see: the resources the scheduler actually granted and when the job ran
+// (§V). The start/end time features are also what lets a model memorise
+// individual jobs once duplicates stop being identical (§VI.C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotax::telemetry {
+
+struct CobaltRecord {
+  std::uint64_t job_id = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t cores = 0;
+  double start_time = 0.0;       // seconds since dataset epoch
+  double end_time = 0.0;
+  double placement_spread = 0.0; // normalised distance between allocated nodes
+};
+
+/// The 5 Cobalt feature names, in model feature order.
+const std::vector<std::string>& cobalt_feature_names();
+
+/// Name of the single start-time feature used by the Litmus-2 golden model.
+const std::string& start_time_feature_name();
+
+/// Convert a record to the 5 model features
+/// (NODES, CORES, START_TIME, RUNTIME, PLACEMENT_SPREAD).
+std::vector<double> cobalt_features(const CobaltRecord& rec);
+
+}  // namespace iotax::telemetry

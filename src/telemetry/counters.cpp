@@ -1,0 +1,230 @@
+#include "src/telemetry/counters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::telemetry {
+
+namespace {
+
+const char* const kBucketSuffix[kSizeBuckets] = {
+    "0_100",   "100_1K",  "1K_10K",   "10K_100K", "100K_1M",
+    "1M_4M",   "4M_10M",  "10M_100M", "100M_1G",  "1G_PLUS"};
+
+std::vector<std::string> build_posix_names() {
+  std::vector<std::string> names = {
+      "POSIX_OPENS",           "POSIX_READS",
+      "POSIX_WRITES",          "POSIX_SEEKS",
+      "POSIX_STATS",           "POSIX_FSYNCS",
+      "POSIX_BYTES_READ",      "POSIX_BYTES_WRITTEN",
+      "POSIX_CONSEC_READS",    "POSIX_CONSEC_WRITES",
+      "POSIX_SEQ_READS",       "POSIX_SEQ_WRITES",
+      "POSIX_RW_SWITCHES",     "POSIX_MEM_NOT_ALIGNED",
+      "POSIX_FILE_NOT_ALIGNED"};
+  for (const char* s : kBucketSuffix) {
+    names.push_back(std::string("POSIX_SIZE_READ_") + s);
+  }
+  for (const char* s : kBucketSuffix) {
+    names.push_back(std::string("POSIX_SIZE_WRITE_") + s);
+  }
+  const char* tail[] = {
+      "POSIX_TOTAL_FILES",      "POSIX_SHARED_FILES",
+      "POSIX_UNIQUE_FILES",     "POSIX_READ_ONLY_FILES",
+      "POSIX_WRITE_ONLY_FILES", "POSIX_READ_WRITE_FILES",
+      "POSIX_MAX_BYTE_READ",    "POSIX_MAX_BYTE_WRITTEN",
+      "POSIX_ACCESS1_ACCESS",   "POSIX_ACCESS1_COUNT",
+      "POSIX_FILE_ALIGNMENT",   "POSIX_MEM_ALIGNMENT",
+      "POSIX_NPROCS"};
+  for (const char* t : tail) names.emplace_back(t);
+  return names;
+}
+
+std::vector<std::string> build_mpiio_names() {
+  std::vector<std::string> names = {
+      "MPIIO_INDEP_OPENS",  "MPIIO_COLL_OPENS",  "MPIIO_INDEP_READS",
+      "MPIIO_INDEP_WRITES", "MPIIO_COLL_READS",  "MPIIO_COLL_WRITES",
+      "MPIIO_SPLIT_READS",  "MPIIO_SPLIT_WRITES","MPIIO_NB_READS",
+      "MPIIO_NB_WRITES",    "MPIIO_SYNCS",       "MPIIO_HINTS",
+      "MPIIO_VIEWS",        "MPIIO_BYTES_READ",  "MPIIO_BYTES_WRITTEN",
+      "MPIIO_RW_SWITCHES"};
+  for (const char* s : kBucketSuffix) {
+    names.push_back(std::string("MPIIO_SIZE_READ_AGG_") + s);
+  }
+  for (const char* s : kBucketSuffix) {
+    names.push_back(std::string("MPIIO_SIZE_WRITE_AGG_") + s);
+  }
+  const char* tail[] = {
+      "MPIIO_TOTAL_FILES",    "MPIIO_SHARED_FILES",
+      "MPIIO_UNIQUE_FILES",   "MPIIO_ACCESS1_ACCESS",
+      "MPIIO_ACCESS1_COUNT",  "MPIIO_DEFERRED_OPENS",
+      "MPIIO_MAX_BYTE_READ",  "MPIIO_MAX_BYTE_WRITTEN",
+      "MPIIO_COLL_RATIO",     "MPIIO_HINT_COUNT",
+      "MPIIO_DATATYPE_SIZE",  "MPIIO_NPROCS"};
+  for (const char* t : tail) names.emplace_back(t);
+  return names;
+}
+
+std::size_t dominant_bucket(const std::array<double, kSizeBuckets>& frac) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kSizeBuckets; ++i) {
+    if (frac[i] > frac[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+const std::vector<std::string>& posix_feature_names() {
+  static const std::vector<std::string> names = build_posix_names();
+  return names;
+}
+
+const std::vector<std::string>& mpiio_feature_names() {
+  static const std::vector<std::string> names = build_mpiio_names();
+  return names;
+}
+
+double estimate_op_count(double bytes,
+                         const std::array<double, kSizeBuckets>& size_frac) {
+  if (bytes <= 0.0) return 0.0;
+  double ops = 0.0;
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    ops += bytes * size_frac[b] / bucket_representative_size(b);
+  }
+  return std::ceil(ops);
+}
+
+std::vector<double> compute_posix_counters(const IoSignature& sig) {
+  sig.validate();
+  const auto& names = posix_feature_names();
+  std::vector<double> c(names.size(), 0.0);
+  const double reads = estimate_op_count(sig.bytes_read, sig.read_size_frac);
+  const double writes =
+      estimate_op_count(sig.bytes_written, sig.write_size_frac);
+  const double ops = reads + writes;
+  const double files = std::ceil(sig.files_total);
+  const double shared = std::round(files * sig.files_shared_frac);
+  const double ro = std::round(files * sig.files_readonly_frac);
+  const double wo = std::round(files * sig.files_writeonly_frac);
+  const double opens = std::ceil(files * sig.opens_per_file);
+
+  std::size_t i = 0;
+  c[i++] = opens;                                        // POSIX_OPENS
+  c[i++] = reads;                                        // POSIX_READS
+  c[i++] = writes;                                       // POSIX_WRITES
+  c[i++] = std::ceil(ops * sig.seeks_per_op);            // POSIX_SEEKS
+  c[i++] = std::ceil(opens * sig.stats_per_open);        // POSIX_STATS
+  c[i++] = sig.fsyncs;                                   // POSIX_FSYNCS
+  c[i++] = sig.bytes_read;                               // POSIX_BYTES_READ
+  c[i++] = sig.bytes_written;                            // POSIX_BYTES_WRITTEN
+  c[i++] = std::floor(reads * sig.consec_read_frac);     // POSIX_CONSEC_READS
+  c[i++] = std::floor(writes * sig.consec_write_frac);   // POSIX_CONSEC_WRITES
+  c[i++] = std::floor(reads * sig.seq_read_frac);        // POSIX_SEQ_READS
+  c[i++] = std::floor(writes * sig.seq_write_frac);      // POSIX_SEQ_WRITES
+  c[i++] = std::floor(ops * sig.rw_switch_frac);         // POSIX_RW_SWITCHES
+  c[i++] = std::floor(ops * sig.mem_unaligned_frac);     // POSIX_MEM_NOT_ALIGNED
+  c[i++] = std::floor(ops * sig.file_unaligned_frac);    // POSIX_FILE_NOT_ALIGNED
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    c[i++] = std::floor(sig.bytes_read * sig.read_size_frac[b] /
+                        bucket_representative_size(b));
+  }
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    c[i++] = std::floor(sig.bytes_written * sig.write_size_frac[b] /
+                        bucket_representative_size(b));
+  }
+  c[i++] = files;                                        // POSIX_TOTAL_FILES
+  c[i++] = shared;                                       // POSIX_SHARED_FILES
+  c[i++] = files - shared;                               // POSIX_UNIQUE_FILES
+  c[i++] = ro;                                           // POSIX_READ_ONLY_FILES
+  c[i++] = wo;                                           // POSIX_WRITE_ONLY_FILES
+  c[i++] = std::max(0.0, files - ro - wo);               // POSIX_READ_WRITE_FILES
+  // Max offsets: shared files see the whole volume, unique ones a slice.
+  const double read_span = sig.files_shared_frac > 0.5
+                               ? sig.bytes_read
+                               : sig.bytes_read / std::max(1.0, files);
+  const double write_span = sig.files_shared_frac > 0.5
+                                ? sig.bytes_written
+                                : sig.bytes_written / std::max(1.0, files);
+  c[i++] = std::max(0.0, read_span - 1.0);               // POSIX_MAX_BYTE_READ
+  c[i++] = std::max(0.0, write_span - 1.0);              // POSIX_MAX_BYTE_WRITTEN
+  const auto& dom_frac =
+      sig.bytes_read >= sig.bytes_written ? sig.read_size_frac
+                                          : sig.write_size_frac;
+  const std::size_t dom = dominant_bucket(dom_frac);
+  c[i++] = bucket_representative_size(dom);              // POSIX_ACCESS1_ACCESS
+  c[i++] = std::floor(ops * dom_frac[dom]);              // POSIX_ACCESS1_COUNT
+  c[i++] = 1048576.0;                                    // POSIX_FILE_ALIGNMENT
+  c[i++] = 8.0;                                          // POSIX_MEM_ALIGNMENT
+  c[i++] = static_cast<double>(sig.n_procs);             // POSIX_NPROCS
+  if (i != names.size()) {
+    throw std::logic_error("compute_posix_counters: name/value mismatch");
+  }
+  return c;
+}
+
+std::vector<double> compute_mpiio_counters(const IoSignature& sig) {
+  sig.validate();
+  const auto& names = mpiio_feature_names();
+  std::vector<double> c(names.size(), 0.0);
+  if (!sig.uses_mpiio) return c;
+
+  const double reads = estimate_op_count(sig.bytes_read, sig.read_size_frac);
+  const double writes =
+      estimate_op_count(sig.bytes_written, sig.write_size_frac);
+  const double files = std::ceil(sig.files_total);
+  const double shared = std::round(files * sig.files_shared_frac);
+  const double coll_r = std::floor(reads * sig.coll_frac);
+  const double coll_w = std::floor(writes * sig.coll_frac);
+  const double split_r = std::floor(reads * sig.split_frac);
+  const double split_w = std::floor(writes * sig.split_frac);
+  const double nb_r = std::floor(reads * sig.nonblocking_frac);
+  const double nb_w = std::floor(writes * sig.nonblocking_frac);
+
+  std::size_t i = 0;
+  c[i++] = std::ceil(files * (1.0 - sig.coll_frac));  // MPIIO_INDEP_OPENS
+  c[i++] = std::floor(files * sig.coll_frac);         // MPIIO_COLL_OPENS
+  c[i++] = reads - coll_r;                            // MPIIO_INDEP_READS
+  c[i++] = writes - coll_w;                           // MPIIO_INDEP_WRITES
+  c[i++] = coll_r;                                    // MPIIO_COLL_READS
+  c[i++] = coll_w;                                    // MPIIO_COLL_WRITES
+  c[i++] = split_r;                                   // MPIIO_SPLIT_READS
+  c[i++] = split_w;                                   // MPIIO_SPLIT_WRITES
+  c[i++] = nb_r;                                      // MPIIO_NB_READS
+  c[i++] = nb_w;                                      // MPIIO_NB_WRITES
+  c[i++] = sig.fsyncs;                                // MPIIO_SYNCS
+  c[i++] = sig.coll_frac > 0.0 ? 2.0 : 0.0;           // MPIIO_HINTS
+  c[i++] = std::ceil(files);                          // MPIIO_VIEWS
+  c[i++] = sig.bytes_read;                            // MPIIO_BYTES_READ
+  c[i++] = sig.bytes_written;                         // MPIIO_BYTES_WRITTEN
+  c[i++] = std::floor((reads + writes) * sig.rw_switch_frac);
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    c[i++] = std::floor(sig.bytes_read * sig.read_size_frac[b] /
+                        bucket_representative_size(b));
+  }
+  for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+    c[i++] = std::floor(sig.bytes_written * sig.write_size_frac[b] /
+                        bucket_representative_size(b));
+  }
+  c[i++] = files;                                     // MPIIO_TOTAL_FILES
+  c[i++] = shared;                                    // MPIIO_SHARED_FILES
+  c[i++] = files - shared;                            // MPIIO_UNIQUE_FILES
+  const auto& dom_frac =
+      sig.bytes_read >= sig.bytes_written ? sig.read_size_frac
+                                          : sig.write_size_frac;
+  const std::size_t dom = dominant_bucket(dom_frac);
+  c[i++] = bucket_representative_size(dom);           // MPIIO_ACCESS1_ACCESS
+  c[i++] = std::floor((reads + writes) * dom_frac[dom]);
+  c[i++] = 0.0;                                       // MPIIO_DEFERRED_OPENS
+  c[i++] = std::max(0.0, sig.bytes_read - 1.0);       // MPIIO_MAX_BYTE_READ
+  c[i++] = std::max(0.0, sig.bytes_written - 1.0);    // MPIIO_MAX_BYTE_WRITTEN
+  c[i++] = sig.coll_frac;                             // MPIIO_COLL_RATIO
+  c[i++] = sig.coll_frac > 0.0 ? 2.0 : 0.0;           // MPIIO_HINT_COUNT
+  c[i++] = 8.0;                                       // MPIIO_DATATYPE_SIZE
+  c[i++] = static_cast<double>(sig.n_procs);          // MPIIO_NPROCS
+  if (i != names.size()) {
+    throw std::logic_error("compute_mpiio_counters: name/value mismatch");
+  }
+  return c;
+}
+
+}  // namespace iotax::telemetry

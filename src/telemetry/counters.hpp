@@ -1,0 +1,32 @@
+// Darshan-style aggregate job counters (POSIX and MPI-IO modules) and the
+// feature-name registry the models index by. The paper's models see
+// 48 POSIX + 48 MPI-IO + 37 LMT + 5 Cobalt features (§V); the POSIX and
+// MPI-IO halves are defined here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/io_signature.hpp"
+
+namespace iotax::telemetry {
+
+/// The 48 POSIX counter names, in model feature order.
+const std::vector<std::string>& posix_feature_names();
+
+/// The 48 MPI-IO counter names, in model feature order.
+const std::vector<std::string>& mpiio_feature_names();
+
+/// Compute the 48 POSIX counters for a job with the given signature.
+/// Deterministic: equal signatures yield bit-equal counters.
+std::vector<double> compute_posix_counters(const IoSignature& sig);
+
+/// Compute the 48 MPI-IO counters; all zero when !sig.uses_mpiio, and all
+/// MPI-IO traffic is also visible at the POSIX level (as on real systems).
+std::vector<double> compute_mpiio_counters(const IoSignature& sig);
+
+/// Estimated operation counts for a volume spread over size buckets.
+double estimate_op_count(double bytes,
+                         const std::array<double, kSizeBuckets>& size_frac);
+
+}  // namespace iotax::telemetry

@@ -1,0 +1,235 @@
+#include "src/telemetry/darshan_log.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/telemetry/counters.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax::telemetry {
+
+namespace {
+
+constexpr const char* kVersionLine = "# iotax darshan log version: 1.0";
+constexpr const char* kEndOfRecord = "# end_of_record";
+
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Index maps for counter names, built once.
+const std::unordered_map<std::string, std::size_t>& posix_index() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, std::size_t>();
+    const auto& names = posix_feature_names();
+    for (std::size_t i = 0; i < names.size(); ++i) (*m)[names[i]] = i;
+    return m;
+  }();
+  return *map;
+}
+
+const std::unordered_map<std::string, std::size_t>& mpiio_index() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, std::size_t>();
+    const auto& names = mpiio_feature_names();
+    for (std::size_t i = 0; i < names.size(); ++i) (*m)[names[i]] = i;
+    return m;
+  }();
+  return *map;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("darshan parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+struct HeaderField {
+  const char* key;
+  bool seen = false;
+};
+
+}  // namespace
+
+void write_record(std::ostream& out, const JobLogRecord& rec) {
+  if (rec.posix.size() != posix_feature_names().size()) {
+    throw std::invalid_argument("write_record: posix counter size mismatch");
+  }
+  if (rec.mpiio.size() != mpiio_feature_names().size()) {
+    throw std::invalid_argument("write_record: mpiio counter size mismatch");
+  }
+  out << kVersionLine << '\n';
+  out << "# jobid: " << rec.job_id << '\n';
+  out << "# appid: " << rec.app_id << '\n';
+  out << "# configid: " << rec.config_id << '\n';
+  out << "# nprocs: " << rec.n_procs << '\n';
+  out << "# nodes: " << rec.nodes << '\n';
+  out << "# start_time: " << fmt_g(rec.start_time) << '\n';
+  out << "# end_time: " << fmt_g(rec.end_time) << '\n';
+  out << "# placement_spread: " << fmt_g(rec.placement_spread) << '\n';
+  out << "# agg_perf_mib: " << fmt_g(rec.agg_perf_mib) << '\n';
+  const auto& pnames = posix_feature_names();
+  for (std::size_t i = 0; i < rec.posix.size(); ++i) {
+    if (rec.posix[i] == 0.0) continue;  // sparse, like darshan-parser output
+    out << "POSIX\t-1\t" << pnames[i] << '\t' << fmt_g(rec.posix[i]) << '\n';
+  }
+  const auto& mnames = mpiio_feature_names();
+  for (std::size_t i = 0; i < rec.mpiio.size(); ++i) {
+    if (rec.mpiio[i] == 0.0) continue;
+    out << "MPIIO\t-1\t" << mnames[i] << '\t' << fmt_g(rec.mpiio[i]) << '\n';
+  }
+  out << kEndOfRecord << '\n';
+}
+
+void write_archive(const std::string& path,
+                   const std::vector<JobLogRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_archive: cannot open " + path);
+  for (const auto& rec : records) write_record(out, rec);
+}
+
+std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
+                                        ParseStats* stats) {
+  std::vector<JobLogRecord> records;
+  ParseStats local;
+  std::string line;
+  std::size_t line_no = 0;
+
+  JobLogRecord rec;
+  bool in_record = false;
+  bool record_bad = false;
+  // Header completeness tracking for the current record.
+  int header_fields_seen = 0;
+  constexpr int kRequiredHeaderFields = 9;
+
+  const auto reset = [&] {
+    rec = JobLogRecord{};
+    rec.posix.assign(posix_feature_names().size(), 0.0);
+    rec.mpiio.assign(mpiio_feature_names().size(), 0.0);
+    in_record = false;
+    record_bad = false;
+    header_fields_seen = 0;
+  };
+  reset();
+
+  const auto record_error = [&](const std::string& what) {
+    if (strict) fail(line_no, what);
+    record_bad = true;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed == kVersionLine) {
+      if (in_record) record_error("record not terminated before new record");
+      reset();
+      in_record = true;
+      continue;
+    }
+    if (trimmed == kEndOfRecord) {
+      if (!in_record) {
+        record_error("end_of_record outside a record");
+      } else if (header_fields_seen < kRequiredHeaderFields) {
+        record_error("incomplete header");
+      }
+      if (in_record && !record_bad) {
+        records.push_back(rec);
+        ++local.parsed;
+      } else {
+        ++local.skipped;
+      }
+      reset();
+      continue;
+    }
+    if (!in_record) {
+      record_error("content before version line");
+      continue;
+    }
+    if (record_bad && !strict) continue;  // skip rest of corrupt record
+
+    try {
+      if (trimmed.front() == '#') {
+        const auto colon = trimmed.find(':');
+        if (colon == std::string_view::npos) {
+          record_error("malformed header line");
+          continue;
+        }
+        const auto key = util::trim(trimmed.substr(1, colon - 1));
+        const auto value = util::trim(trimmed.substr(colon + 1));
+        ++header_fields_seen;
+        if (key == "jobid") {
+          rec.job_id = static_cast<std::uint64_t>(util::parse_int(value));
+        } else if (key == "appid") {
+          rec.app_id = static_cast<std::uint64_t>(util::parse_int(value));
+        } else if (key == "configid") {
+          rec.config_id = static_cast<std::uint64_t>(util::parse_int(value));
+        } else if (key == "nprocs") {
+          rec.n_procs = static_cast<std::uint32_t>(util::parse_int(value));
+        } else if (key == "nodes") {
+          rec.nodes = static_cast<std::uint32_t>(util::parse_int(value));
+        } else if (key == "start_time") {
+          rec.start_time = util::parse_double(value);
+        } else if (key == "end_time") {
+          rec.end_time = util::parse_double(value);
+        } else if (key == "placement_spread") {
+          rec.placement_spread = util::parse_double(value);
+        } else if (key == "agg_perf_mib") {
+          rec.agg_perf_mib = util::parse_double(value);
+        } else {
+          --header_fields_seen;  // unknown header keys are ignored
+        }
+        continue;
+      }
+      // Counter line: MODULE \t rank \t NAME \t value
+      const auto fields = util::split(std::string(trimmed), '\t');
+      if (fields.size() != 4) {
+        record_error("counter line must have 4 tab-separated fields");
+        continue;
+      }
+      const auto& module = fields[0];
+      const auto& name = fields[2];
+      const double value = util::parse_double(fields[3]);
+      if (module == "POSIX") {
+        const auto it = posix_index().find(name);
+        if (it == posix_index().end()) {
+          record_error("unknown POSIX counter '" + name + "'");
+          continue;
+        }
+        rec.posix[it->second] = value;
+      } else if (module == "MPIIO") {
+        const auto it = mpiio_index().find(name);
+        if (it == mpiio_index().end()) {
+          record_error("unknown MPIIO counter '" + name + "'");
+          continue;
+        }
+        rec.mpiio[it->second] = value;
+      } else {
+        record_error("unknown module '" + module + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      record_error(e.what());
+    }
+  }
+  if (in_record) {
+    if (strict) fail(line_no, "truncated final record");
+    ++local.skipped;
+  }
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+std::vector<JobLogRecord> parse_archive_file(const std::string& path,
+                                             bool strict, ParseStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_archive_file: cannot open " + path);
+  return parse_archive(in, strict, stats);
+}
+
+}  // namespace iotax::telemetry

@@ -1,0 +1,74 @@
+// A darshan-parser-style text log format with writer and parser.
+//
+// The simulator does not hand Tables to the models directly: it writes
+// job logs in this format and the dataset builder parses them back, so
+// the pipeline round-trips through files exactly like a production
+// Darshan deployment (modulo the binary container). The parser has a
+// strict mode (throw on first malformed record) and a lenient mode that
+// skips corrupt records and reports how many were dropped — production
+// log archives always contain a few.
+//
+// Format, one record per job:
+//   # iotax darshan log version: 1.0
+//   # jobid: 42
+//   # appid: 7
+//   # configid: 3
+//   # nprocs: 64
+//   # nodes: 16
+//   # start_time: 86400.0
+//   # end_time: 86700.0
+//   # placement_spread: 0.25
+//   # agg_perf_mib: 1234.5
+//   POSIX<TAB>-1<TAB>POSIX_OPENS<TAB>64
+//   ...                                  (one line per non-zero counter)
+//   MPIIO<TAB>-1<TAB>MPIIO_COLL_READS<TAB>128
+//   # end_of_record
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iotax::telemetry {
+
+/// One job's log: identification header plus both counter modules.
+struct JobLogRecord {
+  std::uint64_t job_id = 0;
+  std::uint64_t app_id = 0;
+  std::uint64_t config_id = 0;
+  std::uint32_t n_procs = 1;
+  std::uint32_t nodes = 1;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double placement_spread = 0.0;
+  /// Measured aggregate I/O throughput (MiB/s), the regression target.
+  double agg_perf_mib = 0.0;
+  /// Parallel to posix_feature_names() / mpiio_feature_names().
+  std::vector<double> posix;
+  std::vector<double> mpiio;
+};
+
+/// Append one record to the stream.
+void write_record(std::ostream& out, const JobLogRecord& rec);
+
+/// Write a whole archive (all records, one file).
+void write_archive(const std::string& path,
+                   const std::vector<JobLogRecord>& records);
+
+struct ParseStats {
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;  // corrupt records dropped in lenient mode
+};
+
+/// Parse all records from a stream. In strict mode any malformed record
+/// throws std::runtime_error with a line number; in lenient mode the
+/// record is skipped and counted in stats.
+std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict = true,
+                                        ParseStats* stats = nullptr);
+
+std::vector<JobLogRecord> parse_archive_file(const std::string& path,
+                                             bool strict = true,
+                                             ParseStats* stats = nullptr);
+
+}  // namespace iotax::telemetry

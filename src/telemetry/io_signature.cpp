@@ -1,0 +1,130 @@
+#include "src/telemetry/io_signature.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace iotax::telemetry {
+
+double bucket_representative_size(std::size_t bucket) {
+  // Geometric midpoints of the Darshan buckets; the last is open-ended so
+  // we pick 2 GiB as representative.
+  static constexpr double kRep[kSizeBuckets] = {
+      50.0,    550.0,   5.5e3,   55.0e3,  550.0e3,
+      2.5e6,   7.0e6,   55.0e6,  550.0e6, 2.147e9};
+  if (bucket >= kSizeBuckets) {
+    throw std::out_of_range("bucket_representative_size: bad bucket");
+  }
+  return kRep[bucket];
+}
+
+namespace {
+
+void check_frac(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument(std::string("IoSignature: ") + name +
+                                " not in [0,1]");
+  }
+}
+
+void check_bucket_sum(const std::array<double, kSizeBuckets>& frac,
+                      double volume, const char* name) {
+  double sum = 0.0;
+  for (double f : frac) {
+    if (f < 0.0) {
+      throw std::invalid_argument(std::string("IoSignature: negative ") +
+                                  name + " bucket");
+    }
+    sum += f;
+  }
+  if (volume > 0.0 && std::fabs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument(std::string("IoSignature: ") + name +
+                                " bucket fractions must sum to 1");
+  }
+}
+
+}  // namespace
+
+void IoSignature::validate() const {
+  if (bytes_read < 0.0 || bytes_written < 0.0) {
+    throw std::invalid_argument("IoSignature: negative byte volume");
+  }
+  if (n_procs == 0) {
+    throw std::invalid_argument("IoSignature: n_procs must be >= 1");
+  }
+  check_bucket_sum(read_size_frac, bytes_read, "read");
+  check_bucket_sum(write_size_frac, bytes_written, "write");
+  check_frac(consec_read_frac, "consec_read_frac");
+  check_frac(consec_write_frac, "consec_write_frac");
+  check_frac(seq_read_frac, "seq_read_frac");
+  check_frac(seq_write_frac, "seq_write_frac");
+  check_frac(rw_switch_frac, "rw_switch_frac");
+  check_frac(mem_unaligned_frac, "mem_unaligned_frac");
+  check_frac(file_unaligned_frac, "file_unaligned_frac");
+  check_frac(files_shared_frac, "files_shared_frac");
+  check_frac(files_readonly_frac, "files_readonly_frac");
+  check_frac(files_writeonly_frac, "files_writeonly_frac");
+  if (files_readonly_frac + files_writeonly_frac > 1.0 + 1e-9) {
+    throw std::invalid_argument(
+        "IoSignature: read-only + write-only file fractions exceed 1");
+  }
+  check_frac(coll_frac, "coll_frac");
+  check_frac(nonblocking_frac, "nonblocking_frac");
+  check_frac(split_frac, "split_frac");
+  if (files_total < 1.0) {
+    throw std::invalid_argument("IoSignature: files_total must be >= 1");
+  }
+  if (opens_per_file < 0.0 || seeks_per_op < 0.0 || stats_per_open < 0.0 ||
+      fsyncs < 0.0 || meta_intensity < 0.0) {
+    throw std::invalid_argument("IoSignature: negative metadata field");
+  }
+  if (consec_read_frac > seq_read_frac + 1e-9 ||
+      consec_write_frac > seq_write_frac + 1e-9) {
+    throw std::invalid_argument(
+        "IoSignature: consecutive accesses are a subset of sequential");
+  }
+}
+
+std::uint64_t IoSignature::content_hash() const {
+  // FNV-1a over the raw bytes of every observable field. Doubles are
+  // produced deterministically by the generator, so bit-equality is the
+  // right notion of "identical observable features".
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_d = [&mix](double v) { mix(&v, sizeof(v)); };
+  mix_d(bytes_read);
+  mix_d(bytes_written);
+  mix(&n_procs, sizeof(n_procs));
+  for (double f : read_size_frac) mix_d(f);
+  for (double f : write_size_frac) mix_d(f);
+  mix_d(consec_read_frac);
+  mix_d(consec_write_frac);
+  mix_d(seq_read_frac);
+  mix_d(seq_write_frac);
+  mix_d(rw_switch_frac);
+  mix_d(mem_unaligned_frac);
+  mix_d(file_unaligned_frac);
+  mix_d(files_total);
+  mix_d(files_shared_frac);
+  mix_d(files_readonly_frac);
+  mix_d(files_writeonly_frac);
+  mix_d(opens_per_file);
+  mix_d(seeks_per_op);
+  mix_d(stats_per_open);
+  mix_d(fsyncs);
+  mix_d(meta_intensity);
+  const char mpi = uses_mpiio ? 1 : 0;
+  mix(&mpi, 1);
+  mix_d(coll_frac);
+  mix_d(nonblocking_frac);
+  mix_d(split_frac);
+  return h;
+}
+
+}  // namespace iotax::telemetry

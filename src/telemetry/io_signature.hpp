@@ -1,0 +1,74 @@
+// The observable I/O behaviour of one application configuration.
+//
+// A job's Darshan counters are a deterministic function of its signature,
+// which is what makes "duplicate jobs" (same application, same observable
+// features, §VI.A of the paper) exist in the generated datasets: two jobs
+// sharing a signature are indistinguishable to any model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace iotax::telemetry {
+
+/// Darshan-style access-size buckets (bytes):
+/// [0,100), [100,1K), [1K,10K), [10K,100K), [100K,1M),
+/// [1M,4M), [4M,10M), [10M,100M), [100M,1G), [1G,inf).
+inline constexpr std::size_t kSizeBuckets = 10;
+
+/// Representative access size per bucket, used to derive op counts from
+/// byte volumes (geometric midpoints, bytes).
+double bucket_representative_size(std::size_t bucket);
+
+struct IoSignature {
+  // Volume.
+  double bytes_read = 0.0;     // total across all processes
+  double bytes_written = 0.0;
+  std::uint32_t n_procs = 1;
+
+  // Access-size distribution: fraction of read/write *bytes* moved through
+  // each bucket. Each array sums to 1 when the corresponding volume > 0.
+  std::array<double, kSizeBuckets> read_size_frac{};
+  std::array<double, kSizeBuckets> write_size_frac{};
+
+  // Access-pattern structure (fractions in [0, 1]).
+  double consec_read_frac = 0.0;   // offset exactly follows previous access
+  double consec_write_frac = 0.0;
+  double seq_read_frac = 0.0;      // offset increases (superset of consec)
+  double seq_write_frac = 0.0;
+  double rw_switch_frac = 0.0;     // read<->write switches per operation
+  double mem_unaligned_frac = 0.0;
+  double file_unaligned_frac = 0.0;
+
+  // File usage.
+  double files_total = 1.0;
+  double files_shared_frac = 0.0;     // files accessed by all ranks
+  double files_readonly_frac = 0.0;
+  double files_writeonly_frac = 0.0;
+
+  // Metadata behaviour.
+  double opens_per_file = 1.0;
+  double seeks_per_op = 0.0;
+  double stats_per_open = 0.0;
+  double fsyncs = 0.0;
+  double meta_intensity = 0.0;  // drives MDS load in the simulator
+
+  // MPI-IO usage (all-zero MPIIO counters when uses_mpiio is false).
+  bool uses_mpiio = false;
+  double coll_frac = 0.0;         // collective fraction of MPI-IO ops
+  double nonblocking_frac = 0.0;
+  double split_frac = 0.0;
+
+  /// Total read+write bytes.
+  double total_bytes() const { return bytes_read + bytes_written; }
+
+  /// Throws std::invalid_argument when fields are out of range (negative
+  /// volumes, fractions outside [0,1], bucket fractions not summing to 1).
+  void validate() const;
+
+  /// Stable 64-bit content hash over all observable fields; two signatures
+  /// hash equal iff a model sees identical application features.
+  std::uint64_t content_hash() const;
+};
+
+}  // namespace iotax::telemetry

@@ -1,0 +1,114 @@
+#include "src/telemetry/lmt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iotax::telemetry {
+
+namespace {
+
+const char* const kBaseSignals[] = {
+    "OSS_CPU",        "OSS_MEM",       "OST_READ_RATE",
+    "OST_WRITE_RATE", "OST_FULLNESS",  "MDS_CPU",
+    "MDS_OPS_RATE",   "MDS_OPEN_RATE", "MDS_CLOSE_RATE"};
+const char* const kAggSuffix[] = {"MIN", "MAX", "MEAN", "STD"};
+
+std::vector<std::string> build_lmt_names() {
+  std::vector<std::string> names;
+  for (const char* base : kBaseSignals) {
+    for (const char* agg : kAggSuffix) {
+      names.push_back(std::string("LMT_") + base + "_" + agg);
+    }
+  }
+  names.emplace_back("LMT_OST_COUNT");
+  return names;
+}
+
+double signal_value(const LmtSample& s, std::size_t signal) {
+  switch (signal) {
+    case 0: return s.oss_cpu;
+    case 1: return s.oss_mem;
+    case 2: return s.ost_read_rate;
+    case 3: return s.ost_write_rate;
+    case 4: return s.ost_fullness;
+    case 5: return s.mds_cpu;
+    case 6: return s.mds_ops_rate;
+    case 7: return s.mds_open_rate;
+    case 8: return s.mds_close_rate;
+    default: throw std::logic_error("LMT signal index out of range");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& lmt_feature_names() {
+  static const std::vector<std::string> names = build_lmt_names();
+  return names;
+}
+
+void LmtTimeline::add_sample(const LmtSample& sample) {
+  if (!samples_.empty() && sample.time < samples_.back().time) {
+    throw std::invalid_argument("LmtTimeline: samples must be time-ordered");
+  }
+  samples_.push_back(sample);
+}
+
+std::vector<double> LmtTimeline::aggregate(double t0, double t1) const {
+  if (samples_.empty()) {
+    throw std::logic_error("LmtTimeline::aggregate: no samples");
+  }
+  if (t1 < t0) throw std::invalid_argument("LmtTimeline::aggregate: t1 < t0");
+
+  const auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), t0,
+      [](const LmtSample& s, double t) { return s.time < t; });
+  auto hi = std::upper_bound(
+      samples_.begin(), samples_.end(), t1,
+      [](double t, const LmtSample& s) { return t < s.time; });
+
+  auto begin = lo;
+  auto end = hi;
+  if (begin == end) {
+    // Window between samples: use the nearest one.
+    if (begin == samples_.end()) {
+      begin = samples_.end() - 1;
+    } else if (begin != samples_.begin()) {
+      const auto prev = begin - 1;
+      const double d_prev = t0 - prev->time;
+      const double d_next = begin->time - t1;
+      if (d_prev < d_next) begin = prev;
+    }
+    end = begin + 1;
+  }
+
+  constexpr std::size_t kSignals = 9;
+  std::vector<double> out;
+  out.reserve(kSignals * 4 + 1);
+  for (std::size_t sig = 0; sig < kSignals; ++sig) {
+    double mn = signal_value(*begin, sig);
+    double mx = mn;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    std::size_t n = 0;
+    for (auto it = begin; it != end; ++it) {
+      const double v = signal_value(*it, sig);
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += v;
+      sum2 += v * v;
+      ++n;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = std::max(0.0, sum2 / static_cast<double>(n) -
+                                          mean * mean);
+    out.push_back(mn);
+    out.push_back(mx);
+    out.push_back(mean);
+    out.push_back(std::sqrt(var));
+  }
+  out.push_back(ost_count_);
+  return out;
+}
+
+}  // namespace iotax::telemetry

@@ -1,0 +1,53 @@
+// Lustre Monitoring Tools (LMT) style storage-side telemetry.
+//
+// LMT samples the state of the Lustre servers every few seconds; since a
+// job may be served by any number of OSS/OST/MDS nodes, only min/max/mean/
+// std aggregates over the job's time window are exposed to the model
+// (§V of the paper). 9 base signals × 4 aggregates + OST count = 37
+// features, matching the paper's LMT feature count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotax::telemetry {
+
+/// One storage-side sample at a point in time (fleet-wide averages).
+struct LmtSample {
+  double time = 0.0;           // seconds since dataset epoch
+  double oss_cpu = 0.0;        // [0,1] object storage server CPU load
+  double oss_mem = 0.0;        // [0,1]
+  double ost_read_rate = 0.0;  // bytes/s across OSTs
+  double ost_write_rate = 0.0;
+  double ost_fullness = 0.0;   // [0,1] filesystem fullness
+  double mds_cpu = 0.0;        // [0,1] metadata server CPU load
+  double mds_ops_rate = 0.0;   // metadata ops/s
+  double mds_open_rate = 0.0;
+  double mds_close_rate = 0.0;
+};
+
+/// The 37 LMT feature names, in model feature order.
+const std::vector<std::string>& lmt_feature_names();
+
+/// Time-ordered store of LMT samples with window aggregation.
+class LmtTimeline {
+ public:
+  /// Samples must be appended in non-decreasing time order.
+  void add_sample(const LmtSample& sample);
+
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<LmtSample>& samples() const { return samples_; }
+
+  void set_ost_count(double n) { ost_count_ = n; }
+
+  /// Aggregate the 37 features over [t0, t1]. If no sample falls in the
+  /// window, the nearest sample is used (a job shorter than the sampling
+  /// cadence still gets system context).
+  std::vector<double> aggregate(double t0, double t1) const;
+
+ private:
+  std::vector<LmtSample> samples_;
+  double ost_count_ = 0.0;
+};
+
+}  // namespace iotax::telemetry

@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer used by the dataset pipeline and benches.
+// Handles quoting per RFC 4180 (quoted fields, embedded commas/quotes);
+// does not support embedded newlines, which our log formats never emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iotax::util {
+
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws std::out_of_range if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse one CSV line into fields (RFC 4180 quoting).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Quote a field if it contains a comma, quote, or leading/trailing space.
+std::string csv_escape(const std::string& field);
+
+Csv read_csv(std::istream& in, bool has_header = true);
+Csv read_csv_file(const std::string& path, bool has_header = true);
+
+void write_csv(std::ostream& out, const Csv& csv);
+void write_csv_file(const std::string& path, const Csv& csv);
+
+}  // namespace iotax::util

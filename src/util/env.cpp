@@ -1,0 +1,28 @@
+#include "src/util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace iotax::util {
+
+double env_scale() {
+  const char* raw = std::getenv("IOTAX_SCALE");
+  if (raw == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || v <= 0.0) return 1.0;
+  return std::clamp(v, 0.05, 100.0);
+}
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+std::size_t scaled_count(std::size_t base, std::size_t floor) {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * env_scale());
+  return std::max(scaled, floor);
+}
+
+}  // namespace iotax::util

@@ -1,0 +1,24 @@
+// Runtime configuration knobs read from the environment.
+//
+// All dataset sizes in the benches are multiplied by IOTAX_SCALE so that
+// the full evaluation can be grown toward paper scale on bigger machines
+// (IOTAX_SCALE=10 roughly matches the paper's Theta job count) or shrunk
+// for CI (IOTAX_SCALE=0.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace iotax::util {
+
+/// IOTAX_SCALE env var as a double, clamped to [0.05, 100]; default 1.0.
+double env_scale();
+
+/// Generic env lookup with default.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Scale a default count by env_scale(), with a floor to keep statistics
+/// meaningful at tiny scales.
+std::size_t scaled_count(std::size_t base, std::size_t floor = 100);
+
+}  // namespace iotax::util

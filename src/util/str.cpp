@@ -1,0 +1,87 @@
+#include "src/util/str.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace iotax::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  double v = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("parse_double: bad input '" + std::string(s) +
+                                "'");
+  }
+  return v;
+}
+
+long long parse_int(std::string_view s) {
+  s = trim(s);
+  long long v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("parse_int: bad input '" + std::string(s) +
+                                "'");
+  }
+  return v;
+}
+
+std::string format_double(double v, int precision) {
+  std::array<char, 64> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string human_bytes(double n) {
+  static constexpr const char* kUnits[] = {"B",   "KiB", "MiB",
+                                           "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (n >= 1024.0 && unit < 5) {
+    n /= 1024.0;
+    ++unit;
+  }
+  return format_double(n, n < 10 ? 2 : 1) + " " + kUnits[unit];
+}
+
+}  // namespace iotax::util

@@ -1,0 +1,36 @@
+// Small string utilities shared across the library (no locale surprises).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotax::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+/// Locale-independent double parsing; throws std::invalid_argument on
+/// malformed input (trailing junk included).
+double parse_double(std::string_view s);
+
+/// Locale-independent integer parsing with the same strictness.
+long long parse_int(std::string_view s);
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double v, int precision = 6);
+
+/// Render n as a human-readable byte count ("1.5 GiB").
+std::string human_bytes(double n);
+
+}  // namespace iotax::util

@@ -1,0 +1,97 @@
+// Calibration regression tests: the preset systems must keep matching
+// the dataset statistics the paper reports (§V-VI, §IX). These lock the
+// numbers EXPERIMENTS.md cites — if a simulator change moves them, these
+// tests say so before a bench does.
+#include <gtest/gtest.h>
+
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/litmus.hpp"
+
+namespace iotax {
+namespace {
+
+class ThetaCalibration : public ::testing::Test {
+ protected:
+  static const sim::SimulationResult& result() {
+    static const sim::SimulationResult res =
+        sim::simulate(sim::theta_like());
+    return res;
+  }
+};
+
+TEST_F(ThetaCalibration, DuplicateFractionNearPaper) {
+  // Paper: 23.5% of Theta jobs are duplicates.
+  const auto bound = taxonomy::litmus_application_bound(result().dataset);
+  EXPECT_GT(bound.stats.duplicate_fraction, 0.19);
+  EXPECT_LT(bound.stats.duplicate_fraction, 0.30);
+}
+
+TEST_F(ThetaCalibration, NoiseBandNearPaper) {
+  // Paper: +-5.71% (68%) / +-10.56% (95%).
+  const auto noise = taxonomy::litmus_noise_bound(result().dataset, 1.0);
+  EXPECT_GT(noise.band68_pct, 4.0);
+  EXPECT_LT(noise.band68_pct, 7.5);
+  EXPECT_GT(noise.band95_pct, 8.0);
+  EXPECT_LT(noise.band95_pct, 15.0);
+}
+
+TEST_F(ThetaCalibration, ConcurrentSetsAreMostlyPairs) {
+  // Paper: 70% of same-start sets have 2 jobs; 96% have <= 6.
+  const auto noise = taxonomy::litmus_noise_bound(result().dataset, 1.0);
+  EXPECT_GT(noise.frac_sets_of_two, 0.6);
+  EXPECT_GT(noise.frac_sets_leq_six, 0.9);
+}
+
+TEST_F(ThetaCalibration, ConcurrentErrorsHeavierThanNormal) {
+  const auto noise = taxonomy::litmus_noise_bound(result().dataset, 1.0);
+  EXPECT_LT(noise.t_fit.df, 80.0);
+  EXPECT_GE(noise.t_preference, 0.0);
+}
+
+TEST_F(ThetaCalibration, NoLmtCollected) {
+  EXPECT_FALSE(result().dataset.features.has_column("LMT_OSS_CPU_MEAN"));
+}
+
+class CoriCalibration : public ::testing::Test {
+ protected:
+  static const sim::SimulationResult& result() {
+    static const sim::SimulationResult res = sim::simulate(sim::cori_like());
+    return res;
+  }
+};
+
+TEST_F(CoriCalibration, DuplicateFractionNearPaper) {
+  // Paper: 54% of Cori jobs are duplicates.
+  const auto bound = taxonomy::litmus_application_bound(result().dataset);
+  EXPECT_GT(bound.stats.duplicate_fraction, 0.45);
+  EXPECT_LT(bound.stats.duplicate_fraction, 0.65);
+}
+
+TEST_F(CoriCalibration, NoiseBandNearPaper) {
+  // Paper: +-7.21% (68%) / +-14.99% (95%).
+  const auto noise = taxonomy::litmus_noise_bound(result().dataset, 1.0);
+  EXPECT_GT(noise.band68_pct, 5.2);
+  EXPECT_LT(noise.band68_pct, 9.2);
+}
+
+TEST_F(CoriCalibration, CoriNoisierThanTheta) {
+  // The paper's headline ordering: Cori's noise band exceeds Theta's.
+  const auto cori = taxonomy::litmus_noise_bound(result().dataset, 1.0);
+  const auto theta_res = sim::simulate(sim::theta_like());
+  const auto theta = taxonomy::litmus_noise_bound(theta_res.dataset, 1.0);
+  EXPECT_GT(cori.band68_pct, theta.band68_pct);
+}
+
+TEST_F(CoriCalibration, LmtCollected) {
+  EXPECT_TRUE(result().dataset.features.has_column("LMT_OSS_CPU_MEAN"));
+  EXPECT_EQ(result().dataset.features.n_cols(), 48u + 48u + 5u + 37u);
+}
+
+TEST_F(CoriCalibration, MoreJobsThanTheta) {
+  const auto theta_res = sim::simulate(sim::theta_like());
+  EXPECT_GT(result().dataset.size(), theta_res.dataset.size());
+}
+
+}  // namespace
+}  // namespace iotax

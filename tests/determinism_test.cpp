@@ -1,0 +1,96 @@
+// Determinism guarantees: every published number must be reproducible
+// bit-for-bit from the same seeds — searches, ensembles, and the whole
+// taxonomy pipeline included.
+#include <gtest/gtest.h>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/nas.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/pipeline.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+struct Xy {
+  data::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Xy small_data(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Xy d;
+  d.x = data::Matrix(400, 3);
+  d.y.resize(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) d.x(i, c) = rng.uniform(-1.0, 1.0);
+    d.y[i] = d.x(i, 0) - d.x(i, 1) * d.x(i, 2) + rng.normal(0.0, 0.1);
+  }
+  return d;
+}
+
+TEST(Determinism, NasSearchReproducible) {
+  const auto train = small_data(1);
+  const auto val = small_data(2);
+  ml::NasParams nas;
+  nas.population = 4;
+  nas.generations = 2;
+  nas.epochs = 3;
+  const auto a = ml::nas_search(nas, train.x, train.y, val.x, val.y);
+  const auto b = ml::nas_search(nas, train.x, train.y, val.x, val.y);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].val_error, b.history[i].val_error);
+    EXPECT_EQ(a.history[i].params.hidden, b.history[i].params.hidden);
+  }
+}
+
+TEST(Determinism, EnsembleReproducible) {
+  const auto train = small_data(3);
+  ml::EnsembleParams params;
+  params.size = 3;
+  params.epochs = 4;
+  ml::DeepEnsemble a(params);
+  ml::DeepEnsemble b(params);
+  a.fit(train.x, train.y);
+  b.fit(train.x, train.y);
+  const auto pa = a.predict_uncertainty(train.x);
+  const auto pb = b.predict_uncertainty(train.x);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(pa.mean[i], pb.mean[i]);
+    EXPECT_DOUBLE_EQ(pa.aleatory[i], pb.aleatory[i]);
+    EXPECT_DOUBLE_EQ(pa.epistemic[i], pb.epistemic[i]);
+  }
+}
+
+TEST(Determinism, TaxonomyPipelineReproducible) {
+  auto cfg = sim::tiny_system(41);
+  cfg.workload.n_jobs = 1500;
+  const auto res = sim::simulate(cfg);
+  taxonomy::PipelineConfig pc;
+  pc.run_uq = false;
+  pc.grid.n_estimators = {32};
+  pc.grid.max_depth = {6};
+  const auto r1 = taxonomy::run_taxonomy(res.dataset, pc);
+  const auto r2 = taxonomy::run_taxonomy(res.dataset, pc);
+  EXPECT_DOUBLE_EQ(r1.baseline_error, r2.baseline_error);
+  EXPECT_DOUBLE_EQ(r1.tuned_error, r2.tuned_error);
+  EXPECT_DOUBLE_EQ(r1.system_bound.err_with_time,
+                   r2.system_bound.err_with_time);
+  EXPECT_DOUBLE_EQ(r1.noise.sigma_log10, r2.noise.sigma_log10);
+  EXPECT_DOUBLE_EQ(r1.share_unexplained, r2.share_unexplained);
+}
+
+TEST(Determinism, SimulationRecordsBitIdentical) {
+  const auto a = sim::simulate(sim::tiny_system(55));
+  const auto b = sim::simulate(sim::tiny_system(55));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); i += 29) {
+    EXPECT_EQ(a.records[i].posix, b.records[i].posix);
+    EXPECT_DOUBLE_EQ(a.records[i].agg_perf_mib, b.records[i].agg_perf_mib);
+  }
+}
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/sim/ost_load.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/descriptive.hpp"
+
+namespace iotax {
+namespace {
+
+TEST(OstLoad, ConstructionValidation) {
+  EXPECT_THROW(sim::OstLoadTimeline(0, 100.0, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::OstLoadTimeline(4, -1.0, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::OstLoadTimeline(4, 100.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::OstLoadTimeline(4, 100.0, 10.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(OstLoad, DemandSpreadsOverStripesOnly) {
+  sim::OstLoadTimeline tl(8, 1000.0, 100.0, 100.0);
+  // 200 MiB/s over 2 stripes starting at OST 3 -> 1.0 of each target.
+  tl.add_demand({.begin = 3, .count = 2}, 0.0, 500.0, 200.0);
+  EXPECT_NEAR(tl.mean_load({.begin = 3, .count = 1}, 0.0, 400.0), 1.0,
+              1e-6);
+  EXPECT_NEAR(tl.mean_load({.begin = 4, .count = 1}, 0.0, 400.0), 1.0,
+              1e-6);
+  // Targets outside the stripe set see nothing.
+  EXPECT_NEAR(tl.mean_load({.begin = 0, .count = 1}, 0.0, 400.0), 0.0,
+              1e-6);
+  EXPECT_NEAR(tl.mean_load({.begin = 5, .count = 1}, 0.0, 400.0), 0.0,
+              1e-6);
+  // Aggregate view: 2 of 8 targets at 1.0.
+  EXPECT_NEAR(tl.aggregate_load_at(100.0), 0.25, 1e-6);
+}
+
+TEST(OstLoad, StripesWrapAroundTheRing) {
+  sim::OstLoadTimeline tl(4, 100.0, 10.0, 10.0);
+  tl.add_demand({.begin = 3, .count = 2}, 0.0, 50.0, 20.0);  // OSTs 3, 0
+  EXPECT_GT(tl.mean_load({.begin = 0, .count = 1}, 0.0, 40.0), 0.5);
+  EXPECT_GT(tl.mean_load({.begin = 3, .count = 1}, 0.0, 40.0), 0.5);
+  EXPECT_NEAR(tl.mean_load({.begin = 1, .count = 2}, 0.0, 40.0), 0.0, 1e-9);
+}
+
+TEST(OstLoad, OverlapDeterminesContention) {
+  sim::OstLoadTimeline tl(8, 100.0, 10.0, 100.0);
+  tl.add_demand({.begin = 0, .count = 4}, 0.0, 90.0, 400.0);
+  // Fully overlapping placement feels 1.0; half-overlap ~0.5; none 0.
+  EXPECT_NEAR(tl.mean_load({.begin = 0, .count = 4}, 0.0, 80.0), 1.0, 1e-6);
+  EXPECT_NEAR(tl.mean_load({.begin = 2, .count = 4}, 0.0, 80.0), 0.5, 1e-6);
+  EXPECT_NEAR(tl.mean_load({.begin = 4, .count = 4}, 0.0, 80.0), 0.0, 1e-6);
+}
+
+TEST(OstLoad, BackgroundBinValidation) {
+  sim::OstLoadTimeline tl(4, 100.0, 10.0, 10.0);
+  std::vector<double> ok = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NO_THROW(tl.add_background_bin(0, ok));
+  std::vector<double> wrong_size = {0.1};
+  EXPECT_THROW(tl.add_background_bin(0, wrong_size), std::invalid_argument);
+  std::vector<double> negative = {0.1, -0.2, 0.3, 0.4};
+  EXPECT_THROW(tl.add_background_bin(0, negative), std::invalid_argument);
+  EXPECT_THROW(tl.add_background_bin(10000, ok), std::invalid_argument);
+}
+
+TEST(OstLoad, RejectsBadQueries) {
+  sim::OstLoadTimeline tl(4, 100.0, 10.0, 10.0);
+  EXPECT_THROW(tl.add_demand({.begin = 0, .count = 5}, 0.0, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(tl.mean_load({.begin = 0, .count = 0}, 0.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(tl.mean_load({.begin = 0, .count = 1}, 10.0, 5.0),
+               std::invalid_argument);
+}
+
+TEST(OstLoad, SimulatedJobsCarryValidStripes) {
+  const auto res = sim::simulate(sim::tiny_system(8));
+  // Re-derive the workload to inspect placements.
+  util::Rng rng(res.config.seed);
+  // Instead of regenerating, check the invariant indirectly: concurrent
+  // duplicates must show differing contention (log_fl) because their
+  // placements differ.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::size_t>> sets;
+  const auto& ds = res.dataset;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    sets[{ds.meta[i].app_id, ds.meta[i].config_id}].push_back(i);
+  }
+  std::size_t concurrent_pairs = 0;
+  std::size_t differing_fl = 0;
+  for (const auto& [key, rows] : sets) {
+    for (std::size_t a = 0; a < rows.size(); ++a) {
+      for (std::size_t b = a + 1; b < rows.size(); ++b) {
+        if (std::fabs(ds.meta[rows[a]].start_time -
+                      ds.meta[rows[b]].start_time) > 1.0) {
+          continue;
+        }
+        ++concurrent_pairs;
+        if (ds.meta[rows[a]].log_fl != ds.meta[rows[b]].log_fl) {
+          ++differing_fl;
+        }
+      }
+    }
+  }
+  ASSERT_GT(concurrent_pairs, 10u);
+  // Most concurrent duplicates land on different targets and therefore
+  // feel different contention.
+  EXPECT_GT(differing_fl, concurrent_pairs / 2);
+}
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,203 @@
+// Property-based suites for the ML layer: invariants that must hold
+// across hyperparameter settings, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/ml/binning.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/ml/nn.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+struct Xy {
+  data::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Xy make_data(std::size_t n, std::uint64_t seed, double noise = 0.05) {
+  util::Rng rng(seed);
+  Xy d;
+  d.x = data::Matrix(n, 4);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    const double c = rng.uniform(0.0, 1.0);
+    d.x(i, 0) = a;
+    d.x(i, 1) = b;
+    d.x(i, 2) = c;
+    d.x(i, 3) = rng.normal();  // pure noise feature
+    d.y[i] = std::sin(a) + 0.5 * a * b - c * c + rng.normal(0.0, noise);
+  }
+  return d;
+}
+
+// ------------------------------------------------------------------ GBT
+
+class GbtHyperProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double, double>> {};
+
+TEST_P(GbtHyperProperty, FitsBetterThanMeanAndIsDeterministic) {
+  const auto [trees, depth, subsample, colsample] = GetParam();
+  const auto train = make_data(1200, 1);
+  const auto test = make_data(400, 2);
+  ml::GbtParams p;
+  p.n_estimators = trees;
+  p.max_depth = depth;
+  p.subsample = subsample;
+  p.colsample = colsample;
+  ml::GradientBoostedTrees a(p);
+  a.fit(train.x, train.y);
+  const auto pred = a.predict(test.x);
+  // Better than predicting the mean.
+  std::vector<double> mean_pred(test.y.size(),
+                                stats::mean(std::span(train.y)));
+  EXPECT_LT(ml::rmse_log(test.y, pred), ml::rmse_log(test.y, mean_pred));
+  // Deterministic.
+  ml::GradientBoostedTrees b(p);
+  b.fit(train.x, train.y);
+  const auto pred_b = b.predict(test.x);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ASSERT_DOUBLE_EQ(pred[i], pred_b[i]);
+  }
+  // Importances normalised.
+  const auto imp = a.feature_importances();
+  double total = 0.0;
+  for (const auto v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GbtHyperProperty,
+    ::testing::Values(std::tuple{10ul, 3ul, 1.0, 1.0},
+                      std::tuple{50ul, 6ul, 1.0, 1.0},
+                      std::tuple{50ul, 6ul, 0.7, 0.7},
+                      std::tuple{100ul, 2ul, 0.9, 0.5},
+                      std::tuple{30ul, 12ul, 0.5, 1.0}));
+
+// ------------------------------------------------------------------ MLP
+
+class MlpHyperProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<std::size_t>, double, bool>> {};
+
+TEST_P(MlpHyperProperty, TrainsAndBeatsMean) {
+  const auto [hidden, dropout, nll] = GetParam();
+  const auto train = make_data(1500, 3);
+  const auto test = make_data(400, 4);
+  ml::MlpParams p;
+  p.hidden = hidden;
+  p.dropout = dropout;
+  p.nll_head = nll;
+  p.epochs = 40;
+  p.learning_rate = 3e-3;
+  ml::Mlp model(p);
+  model.fit(train.x, train.y);
+  const auto pred = model.predict(test.x);
+  std::vector<double> mean_pred(test.y.size(),
+                                stats::mean(std::span(train.y)));
+  EXPECT_LT(ml::rmse_log(test.y, pred),
+            0.9 * ml::rmse_log(test.y, mean_pred));
+  if (nll) {
+    const auto dist = model.predict_dist(test.x);
+    for (const auto v : dist.variance) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MlpHyperProperty,
+    ::testing::Values(
+        std::tuple{std::vector<std::size_t>{16}, 0.0, false},
+        std::tuple{std::vector<std::size_t>{32, 32}, 0.0, false},
+        std::tuple{std::vector<std::size_t>{32, 32}, 0.1, false},
+        std::tuple{std::vector<std::size_t>{24, 24, 24}, 0.0, true},
+        std::tuple{std::vector<std::size_t>{64}, 0.05, true}));
+
+// -------------------------------------------------------------- Binning
+
+class BinningProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinningProperty, EncodePreservesOrderAndParity) {
+  const std::size_t bins = GetParam();
+  util::Rng rng(77);
+  data::Matrix x(500, 2);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.student_t(3.0);
+    x(i, 1) = std::floor(rng.uniform(0.0, 5.0));  // low cardinality
+  }
+  const ml::BinnedMatrix binned(x, bins);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_LE(binned.n_bins(c), bins);
+    for (std::size_t i = 0; i < 500; ++i) {
+      ASSERT_EQ(binned.encode(c, x(i, c)), binned.code(i, c));
+    }
+    // Monotone: larger raw value -> bin code not smaller.
+    for (std::size_t i = 0; i < 499; ++i) {
+      for (std::size_t j = i + 1; j < std::min<std::size_t>(i + 5, 500);
+           ++j) {
+        if (x(i, c) <= x(j, c)) {
+          ASSERT_LE(binned.encode(c, x(i, c)), binned.encode(c, x(j, c)));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BinningProperty,
+                         ::testing::Values(2u, 4u, 16u, 64u, 256u, 1024u));
+
+// -------------------------------------------------------------- Metrics
+
+class MetricsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsProperty, MedianLeqMeanForAbsErrors) {
+  util::Rng rng(GetParam());
+  std::vector<double> yt(300);
+  std::vector<double> yp(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    yt[i] = rng.uniform(1.0, 5.0);
+    yp[i] = yt[i] + 0.1 * rng.student_t(3.0);  // heavy-tailed errors
+  }
+  // Heavy tails: median below mean (the paper's reason for medians, §V).
+  EXPECT_LE(ml::median_abs_log_error(yt, yp),
+            ml::mean_abs_log_error(yt, yp) + 1e-12);
+  EXPECT_LE(ml::mean_abs_log_error(yt, yp), ml::rmse_log(yt, yp) + 1e-12);
+}
+
+TEST_P(MetricsProperty, ScaleInvarianceOfRatioError) {
+  util::Rng rng(GetParam() + 500);
+  std::vector<double> yt(100);
+  std::vector<double> yp(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    yt[i] = rng.uniform(1.0, 5.0);
+    yp[i] = yt[i] + rng.normal(0.0, 0.2);
+  }
+  // Adding a constant in log space (multiplying throughputs by a factor)
+  // shifts both equally and leaves the error unchanged.
+  auto yt2 = yt;
+  auto yp2 = yp;
+  for (auto& v : yt2) v += 3.0;
+  for (auto& v : yp2) v += 3.0;
+  EXPECT_NEAR(ml::median_abs_log_error(yt, yp),
+              ml::median_abs_log_error(yt2, yp2), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+}  // namespace
+}  // namespace iotax

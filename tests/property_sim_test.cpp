@@ -1,0 +1,225 @@
+// Property-based suites for the simulator and telemetry layers: the
+// structural invariants every generated dataset must satisfy, across
+// seeds and configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/telemetry/counters.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+// --------------------------------------------- dataset invariants / seed
+
+class SimSeedProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static sim::SimulationResult run(std::uint64_t seed) {
+    auto cfg = sim::tiny_system(seed);
+    cfg.workload.n_jobs = 1200;
+    return sim::simulate(cfg);
+  }
+};
+
+TEST_P(SimSeedProperty, DatasetValidates) {
+  const auto res = run(GetParam());
+  EXPECT_NO_THROW(res.dataset.validate());
+  EXPECT_EQ(res.dataset.size(), res.records.size());
+}
+
+TEST_P(SimSeedProperty, ThroughputDecompositionExact) {
+  const auto res = run(GetParam());
+  for (std::size_t i = 0; i < res.dataset.size(); i += 13) {
+    const auto& m = res.dataset.meta[i];
+    EXPECT_NEAR(m.log_fa + m.log_fg + m.log_fl + m.log_fn,
+                res.dataset.target[i], 1e-9);
+  }
+}
+
+TEST_P(SimSeedProperty, ContentionNeverHelps) {
+  const auto res = run(GetParam());
+  for (const auto& m : res.dataset.meta) {
+    EXPECT_LE(m.log_fl, 1e-12);
+  }
+}
+
+TEST_P(SimSeedProperty, JobsAreTimeOrderedAndWithinHorizon) {
+  const auto res = run(GetParam());
+  double prev = 0.0;
+  for (const auto& m : res.dataset.meta) {
+    EXPECT_GE(m.start_time, prev);
+    EXPECT_LE(m.start_time, res.config.workload.horizon + 1.0);
+    EXPECT_GT(m.end_time, m.start_time);
+    prev = m.start_time;
+  }
+}
+
+TEST_P(SimSeedProperty, DuplicateRowsShareApplicationFeatures) {
+  const auto res = run(GetParam());
+  const auto& ds = res.dataset;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> first_row;
+  const std::size_t app_cols = 48 + 48;  // POSIX + MPI-IO block
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto key = std::pair{ds.meta[i].app_id, ds.meta[i].config_id};
+    const auto [it, inserted] = first_row.try_emplace(key, i);
+    if (inserted) continue;
+    for (std::size_t c = 0; c < app_cols; ++c) {
+      ASSERT_DOUBLE_EQ(ds.features.at(i, c), ds.features.at(it->second, c));
+    }
+  }
+}
+
+TEST_P(SimSeedProperty, NoiseComponentIsCentered) {
+  const auto res = run(GetParam());
+  std::vector<double> fn;
+  for (const auto& m : res.dataset.meta) fn.push_back(m.log_fn);
+  // Mean noise ~ 0 with spread on the order of the platform sigma.
+  EXPECT_NEAR(stats::mean(fn), 0.0, 0.005);
+  EXPECT_GT(stats::stddev(fn), res.config.platform.noise_sigma_log10 * 0.5);
+  EXPECT_LT(stats::stddev(fn), res.config.platform.noise_sigma_log10 * 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSeedProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ------------------------------------------------ counters from signature
+
+class CounterProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static telemetry::IoSignature random_valid_signature(std::uint64_t seed) {
+    // Sample through the catalog generator to stay in the valid region.
+    util::Rng rng(seed);
+    sim::CatalogParams params;
+    params.n_apps = 3;
+    const auto catalog =
+        sim::generate_catalog(params, sim::theta_platform(), rng);
+    return catalog[1 + seed % 2].configs[0].signature;
+  }
+};
+
+TEST_P(CounterProperty, AllCountersNonNegative) {
+  const auto sig = random_valid_signature(GetParam());
+  for (const double v : telemetry::compute_posix_counters(sig)) {
+    EXPECT_GE(v, 0.0);
+  }
+  for (const double v : telemetry::compute_mpiio_counters(sig)) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST_P(CounterProperty, StructuralInequalities) {
+  const auto sig = random_valid_signature(GetParam());
+  const auto c = telemetry::compute_posix_counters(sig);
+  const auto& names = telemetry::posix_feature_names();
+  const auto get = [&](const char* n) {
+    return c[static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), n) - names.begin())];
+  };
+  EXPECT_LE(get("POSIX_CONSEC_READS"), get("POSIX_SEQ_READS"));
+  EXPECT_LE(get("POSIX_SEQ_READS"), get("POSIX_READS"));
+  EXPECT_LE(get("POSIX_CONSEC_WRITES"), get("POSIX_SEQ_WRITES"));
+  EXPECT_LE(get("POSIX_SEQ_WRITES"), get("POSIX_WRITES"));
+  EXPECT_LE(get("POSIX_SHARED_FILES"), get("POSIX_TOTAL_FILES"));
+  EXPECT_LE(get("POSIX_READ_ONLY_FILES") + get("POSIX_WRITE_ONLY_FILES") +
+                get("POSIX_READ_WRITE_FILES"),
+            get("POSIX_TOTAL_FILES") + 1.0);
+  EXPECT_DOUBLE_EQ(get("POSIX_BYTES_READ"), sig.bytes_read);
+  EXPECT_DOUBLE_EQ(get("POSIX_BYTES_WRITTEN"), sig.bytes_written);
+}
+
+TEST_P(CounterProperty, SizeBucketCountsRoughlyCoverVolume) {
+  const auto sig = random_valid_signature(GetParam());
+  const auto c = telemetry::compute_posix_counters(sig);
+  const auto& names = telemetry::posix_feature_names();
+  double reconstructed = 0.0;
+  for (std::size_t b = 0; b < telemetry::kSizeBuckets; ++b) {
+    const auto idx = static_cast<std::size_t>(
+        std::find(names.begin(), names.end(),
+                  "POSIX_SIZE_READ_" +
+                      std::vector<std::string>{"0_100", "100_1K", "1K_10K",
+                                               "10K_100K", "100K_1M",
+                                               "1M_4M", "4M_10M", "10M_100M",
+                                               "100M_1G", "1G_PLUS"}[b]) -
+        names.begin());
+    reconstructed += c[idx] * telemetry::bucket_representative_size(b);
+  }
+  if (sig.bytes_read > 1e6) {
+    // Counts are floored per bucket, so reconstruction under-counts a bit.
+    EXPECT_GT(reconstructed, 0.5 * sig.bytes_read);
+    EXPECT_LT(reconstructed, 1.5 * sig.bytes_read);
+  }
+}
+
+TEST_P(CounterProperty, MpiioSubsetOfPosixTraffic) {
+  auto sig = random_valid_signature(GetParam());
+  sig.uses_mpiio = true;
+  sig.coll_frac = 0.4;
+  const auto p = telemetry::compute_posix_counters(sig);
+  const auto m = telemetry::compute_mpiio_counters(sig);
+  const auto& pn = telemetry::posix_feature_names();
+  const auto& mn = telemetry::mpiio_feature_names();
+  const auto get = [](const std::vector<double>& v,
+                      const std::vector<std::string>& names, const char* n) {
+    return v[static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), n) - names.begin())];
+  };
+  // All MPI-IO traffic is visible at the POSIX level (§V).
+  EXPECT_DOUBLE_EQ(get(m, mn, "MPIIO_BYTES_READ"),
+                   get(p, pn, "POSIX_BYTES_READ"));
+  EXPECT_DOUBLE_EQ(get(m, mn, "MPIIO_COLL_READS") +
+                       get(m, mn, "MPIIO_INDEP_READS"),
+                   get(p, pn, "POSIX_READS"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterProperty,
+                         ::testing::Range<std::uint64_t>(100u, 112u));
+
+// --------------------------------------------------------- ideal model
+
+class IdealThroughputProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdealThroughputProperty, WithinPhysicalBounds) {
+  util::Rng rng(GetParam());
+  sim::CatalogParams params;
+  params.n_apps = 10;
+  const auto platform = sim::theta_platform();
+  const auto catalog = sim::generate_catalog(params, platform, rng);
+  for (const auto& app : catalog) {
+    for (const auto& cfg : app.configs) {
+      const double log_t = sim::ideal_log_throughput(cfg.signature, platform);
+      EXPECT_GE(log_t, 0.0);  // >= 1 MiB/s
+      EXPECT_LE(std::pow(10.0, log_t), 0.5 * platform.peak_bandwidth_mib);
+    }
+  }
+}
+
+TEST_P(IdealThroughputProperty, MonotoneInVolumeNeutralKnobs) {
+  util::Rng rng(GetParam() + 40);
+  sim::CatalogParams params;
+  params.n_apps = 5;
+  const auto platform = sim::theta_platform();
+  const auto catalog = sim::generate_catalog(params, platform, rng);
+  const auto& sig = catalog[2].configs[0].signature;
+  // Worsening alignment can only reduce throughput.
+  auto worse = sig;
+  worse.file_unaligned_frac = std::min(1.0, sig.file_unaligned_frac + 0.3);
+  EXPECT_LE(sim::ideal_log_throughput(worse, platform),
+            sim::ideal_log_throughput(sig, platform) + 1e-12);
+  // Adding read/write switches can only reduce throughput.
+  auto switched = sig;
+  switched.rw_switch_frac = std::min(1.0, sig.rw_switch_frac + 0.3);
+  EXPECT_LE(sim::ideal_log_throughput(switched, platform),
+            sim::ideal_log_throughput(sig, platform) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdealThroughputProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,192 @@
+// Property-based suites (TEST_P) for the stats layer: distribution
+// identities that must hold across the whole parameter space, not just
+// hand-picked values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/stats/descriptive.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/fitting.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+// ---------------------------------------------------------------- Normal
+
+class NormalProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(NormalProperty, QuantileInvertsCdf) {
+  const auto [mean, sd] = GetParam();
+  const stats::Normal n(mean, sd);
+  for (double p = 0.01; p < 1.0; p += 0.07) {
+    EXPECT_NEAR(n.cdf(n.quantile(p)), p, 1e-7);
+  }
+}
+
+TEST_P(NormalProperty, CdfIsMonotoneAndBounded) {
+  const auto [mean, sd] = GetParam();
+  const stats::Normal n(mean, sd);
+  double prev = 0.0;
+  for (double z = -6.0; z <= 6.0; z += 0.25) {
+    const double c = n.cdf(mean + z * sd);
+    EXPECT_GE(c, prev - 1e-15);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(NormalProperty, PdfIntegratesToOne) {
+  const auto [mean, sd] = GetParam();
+  const stats::Normal n(mean, sd);
+  double integral = 0.0;
+  const double step = sd / 50.0;
+  for (double x = mean - 8.0 * sd; x < mean + 8.0 * sd; x += step) {
+    integral += n.pdf(x + step / 2.0) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST_P(NormalProperty, SymmetryAroundMean) {
+  const auto [mean, sd] = GetParam();
+  const stats::Normal n(mean, sd);
+  for (double d : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(n.cdf(mean - d * sd), 1.0 - n.cdf(mean + d * sd), 1e-12);
+    EXPECT_NEAR(n.pdf(mean - d * sd), n.pdf(mean + d * sd), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NormalProperty,
+    ::testing::Values(std::tuple{0.0, 1.0}, std::tuple{2.5, 0.02},
+                      std::tuple{-7.0, 4.0}, std::tuple{1e3, 12.0},
+                      std::tuple{0.0, 1e-3}));
+
+// -------------------------------------------------------------- StudentT
+
+class StudentTProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StudentTProperty, QuantileInvertsCdf) {
+  const stats::StudentT t(GetParam());
+  for (double p : {0.005, 0.05, 0.3, 0.5, 0.7, 0.95, 0.995}) {
+    EXPECT_NEAR(t.cdf(t.quantile(p)), p, 1e-6);
+  }
+}
+
+TEST_P(StudentTProperty, HeavierTailsThanNormal) {
+  const stats::StudentT t(GetParam());
+  const stats::Normal n(0.0, 1.0);
+  // P(|T| > 3) must exceed P(|Z| > 3) for any finite df.
+  const double t_tail = 2.0 * (1.0 - t.cdf(3.0));
+  const double n_tail = 2.0 * (1.0 - n.cdf(3.0));
+  EXPECT_GT(t_tail, n_tail);
+}
+
+TEST_P(StudentTProperty, PdfSymmetricUnimodal) {
+  const stats::StudentT t(GetParam());
+  EXPECT_NEAR(t.pdf(1.3), t.pdf(-1.3), 1e-14);
+  EXPECT_GT(t.pdf(0.0), t.pdf(0.5));
+  EXPECT_GT(t.pdf(0.5), t.pdf(2.0));
+}
+
+TEST_P(StudentTProperty, LocationScaleConsistency) {
+  const double df = GetParam();
+  const stats::StudentT standard(df);
+  const stats::StudentT shifted(df, 3.0, 2.0);
+  for (double z : {-1.5, 0.0, 0.8}) {
+    EXPECT_NEAR(shifted.cdf(3.0 + 2.0 * z), standard.cdf(z), 1e-12);
+    EXPECT_NEAR(shifted.pdf(3.0 + 2.0 * z), standard.pdf(z) / 2.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dfs, StudentTProperty,
+                         ::testing::Values(1.0, 2.0, 3.5, 8.0, 30.0, 120.0));
+
+// ------------------------------------------------------------- Quantiles
+
+class QuantileProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuantileProperty, BoundsAndMonotonicity) {
+  util::Rng rng(GetParam());
+  std::vector<double> xs(1 + GetParam() * 13 % 400);
+  for (auto& x : xs) x = rng.student_t(3.0);
+  double prev = stats::min(xs);
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double v = stats::quantile(xs, std::min(q, 1.0));
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, stats::min(xs));
+    EXPECT_LE(v, stats::max(xs));
+    prev = v;
+  }
+}
+
+TEST_P(QuantileProperty, MedianMinimisesAbsoluteDeviation) {
+  util::Rng rng(GetParam() + 1000);
+  std::vector<double> xs(101);
+  for (auto& x : xs) x = rng.normal(0.0, 2.0);
+  const double med = stats::median(xs);
+  const auto total_dev = [&xs](double c) {
+    double acc = 0.0;
+    for (double x : xs) acc += std::fabs(x - c);
+    return acc;
+  };
+  const double at_median = total_dev(med);
+  for (double delta : {-0.5, -0.1, 0.1, 0.5}) {
+    EXPECT_LE(at_median, total_dev(med + delta) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ------------------------------------------------------------ Fitting
+
+class TFitProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TFitProperty, RecoversScaleAcrossDf) {
+  const double df = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(df * 100));
+  std::vector<double> xs(15000);
+  for (auto& x : xs) x = 0.5 + 0.1 * rng.student_t(df);
+  const auto fit = stats::fit_student_t(xs);
+  EXPECT_NEAR(fit.loc, 0.5, 0.01);
+  EXPECT_NEAR(fit.scale, 0.1, 0.02);
+  // Likelihood at the fit must be at least that of the true parameters.
+  const double true_ll =
+      stats::log_likelihood(stats::StudentT(df, 0.5, 0.1), xs);
+  EXPECT_GE(fit.log_likelihood, true_ll - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dfs, TFitProperty,
+                         ::testing::Values(2.5, 4.0, 8.0, 20.0));
+
+// ---------------------------------------------------- Bessel correction
+
+class BesselProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BesselProperty, CorrectedSetSpreadIsUnbiased) {
+  const std::size_t k = GetParam();
+  util::Rng rng(k * 7 + 1);
+  constexpr double kSigma = 0.5;
+  std::vector<double> corrected;
+  std::vector<double> draws(k);
+  for (std::size_t s = 0; s < 40000 / k; ++s) {
+    for (auto& d : draws) d = rng.normal(0.0, kSigma);
+    const double mean = stats::mean(draws);
+    const double bessel = std::sqrt(static_cast<double>(k) /
+                                    (static_cast<double>(k) - 1.0));
+    for (const auto d : draws) corrected.push_back((d - mean) * bessel);
+  }
+  EXPECT_NEAR(std::sqrt(stats::variance_population(corrected)), kSigma,
+              0.05 * kSigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, BesselProperty,
+                         ::testing::Values(2u, 3u, 4u, 7u, 15u, 50u));
+
+}  // namespace
+}  // namespace iotax

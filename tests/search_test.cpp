@@ -1,0 +1,122 @@
+// Successive-halving search: budget accounting and selection behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/search.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+struct Xy {
+  data::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Xy make_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Xy d;
+  d.x = data::Matrix(n, 3);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    d.x(i, 0) = a;
+    d.x(i, 1) = b;
+    d.x(i, 2) = rng.normal();
+    d.y[i] = std::sin(a) + 0.5 * a * b + rng.normal(0.0, 0.05);
+  }
+  return d;
+}
+
+TEST(SuccessiveHalving, EliminatesAndSelects) {
+  const auto train = make_data(3000, 1);
+  const auto val = make_data(600, 2);
+  ml::GbtGrid grid;
+  grid.n_estimators = {4, 16, 64};
+  grid.max_depth = {2, 4, 6};
+  ml::HalvingParams params;
+  params.initial_configs = 9;
+  params.elim_factor = 3;
+  params.initial_budget_frac = 0.1;
+  const auto res = ml::successive_halving(grid, params, train.x, train.y,
+                                          val.x, val.y);
+  // Rung sizes: 9 at 10%, 3 at 30%, 1 at 90%... -> 9+3+1 evaluations.
+  EXPECT_EQ(res.evaluated.size(), 13u);
+  EXPECT_LT(res.best.val_error, 0.5);
+  // The winner must come from the final rung (full-ish budget).
+  EXPECT_LE(res.best.val_error,
+            res.evaluated.back().val_error + 1e-12);
+}
+
+TEST(SuccessiveHalving, CheaperThanGridForSimilarQuality) {
+  const auto train = make_data(3000, 3);
+  const auto val = make_data(600, 4);
+  ml::GbtGrid grid;
+  grid.n_estimators = {4, 16, 64};
+  grid.max_depth = {2, 4, 6};
+
+  const auto full = ml::grid_search(grid, train.x, train.y, val.x, val.y);
+  ml::HalvingParams params;
+  params.initial_configs = 12;  // random sampling needs slack to cover 9 cells
+  const auto halved = ml::successive_halving(grid, params, train.x, train.y,
+                                             val.x, val.y);
+  // Near the exhaustive search's quality at a fraction of the trained
+  // row-budget (12 cheap + few full fits vs 9 full fits).
+  EXPECT_LE(halved.best.val_error, full.best.val_error * 1.4);
+}
+
+TEST(SuccessiveHalving, CallbackSeesEveryEvaluation) {
+  const auto train = make_data(500, 5);
+  const auto val = make_data(200, 6);
+  ml::GbtGrid grid;
+  grid.n_estimators = {4, 8};
+  grid.max_depth = {2, 3};
+  ml::HalvingParams params;
+  params.initial_configs = 4;
+  params.elim_factor = 2;
+  params.initial_budget_frac = 0.25;
+  std::size_t calls = 0;
+  const auto res = ml::successive_halving(
+      grid, params, train.x, train.y, val.x, val.y,
+      [&calls](const ml::SearchPoint&) { ++calls; });
+  EXPECT_EQ(calls, res.evaluated.size());
+  EXPECT_GE(calls, 4u);
+}
+
+TEST(SuccessiveHalving, RejectsBadParams) {
+  const auto train = make_data(100, 7);
+  ml::GbtGrid grid;
+  ml::HalvingParams params;
+  params.initial_configs = 1;
+  EXPECT_THROW(ml::successive_halving(grid, params, train.x, train.y,
+                                      train.x, train.y),
+               std::invalid_argument);
+  params = ml::HalvingParams{};
+  params.initial_budget_frac = 0.0;
+  EXPECT_THROW(ml::successive_halving(grid, params, train.x, train.y,
+                                      train.x, train.y),
+               std::invalid_argument);
+}
+
+TEST(SuccessiveHalving, Deterministic) {
+  const auto train = make_data(800, 8);
+  const auto val = make_data(200, 9);
+  ml::GbtGrid grid;
+  grid.n_estimators = {4, 16};
+  grid.max_depth = {2, 4};
+  ml::HalvingParams params;
+  params.initial_configs = 4;
+  const auto a = ml::successive_halving(grid, params, train.x, train.y,
+                                        val.x, val.y);
+  const auto b = ml::successive_halving(grid, params, train.x, train.y,
+                                        val.x, val.y);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.evaluated[i].val_error, b.evaluated[i].val_error);
+  }
+}
+
+}  // namespace
+}  // namespace iotax

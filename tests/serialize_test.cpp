@@ -1,0 +1,138 @@
+// Model persistence: saved models must restore bit-identical predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/ml/gbt.hpp"
+#include "src/ml/nn.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+struct Xy {
+  data::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Xy make_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Xy d;
+  d.x = data::Matrix(n, 5);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 5; ++c) d.x(i, c) = rng.uniform(-3.0, 3.0);
+    d.y[i] = std::sin(d.x(i, 0)) + 0.3 * d.x(i, 1) * d.x(i, 2) +
+             rng.normal(0.0, 0.05);
+  }
+  return d;
+}
+
+TEST(GbtSerialize, RoundTripPredictionsIdentical) {
+  const auto train = make_data(800, 1);
+  const auto probe = make_data(200, 2);
+  ml::GbtParams p;
+  p.n_estimators = 40;
+  p.max_depth = 5;
+  p.subsample = 0.8;
+  ml::GradientBoostedTrees model(p);
+  model.fit(train.x, train.y);
+
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::GradientBoostedTrees::load(buf);
+  EXPECT_EQ(loaded.n_trees(), model.n_trees());
+  EXPECT_EQ(loaded.params().n_estimators, p.n_estimators);
+  const auto a = model.predict(probe.x);
+  const auto b = loaded.predict(probe.x);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  EXPECT_EQ(loaded.feature_importances(), model.feature_importances());
+}
+
+TEST(GbtSerialize, SaveUnfittedThrows) {
+  ml::GradientBoostedTrees model;
+  std::stringstream buf;
+  EXPECT_THROW(model.save(buf), std::logic_error);
+}
+
+TEST(GbtSerialize, LoadRejectsGarbage) {
+  std::stringstream buf("not a model at all");
+  EXPECT_THROW(ml::GradientBoostedTrees::load(buf), std::runtime_error);
+}
+
+TEST(GbtSerialize, LoadRejectsWrongVersion) {
+  std::stringstream buf("iotax-gbt 9\n");
+  EXPECT_THROW(ml::GradientBoostedTrees::load(buf), std::runtime_error);
+}
+
+TEST(GbtSerialize, LoadDetectsOutOfRangeNodes) {
+  const auto train = make_data(200, 3);
+  ml::GradientBoostedTrees model({.n_estimators = 3, .max_depth = 3});
+  model.fit(train.x, train.y);
+  std::stringstream buf;
+  model.save(buf);
+  auto text = buf.str();
+  // Corrupt a feature index to something huge.
+  const auto pos = text.find("\n0 ");
+  if (pos != std::string::npos) {
+    text.replace(pos, 3, "\n99 ");
+    std::stringstream corrupted(text);
+    EXPECT_THROW(ml::GradientBoostedTrees::load(corrupted),
+                 std::runtime_error);
+  }
+}
+
+TEST(MlpSerialize, RoundTripPredictionsIdentical) {
+  const auto train = make_data(600, 4);
+  const auto probe = make_data(100, 5);
+  ml::MlpParams p;
+  p.hidden = {24, 16};
+  p.epochs = 10;
+  ml::Mlp model(p);
+  model.fit(train.x, train.y);
+
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::Mlp::load(buf);
+  const auto a = model.predict(probe.x);
+  const auto b = loaded.predict(probe.x);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  EXPECT_EQ(loaded.params().hidden, p.hidden);
+}
+
+TEST(MlpSerialize, NllHeadSurvivesRoundTrip) {
+  const auto train = make_data(600, 6);
+  const auto probe = make_data(50, 7);
+  ml::MlpParams p;
+  p.hidden = {16};
+  p.epochs = 10;
+  p.nll_head = true;
+  ml::Mlp model(p);
+  model.fit(train.x, train.y);
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::Mlp::load(buf);
+  const auto a = model.predict_dist(probe.x);
+  const auto b = loaded.predict_dist(probe.x);
+  for (std::size_t i = 0; i < a.mean.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.mean[i], b.mean[i]);
+    ASSERT_DOUBLE_EQ(a.variance[i], b.variance[i]);
+  }
+}
+
+TEST(MlpSerialize, LoadRejectsGarbage) {
+  std::stringstream buf("iotax-mlp 2\n");
+  EXPECT_THROW(ml::Mlp::load(buf), std::runtime_error);
+  std::stringstream buf2("nonsense");
+  EXPECT_THROW(ml::Mlp::load(buf2), std::runtime_error);
+}
+
+TEST(MlpSerialize, SaveUnfittedThrows) {
+  ml::Mlp model;
+  std::stringstream buf;
+  EXPECT_THROW(model.save(buf), std::logic_error);
+}
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/env.hpp"
+#include "src/util/str.hpp"
+
+namespace iotax {
+namespace {
+
+TEST(Str, SplitKeepsEmptyFields) {
+  const auto parts = util::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, SplitSingleField) {
+  const auto parts = util::split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Str, TrimWhitespace) {
+  EXPECT_EQ(util::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("   "), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(util::starts_with("POSIX_BYTES_READ", "POSIX_"));
+  EXPECT_FALSE(util::starts_with("MPIIO_X", "POSIX_"));
+  EXPECT_FALSE(util::starts_with("PO", "POSIX_"));
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(util::join({}, ","), "");
+  EXPECT_EQ(util::join({"solo"}, ","), "solo");
+}
+
+TEST(Str, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(util::parse_double(" 3.25 "), 3.25);
+  EXPECT_DOUBLE_EQ(util::parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW(util::parse_double("3.25x"), std::invalid_argument);
+  EXPECT_THROW(util::parse_double(""), std::invalid_argument);
+}
+
+TEST(Str, ParseIntStrict) {
+  EXPECT_EQ(util::parse_int("42"), 42);
+  EXPECT_EQ(util::parse_int("-7"), -7);
+  EXPECT_THROW(util::parse_int("4.2"), std::invalid_argument);
+  EXPECT_THROW(util::parse_int("abc"), std::invalid_argument);
+}
+
+TEST(Str, FormatDouble) {
+  EXPECT_EQ(util::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(util::format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(util::human_bytes(512), "512.0 B");
+  EXPECT_EQ(util::human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(util::human_bytes(1.5 * 1024 * 1024 * 1024), "1.50 GiB");
+}
+
+TEST(Csv, ParseSimpleLine) {
+  const auto f = util::parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, ParseQuotedFields) {
+  const auto f = util::parse_csv_line(R"("a,b","say ""hi""",plain)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "say \"hi\"");
+  EXPECT_EQ(f[2], "plain");
+}
+
+TEST(Csv, EscapeRoundTrip) {
+  const std::string tricky = "x,\"y\"";
+  const auto escaped = util::csv_escape(tricky);
+  const auto parsed = util::parse_csv_line(escaped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], tricky);
+}
+
+TEST(Csv, ReadWriteRoundTrip) {
+  util::Csv csv;
+  csv.header = {"name", "value"};
+  csv.rows = {{"alpha", "1.5"}, {"with,comma", "2"}};
+  std::ostringstream out;
+  util::write_csv(out, csv);
+  std::istringstream in(out.str());
+  const auto back = util::read_csv(in);
+  EXPECT_EQ(back.header, csv.header);
+  EXPECT_EQ(back.rows, csv.rows);
+}
+
+TEST(Csv, ColumnLookup) {
+  util::Csv csv;
+  csv.header = {"a", "b"};
+  EXPECT_EQ(csv.column("b"), 1u);
+  EXPECT_THROW(csv.column("z"), std::out_of_range);
+}
+
+TEST(Csv, SkipsBlankLinesAndCr) {
+  std::istringstream in("a,b\r\n\r\n1,2\r\n");
+  const auto csv = util::read_csv(in);
+  ASSERT_EQ(csv.rows.size(), 1u);
+  EXPECT_EQ(csv.rows[0][1], "2");
+}
+
+TEST(Env, ScaleDefaultsToOne) {
+  unsetenv("IOTAX_SCALE");
+  EXPECT_DOUBLE_EQ(util::env_scale(), 1.0);
+}
+
+TEST(Env, ScaleParsesAndClamps) {
+  setenv("IOTAX_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(util::env_scale(), 2.5);
+  setenv("IOTAX_SCALE", "0.001", 1);
+  EXPECT_DOUBLE_EQ(util::env_scale(), 0.05);
+  setenv("IOTAX_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(util::env_scale(), 1.0);
+  unsetenv("IOTAX_SCALE");
+}
+
+TEST(Env, ScaledCountAppliesFloor) {
+  setenv("IOTAX_SCALE", "0.05", 1);
+  EXPECT_EQ(util::scaled_count(1000, 200), 200u);
+  unsetenv("IOTAX_SCALE");
+  EXPECT_EQ(util::scaled_count(1000, 200), 1000u);
+}
+
+TEST(Env, EnvOrFallback) {
+  unsetenv("IOTAX_NOT_SET");
+  EXPECT_EQ(util::env_or("IOTAX_NOT_SET", "dflt"), "dflt");
+  setenv("IOTAX_NOT_SET", "v", 1);
+  EXPECT_EQ(util::env_or("IOTAX_NOT_SET", "dflt"), "v");
+  unsetenv("IOTAX_NOT_SET");
+}
+
+}  // namespace
+}  // namespace iotax

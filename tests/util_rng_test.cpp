@@ -1,0 +1,210 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/stats/descriptive.hpp"
+
+namespace iotax {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  util::Rng base(7);
+  util::Rng s1 = base.fork(1);
+  util::Rng s2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (s1.next() == s2.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  util::Rng rng(4);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.uniform();
+  EXPECT_NEAR(stats::mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  util::Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  util::Rng rng(8);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal(2.0, 3.0);
+  EXPECT_NEAR(stats::mean(xs), 2.0, 0.06);
+  EXPECT_NEAR(stats::stddev(xs), 3.0, 0.06);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  util::Rng rng(9);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.lognormal(1.0, 0.5);
+  EXPECT_NEAR(stats::median(xs), std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  util::Rng rng(10);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.exponential(0.25);
+  EXPECT_NEAR(stats::mean(xs), 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  util::Rng rng(11);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, StudentTHeavierTailsThanNormal) {
+  util::Rng rng(12);
+  std::vector<double> t(50000);
+  std::vector<double> z(50000);
+  for (auto& x : t) x = rng.student_t(3.0);
+  for (auto& x : z) x = rng.normal();
+  const auto count_extreme = [](const std::vector<double>& xs) {
+    return std::count_if(xs.begin(), xs.end(),
+                         [](double v) { return std::fabs(v) > 4.0; });
+  };
+  EXPECT_GT(count_extreme(t), 10 * count_extreme(z) + 5);
+}
+
+TEST(Rng, GammaMeanIsShapeTimesScale) {
+  util::Rng rng(13);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.gamma(2.5, 1.5);
+  EXPECT_NEAR(stats::mean(xs), 2.5 * 1.5, 0.05);
+}
+
+TEST(Rng, GammaSmallShapeStillPositive) {
+  util::Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.gamma(0.3, 1.0), 0.0);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  util::Rng rng(15);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = static_cast<double>(rng.poisson(6.5));
+  EXPECT_NEAR(stats::mean(xs), 6.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  util::Rng rng(16);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(stats::mean(xs), 200.0, 1.0);
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(200.0), 0.5);
+}
+
+TEST(Rng, ZipfSkewsTowardLowIndices) {
+  util::Rng rng(17);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(20, 1.8)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 4);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  util::Rng rng(18);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  util::Rng rng(19);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.15);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  util::Rng rng(20);
+  const std::vector<double> neg = {1.0, -0.5};
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(neg), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(zero), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  util::Rng rng(21);
+  const auto idx = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto i : unique) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  util::Rng rng(22);
+  auto idx = rng.sample_without_replacement(10, 10);
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKGreaterThanN) {
+  util::Rng rng(23);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  util::Rng rng(24);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identical
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(25);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace iotax

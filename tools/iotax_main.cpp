@@ -1,0 +1,261 @@
+// The iotax command-line tool: the paper's workflow as shell commands.
+//
+//   iotax simulate --preset theta --out DIR        generate logs + dataset
+//   iotax parse    --archive FILE [--binary] [--lenient]
+//   iotax bound    --dataset FILE                  litmus 1 (app bound)
+//   iotax noise    --dataset FILE [--window SECS]  litmus 4/5 (I/O bands)
+//   iotax taxonomy --dataset FILE [--no-uq] [--report OUT.csv]
+//   iotax importance --dataset FILE                what the model relies on
+//
+// Datasets are the CSV files written by `simulate` (or by
+// data::write_dataset_csv); archives are the text/binary job-log formats.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <set>
+
+#include "src/cli/args.hpp"
+#include "src/data/split.hpp"
+#include "src/data/table_io.hpp"
+#include "src/ml/metrics.hpp"
+#include "src/sim/dataset_builder.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/drift.hpp"
+#include "src/taxonomy/interpret.hpp"
+#include "src/taxonomy/litmus.hpp"
+#include "src/taxonomy/pipeline.hpp"
+#include "src/taxonomy/report_io.hpp"
+#include "src/telemetry/binary_log.hpp"
+#include "src/telemetry/darshan_log.hpp"
+
+namespace {
+
+using namespace iotax;
+
+int usage() {
+  std::fprintf(stderr, R"(usage: iotax <command> [options]
+
+commands:
+  simulate   --preset theta|cori|tiny [--seed N] --out DIR
+             run the system simulator; writes jobs.darshan.txt,
+             jobs.darshan.bin and dataset.csv into DIR
+  parse      --archive FILE [--binary] [--lenient]
+             parse a job-log archive and report record/corruption counts
+  bound      --dataset FILE
+             litmus 1: the application-modeling error lower bound
+  noise      --dataset FILE [--window SECS]
+             litmus 4/5: concurrent duplicates, Student-t fit, I/O bands
+  taxonomy   --dataset FILE [--no-uq] [--report OUT.csv]
+             the full five-step framework (Fig. 7 of the paper)
+  importance --dataset FILE
+             train a GBT and report which counters it relies on
+  drift      --dataset FILE [--train-frac F] [--window DAYS]
+             train on the first F of the timeline, monitor the rest
+)");
+  return 2;
+}
+
+sim::SimConfig preset_by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "theta") return sim::theta_like(seed);
+  if (name == "cori") return sim::cori_like(seed);
+  if (name == "tiny") return sim::tiny_system(seed);
+  throw std::invalid_argument("unknown preset '" + name +
+                              "' (theta|cori|tiny)");
+}
+
+data::Dataset load_dataset(const cli::Args& args) {
+  return data::read_dataset_csv(args.get("dataset"), "dataset");
+}
+
+int cmd_simulate(const cli::Args& args) {
+  args.check_allowed({"preset", "seed", "out"});
+  const auto cfg = preset_by_name(
+      args.get_or("preset", "tiny"),
+      static_cast<std::uint64_t>(args.get_int_or("seed", 7)));
+  const std::filesystem::path dir = args.get("out");
+  std::filesystem::create_directories(dir);
+  std::printf("simulating %s (seed %llu)...\n", cfg.name.c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+  const auto res = sim::simulate(cfg);
+  telemetry::write_archive((dir / "jobs.darshan.txt").string(), res.records);
+  telemetry::write_binary_archive_file((dir / "jobs.darshan.bin").string(),
+                                       res.records);
+  data::write_dataset_csv((dir / "dataset.csv").string(), res.dataset);
+  std::printf("%zu jobs -> %s/{jobs.darshan.txt,jobs.darshan.bin,"
+              "dataset.csv}\n",
+              res.dataset.size(), dir.string().c_str());
+  return 0;
+}
+
+int cmd_parse(const cli::Args& args) {
+  args.check_allowed({"archive", "binary", "lenient"});
+  const bool strict = !args.has("lenient");
+  telemetry::ParseStats stats;
+  std::vector<telemetry::JobLogRecord> records;
+  if (args.has("binary")) {
+    records = telemetry::read_binary_archive_file(args.get("archive"),
+                                                  strict, &stats);
+  } else {
+    records =
+        telemetry::parse_archive_file(args.get("archive"), strict, &stats);
+  }
+  std::printf("parsed %zu records, skipped %zu corrupt\n", stats.parsed,
+              stats.skipped);
+  if (!records.empty()) {
+    std::printf("first job: id=%llu nprocs=%u perf=%.1f MiB/s\n",
+                static_cast<unsigned long long>(records.front().job_id),
+                records.front().n_procs, records.front().agg_perf_mib);
+  }
+  return stats.skipped == 0 ? 0 : 1;
+}
+
+int cmd_bound(const cli::Args& args) {
+  args.check_allowed({"dataset"});
+  const auto ds = load_dataset(args);
+  const auto bound = taxonomy::litmus_application_bound(ds);
+  std::printf("jobs: %zu, duplicates: %zu (%.1f%%) in %zu sets "
+              "(largest %zu)\n",
+              ds.size(), bound.stats.n_duplicate_jobs,
+              bound.stats.duplicate_fraction * 100.0, bound.stats.n_sets,
+              bound.stats.largest_set);
+  std::printf("application-modeling bound: %.2f%% median |log10| error "
+              "(mean %.2f%%)\n",
+              ml::log_error_to_percent(bound.median_abs_error),
+              ml::log_error_to_percent(bound.mean_abs_error));
+  return 0;
+}
+
+int cmd_noise(const cli::Args& args) {
+  args.check_allowed({"dataset", "window"});
+  const auto ds = load_dataset(args);
+  const auto noise = taxonomy::litmus_noise_bound(
+      ds, args.get_double_or("window", 1.0));
+  std::printf("concurrent duplicate sets: %zu (%zu jobs); pairs %.0f%%, "
+              "<=6 members %.0f%%\n",
+              noise.n_sets, noise.n_jobs, noise.frac_sets_of_two * 100.0,
+              noise.frac_sets_leq_six * 100.0);
+  std::printf("Student-t df=%.1f (t preferred over Normal by %.4f "
+              "nats/sample)\n",
+              noise.t_fit.df, noise.t_preference);
+  std::printf("irreducible error floor: %.2f%% median\n",
+              ml::log_error_to_percent(noise.median_abs_error));
+  std::printf("expect throughput within +-%.2f%% (68%%) / +-%.2f%% (95%%) "
+              "of prediction\n",
+              noise.band68_pct, noise.band95_pct);
+  return 0;
+}
+
+int cmd_taxonomy(const cli::Args& args) {
+  args.check_allowed({"dataset", "no-uq", "report"});
+  const auto ds = load_dataset(args);
+  taxonomy::PipelineConfig pc;
+  pc.run_uq = !args.has("no-uq");
+  const auto report = taxonomy::run_taxonomy(ds, pc);
+  std::cout << taxonomy::render_report(report);
+  if (args.has("report")) {
+    taxonomy::write_report_csv(args.get("report"), report);
+    std::printf("report written to %s\n", args.get("report").c_str());
+  }
+  return 0;
+}
+
+int cmd_importance(const cli::Args& args) {
+  args.check_allowed({"dataset"});
+  const auto ds = load_dataset(args);
+  util::Rng rng(3);
+  const auto split = data::random_split(ds.size(), 0.8, 0.0, rng);
+  std::vector<taxonomy::FeatureSet> feats = {taxonomy::FeatureSet::kPosix,
+                                             taxonomy::FeatureSet::kMpiio};
+  if (ds.features.has_column("LMT_OSS_CPU_MEAN")) {
+    feats.push_back(taxonomy::FeatureSet::kLmt);
+  }
+  ml::GbtParams params;
+  params.n_estimators = 96;
+  params.max_depth = 8;
+  ml::GradientBoostedTrees model(params);
+  model.fit(taxonomy::feature_matrix(ds, feats, split.train),
+            taxonomy::targets(ds, split.train));
+  const double err = ml::median_abs_log_error(
+      taxonomy::targets(ds, split.test),
+      model.predict(taxonomy::feature_matrix(ds, feats, split.test)));
+  std::printf("model: %s, held-out error %.2f%%\n\n", model.name().c_str(),
+              ml::log_error_to_percent(err));
+  const auto ranked = taxonomy::ranked_importances(
+      model, taxonomy::feature_columns(ds, feats));
+  std::cout << taxonomy::render_importance_report(ranked);
+  return 0;
+}
+
+int cmd_drift(const cli::Args& args) {
+  args.check_allowed({"dataset", "train-frac", "window"});
+  const auto ds = load_dataset(args);
+  const double train_frac = args.get_double_or("train-frac", 0.5);
+  if (train_frac <= 0.0 || train_frac >= 1.0) {
+    throw std::invalid_argument("--train-frac must be in (0,1)");
+  }
+  double t_min = 1e300;
+  double t_max = -1e300;
+  for (const auto& m : ds.meta) {
+    t_min = std::min(t_min, m.start_time);
+    t_max = std::max(t_max, m.start_time);
+  }
+  const double cutoff = t_min + (t_max - t_min) * train_frac;
+  const auto train_rows = ds.rows_in_window(t_min, cutoff);
+  const auto stream_rows = ds.rows_in_window(cutoff, 1e300);
+  if (train_rows.size() < 100 || stream_rows.size() < 100) {
+    throw std::invalid_argument("drift: too few jobs on one side of the cut");
+  }
+  // Hold out the last fifth of the training period as the reference.
+  const auto n_fit = train_rows.size() * 4 / 5;
+  const std::vector<std::size_t> fit_rows(train_rows.begin(),
+                                          train_rows.begin() +
+                                              static_cast<long>(n_fit));
+  std::vector<std::size_t> watch_rows(train_rows.begin() +
+                                          static_cast<long>(n_fit),
+                                      train_rows.end());
+  watch_rows.insert(watch_rows.end(), stream_rows.begin(),
+                    stream_rows.end());
+
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  ml::GradientBoostedTrees model({.n_estimators = 96, .max_depth = 8});
+  model.fit(taxonomy::feature_matrix(ds, feats, fit_rows),
+            taxonomy::targets(ds, fit_rows));
+  const auto pred =
+      model.predict(taxonomy::feature_matrix(ds, feats, watch_rows));
+  const auto y = taxonomy::targets(ds, watch_rows);
+  std::vector<double> times(watch_rows.size());
+  std::vector<double> errors(watch_rows.size());
+  for (std::size_t i = 0; i < watch_rows.size(); ++i) {
+    times[i] = ds.meta[watch_rows[i]].start_time;
+    errors[i] = pred[i] - y[i];
+  }
+  taxonomy::DriftParams params;
+  params.window_seconds = 86400.0 * args.get_double_or("window", 7.0);
+  const auto report = taxonomy::monitor_drift(times, errors, params);
+  std::cout << taxonomy::render_drift_report(report);
+  return report.n_alarms == 0 ? 0 : 3;  // exit code flags drift for scripts
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const cli::Args args(argc - 2, argv + 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "parse") return cmd_parse(args);
+    if (command == "bound") return cmd_bound(args);
+    if (command == "noise") return cmd_noise(args);
+    if (command == "taxonomy") return cmd_taxonomy(args);
+    if (command == "importance") return cmd_importance(args);
+    if (command == "drift") return cmd_drift(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iotax %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
