@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_groundtruth"
+  "../bench/bench_ablation_groundtruth.pdb"
+  "CMakeFiles/bench_ablation_groundtruth.dir/bench_ablation_groundtruth.cpp.o"
+  "CMakeFiles/bench_ablation_groundtruth.dir/bench_ablation_groundtruth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_setsize"
+  "../bench/bench_ablation_setsize.pdb"
+  "CMakeFiles/bench_ablation_setsize.dir/bench_ablation_setsize.cpp.o"
+  "CMakeFiles/bench_ablation_setsize.dir/bench_ablation_setsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_setsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_uq"
+  "../bench/bench_ablation_uq.pdb"
+  "CMakeFiles/bench_ablation_uq.dir/bench_ablation_uq.cpp.o"
+  "CMakeFiles/bench_ablation_uq.dir/bench_ablation_uq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

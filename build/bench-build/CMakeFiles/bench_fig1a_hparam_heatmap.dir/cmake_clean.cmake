@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1a_hparam_heatmap"
+  "../bench/bench_fig1a_hparam_heatmap.pdb"
+  "CMakeFiles/bench_fig1a_hparam_heatmap.dir/bench_fig1a_hparam_heatmap.cpp.o"
+  "CMakeFiles/bench_fig1a_hparam_heatmap.dir/bench_fig1a_hparam_heatmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_hparam_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

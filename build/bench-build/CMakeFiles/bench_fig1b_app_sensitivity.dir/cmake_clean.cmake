@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1b_app_sensitivity"
+  "../bench/bench_fig1b_app_sensitivity.pdb"
+  "CMakeFiles/bench_fig1b_app_sensitivity.dir/bench_fig1b_app_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig1b_app_sensitivity.dir/bench_fig1b_app_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_app_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

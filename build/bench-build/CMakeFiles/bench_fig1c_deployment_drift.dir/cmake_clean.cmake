@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1c_deployment_drift"
+  "../bench/bench_fig1c_deployment_drift.pdb"
+  "CMakeFiles/bench_fig1c_deployment_drift.dir/bench_fig1c_deployment_drift.cpp.o"
+  "CMakeFiles/bench_fig1c_deployment_drift.dir/bench_fig1c_deployment_drift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_deployment_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_nas"
+  "../bench/bench_fig2_nas.pdb"
+  "CMakeFiles/bench_fig2_nas.dir/bench_fig2_nas.cpp.o"
+  "CMakeFiles/bench_fig2_nas.dir/bench_fig2_nas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

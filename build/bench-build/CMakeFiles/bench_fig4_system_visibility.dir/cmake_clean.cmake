@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_system_visibility"
+  "../bench/bench_fig4_system_visibility.pdb"
+  "CMakeFiles/bench_fig4_system_visibility.dir/bench_fig4_system_visibility.cpp.o"
+  "CMakeFiles/bench_fig4_system_visibility.dir/bench_fig4_system_visibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_system_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_au_eu"
+  "../bench/bench_fig5_au_eu.pdb"
+  "CMakeFiles/bench_fig5_au_eu.dir/bench_fig5_au_eu.cpp.o"
+  "CMakeFiles/bench_fig5_au_eu.dir/bench_fig5_au_eu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_au_eu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

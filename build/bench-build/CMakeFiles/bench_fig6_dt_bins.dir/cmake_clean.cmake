@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_dt_bins"
+  "../bench/bench_fig6_dt_bins.pdb"
+  "CMakeFiles/bench_fig6_dt_bins.dir/bench_fig6_dt_bins.cpp.o"
+  "CMakeFiles/bench_fig6_dt_bins.dir/bench_fig6_dt_bins.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dt_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

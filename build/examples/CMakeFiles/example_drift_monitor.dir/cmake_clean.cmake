@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drift_monitor.dir/drift_monitor.cpp.o"
+  "CMakeFiles/example_drift_monitor.dir/drift_monitor.cpp.o.d"
+  "example_drift_monitor"
+  "example_drift_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drift_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_log_roundtrip.dir/log_roundtrip.cpp.o"
+  "CMakeFiles/example_log_roundtrip.dir/log_roundtrip.cpp.o.d"
+  "example_log_roundtrip"
+  "example_log_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_log_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ood_detector.dir/ood_detector.cpp.o"
+  "CMakeFiles/example_ood_detector.dir/ood_detector.cpp.o.d"
+  "example_ood_detector"
+  "example_ood_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ood_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_system_noise_audit.dir/system_noise_audit.cpp.o"
+  "CMakeFiles/example_system_noise_audit.dir/system_noise_audit.cpp.o.d"
+  "example_system_noise_audit"
+  "example_system_noise_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_system_noise_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_atlas.dir/workload_atlas.cpp.o"
+  "CMakeFiles/example_workload_atlas.dir/workload_atlas.cpp.o.d"
+  "example_workload_atlas"
+  "example_workload_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/iotax.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/cli/args.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/iotax.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/CMakeFiles/iotax.dir/data/matrix.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/matrix.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/CMakeFiles/iotax.dir/data/scaler.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/scaler.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/CMakeFiles/iotax.dir/data/split.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/split.cpp.o.d"
+  "/root/repo/src/data/table.cpp" "src/CMakeFiles/iotax.dir/data/table.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/table.cpp.o.d"
+  "/root/repo/src/data/table_io.cpp" "src/CMakeFiles/iotax.dir/data/table_io.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/data/table_io.cpp.o.d"
+  "/root/repo/src/ml/binning.cpp" "src/CMakeFiles/iotax.dir/ml/binning.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/binning.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/CMakeFiles/iotax.dir/ml/ensemble.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/ensemble.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/CMakeFiles/iotax.dir/ml/gbt.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/gbt.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/iotax.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/CMakeFiles/iotax.dir/ml/linear.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/iotax.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/CMakeFiles/iotax.dir/ml/model.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/model.cpp.o.d"
+  "/root/repo/src/ml/nas.cpp" "src/CMakeFiles/iotax.dir/ml/nas.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/nas.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/CMakeFiles/iotax.dir/ml/nn.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/nn.cpp.o.d"
+  "/root/repo/src/ml/search.cpp" "src/CMakeFiles/iotax.dir/ml/search.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/search.cpp.o.d"
+  "/root/repo/src/ml/uq_gbt.cpp" "src/CMakeFiles/iotax.dir/ml/uq_gbt.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/ml/uq_gbt.cpp.o.d"
+  "/root/repo/src/sim/app_model.cpp" "src/CMakeFiles/iotax.dir/sim/app_model.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/app_model.cpp.o.d"
+  "/root/repo/src/sim/contention.cpp" "src/CMakeFiles/iotax.dir/sim/contention.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/contention.cpp.o.d"
+  "/root/repo/src/sim/dataset_builder.cpp" "src/CMakeFiles/iotax.dir/sim/dataset_builder.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/dataset_builder.cpp.o.d"
+  "/root/repo/src/sim/lmt_gen.cpp" "src/CMakeFiles/iotax.dir/sim/lmt_gen.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/lmt_gen.cpp.o.d"
+  "/root/repo/src/sim/ost_load.cpp" "src/CMakeFiles/iotax.dir/sim/ost_load.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/ost_load.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/iotax.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/CMakeFiles/iotax.dir/sim/presets.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/presets.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/iotax.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/weather.cpp" "src/CMakeFiles/iotax.dir/sim/weather.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/weather.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/iotax.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/sim/workload.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/iotax.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/iotax.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/iotax.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/CMakeFiles/iotax.dir/stats/fitting.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/stats/fitting.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/iotax.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/taxonomy/clusters.cpp" "src/CMakeFiles/iotax.dir/taxonomy/clusters.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/clusters.cpp.o.d"
+  "/root/repo/src/taxonomy/drift.cpp" "src/CMakeFiles/iotax.dir/taxonomy/drift.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/drift.cpp.o.d"
+  "/root/repo/src/taxonomy/duplicates.cpp" "src/CMakeFiles/iotax.dir/taxonomy/duplicates.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/duplicates.cpp.o.d"
+  "/root/repo/src/taxonomy/feature_sets.cpp" "src/CMakeFiles/iotax.dir/taxonomy/feature_sets.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/feature_sets.cpp.o.d"
+  "/root/repo/src/taxonomy/interpret.cpp" "src/CMakeFiles/iotax.dir/taxonomy/interpret.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/interpret.cpp.o.d"
+  "/root/repo/src/taxonomy/litmus.cpp" "src/CMakeFiles/iotax.dir/taxonomy/litmus.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/litmus.cpp.o.d"
+  "/root/repo/src/taxonomy/pipeline.cpp" "src/CMakeFiles/iotax.dir/taxonomy/pipeline.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/pipeline.cpp.o.d"
+  "/root/repo/src/taxonomy/report_io.cpp" "src/CMakeFiles/iotax.dir/taxonomy/report_io.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/taxonomy/report_io.cpp.o.d"
+  "/root/repo/src/telemetry/binary_log.cpp" "src/CMakeFiles/iotax.dir/telemetry/binary_log.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/binary_log.cpp.o.d"
+  "/root/repo/src/telemetry/cobalt.cpp" "src/CMakeFiles/iotax.dir/telemetry/cobalt.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/cobalt.cpp.o.d"
+  "/root/repo/src/telemetry/counters.cpp" "src/CMakeFiles/iotax.dir/telemetry/counters.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/counters.cpp.o.d"
+  "/root/repo/src/telemetry/darshan_log.cpp" "src/CMakeFiles/iotax.dir/telemetry/darshan_log.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/darshan_log.cpp.o.d"
+  "/root/repo/src/telemetry/io_signature.cpp" "src/CMakeFiles/iotax.dir/telemetry/io_signature.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/io_signature.cpp.o.d"
+  "/root/repo/src/telemetry/lmt.cpp" "src/CMakeFiles/iotax.dir/telemetry/lmt.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/lmt.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/iotax.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/iotax.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/iotax.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/str.cpp" "src/CMakeFiles/iotax.dir/util/str.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/str.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binary_log_test.cpp" "tests/CMakeFiles/iotax_tests.dir/binary_log_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/binary_log_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/iotax_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/clusters_test.cpp" "tests/CMakeFiles/iotax_tests.dir/clusters_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/clusters_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/iotax_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/iotax_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/drift_test.cpp" "tests/CMakeFiles/iotax_tests.dir/drift_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/drift_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/iotax_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/extras_test.cpp" "tests/CMakeFiles/iotax_tests.dir/extras_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/extras_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/iotax_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/iotax_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/ml_test.cpp.o.d"
+  "/root/repo/tests/ost_load_test.cpp" "tests/CMakeFiles/iotax_tests.dir/ost_load_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/ost_load_test.cpp.o.d"
+  "/root/repo/tests/property_ml_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_ml_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_ml_test.cpp.o.d"
+  "/root/repo/tests/property_sim_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_sim_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_sim_test.cpp.o.d"
+  "/root/repo/tests/property_stats_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_stats_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_stats_test.cpp.o.d"
+  "/root/repo/tests/search_test.cpp" "tests/CMakeFiles/iotax_tests.dir/search_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/search_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/iotax_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/iotax_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/iotax_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/taxonomy_test.cpp" "tests/CMakeFiles/iotax_tests.dir/taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/taxonomy_test.cpp.o.d"
+  "/root/repo/tests/telemetry_test.cpp" "tests/CMakeFiles/iotax_tests.dir/telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/telemetry_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/iotax_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/iotax_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/util_rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotax.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotax_cli.dir/iotax_main.cpp.o"
+  "CMakeFiles/iotax_cli.dir/iotax_main.cpp.o.d"
+  "iotax"
+  "iotax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotax_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
