@@ -1,14 +1,20 @@
 // Performance microbenchmarks (google-benchmark) for the library's hot
-// kernels: simulation, log writing/parsing, feature binning, GBT and MLP
-// training, and prediction. These guard the single-core throughput that
-// keeps the figure benches tractable.
+// kernels: simulation, log writing/parsing, feature binning, GBT, MLP
+// and ensemble training, hyperparameter search, and prediction. The
+// thread-parameterized benches (Arg = IOTAX_THREADS) track the
+// wall-clock speedup of the deterministic thread-pool paths; the rest
+// guard single-core throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "src/ml/binning.hpp"
+#include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
 #include "src/ml/nn.hpp"
+#include "src/ml/search.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/taxonomy/duplicates.hpp"
@@ -18,6 +24,15 @@
 namespace {
 
 using namespace iotax;
+
+// Pin the pool width for one thread-parameterized benchmark run.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(long n) {
+    ::setenv("IOTAX_THREADS", std::to_string(n).c_str(), 1);
+  }
+  ~ScopedThreads() { ::unsetenv("IOTAX_THREADS"); }
+};
 
 const sim::SimulationResult& shared_result() {
   static const sim::SimulationResult res = [] {
@@ -130,6 +145,81 @@ void BM_MlpFitEpoch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(x.rows()));
 }
 BENCHMARK(BM_MlpFitEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_GbtFitThreaded(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ScopedThreads threads(state.range(0));
+  ml::GbtParams params;
+  params.n_estimators = 32;
+  params.max_depth = 6;
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.n_trees());
+  }
+}
+BENCHMARK(BM_GbtFitThreaded)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_EnsembleFit(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ScopedThreads threads(state.range(0));
+  ml::EnsembleParams params;
+  params.size = 4;
+  params.epochs = 2;
+  for (auto _ : state) {
+    ml::DeepEnsemble ens(params);
+    ens.fit(x, y);
+    benchmark::DoNotOptimize(ens.size());
+  }
+}
+BENCHMARK(BM_EnsembleFit)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_GridSearch(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  // Front 3/4 train, back 1/4 validation — enough rows for a stable fit.
+  const std::size_t split = x.rows() * 3 / 4;
+  std::vector<std::size_t> train_rows(split);
+  std::vector<std::size_t> val_rows(x.rows() - split);
+  for (std::size_t i = 0; i < split; ++i) train_rows[i] = i;
+  for (std::size_t i = split; i < x.rows(); ++i) val_rows[i - split] = i;
+  const auto x_train = x.take_rows(train_rows);
+  const auto x_val = x.take_rows(val_rows);
+  const std::vector<double> y_train(y.begin(), y.begin() + split);
+  const std::vector<double> y_val(y.begin() + split, y.end());
+  ScopedThreads threads(state.range(0));
+  ml::GbtGrid grid;
+  grid.n_estimators = {8, 16};
+  grid.max_depth = {3, 6};
+  grid.subsample = {1.0};
+  grid.colsample = {1.0};
+  for (auto _ : state) {
+    const auto res = ml::grid_search(grid, x_train, y_train, x_val, y_val);
+    benchmark::DoNotOptimize(res.best.val_error);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // grid points
+}
+BENCHMARK(BM_GridSearch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_FindDuplicates(benchmark::State& state) {
   const auto& ds = shared_result().dataset;

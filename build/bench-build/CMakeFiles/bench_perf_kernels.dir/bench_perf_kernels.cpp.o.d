@@ -204,8 +204,8 @@ bench-build/CMakeFiles/bench_perf_kernels.dir/bench_perf_kernels.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/ml/binning.hpp \
  /root/repo/src/../src/data/matrix.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/../src/ml/gbt.hpp \
- /root/repo/src/../src/ml/model.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/array /root/repo/src/../src/ml/ensemble.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -218,8 +218,15 @@ bench-build/CMakeFiles/bench_perf_kernels.dir/bench_perf_kernels.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/../src/util/rng.hpp /root/repo/src/../src/ml/nn.hpp \
- /root/repo/src/../src/data/scaler.hpp \
+ /root/repo/src/../src/ml/nas.hpp /root/repo/src/../src/ml/metrics.hpp \
+ /root/repo/src/../src/ml/nn.hpp /root/repo/src/../src/data/scaler.hpp \
+ /root/repo/src/../src/ml/model.hpp /root/repo/src/../src/util/rng.hpp \
+ /root/repo/src/../src/ml/gbt.hpp /root/repo/src/../src/ml/search.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/../src/sim/presets.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
  /root/repo/src/../src/data/dataset.hpp \
@@ -232,10 +239,6 @@ bench-build/CMakeFiles/bench_perf_kernels.dir/bench_perf_kernels.cpp.o: \
  /root/repo/src/../src/sim/ost_load.hpp \
  /root/repo/src/../src/sim/dataset_builder.hpp \
  /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/../src/telemetry/darshan_log.hpp \
  /root/repo/src/../src/telemetry/lmt.hpp \
  /root/repo/src/../src/sim/weather.hpp \

@@ -57,6 +57,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/telemetry/lmt.cpp" "src/CMakeFiles/iotax.dir/telemetry/lmt.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/telemetry/lmt.cpp.o.d"
   "/root/repo/src/util/csv.cpp" "src/CMakeFiles/iotax.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/csv.cpp.o.d"
   "/root/repo/src/util/env.cpp" "src/CMakeFiles/iotax.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/iotax.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/parallel.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/iotax.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/str.cpp" "src/CMakeFiles/iotax.dir/util/str.cpp.o" "gcc" "src/CMakeFiles/iotax.dir/util/str.cpp.o.d"
   )

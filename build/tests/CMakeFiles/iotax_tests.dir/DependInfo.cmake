@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/iotax_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/integration_test.cpp.o.d"
   "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/iotax_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/ml_test.cpp.o.d"
   "/root/repo/tests/ost_load_test.cpp" "tests/CMakeFiles/iotax_tests.dir/ost_load_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/ost_load_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/iotax_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/parallel_test.cpp.o.d"
   "/root/repo/tests/property_ml_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_ml_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_ml_test.cpp.o.d"
   "/root/repo/tests/property_sim_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_sim_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_sim_test.cpp.o.d"
   "/root/repo/tests/property_stats_test.cpp" "tests/CMakeFiles/iotax_tests.dir/property_stats_test.cpp.o" "gcc" "tests/CMakeFiles/iotax_tests.dir/property_stats_test.cpp.o.d"

@@ -297,7 +297,9 @@ tests/CMakeFiles/iotax_tests.dir/determinism_test.cpp.o: \
  /root/repo/src/../src/ml/metrics.hpp /usr/include/c++/12/span \
  /root/repo/src/../src/ml/nn.hpp /root/repo/src/../src/data/scaler.hpp \
  /root/repo/src/../src/data/matrix.hpp /root/repo/src/../src/ml/model.hpp \
- /root/repo/src/../src/util/rng.hpp /root/repo/src/../src/sim/presets.hpp \
+ /root/repo/src/../src/util/rng.hpp /root/repo/src/../src/ml/gbt.hpp \
+ /root/repo/src/../src/ml/binning.hpp /root/repo/src/../src/ml/search.hpp \
+ /root/repo/src/../src/sim/presets.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
  /root/repo/src/../src/data/dataset.hpp \
  /root/repo/src/../src/data/table.hpp \
@@ -311,9 +313,10 @@ tests/CMakeFiles/iotax_tests.dir/determinism_test.cpp.o: \
  /root/repo/src/../src/telemetry/darshan_log.hpp \
  /root/repo/src/../src/telemetry/lmt.hpp \
  /root/repo/src/../src/sim/weather.hpp \
+ /root/repo/src/../src/stats/bootstrap.hpp \
+ /root/repo/src/../src/stats/descriptive.hpp \
  /root/repo/src/../src/taxonomy/pipeline.hpp \
- /root/repo/src/../src/data/split.hpp /root/repo/src/../src/ml/search.hpp \
- /root/repo/src/../src/ml/gbt.hpp /root/repo/src/../src/ml/binning.hpp \
+ /root/repo/src/../src/data/split.hpp \
  /root/repo/src/../src/taxonomy/litmus.hpp \
  /root/repo/src/../src/stats/fitting.hpp \
  /root/repo/src/../src/stats/distributions.hpp \

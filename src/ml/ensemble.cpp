@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace iotax::ml {
 
 DeepEnsemble::DeepEnsemble(EnsembleParams params)
@@ -33,8 +35,12 @@ void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
     }
   }
 
+  // Draw every member's params up front — the single serial RNG pass —
+  // so member training below is embarrassingly parallel yet the param
+  // stream is identical to the sequential loop.
   NasParams space = params_.space;
   space.nll_head = true;
+  std::vector<MlpParams> member_params(params_.size);
   for (std::size_t k = 0; k < params_.size; ++k) {
     MlpParams mp;
     if (k < seeds.size()) {
@@ -54,10 +60,15 @@ void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
     mp.nll_head = true;
     mp.epochs = params_.epochs;
     mp.seed = rng.next();  // different init + shuffle per member
-    auto member = std::make_unique<Mlp>(mp);
-    member->fit(x, y);
-    members_.push_back(std::move(member));
+    member_params[k] = std::move(mp);
   }
+
+  members_ = util::parallel_map<std::unique_ptr<Mlp>>(
+      params_.size, [&](std::size_t k) {
+        auto member = std::make_unique<Mlp>(member_params[k]);
+        member->fit(x, y);
+        return member;
+      });
 }
 
 UncertaintyPrediction DeepEnsemble::predict_uncertainty(
@@ -66,21 +77,40 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
     throw std::logic_error("DeepEnsemble::predict_uncertainty: not fitted");
   }
   const std::size_t n = x.rows();
-  const auto k = static_cast<double>(members_.size());
+  const std::size_t k = members_.size();
   UncertaintyPrediction out;
   out.mean.assign(n, 0.0);
   out.aleatory.assign(n, 0.0);
   out.epistemic.assign(n, 0.0);
   std::vector<double> mean_sq(n, 0.0);
-  for (const auto& member : members_) {
-    const auto pred = member->predict_dist(x);
+
+  // Accumulate raw member sums and divide by k once at the end; the
+  // member-order accumulation below is identical in the serial and
+  // parallel branches, so both yield the same bits.
+  const auto accumulate = [&](const DistPrediction& pred) {
     for (std::size_t i = 0; i < n; ++i) {
-      out.mean[i] += pred.mean[i] / k;
-      mean_sq[i] += pred.mean[i] * pred.mean[i] / k;
-      out.aleatory[i] += pred.variance[i] / k;
+      out.mean[i] += pred.mean[i];
+      mean_sq[i] += pred.mean[i] * pred.mean[i];
+      out.aleatory[i] += pred.variance[i];
+    }
+  };
+  if (!util::in_parallel_region() && util::parallel_threads() > 1 && k > 1) {
+    std::vector<DistPrediction> preds(k);
+    util::parallel_for(
+        k, [&](std::size_t m) { members_[m]->predict_dist_into(x, &preds[m]); });
+    for (const auto& pred : preds) accumulate(pred);
+  } else {
+    DistPrediction pred;  // one buffer reused across the member loop
+    for (const auto& member : members_) {
+      member->predict_dist_into(x, &pred);
+      accumulate(pred);
     }
   }
+  const auto kd = static_cast<double>(k);
   for (std::size_t i = 0; i < n; ++i) {
+    out.mean[i] /= kd;
+    mean_sq[i] /= kd;
+    out.aleatory[i] /= kd;
     out.epistemic[i] = std::max(0.0, mean_sq[i] - out.mean[i] * out.mean[i]);
   }
   return out;

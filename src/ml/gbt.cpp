@@ -4,12 +4,30 @@
 #include <cmath>
 #include <istream>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
 #include "src/stats/descriptive.hpp"
+#include "src/util/parallel.hpp"
 
 namespace iotax::ml {
+
+namespace {
+
+/// Best split found within one feature; `valid` is false when no bin
+/// cleared the minimum gain.
+struct SplitCandidate {
+  double gain = 0.0;
+  std::size_t bin = 0;
+  bool valid = false;
+};
+
+// Node size (rows in node × features scanned) below which the
+// per-feature scan stays serial: dispatch overhead would beat the win.
+constexpr std::size_t kParallelScanWork = 8192;
+
+}  // namespace
 
 void GbtParams::validate() const {
   if (n_estimators == 0) throw std::invalid_argument("GbtParams: 0 trees");
@@ -67,10 +85,11 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
   tree.nodes.push_back({});
   stack.push_back({0, 0, order.size(), 0});
 
-  // Per-feature histogram workspace (hessian == 1 for squared loss, so we
-  // track gradient sums and counts).
+  // Per-feature histogram workspace for the serial path (hessian == 1
+  // for squared loss, so we track gradient sums and counts).
   std::vector<double> hist_grad(binned.max_bins_used());
   std::vector<double> hist_count(binned.max_bins_used());
+  std::vector<SplitCandidate> candidates;
 
   while (!stack.empty()) {
     const Item item = stack.back();
@@ -91,26 +110,29 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
       continue;
     }
 
-    // Best split over the sampled features.
-    int best_feature = -1;
-    std::size_t best_bin = 0;
-    double best_gain = params_.min_split_gain;
-    for (const std::size_t f : features) {
+    // Histogram + best-bin scan of one feature. The within-feature
+    // strict `>` picks the first bin attaining the feature's max gain,
+    // so folding features in fixed order below reproduces the
+    // sequential first-feature-wins selection exactly.
+    const auto scan_feature = [&](std::size_t f, std::vector<double>& hg,
+                                  std::vector<double>& hc) -> SplitCandidate {
+      SplitCandidate cand;
       const std::size_t bins = binned.n_bins(f);
-      if (bins < 2) continue;
-      std::fill(hist_grad.begin(), hist_grad.begin() + bins, 0.0);
-      std::fill(hist_count.begin(), hist_count.begin() + bins, 0.0);
+      if (bins < 2) return cand;
+      std::fill(hg.begin(), hg.begin() + static_cast<long>(bins), 0.0);
+      std::fill(hc.begin(), hc.begin() + static_cast<long>(bins), 0.0);
       for (std::size_t i = item.lo; i < item.hi; ++i) {
         const std::size_t r = order[i];
         const auto b = binned.code(r, f);
-        hist_grad[b] += grad[r];
-        hist_count[b] += 1.0;
+        hg[b] += grad[r];
+        hc[b] += 1.0;
       }
       double gl = 0.0;
       double hl = 0.0;
+      double best = params_.min_split_gain;
       for (std::size_t b = 0; b + 1 < bins; ++b) {
-        gl += hist_grad[b];
-        hl += hist_count[b];
+        gl += hg[b];
+        hl += hc[b];
         const double hr = h_total - hl;
         if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
           continue;
@@ -119,11 +141,43 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
         const double gain = gl * gl / (hl + params_.reg_lambda) +
                             gr * gr / (hr + params_.reg_lambda) -
                             parent_score;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_feature = static_cast<int>(f);
-          best_bin = b;
+        if (gain > best) {
+          best = gain;
+          cand.gain = gain;
+          cand.bin = b;
+          cand.valid = true;
         }
+      }
+      return cand;
+    };
+
+    candidates.assign(features.size(), SplitCandidate{});
+    if (n * features.size() >= kParallelScanWork && features.size() >= 2) {
+      util::parallel_for(features.size(), [&](std::size_t j) {
+        // Pool workers are long-lived, so each keeps its own workspace.
+        static thread_local std::vector<double> tl_hg;
+        static thread_local std::vector<double> tl_hc;
+        if (tl_hg.size() < binned.max_bins_used()) {
+          tl_hg.resize(binned.max_bins_used());
+          tl_hc.resize(binned.max_bins_used());
+        }
+        candidates[j] = scan_feature(features[j], tl_hg, tl_hc);
+      });
+    } else {
+      for (std::size_t j = 0; j < features.size(); ++j) {
+        candidates[j] = scan_feature(features[j], hist_grad, hist_count);
+      }
+    }
+
+    // Fixed-order argmin reduction over the per-feature slots.
+    int best_feature = -1;
+    std::size_t best_bin = 0;
+    double best_gain = params_.min_split_gain;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      if (candidates[j].valid && candidates[j].gain > best_gain) {
+        best_gain = candidates[j].gain;
+        best_feature = static_cast<int>(features[j]);
+        best_bin = candidates[j].bin;
       }
     }
 
@@ -161,13 +215,31 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
 
 void GradientBoostedTrees::fit(const data::Matrix& x,
                                std::span<const double> y) {
-  fit_eval(x, y, data::Matrix(), {});
+  fit_impl(x, y, data::Matrix(), {}, nullptr);
+}
+
+void GradientBoostedTrees::fit_binned(const data::Matrix& x,
+                                      std::span<const double> y,
+                                      const BinnedMatrix& binned) {
+  if (binned.rows() != x.rows() || binned.cols() != x.cols()) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::fit_binned: binned view shape mismatch");
+  }
+  fit_impl(x, y, data::Matrix(), {}, &binned);
 }
 
 void GradientBoostedTrees::fit_eval(const data::Matrix& x,
                                     std::span<const double> y,
                                     const data::Matrix& x_val,
                                     std::span<const double> y_val) {
+  fit_impl(x, y, x_val, y_val, nullptr);
+}
+
+void GradientBoostedTrees::fit_impl(const data::Matrix& x,
+                                    std::span<const double> y,
+                                    const data::Matrix& x_val,
+                                    std::span<const double> y_val,
+                                    const BinnedMatrix* prebinned) {
   if (x_val.rows() != y_val.size()) {
     throw std::invalid_argument(
         "GradientBoostedTrees::fit_eval: validation size mismatch");
@@ -186,10 +258,13 @@ void GradientBoostedTrees::fit_eval(const data::Matrix& x,
                                       params_.quantile_alpha)
                     : stats::mean(y);
 
-  const BinnedMatrix binned =
-      params_.per_feature_bins.empty()
-          ? BinnedMatrix(x, params_.max_bins)
-          : BinnedMatrix(x, params_.per_feature_bins);
+  std::optional<BinnedMatrix> own_binned;
+  if (prebinned == nullptr) {
+    own_binned.emplace(params_.per_feature_bins.empty()
+                           ? BinnedMatrix(x, params_.max_bins)
+                           : BinnedMatrix(x, params_.per_feature_bins));
+  }
+  const BinnedMatrix& binned = prebinned != nullptr ? *prebinned : *own_binned;
   util::Rng rng(params_.seed);
 
   std::vector<double> preds(x.rows(), base_score_);
@@ -236,10 +311,16 @@ void GradientBoostedTrees::fit_eval(const data::Matrix& x,
             : all_features;
 
     Tree tree = build_tree(binned, rows, features, grad);
-    // Update running predictions on all rows.
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-      preds[i] += tree.predict(x.row(i));
-    }
+    // Update running predictions on all rows (per-index slots, so the
+    // result is identical at any thread count).
+    util::parallel_for_chunks(
+        x.rows(),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            preds[i] += tree.predict(x.row(i));
+          }
+        },
+        512);
     if (use_eval) {
       double sq = 0.0;
       for (std::size_t i = 0; i < x_val.rows(); ++i) {
@@ -275,10 +356,15 @@ std::vector<double> GradientBoostedTrees::predict(
         "GradientBoostedTrees::predict: feature count mismatch");
   }
   std::vector<double> out(x.rows(), base_score_);
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const auto row = x.row(i);
-    for (const auto& tree : trees_) out[i] += tree.predict(row);
-  }
+  util::parallel_for_chunks(
+      x.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto row = x.row(i);
+          for (const auto& tree : trees_) out[i] += tree.predict(row);
+        }
+      },
+      256);
   return out;
 }
 

@@ -55,6 +55,13 @@ class GradientBoostedTrees final : public Regressor {
 
   void fit(const data::Matrix& x, std::span<const double> y) override;
 
+  /// fit() reusing a pre-built binned view of `x`. The view must have
+  /// been built from this exact matrix with this model's bin budgets
+  /// (max_bins / per_feature_bins); hyperparameter searches use this to
+  /// bin the training set once per search instead of once per candidate.
+  void fit_binned(const data::Matrix& x, std::span<const double> y,
+                  const BinnedMatrix& binned);
+
   /// Fit with a validation set for early stopping: boosting stops once
   /// validation RMSE has not improved for early_stopping_rounds rounds,
   /// and the ensemble is truncated to the best round. With
@@ -94,6 +101,10 @@ class GradientBoostedTrees final : public Regressor {
                   const std::vector<std::size_t>& rows,
                   const std::vector<std::size_t>& features,
                   std::span<const double> grad);
+
+  void fit_impl(const data::Matrix& x, std::span<const double> y,
+                const data::Matrix& x_val, std::span<const double> y_val,
+                const BinnedMatrix* binned);
 
   GbtParams params_;
   double base_score_ = 0.0;

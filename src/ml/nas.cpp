@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace iotax::ml {
 
 namespace {
@@ -76,27 +78,42 @@ NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
   NasResult result;
   result.best.val_error = std::numeric_limits<double>::infinity();
 
-  const auto evaluate = [&](MlpParams params,
+  const auto evaluate = [&](const MlpParams& params,
                             std::size_t gen) -> NasCandidate {
     Mlp model(params);
     model.fit(x_train, y_train);
     NasCandidate cand;
-    cand.params = std::move(params);
+    cand.params = params;
     cand.val_error = median_abs_log_error(y_val, model.predict(x_val));
     cand.generation = gen;
     return cand;
   };
 
+  // Train a pre-drawn batch concurrently (slot per candidate), then fold
+  // serially in draw order so best-so-far flags, history order and the
+  // population append match the sequential loop exactly.
   std::vector<NasCandidate> population;
-  for (std::size_t i = 0; i < nas.population; ++i) {
-    auto cand = evaluate(random_architecture(nas, rng), 0);
-    if (cand.val_error < result.best.val_error) {
-      cand.improved_best = true;
-      result.best = cand;
+  const auto evaluate_batch = [&](const std::vector<MlpParams>& batch,
+                                  std::size_t gen) {
+    std::vector<NasCandidate> cands(batch.size());
+    util::parallel_for(batch.size(), [&](std::size_t i) {
+      cands[i] = evaluate(batch[i], gen);
+    });
+    for (auto& cand : cands) {
+      if (cand.val_error < result.best.val_error) {
+        cand.improved_best = true;
+        result.best = cand;
+      }
+      result.history.push_back(cand);
+      population.push_back(std::move(cand));
     }
-    result.history.push_back(cand);
-    population.push_back(std::move(cand));
+  };
+
+  std::vector<MlpParams> batch;
+  for (std::size_t i = 0; i < nas.population; ++i) {
+    batch.push_back(random_architecture(nas, rng));
   }
+  evaluate_batch(batch, 0);
 
   const auto n_survivors = std::max<std::size_t>(
       1, static_cast<std::size_t>(nas.survivor_frac *
@@ -107,20 +124,19 @@ NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
                 return a.val_error < b.val_error;
               });
     population.resize(n_survivors);
-    while (population.size() < nas.population) {
+    // Parents are the survivors only (rank < n_survivors), so all of a
+    // generation's children can be drawn before any is trained — one
+    // serial RNG pass, identical stream to the sequential loop.
+    batch.clear();
+    for (std::size_t c = n_survivors; c < nas.population; ++c) {
       // Rank-biased parent choice: better candidates breed more.
       const auto rank = static_cast<std::size_t>(std::min<double>(
           static_cast<double>(n_survivors) - 1.0,
           std::floor(std::fabs(rng.normal(0.0, 1.0)) *
                      static_cast<double>(n_survivors) / 2.0)));
-      auto cand = evaluate(mutate(population[rank].params, nas, rng), gen);
-      if (cand.val_error < result.best.val_error) {
-        cand.improved_best = true;
-        result.best = cand;
-      }
-      result.history.push_back(cand);
-      population.push_back(std::move(cand));
+      batch.push_back(mutate(population[rank].params, nas, rng));
     }
+    evaluate_batch(batch, gen);
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/stats/descriptive.hpp"
+#include "src/util/parallel.hpp"
 
 namespace iotax::ml {
 
@@ -248,37 +249,55 @@ void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
 std::vector<double> Mlp::predict(const data::Matrix& x) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
   const data::Matrix z = scaler_.transform(data::signed_log1p(x));
-  std::vector<double> acts(act_total_);
-  std::vector<char> masks;
   std::vector<double> out(z.rows());
   const std::size_t out_off = act_offsets_.back();
-  for (std::size_t r = 0; r < z.rows(); ++r) {
-    forward(z.row(r), &acts, nullptr, &masks);
-    out[r] = acts[out_off] * y_scale_ + y_mean_;
-  }
+  // Rows are independent; each chunk owns a scratch activation buffer
+  // and writes only its own output slots (bit-identical at any thread
+  // count).
+  util::parallel_for_chunks(
+      z.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> acts(act_total_);
+        std::vector<char> masks;
+        for (std::size_t r = lo; r < hi; ++r) {
+          forward(z.row(r), &acts, nullptr, &masks);
+          out[r] = acts[out_off] * y_scale_ + y_mean_;
+        }
+      },
+      64);
   return out;
 }
 
 DistPrediction Mlp::predict_dist(const data::Matrix& x) const {
+  DistPrediction pred;
+  predict_dist_into(x, &pred);
+  return pred;
+}
+
+void Mlp::predict_dist_into(const data::Matrix& x,
+                            DistPrediction* out) const {
   if (!fitted_) throw std::logic_error("Mlp::predict_dist: not fitted");
   if (!params_.nll_head) {
     throw std::logic_error("Mlp::predict_dist: requires an NLL head");
   }
   const data::Matrix z = scaler_.transform(data::signed_log1p(x));
-  std::vector<double> acts(act_total_);
-  std::vector<char> masks;
-  DistPrediction pred;
-  pred.mean.resize(z.rows());
-  pred.variance.resize(z.rows());
+  out->mean.resize(z.rows());
+  out->variance.resize(z.rows());
   const std::size_t out_off = act_offsets_.back();
-  for (std::size_t r = 0; r < z.rows(); ++r) {
-    forward(z.row(r), &acts, nullptr, &masks);
-    pred.mean[r] = acts[out_off] * y_scale_ + y_mean_;
-    const double log_var =
-        std::clamp(acts[out_off + 1], kLogVarMin, kLogVarMax);
-    pred.variance[r] = std::exp(log_var) * y_scale_ * y_scale_;
-  }
-  return pred;
+  util::parallel_for_chunks(
+      z.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> acts(act_total_);
+        std::vector<char> masks;
+        for (std::size_t r = lo; r < hi; ++r) {
+          forward(z.row(r), &acts, nullptr, &masks);
+          out->mean[r] = acts[out_off] * y_scale_ + y_mean_;
+          const double log_var =
+              std::clamp(acts[out_off + 1], kLogVarMin, kLogVarMax);
+          out->variance[r] = std::exp(log_var) * y_scale_ * y_scale_;
+        }
+      },
+      64);
 }
 
 std::string Mlp::name() const { return params_.to_string(); }

@@ -51,6 +51,10 @@ class Mlp final : public Regressor {
   /// Mean and aleatory variance; requires an NLL head.
   DistPrediction predict_dist(const data::Matrix& x) const;
 
+  /// predict_dist writing into an existing buffer, so callers looping
+  /// over many inputs (or ensemble members) can reuse one allocation.
+  void predict_dist_into(const data::Matrix& x, DistPrediction* out) const;
+
   /// Serialize the fitted network (weights + preprocessing) as versioned
   /// text; load() restores bit-identical predictions.
   void save(std::ostream& out) const;

@@ -4,19 +4,57 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace iotax::ml {
 
 namespace {
 
+// All candidates of one search share the base params' bin budgets, so
+// the training matrix is binned once per search (not once per
+// candidate) and every trial trains against the shared view.
+BinnedMatrix bin_for_search(const GbtParams& base, const data::Matrix& x) {
+  return base.per_feature_bins.empty() ? BinnedMatrix(x, base.max_bins)
+                                       : BinnedMatrix(x, base.per_feature_bins);
+}
+
 SearchPoint evaluate(const GbtParams& params, const data::Matrix& x_train,
-                     std::span<const double> y_train, const data::Matrix& x_val,
+                     std::span<const double> y_train,
+                     const BinnedMatrix& binned, const data::Matrix& x_val,
                      std::span<const double> y_val) {
   GradientBoostedTrees model(params);
-  model.fit(x_train, y_train);
+  model.fit_binned(x_train, y_train, binned);
   SearchPoint point;
   point.params = params;
   point.val_error = median_abs_log_error(y_val, model.predict(x_val));
   return point;
+}
+
+// Evaluate pre-generated candidates concurrently (each trial writes its
+// own slot), then fold serially in candidate order so `on_point`
+// callback order and the strict-< first-point-wins tie-breaking match
+// the sequential loop bit for bit.
+SearchResult evaluate_all(const std::vector<GbtParams>& points,
+                          const data::Matrix& x_train,
+                          std::span<const double> y_train,
+                          const data::Matrix& x_val,
+                          std::span<const double> y_val,
+                          const SearchCallback& on_point) {
+  points.front().validate();  // surface bad shared params before binning
+  const BinnedMatrix binned = bin_for_search(points.front(), x_train);
+  std::vector<SearchPoint> evaluated(points.size());
+  util::parallel_for(points.size(), [&](std::size_t i) {
+    evaluated[i] = evaluate(points[i], x_train, y_train, binned, x_val, y_val);
+  });
+  SearchResult result;
+  result.best.val_error = std::numeric_limits<double>::infinity();
+  result.evaluated.reserve(points.size());
+  for (auto& point : evaluated) {
+    if (on_point) on_point(point);
+    if (point.val_error < result.best.val_error) result.best = point;
+    result.evaluated.push_back(std::move(point));
+  }
+  return result;
 }
 
 }  // namespace
@@ -30,8 +68,7 @@ SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
       grid.subsample.empty() || grid.colsample.empty()) {
     throw std::invalid_argument("grid_search: empty grid axis");
   }
-  SearchResult result;
-  result.best.val_error = std::numeric_limits<double>::infinity();
+  std::vector<GbtParams> points;
   for (const auto trees : grid.n_estimators) {
     for (const auto depth : grid.max_depth) {
       for (const double sub : grid.subsample) {
@@ -41,15 +78,12 @@ SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
           p.max_depth = depth;
           p.subsample = sub;
           p.colsample = col;
-          auto point = evaluate(p, x_train, y_train, x_val, y_val);
-          if (on_point) on_point(point);
-          if (point.val_error < result.best.val_error) result.best = point;
-          result.evaluated.push_back(std::move(point));
+          points.push_back(p);
         }
       }
     }
   }
-  return result;
+  return evaluate_all(points, x_train, y_train, x_val, y_val, on_point);
 }
 
 SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
@@ -59,8 +93,10 @@ SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
                            std::span<const double> y_val, util::Rng& rng,
                            const SearchCallback& on_point) {
   if (n_samples == 0) throw std::invalid_argument("random_search: 0 samples");
-  SearchResult result;
-  result.best.val_error = std::numeric_limits<double>::infinity();
+  // Serial RNG pass first, so the sampled stream is independent of how
+  // trials are later scheduled.
+  std::vector<GbtParams> points;
+  points.reserve(n_samples);
   for (std::size_t i = 0; i < n_samples; ++i) {
     GbtParams p = grid.base;
     p.n_estimators = rng.choice(grid.n_estimators);
@@ -68,12 +104,9 @@ SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
     p.subsample = rng.choice(grid.subsample);
     p.colsample = rng.choice(grid.colsample);
     p.seed = rng.next();
-    auto point = evaluate(p, x_train, y_train, x_val, y_val);
-    if (on_point) on_point(point);
-    if (point.val_error < result.best.val_error) result.best = point;
-    result.evaluated.push_back(std::move(point));
+    points.push_back(p);
   }
-  return result;
+  return evaluate_all(points, x_train, y_train, x_val, y_val, on_point);
 }
 
 
@@ -127,19 +160,20 @@ SearchResult successive_halving(const GbtGrid& grid,
     std::vector<double> y_sub(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) y_sub[i] = y_train[rows[i]];
 
-    std::vector<SearchPoint> rung;
-    for (const auto& p : population) {
-      GradientBoostedTrees model(p);
-      model.fit(x_sub, y_sub);
-      SearchPoint point;
-      point.params = p;
-      point.val_error = median_abs_log_error(y_val, model.predict(x_val));
+    // One binned view per rung, shared by the whole surviving
+    // population; rung trials evaluate concurrently into slots.
+    const BinnedMatrix binned_sub = bin_for_search(grid.base, x_sub);
+    std::vector<SearchPoint> rung(population.size());
+    util::parallel_for(population.size(), [&](std::size_t i) {
+      rung[i] =
+          evaluate(population[i], x_sub, y_sub, binned_sub, x_val, y_val);
+    });
+    for (const auto& point : rung) {
       if (on_point) on_point(point);
       if (last_rung && point.val_error < result.best.val_error) {
         result.best = point;
       }
       result.evaluated.push_back(point);
-      rung.push_back(std::move(point));
     }
     if (last_rung) break;
     // Keep the best 1/elim_factor of this rung.

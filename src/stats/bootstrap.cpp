@@ -1,10 +1,12 @@
 #include "src/stats/bootstrap.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "src/stats/descriptive.hpp"
+#include "src/util/parallel.hpp"
 
 namespace iotax::stats {
 
@@ -20,16 +22,26 @@ BootstrapResult bootstrap_ci(
   result.level = level;
   result.point = statistic(xs);
 
-  std::vector<double> resample(xs.size());
-  std::vector<double> stats;
-  stats.reserve(resamples);
+  // One serial pass over the caller's RNG yields a seed per resample;
+  // each resample then draws from its own stream, so resamples can run
+  // concurrently yet stay bit-identical at any IOTAX_THREADS value.
+  std::vector<std::uint64_t> seeds(resamples);
+  for (auto& s : seeds) s = rng.next();
+  std::vector<double> stats(resamples);
   const auto n = static_cast<std::int64_t>(xs.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (auto& v : resample) {
-      v = xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
-    }
-    stats.push_back(statistic(resample));
-  }
+  util::parallel_for_chunks(
+      resamples,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> resample(xs.size());
+        for (std::size_t r = lo; r < hi; ++r) {
+          util::Rng resample_rng(seeds[r]);
+          for (auto& v : resample) {
+            v = xs[static_cast<std::size_t>(resample_rng.uniform_int(0, n - 1))];
+          }
+          stats[r] = statistic(resample);
+        }
+      },
+      8);
   const double alpha = (1.0 - level) / 2.0;
   result.lo = quantile(stats, alpha);
   result.hi = quantile(stats, 1.0 - alpha);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace iotax::util {
 
@@ -12,6 +13,19 @@ double env_scale() {
   const double v = std::strtod(raw, &end);
   if (end == raw || v <= 0.0) return 1.0;
   return std::clamp(v, 0.05, 100.0);
+}
+
+std::size_t env_threads() {
+  const char* raw = std::getenv("IOTAX_THREADS");
+  if (raw != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end != raw && v > 0) {
+      return static_cast<std::size_t>(std::min(v, 256L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
 std::string env_or(const std::string& name, const std::string& fallback) {

@@ -14,6 +14,12 @@ namespace iotax::util {
 /// IOTAX_SCALE env var as a double, clamped to [0.05, 100]; default 1.0.
 double env_scale();
 
+/// IOTAX_THREADS env var as a thread count, clamped to [1, 256]; unset
+/// or unparsable values fall back to hardware_concurrency() (1 when the
+/// runtime cannot report it). Re-read on every call so runtime flips
+/// (tests, benches) take effect immediately.
+std::size_t env_threads();
+
 /// Generic env lookup with default.
 std::string env_or(const std::string& name, const std::string& fallback);
 

@@ -1,0 +1,198 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+#include "src/util/env.hpp"
+
+namespace iotax::util {
+
+namespace {
+
+// Workers set this once and for all; the calling thread sets it only
+// while it participates in a job.
+thread_local bool tl_in_parallel = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tl_in_parallel) { tl_in_parallel = true; }
+  ~RegionGuard() { tl_in_parallel = prev; }
+};
+
+// ~4 claimable chunks per thread keeps the shared-queue load balancing
+// effective without shrinking chunks below cache-friendly sizes.
+constexpr std::size_t kChunksPerThread = 4;
+
+}  // namespace
+
+std::size_t parallel_threads() { return env_threads(); }
+
+bool in_parallel_region() { return tl_in_parallel; }
+
+struct ThreadPool::Job {
+  std::size_t n_chunks = 0;
+  const std::function<void(std::size_t)>* chunk_fn = nullptr;
+  std::uint64_t seq = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex err_mu;
+  std::size_t err_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+
+  // Claim-and-run loop shared by workers and the calling thread. Every
+  // chunk index is claimed exactly once and counted exactly once, even
+  // after cancellation, so `completed == n_chunks` is the job's single
+  // termination condition.
+  void process() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) break;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          (*chunk_fn)(c);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(err_mu);
+            // Keep the lowest-index exception so error reporting does not
+            // depend on scheduling.
+            if (c < err_chunk) {
+              err_chunk = c;
+              err = std::current_exception();
+            }
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  grow_locked(n_workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::n_workers() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return workers_.size();
+}
+
+void ThreadPool::grow_locked(std::size_t target_workers) {
+  target_workers = std::min<std::size_t>(target_workers, 255);
+  while (workers_.size() < target_workers) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tl_in_parallel = true;  // workers only ever execute inside regions
+  std::uint64_t last_seq = 0;
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_->seq != last_seq);
+    });
+    if (stop_) return;
+    auto job = job_;
+    last_seq = job->seq;
+    lock.unlock();
+    job->process();
+    lock.lock();
+  }
+}
+
+void ThreadPool::run(std::size_t n_chunks, std::size_t max_threads,
+                     const std::function<void(std::size_t)>& chunk_fn) {
+  if (n_chunks == 0) return;
+  if (tl_in_parallel || n_chunks == 1 || max_threads <= 1) {
+    // Serial path: inline, in chunk order. Covers IOTAX_THREADS=1 and
+    // nested calls from inside a region (which must not re-enter the
+    // pool: its workers may all be busy with the enclosing job).
+    RegionGuard guard;
+    for (std::size_t c = 0; c < n_chunks; ++c) chunk_fn(c);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->n_chunks = n_chunks;
+  job->chunk_fn = &chunk_fn;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    grow_locked(std::min(max_threads, n_chunks) - 1);
+    job->seq = ++job_seq_;
+    job_ = job;
+  }
+  wake_cv_.notify_all();
+  {
+    RegionGuard guard;
+    job->process();  // caller participates; exceptions are captured
+  }
+  {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == n_chunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    job_ = nullptr;
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t threads = tl_in_parallel ? 1 : parallel_threads();
+  if (threads <= 1 || n <= grain) {
+    RegionGuard guard;
+    body(0, n);
+    return;
+  }
+  const std::size_t target = threads * kChunksPerThread;
+  const std::size_t chunk = std::max(grain, (n + target - 1) / target);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  if (n_chunks <= 1) {
+    RegionGuard guard;
+    body(0, n);
+    return;
+  }
+  ThreadPool::global().run(n_chunks, threads, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    body(lo, std::min(n, lo + chunk));
+  });
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace iotax::util

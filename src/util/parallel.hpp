@@ -1,0 +1,106 @@
+// Deterministic fork-join parallelism for the library's hot paths.
+//
+// A single process-wide ThreadPool executes index ranges split into
+// chunks. Callers write results into pre-sized per-index slots and run
+// any floating-point reduction serially in index order afterwards, so
+// model outputs are bit-identical for every IOTAX_THREADS value: chunk
+// boundaries and scheduling may differ between runs, but the slot each
+// index writes never does. The rules that keep this true:
+//
+//   1. a parallel body writes only to slots owned by its index;
+//   2. reductions (sums, argmins, callbacks) happen serially, in index
+//      order, after the region completes — never via atomics into a
+//      shared accumulator;
+//   3. any RNG consumed inside a region is pre-seeded per index from a
+//      serial draw before the region starts.
+//
+// IOTAX_THREADS=1 short-circuits every region to the plain serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iotax::util {
+
+/// Threads a parallel region may use (calling thread included):
+/// IOTAX_THREADS when set and positive (clamped to [1, 256]), otherwise
+/// hardware_concurrency(). Re-read from the environment on every call so
+/// tests and benches can flip it at runtime.
+std::size_t parallel_threads();
+
+/// True while the calling thread executes inside a parallel region.
+/// Nested parallel_for calls check this and degrade to the serial loop
+/// instead of deadlocking the pool.
+bool in_parallel_region();
+
+/// Fixed set of worker threads executing chunk jobs. One job runs at a
+/// time (concurrent run() calls from distinct external threads
+/// serialize); the calling thread participates in its own job, so a
+/// one-thread region never touches the pool. The pool grows lazily up
+/// to the largest thread count ever requested and is shared process-wide
+/// through global().
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t n_workers() const;
+
+  /// Run chunk_fn(c) exactly once for every c in [0, n_chunks), using at
+  /// most `max_threads` threads including the caller. Blocks until all
+  /// chunks completed. If a chunk throws, remaining unstarted chunks are
+  /// skipped and the exception from the lowest-index throwing chunk is
+  /// rethrown on the caller. Called from inside a parallel region, runs
+  /// the chunks inline and in order (nested-call rejection).
+  void run(std::size_t n_chunks, std::size_t max_threads,
+           const std::function<void(std::size_t)>& chunk_fn);
+
+  /// Process-wide pool; starts with zero workers and grows on demand.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+  void worker_loop();
+  void grow_locked(std::size_t target_workers);
+
+  std::mutex run_mu_;  // serializes external run() calls
+  mutable std::mutex pool_mu_;
+  std::condition_variable wake_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;       // guarded by pool_mu_
+  std::uint64_t job_seq_ = 0;      // guarded by pool_mu_
+  bool stop_ = false;              // guarded by pool_mu_
+};
+
+/// body(lo, hi) over disjoint chunks covering [0, n), each at least
+/// `grain` indices (except possibly the last). Chunk boundaries depend
+/// on the thread count, so bodies must only produce per-index results;
+/// per-chunk scratch buffers are fine, per-chunk FP reductions are not.
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 1);
+
+/// body(i) for every i in [0, n), distributed over the pool.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// out[i] = fn(i) for i in [0, n); slot order is index order regardless
+/// of scheduling. T must be default-constructible and move-assignable.
+template <typename T, typename F>
+std::vector<T> parallel_map(std::size_t n, F&& fn) {
+  std::vector<T> out(n);
+  parallel_for_chunks(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace iotax::util

@@ -3,10 +3,17 @@
 // taxonomy pipeline included.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "src/ml/ensemble.hpp"
+#include "src/ml/gbt.hpp"
 #include "src/ml/nas.hpp"
+#include "src/ml/search.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/stats/bootstrap.hpp"
+#include "src/stats/descriptive.hpp"
 #include "src/taxonomy/pipeline.hpp"
 #include "src/util/rng.hpp"
 
@@ -80,6 +87,121 @@ TEST(Determinism, TaxonomyPipelineReproducible) {
                    r2.system_bound.err_with_time);
   EXPECT_DOUBLE_EQ(r1.noise.sigma_log10, r2.noise.sigma_log10);
   EXPECT_DOUBLE_EQ(r1.share_unexplained, r2.share_unexplained);
+}
+
+// The parallelised hot paths must be bit-identical for every
+// IOTAX_THREADS value: fixed-order reductions only, results in
+// pre-sized slots, RNG streams drawn serially before each region.
+class ThreadDeterminism : public ::testing::Test {
+ protected:
+  // Run `fn` under IOTAX_THREADS=1 and =4 and return both results.
+  template <typename F>
+  static auto at_1_and_4_threads(F&& fn) {
+    const char* old = std::getenv("IOTAX_THREADS");
+    const std::string saved = old != nullptr ? old : "";
+    const bool had = old != nullptr;
+    ::setenv("IOTAX_THREADS", "1", 1);
+    auto serial = fn();
+    ::setenv("IOTAX_THREADS", "4", 1);
+    auto threaded = fn();
+    if (had) {
+      ::setenv("IOTAX_THREADS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("IOTAX_THREADS");
+    }
+    return std::make_pair(std::move(serial), std::move(threaded));
+  }
+};
+
+TEST_F(ThreadDeterminism, EnsembleFitBitIdentical) {
+  const auto train = small_data(7);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    ml::EnsembleParams params;
+    params.size = 3;
+    params.epochs = 3;
+    ml::DeepEnsemble ens(params);
+    ens.fit(train.x, train.y);
+    return ens.predict_uncertainty(train.x);
+  });
+  ASSERT_EQ(serial.mean.size(), threaded.mean.size());
+  for (std::size_t i = 0; i < serial.mean.size(); ++i) {
+    // EXPECT_EQ on doubles is exact comparison — bit-identical outputs.
+    EXPECT_EQ(serial.mean[i], threaded.mean[i]);
+    EXPECT_EQ(serial.aleatory[i], threaded.aleatory[i]);
+    EXPECT_EQ(serial.epistemic[i], threaded.epistemic[i]);
+  }
+}
+
+TEST_F(ThreadDeterminism, GridSearchBitIdentical) {
+  const auto train = small_data(8);
+  const auto val = small_data(9);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    ml::GbtGrid grid;
+    grid.n_estimators = {8, 16};
+    grid.max_depth = {3, 5};
+    grid.subsample = {0.8};
+    grid.colsample = {0.8};
+    return ml::grid_search(grid, train.x, train.y, val.x, val.y);
+  });
+  ASSERT_EQ(serial.evaluated.size(), threaded.evaluated.size());
+  for (std::size_t i = 0; i < serial.evaluated.size(); ++i) {
+    EXPECT_EQ(serial.evaluated[i].val_error, threaded.evaluated[i].val_error);
+  }
+  EXPECT_EQ(serial.best.val_error, threaded.best.val_error);
+  EXPECT_EQ(serial.best.params.n_estimators, threaded.best.params.n_estimators);
+  EXPECT_EQ(serial.best.params.max_depth, threaded.best.params.max_depth);
+}
+
+TEST_F(ThreadDeterminism, GbtFitBitIdentical) {
+  const auto train = small_data(10);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    ml::GbtParams params;
+    params.n_estimators = 20;
+    params.max_depth = 5;
+    params.subsample = 0.8;
+    params.colsample = 0.8;
+    ml::GradientBoostedTrees model(params);
+    model.fit(train.x, train.y);
+    return model.predict(train.x);
+  });
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]);
+  }
+}
+
+TEST_F(ThreadDeterminism, NasSearchBitIdentical) {
+  const auto train = small_data(11);
+  const auto val = small_data(12);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    ml::NasParams nas;
+    nas.population = 4;
+    nas.generations = 2;
+    nas.epochs = 2;
+    return ml::nas_search(nas, train.x, train.y, val.x, val.y);
+  });
+  ASSERT_EQ(serial.history.size(), threaded.history.size());
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    EXPECT_EQ(serial.history[i].val_error, threaded.history[i].val_error);
+    EXPECT_EQ(serial.history[i].params.hidden, threaded.history[i].params.hidden);
+    EXPECT_EQ(serial.history[i].improved_best, threaded.history[i].improved_best);
+  }
+  EXPECT_EQ(serial.best.val_error, threaded.best.val_error);
+}
+
+TEST_F(ThreadDeterminism, BootstrapBitIdentical) {
+  util::Rng data_rng(13);
+  std::vector<double> xs(300);
+  for (auto& x : xs) x = data_rng.normal(5.0, 1.5);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    util::Rng rng(101);
+    return stats::bootstrap_ci(
+        xs, [](std::span<const double> s) { return stats::mean(s); }, 200,
+        0.95, rng);
+  });
+  EXPECT_EQ(serial.point, threaded.point);
+  EXPECT_EQ(serial.lo, threaded.lo);
+  EXPECT_EQ(serial.hi, threaded.hi);
 }
 
 TEST(Determinism, SimulationRecordsBitIdentical) {

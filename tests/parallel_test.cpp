@@ -1,0 +1,182 @@
+// ThreadPool / parallel_for unit suite: the determinism scaffolding for
+// every threaded hot path (ensembles, searches, GBT scans, bootstrap).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/parallel.hpp"
+
+namespace iotax {
+namespace {
+
+// RAII override of an environment variable. Tests in this binary run on
+// one thread, so the process-global setenv/unsetenv is safe here.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(Parallel, ThreadKnobParsesAndClamps) {
+  {
+    ScopedEnv env("IOTAX_THREADS", "3");
+    EXPECT_EQ(util::parallel_threads(), 3u);
+  }
+  {
+    ScopedEnv env("IOTAX_THREADS", "1");
+    EXPECT_EQ(util::parallel_threads(), 1u);
+  }
+  {
+    ScopedEnv env("IOTAX_THREADS", "100000");
+    EXPECT_EQ(util::parallel_threads(), 256u);
+  }
+  {
+    ScopedEnv env("IOTAX_THREADS", "garbage");
+    EXPECT_GE(util::parallel_threads(), 1u);  // falls back to hardware
+  }
+  {
+    ScopedEnv env("IOTAX_THREADS", nullptr);
+    EXPECT_GE(util::parallel_threads(), 1u);
+  }
+}
+
+TEST(Parallel, ZeroLengthRangeRunsNothing) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  std::atomic<int> calls{0};
+  util::parallel_for(0, [&](std::size_t) { ++calls; });
+  util::parallel_for_chunks(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  constexpr std::size_t kN = 10007;  // prime, so chunks never divide evenly
+  std::vector<int> hits(kN, 0);
+  util::parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(Parallel, ChunksPartitionTheRange) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  constexpr std::size_t kN = 5000;
+  std::vector<int> hits(kN, 0);
+  util::parallel_for_chunks(
+      kN,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        ASSERT_LE(hi, kN);
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      16);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(Parallel, MapPreservesSlotOrder) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  const auto out = util::parallel_map<double>(
+      2500, [](std::size_t i) { return static_cast<double>(i) * 0.5; });
+  ASSERT_EQ(out.size(), 2500u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  EXPECT_THROW(util::parallel_for(
+                   4096,
+                   [&](std::size_t i) {
+                     if (i == 137) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Parallel, PoolUsableAfterException) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  EXPECT_THROW(
+      util::parallel_for(1024, [&](std::size_t) {
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  std::vector<int> hits(1024, 0);
+  util::parallel_for(1024, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+}
+
+TEST(Parallel, PoolReuseAcrossManyRegions) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  std::vector<long> slots(256, 0);
+  for (int round = 0; round < 200; ++round) {
+    util::parallel_for(slots.size(), [&](std::size_t i) { ++slots[i]; });
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) ASSERT_EQ(slots[i], 200);
+}
+
+TEST(Parallel, NestedCallsRunSerialInline) {
+  ScopedEnv env("IOTAX_THREADS", "4");
+  EXPECT_FALSE(util::in_parallel_region());
+  constexpr std::size_t kOuter = 48;
+  constexpr std::size_t kInner = 64;
+  std::vector<int> hits(kOuter * kInner, 0);
+  std::atomic<int> nested_regions{0};
+  util::parallel_for(kOuter, [&](std::size_t i) {
+    if (util::in_parallel_region()) ++nested_regions;
+    // The nested region must not re-enter the pool (its workers may all
+    // be busy with the enclosing job) — it runs inline and in order.
+    util::parallel_for(kInner,
+                       [&](std::size_t j) { ++hits[i * kInner + j]; });
+  });
+  EXPECT_FALSE(util::in_parallel_region());
+  EXPECT_EQ(nested_regions.load(), static_cast<int>(kOuter));
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(Parallel, SerialKnobBypassesPool) {
+  ScopedEnv env("IOTAX_THREADS", "1");
+  const std::size_t before = util::ThreadPool::global().n_workers();
+  std::vector<int> hits(4096, 0);
+  util::parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  // IOTAX_THREADS=1 must not spawn workers beyond whatever earlier tests
+  // already created.
+  EXPECT_EQ(util::ThreadPool::global().n_workers(), before);
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+}
+
+TEST(Parallel, DedicatedPoolRunsChunks) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.n_workers(), 3u);
+  std::vector<int> chunk_hits(64, 0);
+  pool.run(64, 4, [&](std::size_t c) { ++chunk_hits[c]; });
+  for (std::size_t c = 0; c < chunk_hits.size(); ++c) {
+    ASSERT_EQ(chunk_hits[c], 1) << c;
+  }
+}
+
+}  // namespace
+}  // namespace iotax
