@@ -15,6 +15,8 @@
 #include "src/ml/gbt.hpp"
 #include "src/ml/nn.hpp"
 #include "src/ml/search.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/taxonomy/duplicates.hpp"
@@ -218,6 +220,46 @@ void BM_GridSearch(benchmark::State& state) {
 BENCHMARK(BM_GridSearch)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Observability overhead on the hottest instrumented path. Arg 0 runs
+// with observability off (the shipping default: every IOTAX_TRACE_SPAN /
+// IOTAX_OBS_* site collapses to a relaxed atomic load and branch); Arg 1
+// runs with spans, counters and histograms live. Compare against
+// BM_GbtFitThreaded/1: the disabled path must stay within 2%.
+void BM_GbtFitObsOverhead(benchmark::State& state) {
+  const auto& ds = shared_result().dataset;
+  const auto x = taxonomy::feature_matrix(
+      ds, {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio});
+  const auto y = taxonomy::targets(ds);
+  ScopedThreads threads(1);
+  const bool obs_on = state.range(0) != 0;
+  obs::set_enabled(obs_on);
+  ml::GbtParams params;
+  params.n_estimators = 32;
+  params.max_depth = 6;
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.n_trees());
+    if (obs_on) {
+      // Keep the span log from growing without bound across iterations;
+      // excluded from timing.
+      state.PauseTiming();
+      obs::TraceLog::global().reset();
+      obs::MetricsRegistry::global().reset();
+      state.ResumeTiming();
+    }
+  }
+  obs::set_enabled(false);
+  obs::TraceLog::global().reset();
+  obs::MetricsRegistry::global().reset();
+  state.SetLabel(obs_on ? "obs=on" : "obs=off");
+}
+BENCHMARK(BM_GbtFitObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -40,18 +40,19 @@ int main() {
   model.fit(taxonomy::feature_matrix(ds, feats, train_rows),
             taxonomy::targets(ds, train_rows));
 
-  // 2. Persist and reload, as a deployment would.
+  // 2. Persist and reload through the family-agnostic Regressor API, as
+  //    a deployment that only knows "a saved model file" would.
   std::stringstream stored;
   model.save(stored);
-  const auto deployed = ml::GradientBoostedTrees::load(stored);
-  std::printf("deployed model: %s (%zu trees, %.1f KiB serialized)\n",
-              deployed.name().c_str(), deployed.n_trees(),
+  const auto deployed = ml::Regressor::load(stored);
+  std::printf("deployed model: %s (%.1f KiB serialized)\n",
+              deployed->name().c_str(),
               static_cast<double>(stored.str().size()) / 1024.0);
 
   // 3. Replay the stream: held-out pre-deployment tail (the reference)
   //    followed by the deployment period.
   const auto stream_rows = ds.rows_in_window(train_end, 1e300);
-  const auto pred = deployed.predict(
+  const auto pred = deployed->predict(
       taxonomy::feature_matrix(ds, feats, stream_rows));
   const auto y = taxonomy::targets(ds, stream_rows);
   std::vector<double> times(stream_rows.size());

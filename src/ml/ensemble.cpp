@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace iotax::ml {
@@ -17,11 +20,19 @@ DeepEnsemble::DeepEnsemble(EnsembleParams params)
 
 void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
                        const std::vector<NasCandidate>& nas_history) {
+  params_.nas_history = nas_history;
+  fit(x, y);
+}
+
+void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y) {
+  IOTAX_TRACE_SPAN("ensemble.fit");
+  obs::span_arg("members", static_cast<double>(params_.size));
   util::Rng rng(params_.seed);
   members_.clear();
 
   // Candidate architectures: best NAS candidates (deduplicated by order)
   // or fresh random samples from the search space.
+  const std::vector<NasCandidate>& nas_history = params_.nas_history;
   std::vector<MlpParams> seeds;
   if (!nas_history.empty()) {
     auto sorted = nas_history;
@@ -65,6 +76,8 @@ void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
 
   members_ = util::parallel_map<std::unique_ptr<Mlp>>(
       params_.size, [&](std::size_t k) {
+        obs::SpanGuard member_span("ensemble.member");
+        obs::span_arg("member", static_cast<double>(k));
         auto member = std::make_unique<Mlp>(member_params[k]);
         member->fit(x, y);
         return member;
@@ -76,6 +89,7 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
   if (members_.empty()) {
     throw std::logic_error("DeepEnsemble::predict_uncertainty: not fitted");
   }
+  IOTAX_TRACE_SPAN("ensemble.predict_uncertainty");
   const std::size_t n = x.rows();
   const std::size_t k = members_.size();
   UncertaintyPrediction out;
@@ -118,6 +132,52 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
 
 std::vector<double> DeepEnsemble::predict(const data::Matrix& x) const {
   return predict_uncertainty(x).mean;
+}
+
+std::string DeepEnsemble::name() const {
+  return "ensemble[k=" + std::to_string(params_.size) + "]";
+}
+
+void DeepEnsemble::save(std::ostream& out) const {
+  if (members_.empty()) {
+    throw std::logic_error("DeepEnsemble::save: not fitted");
+  }
+  out << "iotax-ensemble 1\n";
+  out << "epochs " << params_.epochs << '\n';
+  out << "seed " << params_.seed << '\n';
+  out << "members " << members_.size() << '\n';
+  for (const auto& member : members_) member->save(out);
+  if (!out) throw std::runtime_error("DeepEnsemble::save: stream failure");
+}
+
+DeepEnsemble DeepEnsemble::load(std::istream& in) {
+  const auto expect = [&](const char* token) {
+    std::string got;
+    in >> got;
+    if (got != token) {
+      throw std::runtime_error(std::string("DeepEnsemble::load: expected '") +
+                               token + "', got '" + got + "'");
+    }
+  };
+  expect("iotax-ensemble");
+  int version = 0;
+  in >> version;
+  if (version != 1) throw std::runtime_error("DeepEnsemble::load: version");
+  EnsembleParams params;
+  expect("epochs");
+  in >> params.epochs;
+  expect("seed");
+  in >> params.seed;
+  expect("members");
+  std::size_t k = 0;
+  in >> k;
+  if (!in || k < 2) throw std::runtime_error("DeepEnsemble::load: bad size");
+  params.size = k;
+  DeepEnsemble ensemble(std::move(params));
+  for (std::size_t i = 0; i < k; ++i) {
+    ensemble.members_.push_back(std::make_unique<Mlp>(Mlp::load(in)));
+  }
+  return ensemble;
 }
 
 }  // namespace iotax::ml

@@ -23,6 +23,10 @@ struct EnsembleParams {
   NasParams space;
   std::size_t epochs = 25;
   std::uint64_t seed = 31;
+  /// When non-empty, member architectures are drawn from the best
+  /// candidates here (AutoDEUQ's reuse of the NAS population); leaving
+  /// it empty samples fresh architectures from `space`.
+  std::vector<NasCandidate> nas_history;
 };
 
 struct UncertaintyPrediction {
@@ -31,21 +35,33 @@ struct UncertaintyPrediction {
   std::vector<double> epistemic;  // EU(x), variance units (log10^2)
 };
 
-class DeepEnsemble {
+class DeepEnsemble final : public Regressor {
  public:
   explicit DeepEnsemble(EnsembleParams params = {});
 
-  /// Train the ensemble. When `nas_history` is non-empty the member
-  /// architectures are drawn from its best candidates (mutated for
-  /// diversity); this is AutoDEUQ's reuse of the NAS population.
+  /// Train the ensemble using params().nas_history for the member
+  /// architectures (fresh random samples when it is empty).
+  void fit(const data::Matrix& x, std::span<const double> y) override;
+
+  /// Legacy overload: install `nas_history` into the params, then fit.
   void fit(const data::Matrix& x, std::span<const double> y,
-           const std::vector<NasCandidate>& nas_history = {});
+           const std::vector<NasCandidate>& nas_history);
 
   UncertaintyPrediction predict_uncertainty(const data::Matrix& x) const;
-  std::vector<double> predict(const data::Matrix& x) const;
+  std::vector<double> predict(const data::Matrix& x) const override;
+  std::string name() const override;
+
+  /// Persist the K fitted members ("iotax-ensemble" header followed by
+  /// one Mlp block per member). The NAS search space / history are not
+  /// round-tripped; a loaded ensemble predicts, it is not refittable
+  /// from the same history.
+  void save(std::ostream& out) const override;
+  static DeepEnsemble load(std::istream& in);
 
   std::size_t size() const { return members_.size(); }
   const Mlp& member(std::size_t i) const { return *members_.at(i); }
+
+  const EnsembleParams& params() const { return params_; }
 
  private:
   EnsembleParams params_;

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/stats/descriptive.hpp"
 #include "src/util/parallel.hpp"
 
@@ -90,6 +92,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
   std::vector<double> hist_grad(binned.max_bins_used());
   std::vector<double> hist_count(binned.max_bins_used());
   std::vector<SplitCandidate> candidates;
+  std::size_t hist_scans = 0;
 
   while (!stack.empty()) {
     const Item item = stack.back();
@@ -152,6 +155,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
     };
 
     candidates.assign(features.size(), SplitCandidate{});
+    hist_scans += features.size();
     if (n * features.size() >= kParallelScanWork && features.size() >= 2) {
       util::parallel_for(features.size(), [&](std::size_t j) {
         // Pool workers are long-lived, so each keeps its own workspace.
@@ -210,6 +214,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
     stack.push_back({left, item.lo, mid, item.depth + 1});
     stack.push_back({right, mid, item.hi, item.depth + 1});
   }
+  IOTAX_OBS_COUNT("gbt.hist_scans", hist_scans);
   return tree;
 }
 
@@ -250,6 +255,9 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
   if (x.rows() < 2) {
     throw std::invalid_argument("GradientBoostedTrees::fit: need >= 2 rows");
   }
+  IOTAX_TRACE_SPAN("gbt.fit");
+  obs::span_arg("rows", static_cast<double>(x.rows()));
+  obs::span_arg("cols", static_cast<double>(x.cols()));
   n_features_ = x.cols();
   importance_.assign(n_features_, 0.0);
   trees_.clear();
@@ -290,6 +298,7 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
   std::size_t rounds_since_best = 0;
 
   for (std::size_t t = 0; t < params_.n_estimators; ++t) {
+    const std::int64_t tree_t0 = obs::now_ns_if_enabled();
     if (params_.loss == GbtLoss::kQuantile) {
       // Pinball-loss gradient: -alpha below the prediction target,
       // (1-alpha) above; unit hessian (function-space gradient descent).
@@ -321,6 +330,12 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
           }
         },
         512);
+    IOTAX_OBS_COUNT("gbt.trees", 1);
+    if (tree_t0 != 0) {
+      IOTAX_OBS_HIST_MS("gbt.tree_ms",
+                        static_cast<double>(obs::now_ns_if_enabled() - tree_t0) /
+                            1e6);
+    }
     if (use_eval) {
       double sq = 0.0;
       for (std::size_t i = 0; i < x_val.rows(); ++i) {
@@ -343,6 +358,7 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
   if (use_eval && best_round < trees_.size()) {
     trees_.resize(best_round);  // keep the best-validation prefix
   }
+  obs::span_arg("trees", static_cast<double>(trees_.size()));
   fitted_ = true;
 }
 
@@ -355,6 +371,7 @@ std::vector<double> GradientBoostedTrees::predict(
     throw std::invalid_argument(
         "GradientBoostedTrees::predict: feature count mismatch");
   }
+  IOTAX_TRACE_SPAN("gbt.predict");
   std::vector<double> out(x.rows(), base_score_);
   util::parallel_for_chunks(
       x.rows(),

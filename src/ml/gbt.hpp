@@ -81,7 +81,7 @@ class GradientBoostedTrees final : public Regressor {
 
   /// Serialize the fitted model as versioned text; load() restores a
   /// model whose predictions are bit-identical.
-  void save(std::ostream& out) const;
+  void save(std::ostream& out) const override;
   static GradientBoostedTrees load(std::istream& in);
 
  private:

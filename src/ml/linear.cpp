@@ -1,6 +1,8 @@
 #include "src/ml/linear.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "src/stats/descriptive.hpp"
@@ -100,6 +102,65 @@ std::vector<double> LinearRegressor::predict(const data::Matrix& x) const {
 
 std::string LinearRegressor::name() const {
   return "ridge[l2=" + std::to_string(l2_) + "]";
+}
+
+void LinearRegressor::save(std::ostream& out) const {
+  if (!fitted_) throw std::logic_error("LinearRegressor::save: not fitted");
+  out.precision(17);
+  out << "iotax-linear 1\n";
+  out << "params " << l2_ << ' ' << (log_transform_ ? 1 : 0) << '\n';
+  out << "intercept " << intercept_ << '\n';
+  out << "scaler " << scaler_.means().size() << '\n';
+  for (const double m : scaler_.means()) out << m << ' ';
+  out << '\n';
+  for (const double s : scaler_.stddevs()) out << s << ' ';
+  out << '\n';
+  out << "coef " << coef_.size() << '\n';
+  for (const double c : coef_) out << c << ' ';
+  out << '\n';
+  if (!out) throw std::runtime_error("LinearRegressor::save: stream failure");
+}
+
+LinearRegressor LinearRegressor::load(std::istream& in) {
+  const auto expect = [&](const char* token) {
+    std::string got;
+    in >> got;
+    if (got != token) {
+      throw std::runtime_error(std::string("LinearRegressor::load: expected '") +
+                               token + "', got '" + got + "'");
+    }
+  };
+  expect("iotax-linear");
+  int version = 0;
+  in >> version;
+  if (version != 1) throw std::runtime_error("LinearRegressor::load: version");
+  double l2 = 0.0;
+  int log_transform = 0;
+  expect("params");
+  in >> l2 >> log_transform;
+  LinearRegressor model(l2, log_transform != 0);
+  expect("intercept");
+  in >> model.intercept_;
+  expect("scaler");
+  std::size_t p = 0;
+  in >> p;
+  std::vector<double> means(p);
+  std::vector<double> stds(p);
+  for (auto& v : means) in >> v;
+  for (auto& v : stds) in >> v;
+  model.scaler_ =
+      data::StandardScaler::from_params(std::move(means), std::move(stds));
+  expect("coef");
+  std::size_t n_coef = 0;
+  in >> n_coef;
+  if (n_coef != p) {
+    throw std::runtime_error("LinearRegressor::load: coef/scaler mismatch");
+  }
+  model.coef_.resize(n_coef);
+  for (auto& v : model.coef_) in >> v;
+  if (!in) throw std::runtime_error("LinearRegressor::load: truncated");
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace iotax::ml

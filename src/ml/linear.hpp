@@ -23,6 +23,9 @@ class LinearRegressor final : public Regressor {
   const std::vector<double>& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }
 
+  void save(std::ostream& out) const override;
+  static LinearRegressor load(std::istream& in);
+
  private:
   data::Matrix preprocess(const data::Matrix& x) const;
 

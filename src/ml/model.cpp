@@ -1,10 +1,52 @@
 #include "src/ml/model.hpp"
 
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
+#include "src/ml/ensemble.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/nn.hpp"
 #include "src/stats/descriptive.hpp"
 
 namespace iotax::ml {
+
+void Regressor::save(std::ostream& /*out*/) const {
+  throw std::logic_error("Regressor::save: '" + name() +
+                         "' does not support serialization");
+}
+
+std::unique_ptr<Regressor> Regressor::load(std::istream& in) {
+  // Peek the magic token ("iotax-<kind>") without consuming it, then
+  // hand the stream to the family's own loader.
+  const auto start = in.tellg();
+  if (start == std::istream::pos_type(-1)) {
+    throw std::runtime_error("Regressor::load: stream not seekable");
+  }
+  std::string magic;
+  in >> magic;
+  in.clear();
+  in.seekg(start);
+  if (magic == "iotax-gbt") {
+    return std::make_unique<GradientBoostedTrees>(
+        GradientBoostedTrees::load(in));
+  }
+  if (magic == "iotax-mlp") {
+    return std::make_unique<Mlp>(Mlp::load(in));
+  }
+  if (magic == "iotax-linear") {
+    return std::make_unique<LinearRegressor>(LinearRegressor::load(in));
+  }
+  if (magic == "iotax-mean") {
+    return std::make_unique<MeanRegressor>(MeanRegressor::load(in));
+  }
+  if (magic == "iotax-ensemble") {
+    return std::make_unique<DeepEnsemble>(DeepEnsemble::load(in));
+  }
+  throw std::runtime_error("Regressor::load: unknown model header '" + magic +
+                           "'");
+}
 
 void MeanRegressor::fit(const data::Matrix& x, std::span<const double> y) {
   if (x.rows() != y.size()) {
@@ -18,6 +60,30 @@ void MeanRegressor::fit(const data::Matrix& x, std::span<const double> y) {
 std::vector<double> MeanRegressor::predict(const data::Matrix& x) const {
   if (!fitted_) throw std::logic_error("MeanRegressor::predict: not fitted");
   return std::vector<double>(x.rows(), mean_);
+}
+
+void MeanRegressor::save(std::ostream& out) const {
+  if (!fitted_) throw std::logic_error("MeanRegressor::save: not fitted");
+  out.precision(17);
+  out << "iotax-mean 1\n";
+  out << "mean " << mean_ << '\n';
+  if (!out) throw std::runtime_error("MeanRegressor::save: stream failure");
+}
+
+MeanRegressor MeanRegressor::load(std::istream& in) {
+  std::string token;
+  int version = 0;
+  in >> token >> version;
+  if (token != "iotax-mean" || version != 1) {
+    throw std::runtime_error("MeanRegressor::load: bad header");
+  }
+  in >> token;
+  if (token != "mean") throw std::runtime_error("MeanRegressor::load: bad body");
+  MeanRegressor model;
+  in >> model.mean_;
+  if (!in) throw std::runtime_error("MeanRegressor::load: truncated");
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace iotax::ml

@@ -2,6 +2,7 @@
 // I/O throughput predictions.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -24,6 +25,16 @@ class Regressor {
 
   /// Short human-readable description ("gbt[trees=32,depth=21]").
   virtual std::string name() const = 0;
+
+  /// Serialize the fitted model as versioned text ("iotax-<kind> <ver>"
+  /// header). The default throws std::logic_error for model families
+  /// without persistence.
+  virtual void save(std::ostream& out) const;
+
+  /// Restore any regressor saved through save(): peeks the magic token
+  /// and dispatches to the matching family's loader. The stream must be
+  /// seekable (file or string stream).
+  static std::unique_ptr<Regressor> load(std::istream& in);
 };
 
 /// Baseline that predicts the training-set mean: the weakest legitimate
@@ -33,6 +44,9 @@ class MeanRegressor final : public Regressor {
   void fit(const data::Matrix& x, std::span<const double> y) override;
   std::vector<double> predict(const data::Matrix& x) const override;
   std::string name() const override { return "mean"; }
+
+  void save(std::ostream& out) const override;
+  static MeanRegressor load(std::istream& in);
 
  private:
   double mean_ = 0.0;

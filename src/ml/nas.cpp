@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace iotax::ml {
@@ -74,18 +76,23 @@ NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
   if (nas.survivor_frac <= 0.0 || nas.survivor_frac > 1.0) {
     throw std::invalid_argument("nas_search: bad survivor_frac");
   }
+  IOTAX_TRACE_SPAN("nas.search");
   util::Rng rng(nas.seed);
   NasResult result;
   result.best.val_error = std::numeric_limits<double>::infinity();
 
   const auto evaluate = [&](const MlpParams& params,
                             std::size_t gen) -> NasCandidate {
+    obs::SpanGuard trial_span("nas.trial");
+    IOTAX_OBS_COUNT("nas.trials", 1);
     Mlp model(params);
     model.fit(x_train, y_train);
     NasCandidate cand;
     cand.params = params;
     cand.val_error = median_abs_log_error(y_val, model.predict(x_val));
     cand.generation = gen;
+    obs::span_arg("generation", static_cast<double>(gen));
+    obs::span_arg("val_error", cand.val_error);
     return cand;
   };
 
@@ -95,6 +102,8 @@ NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
   std::vector<NasCandidate> population;
   const auto evaluate_batch = [&](const std::vector<MlpParams>& batch,
                                   std::size_t gen) {
+    obs::SpanGuard gen_span("nas.generation");
+    obs::span_arg("generation", static_cast<double>(gen));
     std::vector<NasCandidate> cands(batch.size());
     util::parallel_for(batch.size(), [&](std::size_t i) {
       cands[i] = evaluate(batch[i], gen);

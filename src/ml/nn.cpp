@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
 #include "src/stats/descriptive.hpp"
 #include "src/util/parallel.hpp"
 
@@ -88,6 +89,9 @@ void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
     throw std::invalid_argument("Mlp::fit: size mismatch");
   }
   if (x.rows() < 2) throw std::invalid_argument("Mlp::fit: need >= 2 rows");
+  IOTAX_TRACE_SPAN("mlp.fit");
+  obs::span_arg("rows", static_cast<double>(x.rows()));
+  obs::span_arg("epochs", static_cast<double>(params_.epochs));
 
   const data::Matrix z = scaler_.fit_transform(data::signed_log1p(x));
   y_mean_ = stats::mean(y);
@@ -154,6 +158,7 @@ void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
   util::Rng dropout_rng = rng.fork(2);
 
   for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    obs::SpanGuard epoch_span("mlp.epoch");
     shuffle_rng.shuffle(order);
     for (std::size_t start = 0; start < order.size();
          start += params_.batch_size) {
@@ -242,12 +247,35 @@ void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
         }
       }
     }
+
+    if (obs::enabled()) {
+      // Mean training loss on the post-epoch weights. Runs only under
+      // observation and consumes no RNG (no dropout), so it cannot
+      // perturb the fitted model.
+      std::vector<double> eval_acts(act_total_);
+      const std::size_t out_off = act_offsets_.back();
+      double loss = 0.0;
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        forward(z.row(r), &eval_acts, nullptr, nullptr);
+        const double diff = eval_acts[out_off] - ty[r];
+        if (params_.nll_head) {
+          const double log_var =
+              std::clamp(eval_acts[out_off + 1], kLogVarMin, kLogVarMax);
+          loss += 0.5 * (log_var + diff * diff / std::exp(log_var));
+        } else {
+          loss += 0.5 * diff * diff;
+        }
+      }
+      obs::span_arg("epoch", static_cast<double>(epoch));
+      obs::span_arg("loss", loss / static_cast<double>(z.rows()));
+    }
   }
   fitted_ = true;
 }
 
 std::vector<double> Mlp::predict(const data::Matrix& x) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  IOTAX_TRACE_SPAN("mlp.predict");
   const data::Matrix z = scaler_.transform(data::signed_log1p(x));
   std::vector<double> out(z.rows());
   const std::size_t out_off = act_offsets_.back();
@@ -280,6 +308,7 @@ void Mlp::predict_dist_into(const data::Matrix& x,
   if (!params_.nll_head) {
     throw std::logic_error("Mlp::predict_dist: requires an NLL head");
   }
+  IOTAX_TRACE_SPAN("mlp.predict_dist");
   const data::Matrix z = scaler_.transform(data::signed_log1p(x));
   out->mean.resize(z.rows());
   out->variance.resize(z.rows());

@@ -57,7 +57,7 @@ class Mlp final : public Regressor {
 
   /// Serialize the fitted network (weights + preprocessing) as versioned
   /// text; load() restores bit-identical predictions.
-  void save(std::ostream& out) const;
+  void save(std::ostream& out) const override;
   static Mlp load(std::istream& in);
 
   const MlpParams& params() const { return params_; }

@@ -1,0 +1,172 @@
+#include "src/ml/registry.hpp"
+
+#include <stdexcept>
+
+#include "src/ml/ensemble.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/linear.hpp"
+#include "src/ml/nn.hpp"
+#include "src/util/json.hpp"
+
+namespace iotax::ml {
+
+namespace {
+
+[[noreturn]] void unknown_key(const std::string& family,
+                              const std::string& key) {
+  throw std::invalid_argument("make_regressor: unknown " + family +
+                              " parameter '" + key + "'");
+}
+
+std::size_t as_size(const util::Json& v) {
+  const long long n = v.as_int();
+  if (n < 0) throw std::invalid_argument("make_regressor: negative size");
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<std::size_t> as_size_array(const util::Json& v) {
+  if (!v.is_array()) {
+    throw std::invalid_argument("make_regressor: expected an array");
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < v.size(); ++i) out.push_back(as_size(v[i]));
+  return out;
+}
+
+std::unique_ptr<Regressor> make_linear(const util::Json& params) {
+  double l2 = 1.0;
+  bool log_transform = true;
+  for (const auto& [key, value] : params.items()) {
+    if (key == "l2") {
+      l2 = value.as_double();
+    } else if (key == "log_transform") {
+      log_transform = value.as_bool();
+    } else {
+      unknown_key("linear", key);
+    }
+  }
+  return std::make_unique<LinearRegressor>(l2, log_transform);
+}
+
+std::unique_ptr<Regressor> make_gbt(const util::Json& params) {
+  GbtParams p;
+  for (const auto& [key, value] : params.items()) {
+    if (key == "n_estimators") {
+      p.n_estimators = as_size(value);
+    } else if (key == "max_depth") {
+      p.max_depth = as_size(value);
+    } else if (key == "loss") {
+      const std::string& loss = value.as_string();
+      if (loss == "squared") {
+        p.loss = GbtLoss::kSquaredError;
+      } else if (loss == "quantile") {
+        p.loss = GbtLoss::kQuantile;
+      } else {
+        throw std::invalid_argument("make_regressor: gbt loss must be "
+                                    "'squared' or 'quantile', got '" +
+                                    loss + "'");
+      }
+    } else if (key == "quantile_alpha") {
+      p.quantile_alpha = value.as_double();
+    } else if (key == "learning_rate") {
+      p.learning_rate = value.as_double();
+    } else if (key == "reg_lambda") {
+      p.reg_lambda = value.as_double();
+    } else if (key == "min_child_weight") {
+      p.min_child_weight = value.as_double();
+    } else if (key == "min_split_gain") {
+      p.min_split_gain = value.as_double();
+    } else if (key == "subsample") {
+      p.subsample = value.as_double();
+    } else if (key == "colsample") {
+      p.colsample = value.as_double();
+    } else if (key == "max_bins") {
+      p.max_bins = as_size(value);
+    } else if (key == "per_feature_bins") {
+      p.per_feature_bins = as_size_array(value);
+    } else if (key == "early_stopping_rounds") {
+      p.early_stopping_rounds = as_size(value);
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(value.as_int());
+    } else {
+      unknown_key("gbt", key);
+    }
+  }
+  return std::make_unique<GradientBoostedTrees>(std::move(p));
+}
+
+std::unique_ptr<Regressor> make_mlp(const util::Json& params) {
+  MlpParams p;
+  for (const auto& [key, value] : params.items()) {
+    if (key == "hidden") {
+      p.hidden = as_size_array(value);
+    } else if (key == "learning_rate") {
+      p.learning_rate = value.as_double();
+    } else if (key == "weight_decay") {
+      p.weight_decay = value.as_double();
+    } else if (key == "dropout") {
+      p.dropout = value.as_double();
+    } else if (key == "epochs") {
+      p.epochs = as_size(value);
+    } else if (key == "batch_size") {
+      p.batch_size = as_size(value);
+    } else if (key == "nll_head") {
+      p.nll_head = value.as_bool();
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(value.as_int());
+    } else {
+      unknown_key("mlp", key);
+    }
+  }
+  return std::make_unique<Mlp>(std::move(p));
+}
+
+std::unique_ptr<Regressor> make_ensemble(const util::Json& params) {
+  EnsembleParams p;
+  for (const auto& [key, value] : params.items()) {
+    if (key == "size") {
+      p.size = as_size(value);
+    } else if (key == "epochs") {
+      p.epochs = as_size(value);
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(value.as_int());
+    } else {
+      unknown_key("ensemble", key);
+    }
+  }
+  return std::make_unique<DeepEnsemble>(std::move(p));
+}
+
+}  // namespace
+
+std::vector<std::string> regressor_names() {
+  return {"ensemble", "gbt", "linear", "mean", "mlp"};
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          const std::string& params_json) {
+  util::Json params;
+  try {
+    params = util::Json::parse(params_json);
+  } catch (const std::invalid_argument& err) {
+    throw std::invalid_argument(std::string("make_regressor: bad params: ") +
+                                err.what());
+  }
+  if (!params.is_object()) {
+    throw std::invalid_argument("make_regressor: params must be an object");
+  }
+  if (name == "mean") {
+    if (params.size() != 0) {
+      unknown_key("mean", params.items().front().first);
+    }
+    return std::make_unique<MeanRegressor>();
+  }
+  if (name == "linear") return make_linear(params);
+  if (name == "gbt") return make_gbt(params);
+  if (name == "mlp") return make_mlp(params);
+  if (name == "ensemble") return make_ensemble(params);
+  throw std::invalid_argument("make_regressor: unknown model family '" + name +
+                              "'");
+}
+
+}  // namespace iotax::ml

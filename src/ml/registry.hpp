@@ -1,0 +1,30 @@
+// Name-based model factory: build any Regressor family from a family
+// name and a JSON parameter object. This is the configuration-driven
+// entry point the CLI `train` command and experiment configs use, so a
+// model choice is a string, not a compile-time type.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/model.hpp"
+
+namespace iotax::ml {
+
+/// Family names accepted by make_regressor, sorted.
+std::vector<std::string> regressor_names();
+
+/// Construct an unfitted regressor.
+///
+/// `name` is one of regressor_names() ("mean", "linear", "gbt", "mlp",
+/// "ensemble"); `params_json` is a JSON object whose keys map onto the
+/// family's params struct ({"n_estimators": 50, "max_depth": 4} for
+/// gbt, {"hidden": [32, 32], "nll_head": true} for mlp, ...). Throws
+/// std::invalid_argument for an unknown family, malformed JSON, an
+/// unknown key, or a value of the wrong type — a typo never silently
+/// trains a default model.
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          const std::string& params_json = "{}");
+
+}  // namespace iotax::ml

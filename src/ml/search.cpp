@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace iotax::ml {
@@ -22,11 +24,14 @@ SearchPoint evaluate(const GbtParams& params, const data::Matrix& x_train,
                      std::span<const double> y_train,
                      const BinnedMatrix& binned, const data::Matrix& x_val,
                      std::span<const double> y_val) {
+  obs::SpanGuard trial_span("search.trial");
+  IOTAX_OBS_COUNT("search.trials", 1);
   GradientBoostedTrees model(params);
   model.fit_binned(x_train, y_train, binned);
   SearchPoint point;
   point.params = params;
   point.val_error = median_abs_log_error(y_val, model.predict(x_val));
+  obs::span_arg("val_error", point.val_error);
   return point;
 }
 
@@ -68,6 +73,7 @@ SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
       grid.subsample.empty() || grid.colsample.empty()) {
     throw std::invalid_argument("grid_search: empty grid axis");
   }
+  IOTAX_TRACE_SPAN("search.grid");
   std::vector<GbtParams> points;
   for (const auto trees : grid.n_estimators) {
     for (const auto depth : grid.max_depth) {
@@ -93,6 +99,7 @@ SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
                            std::span<const double> y_val, util::Rng& rng,
                            const SearchCallback& on_point) {
   if (n_samples == 0) throw std::invalid_argument("random_search: 0 samples");
+  IOTAX_TRACE_SPAN("search.random");
   // Serial RNG pass first, so the sampled stream is independent of how
   // trials are later scheduled.
   std::vector<GbtParams> points;
@@ -123,6 +130,7 @@ SearchResult successive_halving(const GbtGrid& grid,
   if (params.initial_budget_frac <= 0.0 || params.initial_budget_frac > 1.0) {
     throw std::invalid_argument("successive_halving: bad budget fraction");
   }
+  IOTAX_TRACE_SPAN("search.halving");
   util::Rng rng(params.seed);
 
   // Sample the initial population of configurations.

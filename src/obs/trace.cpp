@@ -1,0 +1,152 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ostream>
+
+#include "src/util/json.hpp"
+
+namespace iotax::obs {
+
+namespace detail {
+std::atomic<int> g_enabled{-1};
+
+bool read_enabled_slow() {
+  const char* raw = std::getenv("IOTAX_OBS");
+  const bool on =
+      raw != nullptr && raw[0] != '\0' && !(raw[0] == '0' && raw[1] == '\0');
+  // Another thread may race this write; both compute the same value from
+  // the same environment, so last-writer-wins is fine.
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void refresh_enabled_from_env() {
+  detail::g_enabled.store(-1, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::int64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread stack of open spans.
+struct OpenSpan {
+  SpanEvent event;
+};
+
+thread_local std::vector<OpenSpan> t_open_spans;
+
+}  // namespace
+
+std::int64_t now_ns_if_enabled() { return enabled() ? now_ns() : 0; }
+
+TraceLog& TraceLog::global() {
+  static TraceLog log;
+  return log;
+}
+
+void TraceLog::record(SpanEvent&& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceLog::snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void TraceLog::write_chrome_json(std::ostream& out) const {
+  const auto events = snapshot();
+  util::Json trace_events = util::Json::array();
+  for (const auto& ev : events) {
+    util::Json e = util::Json::object();
+    e.set("name", ev.name);
+    e.set("cat", "iotax");
+    e.set("ph", "X");
+    e.set("pid", 1);
+    e.set("tid", static_cast<std::size_t>(ev.tid));
+    e.set("ts", static_cast<double>(ev.start_ns) / 1000.0);
+    e.set("dur", static_cast<double>(ev.dur_ns) / 1000.0);
+    if (!ev.args.empty() || ev.parent != 0) {
+      util::Json args = util::Json::object();
+      if (ev.parent != 0) {
+        args.set("parent", static_cast<std::size_t>(ev.parent));
+      }
+      args.set("id", static_cast<std::size_t>(ev.id));
+      for (const auto& [k, v] : ev.args) args.set(k, v);
+      e.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(e));
+  }
+  util::Json doc = util::Json::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", "ms");
+  out << doc.dump(1) << '\n';
+}
+
+void SpanGuard::open(const char* name) {
+  OpenSpan span;
+  span.event.name = name;
+  span.event.id = next_span_id();
+  span.event.tid = this_thread_id();
+  span.event.depth = static_cast<std::uint32_t>(t_open_spans.size());
+  span.event.parent =
+      t_open_spans.empty() ? 0 : t_open_spans.back().event.id;
+  span.event.start_ns = now_ns();
+  t_open_spans.push_back(std::move(span));
+  active_ = true;
+}
+
+void SpanGuard::close() {
+  OpenSpan span = std::move(t_open_spans.back());
+  t_open_spans.pop_back();
+  span.event.dur_ns = now_ns() - span.event.start_ns;
+  TraceLog::global().record(std::move(span.event));
+  active_ = false;
+}
+
+void span_arg(const char* key, double value) {
+  if (!enabled() || t_open_spans.empty()) return;
+  t_open_spans.back().event.args.emplace_back(key, value);
+}
+
+}  // namespace iotax::obs

@@ -1,0 +1,128 @@
+// Lightweight RAII tracing spans for the pipeline's hot paths.
+//
+// A span records nested wall-time for one phase of work ("gbt.fit",
+// "taxonomy.search", ...; names follow the module.verb convention) into
+// a process-wide, thread-safe span log. Nesting is tracked per thread, so
+// spans opened inside thread-pool workers attribute to the worker that
+// ran them. The log exports Chrome-trace-format JSON loadable in
+// chrome://tracing or Perfetto.
+//
+// Everything is gated by the IOTAX_OBS env knob through a cached atomic
+// flag: when observability is off (the default) a span is a single
+// relaxed atomic load and branch, so instrumented hot loops pay no
+// measurable cost. Spans only *observe* — they never consume RNG state or
+// reorder work — so IOTAX_OBS=1 leaves every model output bit-identical
+// (enforced by tests/obs_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iotax::obs {
+
+namespace detail {
+// -1 = not yet read from the environment, 0 = off, 1 = on.
+extern std::atomic<int> g_enabled;
+bool read_enabled_slow();
+}  // namespace detail
+
+/// True when observability is on: IOTAX_OBS set to anything but "" or
+/// "0", or forced via set_enabled(). The answer is cached in an atomic,
+/// so the disabled path costs one relaxed load.
+inline bool enabled() {
+  const int s = detail::g_enabled.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::read_enabled_slow();
+}
+
+/// Force the flag (CLI --metrics-out/--trace-out, tests).
+void set_enabled(bool on);
+
+/// Drop the cached flag so the next enabled() re-reads IOTAX_OBS.
+void refresh_enabled_from_env();
+
+/// One completed span. `id` is assigned at open time from a global
+/// counter, so sorting by id restores open order; `parent` is the id of
+/// the enclosing span on the same thread (0 = root). Times are
+/// nanoseconds since the process trace epoch.
+struct SpanEvent {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint32_t tid = 0;   // dense per-thread id, stable for the process
+  std::uint32_t depth = 0; // nesting depth on its thread (0 = root)
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Process-wide log of completed spans.
+class TraceLog {
+ public:
+  static TraceLog& global();
+
+  void record(SpanEvent&& event);
+
+  /// Completed spans sorted by open order (id); deterministic for
+  /// single-threaded sections.
+  std::vector<SpanEvent> snapshot() const;
+
+  std::size_t size() const;
+  void reset();
+
+  /// Chrome trace format: {"traceEvents":[{"ph":"X",...}]}; loads in
+  /// chrome://tracing and Perfetto. Timestamps/durations in microseconds.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span. Construct through IOTAX_TRACE_SPAN so the disabled path
+/// stays a single branch.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (enabled()) open(name);
+  }
+  ~SpanGuard() {
+    if (active_) close();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Close the span now instead of at scope exit — for phases whose
+  /// results must outlive the instrumented block. Idempotent.
+  void end() {
+    if (active_) close();
+  }
+
+ private:
+  void open(const char* name);
+  void close();
+  bool active_ = false;
+};
+
+/// Attach a numeric argument to the innermost open span on this thread
+/// (exported into the chrome-trace "args" object). No-op when disabled
+/// or no span is open.
+void span_arg(const char* key, double value);
+
+/// Monotonic nanoseconds since the trace epoch when enabled, 0 when
+/// disabled — the cheap way to time a section only under observation.
+std::int64_t now_ns_if_enabled();
+
+#define IOTAX_OBS_CONCAT2(a, b) a##b
+#define IOTAX_OBS_CONCAT(a, b) IOTAX_OBS_CONCAT2(a, b)
+
+/// Open a span covering the rest of the enclosing scope.
+#define IOTAX_TRACE_SPAN(name) \
+  ::iotax::obs::SpanGuard IOTAX_OBS_CONCAT(iotax_span_, __LINE__)(name)
+
+}  // namespace iotax::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/lmt_gen.hpp"
 #include "src/telemetry/counters.hpp"
 
@@ -23,6 +25,8 @@ void SimConfig::validate() const {
 
 SimulationResult simulate(const SimConfig& config) {
   config.validate();
+  IOTAX_TRACE_SPAN("sim.simulate");
+  const std::int64_t sim_t0 = obs::now_ns_if_enabled();
   SimulationResult out;
   out.config = config;
   out.train_cutoff_time = config.workload.horizon * config.train_cutoff_frac;
@@ -36,13 +40,23 @@ SimulationResult simulate(const SimConfig& config) {
   // 1. Application population (novel apps appear after the cutoff).
   CatalogParams cat = config.catalog;
   cat.novel_after = out.train_cutoff_time;
-  out.catalog = generate_catalog(cat, config.platform, catalog_rng);
+  {
+    IOTAX_TRACE_SPAN("sim.catalog");
+    out.catalog = generate_catalog(cat, config.platform, catalog_rng);
+  }
+  IOTAX_OBS_COUNT("sim.apps", out.catalog.size());
 
   // 2. Schedule.
-  const auto jobs = generate_workload(config.workload, out.catalog,
-                                      config.platform, workload_rng);
+  const auto jobs = [&] {
+    IOTAX_TRACE_SPAN("sim.schedule");
+    auto scheduled = generate_workload(config.workload, out.catalog,
+                                       config.platform, workload_rng);
+    obs::span_arg("jobs", static_cast<double>(scheduled.size()));
+    return scheduled;
+  }();
 
   // 3. Global weather and aggregate load.
+  obs::SpanGuard weather_span("sim.weather_load");
   out.weather = std::make_shared<GlobalWeather>(config.weather, weather_rng);
 
   // Global (fleet-average) load drives the LMT telemetry; the per-OST
@@ -108,12 +122,14 @@ SimulationResult simulate(const SimConfig& config) {
     }
     load.add_background(frac);
   }
+  weather_span.end();
 
   // App lookup by id for sensitivities.
   std::unordered_map<std::uint64_t, const Application*> app_by_id;
   for (const auto& app : out.catalog) app_by_id[app.app_id] = &app;
 
   // 4. Per-job throughput decomposition and telemetry records.
+  obs::SpanGuard records_span("sim.job_records");
   out.records.reserve(jobs.size());
   for (const auto& j : jobs) {
     const Application& app = *app_by_id.at(j.app_id);
@@ -166,18 +182,32 @@ SimulationResult simulate(const SimConfig& config) {
     truth.novel_app = app.introduced_at > out.train_cutoff_time;
     out.truth.emplace(j.job_id, truth);
   }
+  records_span.end();
+  IOTAX_OBS_COUNT("sim.jobs", out.records.size());
 
   // 5. Storage telemetry (only where the site collects it).
   if (config.platform.lmt_enabled) {
+    IOTAX_TRACE_SPAN("sim.lmt");
     out.lmt = generate_lmt_timeline(load, *out.weather, config.platform,
                                     config.workload.horizon, lmt_rng);
   }
 
   // 6. Joined dataset with ground truth.
-  out.dataset = build_dataset(out.records,
-                              config.platform.lmt_enabled ? &out.lmt : nullptr,
-                              config.name, &out.truth);
-  out.dataset.validate();
+  {
+    IOTAX_TRACE_SPAN("sim.dataset");
+    out.dataset = build_dataset(
+        out.records, config.platform.lmt_enabled ? &out.lmt : nullptr,
+        config.name, &out.truth);
+    out.dataset.validate();
+  }
+  if (sim_t0 != 0) {
+    const double secs =
+        static_cast<double>(obs::now_ns_if_enabled() - sim_t0) / 1e9;
+    if (secs > 0.0) {
+      IOTAX_OBS_GAUGE("sim.jobs_per_sec",
+                      static_cast<double>(out.records.size()) / secs);
+    }
+  }
   return out;
 }
 

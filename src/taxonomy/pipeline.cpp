@@ -5,12 +5,15 @@
 #include <sstream>
 
 #include "src/ml/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/str.hpp"
 
 namespace iotax::taxonomy {
 
 TaxonomyReport run_taxonomy(const data::Dataset& ds,
                             const PipelineConfig& config) {
+  IOTAX_TRACE_SPAN("taxonomy.run");
+  obs::span_arg("jobs", static_cast<double>(ds.size()));
   TaxonomyReport report;
   report.system = ds.system_name;
   report.n_jobs = ds.size();
@@ -28,6 +31,7 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
 
   // ---- Step 1: baseline model with library-default hyperparameters.
   {
+    IOTAX_TRACE_SPAN("taxonomy.baseline");
     ml::GradientBoostedTrees baseline;  // 100 trees, depth 6 — the defaults
     baseline.fit(x_train, y_train);
     report.baseline_error =
@@ -35,10 +39,14 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   }
 
   // ---- Step 2.1: application-modeling bound from duplicate sets.
-  report.app_bound = litmus_application_bound(ds);
+  {
+    IOTAX_TRACE_SPAN("taxonomy.app_bound");
+    report.app_bound = litmus_application_bound(ds);
+  }
 
   // ---- Step 2.2: hyperparameter search toward the bound.
   {
+    IOTAX_TRACE_SPAN("taxonomy.search");
     const auto search =
         ml::grid_search(config.grid, x_train, y_train, x_val, y_val);
     report.tuned_params = search.best.params;
@@ -49,11 +57,15 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   }
 
   // ---- Step 3.1: system bound via the start-time golden model.
-  report.system_bound = litmus_system_bound(ds, split, config.app_features,
-                                            report.tuned_params);
+  {
+    IOTAX_TRACE_SPAN("taxonomy.system_bound");
+    report.system_bound = litmus_system_bound(ds, split, config.app_features,
+                                              report.tuned_params);
+  }
 
   // ---- Step 3.2: realized improvement from storage telemetry.
   if (ds.features.has_column("LMT_OSS_CPU_MEAN")) {
+    IOTAX_TRACE_SPAN("taxonomy.lmt_enrich");
     auto enriched_sets = config.app_features;
     enriched_sets.push_back(FeatureSet::kLmt);
     ml::GbtParams params = report.tuned_params;
@@ -68,6 +80,7 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   // ---- Step 4: OoD attribution via deep-ensemble epistemic uncertainty.
   std::vector<bool> exclude(ds.size(), false);
   if (config.run_uq) {
+    IOTAX_TRACE_SPAN("taxonomy.ood");
     // Cap UQ training cost: take the most recent rows of the train period.
     std::vector<std::size_t> uq_rows = split.train;
     if (uq_rows.size() > config.uq_train_cap) {
@@ -89,7 +102,10 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   }
 
   // ---- Step 5: contention+noise floor from concurrent duplicates.
-  report.noise = litmus_noise_bound(ds, config.dt_window, &exclude);
+  {
+    IOTAX_TRACE_SPAN("taxonomy.noise_bound");
+    report.noise = litmus_noise_bound(ds, config.dt_window, &exclude);
+  }
 
   // ---- Fig. 7 segment arithmetic (fractions of the baseline error).
   const double base = std::max(report.baseline_error, 1e-12);

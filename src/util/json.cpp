@@ -1,0 +1,366 @@
+#include "src/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace iotax::util {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t pos) {
+  throw std::invalid_argument("Json::parse: " + std::string(what) +
+                              " at offset " + std::to_string(pos));
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input", pos);
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character", pos);
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string", pos);
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string", pos - 1);
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape", pos);
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("bad \\u escape", pos);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape", pos - 1);
+            }
+          }
+          // UTF-8 encode the basic-plane code point (surrogate pairs are
+          // rejected; the library never emits them).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes unsupported", pos - 6);
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character", pos - 1);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty() ||
+        !std::isfinite(v)) {
+      fail("malformed number", start);
+    }
+    return Json(v);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep", pos);
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        const std::size_t key_pos = pos;
+        std::string key = parse_string();
+        if (obj.has(key)) fail("duplicate object key", key_pos);
+        skip_ws();
+        expect(':');
+        obj.set(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character", pos);
+  }
+};
+
+std::string format_number(double v) {
+  // Integers render without a decimal point; everything else uses the
+  // shortest round-trippable form %.17g provides.
+  if (std::rint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) fail("trailing garbage", p.pos);
+  return v;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::invalid_argument("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) {
+    throw std::invalid_argument("Json: not a number");
+  }
+  return num_;
+}
+
+long long Json::as_int() const {
+  const double v = as_double();
+  if (std::rint(v) != v || std::fabs(v) > 9.007199254740992e15) {
+    throw std::invalid_argument("Json: not an integer");
+  }
+  return static_cast<long long>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    throw std::invalid_argument("Json: not a string");
+  }
+  return str_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  if (type_ != Type::kArray) throw std::invalid_argument("Json: not an array");
+  return arr_.at(i);
+}
+
+void Json::push_back(Json v) {
+  if (type_ != Type::kArray) throw std::invalid_argument("Json: not an array");
+  arr_.push_back(std::move(v));
+}
+
+bool Json::has(const std::string& key) const { return find(key) != nullptr; }
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("Json: missing key '" + key + "'");
+  }
+  return *v;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (type_ != Type::kObject) {
+    throw std::invalid_argument("Json: not an object");
+  }
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  if (type_ != Type::kObject) {
+    throw std::invalid_argument("Json: not an object");
+  }
+  return obj_;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    *out += '\n';
+    out->append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: *out += format_number(num_); break;
+    case Type::kString: *out += json_quote(str_); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) *out += ',';
+        newline_pad(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) *out += ',';
+        newline_pad(depth + 1);
+        *out += json_quote(obj_[i].first);
+        *out += ':';
+        if (indent >= 0) *out += ' ';
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+}  // namespace iotax::util

@@ -1,0 +1,92 @@
+// Minimal JSON value type with a strict parser and a deterministic
+// writer. Covers the subset the library needs — metrics/trace export,
+// model-factory parameter strings, and CLI validation of emitted files —
+// with no external dependency. Object keys keep insertion order so every
+// export is byte-stable across runs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iotax::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(long long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::size_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Parse a complete JSON document; throws std::invalid_argument on any
+  /// syntax error or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  long long as_int() const;  // also rejects non-integral numbers
+  const std::string& as_string() const;
+
+  /// Array/object size; 0 for scalars.
+  std::size_t size() const;
+
+  /// Array element access (throws std::out_of_range / type mismatch).
+  const Json& operator[](std::size_t i) const;
+  void push_back(Json v);
+
+  /// Object access. `at` throws when the key is missing; `find` returns
+  /// nullptr. `set` inserts or overwrites, preserving first-seen order.
+  bool has(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const Json* find(const std::string& key) const;
+  void set(const std::string& key, Json v);
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Serialize. indent < 0 → compact one-line form; indent >= 0 →
+  /// pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+
+  void dump_to(std::string* out, int indent, int depth) const;
+};
+
+/// Escape a string for embedding in a JSON document (adds quotes).
+std::string json_quote(std::string_view s);
+
+}  // namespace iotax::util

@@ -2,10 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <sstream>
 
+#include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
+#include "src/ml/linear.hpp"
 #include "src/ml/nn.hpp"
+#include "src/ml/registry.hpp"
 #include "src/util/rng.hpp"
 
 namespace iotax {
@@ -132,6 +136,167 @@ TEST(MlpSerialize, SaveUnfittedThrows) {
   ml::Mlp model;
   std::stringstream buf;
   EXPECT_THROW(model.save(buf), std::logic_error);
+}
+
+TEST(LinearSerialize, RoundTripPredictionsIdentical) {
+  const auto train = make_data(400, 8);
+  const auto probe = make_data(80, 9);
+  ml::LinearRegressor model(0.5, /*log_transform=*/true);
+  model.fit(train.x, train.y);
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::LinearRegressor::load(buf);
+  EXPECT_EQ(loaded.coefficients(), model.coefficients());
+  EXPECT_DOUBLE_EQ(loaded.intercept(), model.intercept());
+  const auto a = model.predict(probe.x);
+  const auto b = loaded.predict(probe.x);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(MeanSerialize, RoundTripPredictionsIdentical) {
+  const auto train = make_data(100, 10);
+  ml::MeanRegressor model;
+  model.fit(train.x, train.y);
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::MeanRegressor::load(buf);
+  const auto a = model.predict(train.x);
+  const auto b = loaded.predict(train.x);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(EnsembleSerialize, RoundTripUncertaintyIdentical) {
+  const auto train = make_data(300, 11);
+  const auto probe = make_data(60, 12);
+  ml::EnsembleParams params;
+  params.size = 3;
+  params.epochs = 3;
+  ml::DeepEnsemble model(params);
+  model.fit(train.x, train.y);
+  std::stringstream buf;
+  model.save(buf);
+  const auto loaded = ml::DeepEnsemble::load(buf);
+  EXPECT_EQ(loaded.size(), model.size());
+  const auto a = model.predict_uncertainty(probe.x);
+  const auto b = loaded.predict_uncertainty(probe.x);
+  for (std::size_t i = 0; i < a.mean.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.mean[i], b.mean[i]);
+    ASSERT_DOUBLE_EQ(a.aleatory[i], b.aleatory[i]);
+    ASSERT_DOUBLE_EQ(a.epistemic[i], b.epistemic[i]);
+  }
+}
+
+// Regressor::load must dispatch on the magic token alone: a deployment
+// that only knows "a saved model file" reloads any family.
+TEST(UnifiedLoad, DispatchesOnMagicToken) {
+  const auto train = make_data(300, 13);
+  const auto probe = make_data(40, 14);
+
+  const auto round_trip = [&](const ml::Regressor& model) {
+    std::stringstream buf;
+    model.save(buf);
+    const auto loaded = ml::Regressor::load(buf);
+    EXPECT_EQ(loaded->name(), model.name());
+    const auto a = model.predict(probe.x);
+    const auto b = loaded->predict(probe.x);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  };
+
+  ml::MeanRegressor mean;
+  mean.fit(train.x, train.y);
+  round_trip(mean);
+
+  ml::LinearRegressor linear;
+  linear.fit(train.x, train.y);
+  round_trip(linear);
+
+  ml::GradientBoostedTrees gbt({.n_estimators = 5, .max_depth = 3});
+  gbt.fit(train.x, train.y);
+  round_trip(gbt);
+
+  ml::MlpParams mp;
+  mp.hidden = {8};
+  mp.epochs = 3;
+  ml::Mlp mlp(mp);
+  mlp.fit(train.x, train.y);
+  round_trip(mlp);
+}
+
+TEST(UnifiedLoad, RejectsUnknownHeaderAndUnseekableGarbage) {
+  std::stringstream buf("iotax-frobnicator 1\n");
+  EXPECT_THROW(ml::Regressor::load(buf), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(ml::Regressor::load(empty), std::runtime_error);
+}
+
+// --- make_regressor factory --------------------------------------------
+
+TEST(Registry, BuildsEveryAdvertisedFamily) {
+  const auto train = make_data(200, 15);
+  // Shrink the expensive families so the test stays fast; an absent key
+  // keeps the family's default.
+  const std::map<std::string, std::string> params = {
+      {"ensemble", R"({"size": 2, "epochs": 2})"},
+      {"gbt", R"({"n_estimators": 5, "max_depth": 3})"},
+      {"mlp", R"({"hidden": [8], "epochs": 2})"},
+  };
+  for (const auto& family : ml::regressor_names()) {
+    const auto it = params.find(family);
+    const auto model = ml::make_regressor(
+        family, it != params.end() ? it->second : "{}");
+    ASSERT_NE(model, nullptr) << family;
+    model->fit(train.x, train.y);
+    EXPECT_EQ(model->predict(train.x).size(), train.y.size()) << family;
+  }
+}
+
+TEST(Registry, AppliesJsonParams) {
+  const auto gbt = ml::make_regressor(
+      "gbt", R"({"n_estimators": 7, "max_depth": 2, "seed": 3})");
+  const auto train = make_data(200, 16);
+  gbt->fit(train.x, train.y);
+  EXPECT_NE(gbt->name().find("trees=7"), std::string::npos) << gbt->name();
+
+  const auto mlp = ml::make_regressor(
+      "mlp", R"({"hidden": [8, 4], "epochs": 2, "nll_head": true})");
+  mlp->fit(train.x, train.y);
+  const auto* as_mlp = dynamic_cast<const ml::Mlp*>(mlp.get());
+  ASSERT_NE(as_mlp, nullptr);
+  EXPECT_EQ(as_mlp->params().hidden, (std::vector<std::size_t>{8, 4}));
+  EXPECT_TRUE(as_mlp->params().nll_head);
+}
+
+TEST(Registry, FactoryMatchesDirectConstruction) {
+  const auto train = make_data(300, 17);
+  const auto probe = make_data(50, 18);
+  const auto from_factory = ml::make_regressor(
+      "gbt", R"({"n_estimators": 10, "max_depth": 4, "seed": 5})");
+  from_factory->fit(train.x, train.y);
+  ml::GbtParams p;
+  p.n_estimators = 10;
+  p.max_depth = 4;
+  p.seed = 5;
+  ml::GradientBoostedTrees direct(p);
+  direct.fit(train.x, train.y);
+  const auto a = from_factory->predict(probe.x);
+  const auto b = direct.predict(probe.x);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Registry, RejectsUnknownFamilyKeyAndMalformedJson) {
+  EXPECT_THROW(ml::make_regressor("xgboost"), std::invalid_argument);
+  // A typo must never silently train a default model.
+  EXPECT_THROW(ml::make_regressor("gbt", R"({"n_estimator": 7})"),
+               std::invalid_argument);
+  EXPECT_THROW(ml::make_regressor("mean", R"({"anything": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(ml::make_regressor("gbt", "{not json"),
+               std::invalid_argument);
+  EXPECT_THROW(ml::make_regressor("gbt", R"(["list"])"),
+               std::invalid_argument);
+  EXPECT_THROW(ml::make_regressor("gbt", R"({"n_estimators": -1})"),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -11,13 +11,18 @@
 // data::write_dataset_csv); archives are the text/binary job-log formats.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 
 #include "src/cli/args.hpp"
 #include "src/data/split.hpp"
 #include "src/data/table_io.hpp"
 #include "src/ml/metrics.hpp"
+#include "src/ml/registry.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/dataset_builder.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
@@ -28,6 +33,7 @@
 #include "src/taxonomy/report_io.hpp"
 #include "src/telemetry/binary_log.hpp"
 #include "src/telemetry/darshan_log.hpp"
+#include "src/util/json.hpp"
 
 namespace {
 
@@ -52,6 +58,18 @@ commands:
              train a GBT and report which counters it relies on
   drift      --dataset FILE [--train-frac F] [--window DAYS]
              train on the first F of the timeline, monitor the rest
+  train      --dataset FILE --model NAME [--params JSON] --out MODEL
+             fit any model family (mean|linear|gbt|mlp|ensemble) and
+             save it; params is a JSON object of hyperparameters
+  predict    --dataset FILE --model-file MODEL [--out CSV]
+             load a saved model and predict the dataset
+  checkjson  FILE...
+             validate that each file parses as JSON (exit 1 otherwise)
+
+observability (any command):
+  --metrics-out FILE   write counters/gauges/histograms as JSON
+  --trace-out FILE     write spans as Chrome trace JSON (chrome://tracing)
+  both force IOTAX_OBS-style instrumentation on for the run
 )");
   return 2;
 }
@@ -68,8 +86,15 @@ data::Dataset load_dataset(const cli::Args& args) {
   return data::read_dataset_csv(args.get("dataset"), "dataset");
 }
 
+/// Every command also accepts the observability output options.
+std::set<std::string> with_obs(std::set<std::string> allowed) {
+  allowed.insert("metrics-out");
+  allowed.insert("trace-out");
+  return allowed;
+}
+
 int cmd_simulate(const cli::Args& args) {
-  args.check_allowed({"preset", "seed", "out"});
+  args.check_allowed(with_obs({"preset", "seed", "out"}));
   const auto cfg = preset_by_name(
       args.get_or("preset", "tiny"),
       static_cast<std::uint64_t>(args.get_int_or("seed", 7)));
@@ -89,7 +114,7 @@ int cmd_simulate(const cli::Args& args) {
 }
 
 int cmd_parse(const cli::Args& args) {
-  args.check_allowed({"archive", "binary", "lenient"});
+  args.check_allowed(with_obs({"archive", "binary", "lenient"}));
   const bool strict = !args.has("lenient");
   telemetry::ParseStats stats;
   std::vector<telemetry::JobLogRecord> records;
@@ -111,7 +136,7 @@ int cmd_parse(const cli::Args& args) {
 }
 
 int cmd_bound(const cli::Args& args) {
-  args.check_allowed({"dataset"});
+  args.check_allowed(with_obs({"dataset"}));
   const auto ds = load_dataset(args);
   const auto bound = taxonomy::litmus_application_bound(ds);
   std::printf("jobs: %zu, duplicates: %zu (%.1f%%) in %zu sets "
@@ -127,7 +152,7 @@ int cmd_bound(const cli::Args& args) {
 }
 
 int cmd_noise(const cli::Args& args) {
-  args.check_allowed({"dataset", "window"});
+  args.check_allowed(with_obs({"dataset", "window"}));
   const auto ds = load_dataset(args);
   const auto noise = taxonomy::litmus_noise_bound(
       ds, args.get_double_or("window", 1.0));
@@ -147,7 +172,7 @@ int cmd_noise(const cli::Args& args) {
 }
 
 int cmd_taxonomy(const cli::Args& args) {
-  args.check_allowed({"dataset", "no-uq", "report"});
+  args.check_allowed(with_obs({"dataset", "no-uq", "report"}));
   const auto ds = load_dataset(args);
   taxonomy::PipelineConfig pc;
   pc.run_uq = !args.has("no-uq");
@@ -161,7 +186,7 @@ int cmd_taxonomy(const cli::Args& args) {
 }
 
 int cmd_importance(const cli::Args& args) {
-  args.check_allowed({"dataset"});
+  args.check_allowed(with_obs({"dataset"}));
   const auto ds = load_dataset(args);
   util::Rng rng(3);
   const auto split = data::random_split(ds.size(), 0.8, 0.0, rng);
@@ -188,7 +213,7 @@ int cmd_importance(const cli::Args& args) {
 }
 
 int cmd_drift(const cli::Args& args) {
-  args.check_allowed({"dataset", "train-frac", "window"});
+  args.check_allowed(with_obs({"dataset", "train-frac", "window"}));
   const auto ds = load_dataset(args);
   const double train_frac = args.get_double_or("train-frac", 0.5);
   if (train_frac <= 0.0 || train_frac >= 1.0) {
@@ -238,22 +263,147 @@ int cmd_drift(const cli::Args& args) {
   return report.n_alarms == 0 ? 0 : 3;  // exit code flags drift for scripts
 }
 
+int cmd_train(const cli::Args& args) {
+  args.check_allowed(with_obs({"dataset", "model", "params", "out",
+                               "train-frac", "seed"}));
+  const auto ds = load_dataset(args);
+  auto model = ml::make_regressor(args.get("model"),
+                                  args.get_or("params", "{}"));
+  const double train_frac = args.get_double_or("train-frac", 0.8);
+  if (train_frac <= 0.0 || train_frac > 1.0) {
+    throw std::invalid_argument("--train-frac must be in (0,1]");
+  }
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 3)));
+  const auto split = data::random_split(ds.size(), train_frac, 0.0, rng);
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  model->fit(taxonomy::feature_matrix(ds, feats, split.train),
+             taxonomy::targets(ds, split.train));
+  std::printf("trained %s on %zu jobs\n", model->name().c_str(),
+              split.train.size());
+  if (!split.test.empty()) {
+    const double err = ml::median_abs_log_error(
+        taxonomy::targets(ds, split.test),
+        model->predict(taxonomy::feature_matrix(ds, feats, split.test)));
+    std::printf("held-out error: %.2f%% median |log10|\n",
+                ml::log_error_to_percent(err));
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    model->save(out);
+    std::printf("model saved to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(const cli::Args& args) {
+  args.check_allowed(with_obs({"dataset", "model-file", "out"}));
+  const auto ds = load_dataset(args);
+  std::ifstream in(args.get("model-file"));
+  if (!in) throw std::runtime_error("cannot open " + args.get("model-file"));
+  const auto model = ml::Regressor::load(in);
+  std::vector<std::size_t> rows(ds.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto pred =
+      model->predict(taxonomy::feature_matrix(ds, feats, rows));
+  const double err =
+      ml::median_abs_log_error(taxonomy::targets(ds, rows), pred);
+  std::printf("%s predicted %zu jobs, error %.2f%% median |log10|\n",
+              model->name().c_str(), pred.size(),
+              ml::log_error_to_percent(err));
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    out << "job_id,log10_pred\n";
+    out.precision(17);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      out << ds.meta[i].job_id << ',' << pred[i] << '\n';
+    }
+    std::printf("predictions written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_checkjson(const cli::Args& args) {
+  args.check_allowed(with_obs({}));
+  if (args.positional().empty()) {
+    throw std::invalid_argument("checkjson: need at least one file");
+  }
+  int rc = 0;
+  for (const auto& path : args.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "checkjson: cannot open %s\n", path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      const auto doc = util::Json::parse(buf.str());
+      std::string shape = "scalar";
+      if (doc.is_object()) {
+        shape = "object, " + std::to_string(doc.size()) + " keys";
+      } else if (doc.is_array()) {
+        shape = "array, " + std::to_string(doc.size()) + " items";
+      }
+      std::printf("%s: ok (%s)\n", path.c_str(), shape.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+/// Write the run's metrics / trace files when requested.
+void write_obs_outputs(const cli::Args& args) {
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("metrics-out"));
+    obs::MetricsRegistry::global().write_json(out);
+    std::fprintf(stderr, "metrics written to %s\n",
+                 args.get("metrics-out").c_str());
+  }
+  if (args.has("trace-out")) {
+    std::ofstream out(args.get("trace-out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("trace-out"));
+    obs::TraceLog::global().write_chrome_json(out);
+    std::fprintf(stderr, "trace written to %s\n",
+                 args.get("trace-out").c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const cli::Args args(argc - 2, argv + 2);
+  if (args.has("metrics-out") || args.has("trace-out")) {
+    obs::set_enabled(true);
+  }
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "parse") return cmd_parse(args);
-    if (command == "bound") return cmd_bound(args);
-    if (command == "noise") return cmd_noise(args);
-    if (command == "taxonomy") return cmd_taxonomy(args);
-    if (command == "importance") return cmd_importance(args);
-    if (command == "drift") return cmd_drift(args);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return usage();
+    int rc = -1;
+    if (command == "simulate") rc = cmd_simulate(args);
+    else if (command == "parse") rc = cmd_parse(args);
+    else if (command == "bound") rc = cmd_bound(args);
+    else if (command == "noise") rc = cmd_noise(args);
+    else if (command == "taxonomy") rc = cmd_taxonomy(args);
+    else if (command == "importance") rc = cmd_importance(args);
+    else if (command == "drift") rc = cmd_drift(args);
+    else if (command == "train") rc = cmd_train(args);
+    else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "checkjson") rc = cmd_checkjson(args);
+    if (rc < 0) {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      return usage();
+    }
+    write_obs_outputs(args);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iotax %s: %s\n", command.c_str(), e.what());
     return 1;

@@ -1,0 +1,62 @@
+# Observability smoke test (ctest label "obs"): simulate a tiny dataset,
+# run the full taxonomy with --metrics-out/--trace-out, and check that
+# both emitted files parse as JSON via `iotax checkjson`. Invoked as
+#   cmake -DIOTAX_CLI=<path-to-iotax> -DWORK_DIR=<scratch> -P obs_smoke.cmake
+# with IOTAX_SCALE=0.1 in the environment (set by the add_test wiring).
+foreach(var IOTAX_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "obs_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${IOTAX_CLI}" simulate --preset tiny --seed 7 --out "${WORK_DIR}"
+          --trace-out "${WORK_DIR}/sim_trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_smoke: iotax simulate failed (rc=${rc})")
+endif()
+
+file(READ "${WORK_DIR}/sim_trace.json" sim_trace)
+foreach(span sim.simulate sim.catalog sim.schedule sim.job_records)
+  string(FIND "${sim_trace}" "\"${span}\"" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+            "obs_smoke: span '${span}' missing from sim_trace.json")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${IOTAX_CLI}" taxonomy --dataset "${WORK_DIR}/dataset.csv"
+          --metrics-out "${WORK_DIR}/metrics.json"
+          --trace-out "${WORK_DIR}/trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_smoke: iotax taxonomy failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${IOTAX_CLI}" checkjson "${WORK_DIR}/metrics.json"
+          "${WORK_DIR}/trace.json" "${WORK_DIR}/sim_trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_smoke: emitted observability JSON is invalid "
+                      "(rc=${rc})")
+endif()
+
+# The taxonomy trace must cover all five litmus steps plus model fits.
+file(READ "${WORK_DIR}/trace.json" trace)
+foreach(span taxonomy.run taxonomy.baseline taxonomy.app_bound
+        taxonomy.search taxonomy.system_bound taxonomy.ood
+        taxonomy.noise_bound gbt.fit gbt.predict search.trial
+        ensemble.fit mlp.fit)
+  string(FIND "${trace}" "\"${span}\"" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "obs_smoke: span '${span}' missing from trace.json")
+  endif()
+endforeach()
+
+message(STATUS "obs_smoke: ok")
