@@ -1,0 +1,52 @@
+#include "src/data/footprint.hpp"
+
+#include <atomic>
+
+#include "src/obs/metrics.hpp"
+
+namespace iotax::data::footprint {
+
+namespace {
+
+std::atomic<std::size_t> g_live{0};
+std::atomic<std::size_t> g_peak{0};
+
+void raise_peak(std::size_t candidate) {
+  std::size_t seen = g_peak.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !g_peak.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void add(std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_peak(live);
+}
+
+void sub(std::size_t bytes) {
+  if (bytes == 0) return;
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t live_bytes() { return g_live.load(std::memory_order_relaxed); }
+std::size_t peak_bytes() { return g_peak.load(std::memory_order_relaxed); }
+
+void reset_peak() {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+void publish() {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("data.live_materialized_bytes")
+      .set(static_cast<double>(live_bytes()));
+  reg.gauge("data.peak_materialized_bytes")
+      .set(static_cast<double>(peak_bytes()));
+}
+
+}  // namespace iotax::data::footprint

@@ -1,0 +1,31 @@
+// Process-wide accounting of bytes materialized by the data path:
+// every live Matrix payload and every BinnedMatrix code buffer reports
+// its allocation here. `peak_bytes()` is the high-water mark — the
+// number the zero-copy view refactor is meant to drive down — and is
+// published as the obs gauges `data.live_materialized_bytes` /
+// `data.peak_materialized_bytes` by publish_footprint().
+//
+// Counters are relaxed atomics: the tally tolerates momentary
+// interleaving skew between threads, which can only under-report the
+// peak by the size of one in-flight allocation.
+#pragma once
+
+#include <cstddef>
+
+namespace iotax::data::footprint {
+
+void add(std::size_t bytes);
+void sub(std::size_t bytes);
+
+std::size_t live_bytes();
+std::size_t peak_bytes();
+
+/// Reset the high-water mark to the current live total (benchmarks call
+/// this between phases to attribute the peak to one phase).
+void reset_peak();
+
+/// Copy live/peak into the obs metrics registry as gauges. Cheap; safe
+/// to call whether or not IOTAX_OBS is on.
+void publish();
+
+}  // namespace iotax::data::footprint

@@ -1,19 +1,64 @@
 #include "src/data/matrix.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "src/data/footprint.hpp"
 #include "src/data/table.hpp"
 
 namespace iotax::data {
 
-Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
-
-std::vector<double> Matrix::col(std::size_t c) const {
-  if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
-  std::vector<double> out(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+std::vector<double> MatrixColumn::to_vector() const {
+  std::vector<double> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
   return out;
+}
+
+void Matrix::track() { footprint::add(data_.size() * sizeof(double)); }
+void Matrix::untrack() { footprint::sub(data_.size() * sizeof(double)); }
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  track();
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  track();
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(std::exchange(other.rows_, 0)),
+      cols_(std::exchange(other.cols_, 0)),
+      data_(std::move(other.data_)) {
+  other.data_.clear();  // moved-from vector no longer holds the payload
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  untrack();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  track();
+  return *this;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  untrack();
+  rows_ = std::exchange(other.rows_, 0);
+  cols_ = std::exchange(other.cols_, 0);
+  data_ = std::move(other.data_);
+  other.data_.clear();
+  return *this;
+}
+
+Matrix::~Matrix() { untrack(); }
+
+MatrixColumn Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+  return {data_.data() + c, rows_, cols_};
 }
 
 Matrix Matrix::take_rows(std::span<const std::size_t> rows) const {

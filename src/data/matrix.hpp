@@ -1,9 +1,14 @@
 // Dense row-major matrix used as model input. Row-major because model
 // inference walks samples row-wise; training code that needs column scans
 // (tree split search) builds its own sorted index once.
+//
+// Every Matrix payload is reported to data::footprint, so the obs gauge
+// `data.peak_materialized_bytes` reflects the real high-water mark of
+// materialized sample storage.
 #pragma once
 
 #include <cstddef>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -11,10 +16,67 @@ namespace iotax::data {
 
 class Table;
 
+/// Non-owning strided view of one matrix column. Iterable and indexable
+/// without copying the column out of row-major storage; keep the source
+/// Matrix alive while the view is in use.
+class MatrixColumn {
+ public:
+  MatrixColumn(const double* first, std::size_t size, std::size_t stride)
+      : first_(first), size_(size), stride_(stride) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double operator[](std::size_t i) const { return first_[i * stride_]; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = double;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const double*;
+    using reference = double;
+
+    iterator(const double* p, std::size_t stride) : p_(p), stride_(stride) {}
+    double operator*() const { return *p_; }
+    iterator& operator++() {
+      p_ += stride_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++(*this);
+      return tmp;
+    }
+    bool operator==(const iterator& other) const { return p_ == other.p_; }
+    bool operator!=(const iterator& other) const { return p_ != other.p_; }
+
+   private:
+    const double* p_;
+    std::size_t stride_;
+  };
+
+  iterator begin() const { return {first_, stride_}; }
+  iterator end() const { return {first_ + size_ * stride_, stride_}; }
+
+  /// Copy out as a contiguous vector (for callers that need to sort or
+  /// hand the column to span-based APIs).
+  std::vector<double> to_vector() const;
+
+ private:
+  const double* first_;
+  std::size_t size_;
+  std::size_t stride_;
+};
+
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(const Matrix& other);
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -36,13 +98,16 @@ class Matrix {
   std::span<const double> flat() const { return data_; }
   std::span<double> mutable_flat() { return data_; }
 
-  /// Extract one column as a vector (copy).
-  std::vector<double> col(std::size_t c) const;
+  /// Strided view of one column — no copy; see MatrixColumn.
+  MatrixColumn col(std::size_t c) const;
 
   /// New matrix with the given rows, in order.
   Matrix take_rows(std::span<const std::size_t> rows) const;
 
  private:
+  void track();
+  void untrack();
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;

@@ -5,7 +5,15 @@
 
 namespace iotax::data {
 
-void StandardScaler::fit(const Matrix& x) {
+double signed_log1p_value(double v) {
+  return std::copysign(std::log10(1.0 + std::fabs(v)), v);
+}
+
+// The fused *_log1p variants apply signed_log1p_value exactly where the
+// copy path would have read the already-mapped matrix, so both paths see
+// the same values in the same order — bit-identical results.
+
+void StandardScaler::fit(const MatrixView& x) {
   if (x.rows() == 0) throw std::invalid_argument("StandardScaler: empty input");
   means_.assign(x.cols(), 0.0);
   stddevs_.assign(x.cols(), 1.0);
@@ -24,7 +32,26 @@ void StandardScaler::fit(const Matrix& x) {
   }
 }
 
-Matrix StandardScaler::transform(const Matrix& x) const {
+void StandardScaler::fit_log1p(const MatrixView& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler: empty input");
+  means_.assign(x.cols(), 0.0);
+  stddevs_.assign(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) m += signed_log1p_value(x(r, c));
+    m /= static_cast<double>(x.rows());
+    double v = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double d = signed_log1p_value(x(r, c)) - m;
+      v += d * d;
+    }
+    v /= static_cast<double>(x.rows());
+    means_[c] = m;
+    stddevs_[c] = v > 1e-24 ? std::sqrt(v) : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const MatrixView& x) const {
   if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
   if (x.cols() != means_.size()) {
     throw std::invalid_argument("StandardScaler: column count mismatch");
@@ -38,9 +65,28 @@ Matrix StandardScaler::transform(const Matrix& x) const {
   return out;
 }
 
-Matrix StandardScaler::fit_transform(const Matrix& x) {
+Matrix StandardScaler::transform_log1p(const MatrixView& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (signed_log1p_value(x(r, c)) - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const MatrixView& x) {
   fit(x);
   return transform(x);
+}
+
+Matrix StandardScaler::fit_transform_log1p(const MatrixView& x) {
+  fit_log1p(x);
+  return transform_log1p(x);
 }
 
 StandardScaler StandardScaler::from_params(std::vector<double> means,
@@ -60,12 +106,11 @@ StandardScaler StandardScaler::from_params(std::vector<double> means,
   return scaler;
 }
 
-Matrix signed_log1p(const Matrix& x) {
+Matrix signed_log1p(const MatrixView& x) {
   Matrix out(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     for (std::size_t c = 0; c < x.cols(); ++c) {
-      const double v = x(r, c);
-      out(r, c) = std::copysign(std::log10(1.0 + std::fabs(v)), v);
+      out(r, c) = signed_log1p_value(x(r, c));
     }
   }
   return out;

@@ -1,11 +1,18 @@
 // Feature preprocessing: log1p compression of heavy-tailed I/O counters
 // followed by per-column standardisation. Trees don't need it; the MLPs
 // and the deep ensemble do.
+//
+// All entry points take MatrixView (a Matrix converts implicitly), so
+// preprocessing runs straight off a row/column subset without an
+// intermediate copy. The *_log1p variants fuse signed_log1p with the
+// scaler so `scaler.fit_transform(signed_log1p(x))` — two full
+// materializations — collapses into one output matrix with bit-identical
+// values (same per-element arithmetic, same iteration order).
 #pragma once
 
 #include <vector>
 
-#include "src/data/matrix.hpp"
+#include "src/data/view.hpp"
 
 namespace iotax::data {
 
@@ -13,12 +20,21 @@ class StandardScaler {
  public:
   /// Learn per-column mean/stddev from the training matrix. Constant
   /// columns get stddev 1 so they map to zero rather than NaN.
-  void fit(const Matrix& x);
+  void fit(const MatrixView& x);
 
   /// (x - mean) / stddev, column-wise. Must be fit first.
-  Matrix transform(const Matrix& x) const;
+  Matrix transform(const MatrixView& x) const;
 
-  Matrix fit_transform(const Matrix& x);
+  Matrix fit_transform(const MatrixView& x);
+
+  /// fit() on signed_log1p(x) without materializing the log matrix.
+  void fit_log1p(const MatrixView& x);
+
+  /// transform() of signed_log1p(x) without the intermediate matrix;
+  /// bit-identical to transform(signed_log1p(x)).
+  Matrix transform_log1p(const MatrixView& x) const;
+
+  Matrix fit_transform_log1p(const MatrixView& x);
 
   bool fitted() const { return !means_.empty(); }
   const std::vector<double>& means() const { return means_; }
@@ -33,8 +49,12 @@ class StandardScaler {
   std::vector<double> stddevs_;
 };
 
-/// Signed log1p: sign(x) * log10(1 + |x|). Compresses byte counts spanning
-/// 10 orders of magnitude while keeping zero at zero.
-Matrix signed_log1p(const Matrix& x);
+/// Signed log1p of one value: sign(x) * log10(1 + |x|). Compresses byte
+/// counts spanning 10 orders of magnitude while keeping zero at zero.
+double signed_log1p_value(double v);
+
+/// Element-wise signed log1p (materializes; prefer the scaler's fused
+/// *_log1p methods on hot paths).
+Matrix signed_log1p(const MatrixView& x);
 
 }  // namespace iotax::data

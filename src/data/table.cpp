@@ -57,6 +57,10 @@ void Table::add_column(std::string name, std::vector<double> values) {
   cols_.push_back(std::move(values));
 }
 
+void Table::reserve_rows(std::size_t n) {
+  for (auto& col : cols_) col.reserve(n);
+}
+
 void Table::add_row(std::span<const double> values) {
   if (values.size() != n_cols()) {
     throw std::invalid_argument("Table::add_row: column count mismatch");

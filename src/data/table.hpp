@@ -39,6 +39,11 @@ class Table {
   /// Append one row; values.size() must equal n_cols().
   void add_row(std::span<const double> values);
 
+  /// Reserve capacity for n total rows in every column, so bulk
+  /// row-at-a-time builders (sim::build_dataset) grow each column's
+  /// storage once instead of reallocating along the way.
+  void reserve_rows(std::size_t n);
+
   /// New table with only the named columns, in the given order.
   Table select(std::span<const std::string> names) const;
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "src/data/footprint.hpp"
 
 namespace iotax::ml {
 
-BinnedMatrix::BinnedMatrix(const data::Matrix& x, std::size_t max_bins)
+BinnedMatrix::BinnedMatrix(const data::MatrixView& x, std::size_t max_bins)
     : rows_(x.rows()), cols_(x.cols()) {
   if (max_bins < 2 || max_bins > kMaxBins) {
     throw std::invalid_argument("BinnedMatrix: max_bins must be in [2,4096]");
@@ -13,7 +16,7 @@ BinnedMatrix::BinnedMatrix(const data::Matrix& x, std::size_t max_bins)
   build(x, std::vector<std::size_t>(cols_, max_bins));
 }
 
-BinnedMatrix::BinnedMatrix(const data::Matrix& x,
+BinnedMatrix::BinnedMatrix(const data::MatrixView& x,
                            const std::vector<std::size_t>& per_feature_bins)
     : rows_(x.rows()), cols_(x.cols()) {
   if (per_feature_bins.size() != cols_) {
@@ -27,17 +30,71 @@ BinnedMatrix::BinnedMatrix(const data::Matrix& x,
   build(x, per_feature_bins);
 }
 
-void BinnedMatrix::build(const data::Matrix& x,
+BinnedMatrix::BinnedMatrix(const BinnedMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      max_bins_used_(other.max_bins_used_),
+      codes_(other.codes_),
+      uppers_(other.uppers_) {
+  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
+}
+
+BinnedMatrix::BinnedMatrix(BinnedMatrix&& other) noexcept
+    : rows_(std::exchange(other.rows_, 0)),
+      cols_(std::exchange(other.cols_, 0)),
+      max_bins_used_(std::exchange(other.max_bins_used_, 1)),
+      codes_(std::move(other.codes_)),
+      uppers_(std::move(other.uppers_)) {
+  other.codes_.clear();
+  other.uppers_.clear();
+}
+
+BinnedMatrix& BinnedMatrix::operator=(const BinnedMatrix& other) {
+  if (this == &other) return *this;
+  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  max_bins_used_ = other.max_bins_used_;
+  codes_ = other.codes_;
+  uppers_ = other.uppers_;
+  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
+  return *this;
+}
+
+BinnedMatrix& BinnedMatrix::operator=(BinnedMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
+  rows_ = std::exchange(other.rows_, 0);
+  cols_ = std::exchange(other.cols_, 0);
+  max_bins_used_ = std::exchange(other.max_bins_used_, 1);
+  codes_ = std::move(other.codes_);
+  uppers_ = std::move(other.uppers_);
+  other.codes_.clear();
+  other.uppers_.clear();
+  return *this;
+}
+
+BinnedMatrix::~BinnedMatrix() {
+  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
+}
+
+void BinnedMatrix::build(const data::MatrixView& x,
                          const std::vector<std::size_t>& per_feature_bins) {
   if (rows_ == 0) throw std::invalid_argument("BinnedMatrix: empty matrix");
   codes_.resize(rows_ * cols_);
+  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
   uppers_.resize(cols_);
 
-  std::vector<double> col(rows_);
+  // Gather each column once; `raw` keeps sample order for encoding while
+  // `sorted` is reordered for the quantile sweep. One pass through the
+  // (possibly strided / row-mapped) view per feature instead of two.
+  std::vector<double> raw(rows_);
+  std::vector<double> sorted(rows_);
   for (std::size_t c = 0; c < cols_; ++c) {
     const std::size_t max_bins = per_feature_bins[c];
-    for (std::size_t r = 0; r < rows_; ++r) col[r] = x(r, c);
-    std::sort(col.begin(), col.end());
+    for (std::size_t r = 0; r < rows_; ++r) raw[r] = x(r, c);
+    sorted = raw;
+    std::sort(sorted.begin(), sorted.end());
     // Candidate edges at evenly spaced quantiles; dedupe so constant or
     // low-cardinality features get fewer bins.
     auto& uppers = uppers_[c];
@@ -46,14 +103,14 @@ void BinnedMatrix::build(const data::Matrix& x,
       const auto pos = static_cast<std::size_t>(
           static_cast<double>(b) * static_cast<double>(rows_) /
           static_cast<double>(max_bins));
-      const double edge = col[std::min(pos, rows_ - 1)];
+      const double edge = sorted[std::min(pos, rows_ - 1)];
       if (uppers.empty() || edge > uppers.back()) uppers.push_back(edge);
     }
     // Drop the top edge if it equals the max (nothing would be right of it).
-    while (!uppers.empty() && uppers.back() >= col.back()) uppers.pop_back();
+    while (!uppers.empty() && uppers.back() >= sorted.back()) uppers.pop_back();
     max_bins_used_ = std::max(max_bins_used_, uppers.size() + 1);
     for (std::size_t r = 0; r < rows_; ++r) {
-      codes_[r * cols_ + c] = encode(c, x(r, c));
+      codes_[r * cols_ + c] = encode(c, raw[r]);
     }
   }
 }
@@ -63,6 +120,20 @@ std::uint16_t BinnedMatrix::encode(std::size_t feature, double value) const {
   const auto it = std::lower_bound(uppers.begin(), uppers.end(), value);
   // value <= uppers[b] -> bin b; above all edges -> last bin.
   return static_cast<std::uint16_t>(std::distance(uppers.begin(), it));
+}
+
+std::vector<std::uint16_t> BinnedMatrix::encode_all(
+    const data::MatrixView& x) const {
+  if (x.cols() != cols_) {
+    throw std::invalid_argument("BinnedMatrix::encode_all: column mismatch");
+  }
+  std::vector<std::uint16_t> codes(x.rows() * cols_);
+  for (std::size_t f = 0; f < cols_; ++f) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      codes[r * cols_ + f] = encode(f, x(r, f));
+    }
+  }
+  return codes;
 }
 
 }  // namespace iotax::ml

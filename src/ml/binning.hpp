@@ -7,12 +7,18 @@
 // raw start-time feature needs ~day-level resolution to express the
 // system's I/O weather (§VII.A), i.e. thousands of bins over a
 // multi-year trace. Codes are 16-bit to allow that.
+//
+// Construction accepts a MatrixView, so a binned matrix can be built
+// straight from a row/column subset without materializing it; a plain
+// Matrix converts implicitly. The code buffer is reported to
+// data::footprint alongside Matrix payloads.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "src/data/matrix.hpp"
+#include "src/data/view.hpp"
 
 namespace iotax::ml {
 
@@ -21,11 +27,17 @@ inline constexpr std::size_t kMaxBins = 4096;
 class BinnedMatrix {
  public:
   /// Uniform bin budget for every feature.
-  BinnedMatrix(const data::Matrix& x, std::size_t max_bins = 64);
+  explicit BinnedMatrix(const data::MatrixView& x, std::size_t max_bins = 64);
 
   /// Per-feature budgets; size must equal x.cols(), entries in [2, 4096].
-  BinnedMatrix(const data::Matrix& x,
+  BinnedMatrix(const data::MatrixView& x,
                const std::vector<std::size_t>& per_feature_bins);
+
+  BinnedMatrix(const BinnedMatrix& other);
+  BinnedMatrix(BinnedMatrix&& other) noexcept;
+  BinnedMatrix& operator=(const BinnedMatrix& other);
+  BinnedMatrix& operator=(BinnedMatrix&& other) noexcept;
+  ~BinnedMatrix();
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -40,6 +52,11 @@ class BinnedMatrix {
     return codes_[r * cols_ + c];
   }
 
+  /// All codes of sample r (row-major, contiguous).
+  std::span<const std::uint16_t> row_codes(std::size_t r) const {
+    return {codes_.data() + r * cols_, cols_};
+  }
+
   /// Real-valued split threshold for "bin <= b goes left": the upper edge
   /// of bin b. Requires b < n_bins(feature) - 1.
   double threshold(std::size_t feature, std::size_t b) const {
@@ -50,8 +67,15 @@ class BinnedMatrix {
   /// want parity with training codes).
   std::uint16_t encode(std::size_t feature, double value) const;
 
+  /// Encode a whole matrix against this binning (row-major codes, one
+  /// column sweep per feature). Callers predicting many models against
+  /// the same input — hyperparameter search, early-stopping validation —
+  /// encode once and route every tree by codes instead of re-reading the
+  /// raw view per model.
+  std::vector<std::uint16_t> encode_all(const data::MatrixView& x) const;
+
  private:
-  void build(const data::Matrix& x,
+  void build(const data::MatrixView& x,
              const std::vector<std::size_t>& per_feature_bins);
 
   std::size_t rows_ = 0;

@@ -18,17 +18,23 @@ DeepEnsemble::DeepEnsemble(EnsembleParams params)
   }
 }
 
-void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y,
+void DeepEnsemble::fit(const data::MatrixView& x, std::span<const double> y,
                        const std::vector<NasCandidate>& nas_history) {
   params_.nas_history = nas_history;
   fit(x, y);
 }
 
-void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y) {
+void DeepEnsemble::fit(const data::MatrixView& x, std::span<const double> y) {
   IOTAX_TRACE_SPAN("ensemble.fit");
   obs::span_arg("members", static_cast<double>(params_.size));
   util::Rng rng(params_.seed);
   members_.clear();
+
+  // Preprocess once and share across members: every member would compute
+  // this exact matrix (same data, same deterministic transform), so one
+  // copy replaces K and the parallel-member peak drops accordingly.
+  data::StandardScaler scaler;
+  const data::Matrix z = scaler.fit_transform_log1p(x);
 
   // Candidate architectures: best NAS candidates (deduplicated by order)
   // or fresh random samples from the search space.
@@ -79,13 +85,13 @@ void DeepEnsemble::fit(const data::Matrix& x, std::span<const double> y) {
         obs::SpanGuard member_span("ensemble.member");
         obs::span_arg("member", static_cast<double>(k));
         auto member = std::make_unique<Mlp>(member_params[k]);
-        member->fit(x, y);
+        member->fit_preprocessed(z, y, scaler);
         return member;
       });
 }
 
 UncertaintyPrediction DeepEnsemble::predict_uncertainty(
-    const data::Matrix& x) const {
+    const data::MatrixView& x) const {
   if (members_.empty()) {
     throw std::logic_error("DeepEnsemble::predict_uncertainty: not fitted");
   }
@@ -108,15 +114,21 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
       out.aleatory[i] += pred.variance[i];
     }
   };
+  // Every member holds the fit-time scaler fit() shared across the
+  // ensemble, so the input transform is member-invariant: do it once
+  // here instead of once per member, which at the parallel-member peak
+  // would hold k identical transformed copies at once.
+  const data::Matrix z = members_.front()->scaler().transform_log1p(x);
   if (!util::in_parallel_region() && util::parallel_threads() > 1 && k > 1) {
     std::vector<DistPrediction> preds(k);
-    util::parallel_for(
-        k, [&](std::size_t m) { members_[m]->predict_dist_into(x, &preds[m]); });
+    util::parallel_for(k, [&](std::size_t m) {
+      members_[m]->predict_dist_preprocessed(z, &preds[m]);
+    });
     for (const auto& pred : preds) accumulate(pred);
   } else {
     DistPrediction pred;  // one buffer reused across the member loop
     for (const auto& member : members_) {
-      member->predict_dist_into(x, &pred);
+      member->predict_dist_preprocessed(z, &pred);
       accumulate(pred);
     }
   }
@@ -130,7 +142,7 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
   return out;
 }
 
-std::vector<double> DeepEnsemble::predict(const data::Matrix& x) const {
+std::vector<double> DeepEnsemble::predict(const data::MatrixView& x) const {
   return predict_uncertainty(x).mean;
 }
 

@@ -40,15 +40,17 @@ class DeepEnsemble final : public Regressor {
   explicit DeepEnsemble(EnsembleParams params = {});
 
   /// Train the ensemble using params().nas_history for the member
-  /// architectures (fresh random samples when it is empty).
-  void fit(const data::Matrix& x, std::span<const double> y) override;
+  /// architectures (fresh random samples when it is empty). The training
+  /// matrix is preprocessed (log1p + standardise) once and shared across
+  /// all members, not re-materialized per member.
+  void fit(const data::MatrixView& x, std::span<const double> y) override;
 
   /// Legacy overload: install `nas_history` into the params, then fit.
-  void fit(const data::Matrix& x, std::span<const double> y,
+  void fit(const data::MatrixView& x, std::span<const double> y,
            const std::vector<NasCandidate>& nas_history);
 
-  UncertaintyPrediction predict_uncertainty(const data::Matrix& x) const;
-  std::vector<double> predict(const data::Matrix& x) const override;
+  UncertaintyPrediction predict_uncertainty(const data::MatrixView& x) const;
+  std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
 
   /// Persist the K fitted members ("iotax-ensemble" header followed by

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/data/footprint.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/stats/descriptive.hpp"
@@ -67,6 +68,19 @@ double GradientBoostedTrees::Tree::predict(std::span<const double> row) const {
     const auto& n = nodes[static_cast<std::size_t>(idx)];
     idx = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
                                                                   : n.right;
+  }
+  return nodes[static_cast<std::size_t>(idx)].value;
+}
+
+double GradientBoostedTrees::Tree::predict_codes(
+    std::span<const std::uint16_t> codes) const {
+  int idx = 0;
+  while (nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+    const auto& n = nodes[static_cast<std::size_t>(idx)];
+    idx = static_cast<int>(codes[static_cast<std::size_t>(n.feature)]) <=
+                  n.split_bin
+              ? n.left
+              : n.right;
   }
   return nodes[static_cast<std::size_t>(idx)].value;
 }
@@ -204,6 +218,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
 
     node.feature = best_feature;
     node.threshold = binned.threshold(f, best_bin);
+    node.split_bin = static_cast<int>(best_bin);
     node.left = static_cast<int>(tree.nodes.size());
     node.right = node.left + 1;
     importance_[f] += best_gain;
@@ -218,31 +233,31 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
   return tree;
 }
 
-void GradientBoostedTrees::fit(const data::Matrix& x,
+void GradientBoostedTrees::fit(const data::MatrixView& x,
                                std::span<const double> y) {
-  fit_impl(x, y, data::Matrix(), {}, nullptr);
+  fit_impl(x, y, data::MatrixView(), {}, nullptr);
 }
 
-void GradientBoostedTrees::fit_binned(const data::Matrix& x,
+void GradientBoostedTrees::fit_binned(const data::MatrixView& x,
                                       std::span<const double> y,
                                       const BinnedMatrix& binned) {
   if (binned.rows() != x.rows() || binned.cols() != x.cols()) {
     throw std::invalid_argument(
         "GradientBoostedTrees::fit_binned: binned view shape mismatch");
   }
-  fit_impl(x, y, data::Matrix(), {}, &binned);
+  fit_impl(x, y, data::MatrixView(), {}, &binned);
 }
 
-void GradientBoostedTrees::fit_eval(const data::Matrix& x,
+void GradientBoostedTrees::fit_eval(const data::MatrixView& x,
                                     std::span<const double> y,
-                                    const data::Matrix& x_val,
+                                    const data::MatrixView& x_val,
                                     std::span<const double> y_val) {
   fit_impl(x, y, x_val, y_val, nullptr);
 }
 
-void GradientBoostedTrees::fit_impl(const data::Matrix& x,
+void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
                                     std::span<const double> y,
-                                    const data::Matrix& x_val,
+                                    const data::MatrixView& x_val,
                                     std::span<const double> y_val,
                                     const BinnedMatrix* prebinned) {
   if (x_val.rows() != y_val.size()) {
@@ -289,10 +304,18 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
       1, static_cast<std::size_t>(params_.colsample *
                                   static_cast<double>(n_features_)));
 
-  // Early-stopping bookkeeping.
+  // Early-stopping bookkeeping. Validation rows are encoded into the
+  // training bins once up front, so the per-tree evaluation walks codes
+  // instead of gathering raw rows (one strided read per value total,
+  // rather than per tree).
   const bool use_eval =
       params_.early_stopping_rounds > 0 && x_val.rows() > 0;
   std::vector<double> val_preds(x_val.rows(), base_score_);
+  std::vector<std::uint16_t> val_codes;
+  if (use_eval) {
+    val_codes = binned.encode_all(x_val);
+    data::footprint::add(val_codes.size() * sizeof(std::uint16_t));
+  }
   double best_val_rmse = std::numeric_limits<double>::infinity();
   std::size_t best_round = 0;
   std::size_t rounds_since_best = 0;
@@ -321,12 +344,15 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
 
     Tree tree = build_tree(binned, rows, features, grad);
     // Update running predictions on all rows (per-index slots, so the
-    // result is identical at any thread count).
+    // result is identical at any thread count). Routing by bin codes
+    // gives the same leaf as routing the raw row by thresholds — see
+    // Tree::predict_codes — without re-reading the (possibly strided,
+    // table-backed) view once per tree.
     util::parallel_for_chunks(
         x.rows(),
         [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo; i < hi; ++i) {
-            preds[i] += tree.predict(x.row(i));
+            preds[i] += tree.predict_codes(binned.row_codes(i));
           }
         },
         512);
@@ -339,7 +365,8 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
     if (use_eval) {
       double sq = 0.0;
       for (std::size_t i = 0; i < x_val.rows(); ++i) {
-        val_preds[i] += tree.predict(x_val.row(i));
+        val_preds[i] += tree.predict_codes(
+            std::span(val_codes).subspan(i * n_features_, n_features_));
         const double d = val_preds[i] - y_val[i];
         sq += d * d;
       }
@@ -358,12 +385,14 @@ void GradientBoostedTrees::fit_impl(const data::Matrix& x,
   if (use_eval && best_round < trees_.size()) {
     trees_.resize(best_round);  // keep the best-validation prefix
   }
+  data::footprint::sub(val_codes.size() * sizeof(std::uint16_t));
   obs::span_arg("trees", static_cast<double>(trees_.size()));
   fitted_ = true;
+  has_split_bins_ = true;
 }
 
 std::vector<double> GradientBoostedTrees::predict(
-    const data::Matrix& x) const {
+    const data::MatrixView& x) const {
   if (!fitted_) {
     throw std::logic_error("GradientBoostedTrees::predict: not fitted");
   }
@@ -376,9 +405,40 @@ std::vector<double> GradientBoostedTrees::predict(
   util::parallel_for_chunks(
       x.rows(),
       [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> scratch;  // untouched when rows are spans
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto row = x.row(i);
+          const auto row = x.row(i, scratch);
           for (const auto& tree : trees_) out[i] += tree.predict(row);
+        }
+      },
+      256);
+  return out;
+}
+
+std::vector<double> GradientBoostedTrees::predict_codes(
+    std::span<const std::uint16_t> codes) const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::predict_codes: not fitted");
+  }
+  if (!has_split_bins_) {
+    throw std::logic_error(
+        "GradientBoostedTrees::predict_codes: model has no fit-time split "
+        "bins (loaded from disk?) — use predict()");
+  }
+  if (n_features_ == 0 || codes.size() % n_features_ != 0) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::predict_codes: code count not a multiple of "
+        "the feature count");
+  }
+  IOTAX_TRACE_SPAN("gbt.predict");
+  const std::size_t n = codes.size() / n_features_;
+  std::vector<double> out(n, base_score_);
+  util::parallel_for_chunks(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto row = codes.subspan(i * n_features_, n_features_);
+          for (const auto& tree : trees_) out[i] += tree.predict_codes(row);
         }
       },
       256);

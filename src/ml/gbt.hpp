@@ -53,23 +53,34 @@ class GradientBoostedTrees final : public Regressor {
  public:
   explicit GradientBoostedTrees(GbtParams params = {});
 
-  void fit(const data::Matrix& x, std::span<const double> y) override;
+  void fit(const data::MatrixView& x, std::span<const double> y) override;
 
   /// fit() reusing a pre-built binned view of `x`. The view must have
   /// been built from this exact matrix with this model's bin budgets
   /// (max_bins / per_feature_bins); hyperparameter searches use this to
   /// bin the training set once per search instead of once per candidate.
-  void fit_binned(const data::Matrix& x, std::span<const double> y,
+  void fit_binned(const data::MatrixView& x, std::span<const double> y,
                   const BinnedMatrix& binned);
 
   /// Fit with a validation set for early stopping: boosting stops once
   /// validation RMSE has not improved for early_stopping_rounds rounds,
   /// and the ensemble is truncated to the best round. With
   /// early_stopping_rounds == 0 this trains exactly like fit().
-  void fit_eval(const data::Matrix& x, std::span<const double> y,
-                const data::Matrix& x_val, std::span<const double> y_val);
+  void fit_eval(const data::MatrixView& x, std::span<const double> y,
+                const data::MatrixView& x_val, std::span<const double> y_val);
 
-  std::vector<double> predict(const data::Matrix& x) const override;
+  std::vector<double> predict(const data::MatrixView& x) const override;
+
+  /// predict() for rows pre-encoded against the fit-time binning
+  /// (BinnedMatrix::encode_all on the matrix this model was fitted
+  /// with, or any input encoded by that same BinnedMatrix). Routing by
+  /// code reaches the same leaf as routing the raw row by thresholds,
+  /// so the result is bit-identical to predict(); searches encode a
+  /// validation set once and score every candidate against it. Only
+  /// valid on models fitted in this process — loaded models carry
+  /// thresholds but not fit-time bin indices, and throw here.
+  std::vector<double> predict_codes(std::span<const std::uint16_t> codes) const;
+
   std::string name() const override;
 
   const GbtParams& params() const { return params_; }
@@ -88,6 +99,9 @@ class GradientBoostedTrees final : public Regressor {
   struct Node {
     int feature = -1;  // -1 marks a leaf
     double threshold = 0.0;
+    /// Bin index of `threshold` in the fit-time BinnedMatrix; only valid
+    /// during fit (not serialized, -1 on loaded models).
+    int split_bin = -1;
     int left = -1;
     int right = -1;
     double value = 0.0;
@@ -95,6 +109,11 @@ class GradientBoostedTrees final : public Regressor {
   struct Tree {
     std::vector<Node> nodes;
     double predict(std::span<const double> row) const;
+    /// Route by fit-time bin codes: code <= split_bin goes left, exactly
+    /// the comparison build_tree partitions with. Because
+    /// code(r,f) <= b iff x(r,f) <= threshold(f,b), this returns the
+    /// same value predict() would on the raw row, without gathering it.
+    double predict_codes(std::span<const std::uint16_t> codes) const;
   };
 
   Tree build_tree(const BinnedMatrix& binned,
@@ -102,8 +121,8 @@ class GradientBoostedTrees final : public Regressor {
                   const std::vector<std::size_t>& features,
                   std::span<const double> grad);
 
-  void fit_impl(const data::Matrix& x, std::span<const double> y,
-                const data::Matrix& x_val, std::span<const double> y_val,
+  void fit_impl(const data::MatrixView& x, std::span<const double> y,
+                const data::MatrixView& x_val, std::span<const double> y_val,
                 const BinnedMatrix* binned);
 
   GbtParams params_;
@@ -112,6 +131,9 @@ class GradientBoostedTrees final : public Regressor {
   std::size_t n_features_ = 0;
   std::vector<double> importance_;
   bool fitted_ = false;
+  // True when trees_ carry valid fit-time split bins (fitted in this
+  // process, not deserialized) and predict_codes may be used.
+  bool has_split_bins_ = false;
 };
 
 }  // namespace iotax::ml

@@ -93,11 +93,11 @@ double KMeans::assign(const data::Matrix& z, const data::Matrix& centroids,
   return inertia;
 }
 
-void KMeans::fit(const data::Matrix& x) {
+void KMeans::fit(const data::MatrixView& x) {
   if (x.rows() < params_.k) {
     throw std::invalid_argument("KMeans::fit: fewer rows than clusters");
   }
-  const data::Matrix z = scaler_.fit_transform(data::signed_log1p(x));
+  const data::Matrix z = scaler_.fit_transform_log1p(x);
   util::Rng rng(params_.seed);
 
   double best_inertia = std::numeric_limits<double>::infinity();
@@ -144,9 +144,9 @@ void KMeans::fit(const data::Matrix& x) {
   fitted_ = true;
 }
 
-std::vector<std::size_t> KMeans::predict(const data::Matrix& x) const {
+std::vector<std::size_t> KMeans::predict(const data::MatrixView& x) const {
   if (!fitted_) throw std::logic_error("KMeans::predict: not fitted");
-  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
+  const data::Matrix z = scaler_.transform_log1p(x);
   std::vector<std::size_t> labels;
   assign(z, centroids_, &labels);
   return labels;

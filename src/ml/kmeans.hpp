@@ -10,7 +10,6 @@
 #include <string>
 #include <vector>
 
-#include "src/data/matrix.hpp"
 #include "src/data/scaler.hpp"
 
 namespace iotax::ml {
@@ -32,10 +31,10 @@ class KMeans {
 
   /// Cluster rows of x (internally signed-log1p + standardised, like the
   /// MLPs, so counters on wild scales cluster sanely). k-means++ init.
-  void fit(const data::Matrix& x);
+  void fit(const data::MatrixView& x);
 
   /// Nearest-centroid assignment for new rows.
-  std::vector<std::size_t> predict(const data::Matrix& x) const;
+  std::vector<std::size_t> predict(const data::MatrixView& x) const;
 
   /// Assignments of the training rows.
   const std::vector<std::size_t>& labels() const { return labels_; }

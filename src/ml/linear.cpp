@@ -14,10 +14,6 @@ LinearRegressor::LinearRegressor(double l2, bool log_transform)
   if (l2 < 0.0) throw std::invalid_argument("LinearRegressor: l2 < 0");
 }
 
-data::Matrix LinearRegressor::preprocess(const data::Matrix& x) const {
-  return log_transform_ ? data::signed_log1p(x) : x;
-}
-
 namespace {
 
 /// Solve (A + l2*I) w = b for symmetric positive definite A via Cholesky.
@@ -56,14 +52,16 @@ std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
 
 }  // namespace
 
-void LinearRegressor::fit(const data::Matrix& x, std::span<const double> y) {
+void LinearRegressor::fit(const data::MatrixView& x,
+                          std::span<const double> y) {
   if (x.rows() != y.size()) {
     throw std::invalid_argument("LinearRegressor::fit: size mismatch");
   }
   if (x.rows() < 2) {
     throw std::invalid_argument("LinearRegressor::fit: need >= 2 rows");
   }
-  const data::Matrix z = scaler_.fit_transform(preprocess(x));
+  const data::Matrix z = log_transform_ ? scaler_.fit_transform_log1p(x)
+                                        : scaler_.fit_transform(x);
   const std::size_t p = z.cols();
   const double y_mean = stats::mean(y);
 
@@ -87,9 +85,10 @@ void LinearRegressor::fit(const data::Matrix& x, std::span<const double> y) {
   fitted_ = true;
 }
 
-std::vector<double> LinearRegressor::predict(const data::Matrix& x) const {
+std::vector<double> LinearRegressor::predict(const data::MatrixView& x) const {
   if (!fitted_) throw std::logic_error("LinearRegressor::predict: not fitted");
-  const data::Matrix z = scaler_.transform(preprocess(x));
+  const data::Matrix z =
+      log_transform_ ? scaler_.transform_log1p(x) : scaler_.transform(x);
   std::vector<double> out(z.rows(), intercept_);
   for (std::size_t r = 0; r < z.rows(); ++r) {
     const auto row = z.row(r);

@@ -16,8 +16,8 @@ class LinearRegressor final : public Regressor {
   /// the inputs are already on a sane scale.
   explicit LinearRegressor(double l2 = 1.0, bool log_transform = true);
 
-  void fit(const data::Matrix& x, std::span<const double> y) override;
-  std::vector<double> predict(const data::Matrix& x) const override;
+  void fit(const data::MatrixView& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
 
   const std::vector<double>& coefficients() const { return coef_; }
@@ -27,8 +27,6 @@ class LinearRegressor final : public Regressor {
   static LinearRegressor load(std::istream& in);
 
  private:
-  data::Matrix preprocess(const data::Matrix& x) const;
-
   double l2_;
   bool log_transform_;
   data::StandardScaler scaler_;

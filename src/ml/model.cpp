@@ -48,7 +48,7 @@ std::unique_ptr<Regressor> Regressor::load(std::istream& in) {
                            "'");
 }
 
-void MeanRegressor::fit(const data::Matrix& x, std::span<const double> y) {
+void MeanRegressor::fit(const data::MatrixView& x, std::span<const double> y) {
   if (x.rows() != y.size()) {
     throw std::invalid_argument("MeanRegressor::fit: size mismatch");
   }
@@ -57,7 +57,7 @@ void MeanRegressor::fit(const data::Matrix& x, std::span<const double> y) {
   fitted_ = true;
 }
 
-std::vector<double> MeanRegressor::predict(const data::Matrix& x) const {
+std::vector<double> MeanRegressor::predict(const data::MatrixView& x) const {
   if (!fitted_) throw std::logic_error("MeanRegressor::predict: not fitted");
   return std::vector<double>(x.rows(), mean_);
 }

@@ -1,5 +1,10 @@
 // Common regressor interface: every model maps a feature Matrix to log10
 // I/O throughput predictions.
+//
+// fit/predict take MatrixView, so models train and score straight off a
+// row/column subset of shared storage; a plain Matrix converts
+// implicitly, so `model.fit(matrix, y)` call sites read unchanged.
+// Views are consumed within the call — no model retains one.
 #pragma once
 
 #include <iosfwd>
@@ -7,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "src/data/matrix.hpp"
+#include "src/data/view.hpp"
 
 namespace iotax::ml {
 
@@ -17,11 +22,12 @@ class Regressor {
 
   /// Train on features x (n_samples x n_features) and targets y (log10
   /// throughput). Implementations must be deterministic given their
-  /// configured seed.
-  virtual void fit(const data::Matrix& x, std::span<const double> y) = 0;
+  /// configured seed and must produce bit-identical results whether x is
+  /// a whole Matrix or a view of one.
+  virtual void fit(const data::MatrixView& x, std::span<const double> y) = 0;
 
   /// Predict one value per row; requires fit() first.
-  virtual std::vector<double> predict(const data::Matrix& x) const = 0;
+  virtual std::vector<double> predict(const data::MatrixView& x) const = 0;
 
   /// Short human-readable description ("gbt[trees=32,depth=21]").
   virtual std::string name() const = 0;
@@ -41,8 +47,8 @@ class Regressor {
 /// model, used to normalise taxonomy error fractions.
 class MeanRegressor final : public Regressor {
  public:
-  void fit(const data::Matrix& x, std::span<const double> y) override;
-  std::vector<double> predict(const data::Matrix& x) const override;
+  void fit(const data::MatrixView& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override { return "mean"; }
 
   void save(std::ostream& out) const override;

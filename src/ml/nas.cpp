@@ -67,8 +67,8 @@ MlpParams mutate(const MlpParams& parent, const NasParams& nas,
 
 }  // namespace
 
-NasResult nas_search(const NasParams& nas, const data::Matrix& x_train,
-                     std::span<const double> y_train, const data::Matrix& x_val,
+NasResult nas_search(const NasParams& nas, const data::MatrixView& x_train,
+                     std::span<const double> y_train, const data::MatrixView& x_val,
                      std::span<const double> y_val) {
   if (nas.population < 2 || nas.generations == 0) {
     throw std::invalid_argument("nas_search: need population>=2, generations>=1");

@@ -45,8 +45,8 @@ struct NasResult {
 };
 
 /// Run the evolutionary search; deterministic in (params, data).
-NasResult nas_search(const NasParams& params, const data::Matrix& x_train,
-                     std::span<const double> y_train, const data::Matrix& x_val,
+NasResult nas_search(const NasParams& params, const data::MatrixView& x_train,
+                     std::span<const double> y_train, const data::MatrixView& x_val,
                      std::span<const double> y_val);
 
 }  // namespace iotax::ml

@@ -84,16 +84,36 @@ void Mlp::forward(std::span<const double> input, std::vector<double>* acts,
   }
 }
 
-void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
+void Mlp::fit(const data::MatrixView& x, std::span<const double> y) {
   if (x.rows() != y.size()) {
     throw std::invalid_argument("Mlp::fit: size mismatch");
   }
   if (x.rows() < 2) throw std::invalid_argument("Mlp::fit: need >= 2 rows");
+  // Fused log1p + standardise: one materialized matrix instead of two.
+  const data::Matrix z = scaler_.fit_transform_log1p(x);
+  fit_impl(z, y);
+}
+
+void Mlp::fit_preprocessed(const data::Matrix& z, std::span<const double> y,
+                           const data::StandardScaler& scaler) {
+  if (z.rows() != y.size()) {
+    throw std::invalid_argument("Mlp::fit_preprocessed: size mismatch");
+  }
+  if (z.rows() < 2) {
+    throw std::invalid_argument("Mlp::fit_preprocessed: need >= 2 rows");
+  }
+  if (!scaler.fitted() || scaler.means().size() != z.cols()) {
+    throw std::invalid_argument("Mlp::fit_preprocessed: scaler mismatch");
+  }
+  scaler_ = scaler;
+  fit_impl(z, y);
+}
+
+void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
   IOTAX_TRACE_SPAN("mlp.fit");
-  obs::span_arg("rows", static_cast<double>(x.rows()));
+  obs::span_arg("rows", static_cast<double>(z.rows()));
   obs::span_arg("epochs", static_cast<double>(params_.epochs));
 
-  const data::Matrix z = scaler_.fit_transform(data::signed_log1p(x));
   y_mean_ = stats::mean(y);
   y_scale_ = std::max(stats::stddev(y), 1e-6);
   std::vector<double> ty(y.size());
@@ -273,10 +293,10 @@ void Mlp::fit(const data::Matrix& x, std::span<const double> y) {
   fitted_ = true;
 }
 
-std::vector<double> Mlp::predict(const data::Matrix& x) const {
+std::vector<double> Mlp::predict(const data::MatrixView& x) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
   IOTAX_TRACE_SPAN("mlp.predict");
-  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
+  const data::Matrix z = scaler_.transform_log1p(x);
   std::vector<double> out(z.rows());
   const std::size_t out_off = act_offsets_.back();
   // Rows are independent; each chunk owns a scratch activation buffer
@@ -296,20 +316,26 @@ std::vector<double> Mlp::predict(const data::Matrix& x) const {
   return out;
 }
 
-DistPrediction Mlp::predict_dist(const data::Matrix& x) const {
+DistPrediction Mlp::predict_dist(const data::MatrixView& x) const {
   DistPrediction pred;
   predict_dist_into(x, &pred);
   return pred;
 }
 
-void Mlp::predict_dist_into(const data::Matrix& x,
+void Mlp::predict_dist_into(const data::MatrixView& x,
                             DistPrediction* out) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict_dist: not fitted");
+  const data::Matrix z = scaler_.transform_log1p(x);
+  predict_dist_preprocessed(z, out);
+}
+
+void Mlp::predict_dist_preprocessed(const data::Matrix& z,
+                                    DistPrediction* out) const {
   if (!fitted_) throw std::logic_error("Mlp::predict_dist: not fitted");
   if (!params_.nll_head) {
     throw std::logic_error("Mlp::predict_dist: requires an NLL head");
   }
   IOTAX_TRACE_SPAN("mlp.predict_dist");
-  const data::Matrix z = scaler_.transform(data::signed_log1p(x));
   out->mean.resize(z.rows());
   out->variance.resize(z.rows());
   const std::size_t out_off = act_offsets_.back();

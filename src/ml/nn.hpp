@@ -44,16 +44,33 @@ class Mlp final : public Regressor {
  public:
   explicit Mlp(MlpParams params = {});
 
-  void fit(const data::Matrix& x, std::span<const double> y) override;
-  std::vector<double> predict(const data::Matrix& x) const override;
+  void fit(const data::MatrixView& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
 
+  /// fit() on an already log1p'd + standardised matrix, adopting the
+  /// scaler that produced it. DeepEnsemble preprocesses its training set
+  /// once and shares `z` across all members instead of each member
+  /// re-materializing the identical transform.
+  void fit_preprocessed(const data::Matrix& z, std::span<const double> y,
+                        const data::StandardScaler& scaler);
+
   /// Mean and aleatory variance; requires an NLL head.
-  DistPrediction predict_dist(const data::Matrix& x) const;
+  DistPrediction predict_dist(const data::MatrixView& x) const;
 
   /// predict_dist writing into an existing buffer, so callers looping
   /// over many inputs (or ensemble members) can reuse one allocation.
-  void predict_dist_into(const data::Matrix& x, DistPrediction* out) const;
+  void predict_dist_into(const data::MatrixView& x, DistPrediction* out) const;
+
+  /// predict_dist_into on an already-preprocessed matrix (the output of
+  /// scaler().transform_log1p). DeepEnsemble transforms its input once
+  /// and shares it across members — which all hold the same fit-time
+  /// scaler — instead of materializing one identical copy per member.
+  void predict_dist_preprocessed(const data::Matrix& z,
+                                 DistPrediction* out) const;
+
+  /// The fitted preprocessing scaler (log1p + standardise parameters).
+  const data::StandardScaler& scaler() const { return scaler_; }
 
   /// Serialize the fitted network (weights + preprocessing) as versioned
   /// text; load() restores bit-identical predictions.
@@ -72,6 +89,9 @@ class Mlp final : public Regressor {
 
   void forward(std::span<const double> input, std::vector<double>* acts,
                util::Rng* dropout_rng, std::vector<char>* masks) const;
+
+  /// Training loop on the preprocessed matrix (scaler_ already set).
+  void fit_impl(const data::Matrix& z, std::span<const double> y);
 
   MlpParams params_;
   std::vector<Layer> layers_;

@@ -1,9 +1,11 @@
 #include "src/ml/search.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
+#include "src/data/footprint.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
@@ -15,14 +17,15 @@ namespace {
 // All candidates of one search share the base params' bin budgets, so
 // the training matrix is binned once per search (not once per
 // candidate) and every trial trains against the shared view.
-BinnedMatrix bin_for_search(const GbtParams& base, const data::Matrix& x) {
+BinnedMatrix bin_for_search(const GbtParams& base, const data::MatrixView& x) {
   return base.per_feature_bins.empty() ? BinnedMatrix(x, base.max_bins)
                                        : BinnedMatrix(x, base.per_feature_bins);
 }
 
-SearchPoint evaluate(const GbtParams& params, const data::Matrix& x_train,
+SearchPoint evaluate(const GbtParams& params, const data::MatrixView& x_train,
                      std::span<const double> y_train,
-                     const BinnedMatrix& binned, const data::Matrix& x_val,
+                     const BinnedMatrix& binned,
+                     std::span<const std::uint16_t> val_codes,
                      std::span<const double> y_val) {
   obs::SpanGuard trial_span("search.trial");
   IOTAX_OBS_COUNT("search.trials", 1);
@@ -30,26 +33,44 @@ SearchPoint evaluate(const GbtParams& params, const data::Matrix& x_train,
   model.fit_binned(x_train, y_train, binned);
   SearchPoint point;
   point.params = params;
-  point.val_error = median_abs_log_error(y_val, model.predict(x_val));
+  point.val_error = median_abs_log_error(y_val, model.predict_codes(val_codes));
   obs::span_arg("val_error", point.val_error);
   return point;
 }
+
+// The validation matrix encoded against the shared search binning:
+// candidates all train on `binned`, so scoring them routes by these
+// codes (bit-identical to predicting the raw rows, one strided read
+// per value for the whole search instead of per trial). The uint16
+// buffer is reported to data::footprint like BinnedMatrix codes.
+struct EncodedVal {
+  std::vector<std::uint16_t> codes;
+  EncodedVal(const BinnedMatrix& binned, const data::MatrixView& x_val)
+      : codes(binned.encode_all(x_val)) {
+    data::footprint::add(codes.size() * sizeof(std::uint16_t));
+  }
+  ~EncodedVal() { data::footprint::sub(codes.size() * sizeof(std::uint16_t)); }
+  EncodedVal(const EncodedVal&) = delete;
+  EncodedVal& operator=(const EncodedVal&) = delete;
+};
 
 // Evaluate pre-generated candidates concurrently (each trial writes its
 // own slot), then fold serially in candidate order so `on_point`
 // callback order and the strict-< first-point-wins tie-breaking match
 // the sequential loop bit for bit.
 SearchResult evaluate_all(const std::vector<GbtParams>& points,
-                          const data::Matrix& x_train,
+                          const data::MatrixView& x_train,
                           std::span<const double> y_train,
-                          const data::Matrix& x_val,
+                          const data::MatrixView& x_val,
                           std::span<const double> y_val,
                           const SearchCallback& on_point) {
   points.front().validate();  // surface bad shared params before binning
   const BinnedMatrix binned = bin_for_search(points.front(), x_train);
+  const EncodedVal val(binned, x_val);
   std::vector<SearchPoint> evaluated(points.size());
   util::parallel_for(points.size(), [&](std::size_t i) {
-    evaluated[i] = evaluate(points[i], x_train, y_train, binned, x_val, y_val);
+    evaluated[i] =
+        evaluate(points[i], x_train, y_train, binned, val.codes, y_val);
   });
   SearchResult result;
   result.best.val_error = std::numeric_limits<double>::infinity();
@@ -64,9 +85,9 @@ SearchResult evaluate_all(const std::vector<GbtParams>& points,
 
 }  // namespace
 
-SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
+SearchResult grid_search(const GbtGrid& grid, const data::MatrixView& x_train,
                          std::span<const double> y_train,
-                         const data::Matrix& x_val,
+                         const data::MatrixView& x_val,
                          std::span<const double> y_val,
                          const SearchCallback& on_point) {
   if (grid.n_estimators.empty() || grid.max_depth.empty() ||
@@ -93,9 +114,9 @@ SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
 }
 
 SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
-                           const data::Matrix& x_train,
+                           const data::MatrixView& x_train,
                            std::span<const double> y_train,
-                           const data::Matrix& x_val,
+                           const data::MatrixView& x_val,
                            std::span<const double> y_val, util::Rng& rng,
                            const SearchCallback& on_point) {
   if (n_samples == 0) throw std::invalid_argument("random_search: 0 samples");
@@ -119,9 +140,9 @@ SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
 
 SearchResult successive_halving(const GbtGrid& grid,
                                 const HalvingParams& params,
-                                const data::Matrix& x_train,
+                                const data::MatrixView& x_train,
                                 std::span<const double> y_train,
-                                const data::Matrix& x_val,
+                                const data::MatrixView& x_val,
                                 std::span<const double> y_val,
                                 const SearchCallback& on_point) {
   if (params.initial_configs < 2 || params.elim_factor < 2) {
@@ -164,17 +185,23 @@ SearchResult successive_halving(const GbtGrid& grid,
     auto rows = all_rows;
     shuffle_rng.shuffle(rows);
     rows.resize(n_rows);
-    const auto x_sub = x_train.take_rows(rows);
+    // Row-index view into the caller's matrix — the rung never copies
+    // the training rows (previously a full take_rows per rung).
+    std::vector<std::size_t> sub_rows;
+    const data::MatrixView x_sub = x_train.take_rows(rows, &sub_rows);
     std::vector<double> y_sub(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) y_sub[i] = y_train[rows[i]];
 
     // One binned view per rung, shared by the whole surviving
-    // population; rung trials evaluate concurrently into slots.
+    // population; rung trials evaluate concurrently into slots. The
+    // rung's bin edges come from its row subset, so the validation
+    // encoding is per rung too.
     const BinnedMatrix binned_sub = bin_for_search(grid.base, x_sub);
+    const EncodedVal val(binned_sub, x_val);
     std::vector<SearchPoint> rung(population.size());
     util::parallel_for(population.size(), [&](std::size_t i) {
       rung[i] =
-          evaluate(population[i], x_sub, y_sub, binned_sub, x_val, y_val);
+          evaluate(population[i], x_sub, y_sub, binned_sub, val.codes, y_val);
     });
     for (const auto& point : rung) {
       if (on_point) on_point(point);

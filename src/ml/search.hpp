@@ -34,17 +34,17 @@ struct GbtGrid {
 using SearchCallback = std::function<void(const SearchPoint&)>;
 
 /// Exhaustive grid search; selects by validation median |log10| error.
-SearchResult grid_search(const GbtGrid& grid, const data::Matrix& x_train,
+SearchResult grid_search(const GbtGrid& grid, const data::MatrixView& x_train,
                          std::span<const double> y_train,
-                         const data::Matrix& x_val,
+                         const data::MatrixView& x_val,
                          std::span<const double> y_val,
                          const SearchCallback& on_point = nullptr);
 
 /// Random search over the same space.
 SearchResult random_search(const GbtGrid& grid, std::size_t n_samples,
-                           const data::Matrix& x_train,
+                           const data::MatrixView& x_train,
                            std::span<const double> y_train,
-                           const data::Matrix& x_val,
+                           const data::MatrixView& x_val,
                            std::span<const double> y_val, util::Rng& rng,
                            const SearchCallback& on_point = nullptr);
 
@@ -64,9 +64,9 @@ struct HalvingParams {
 
 SearchResult successive_halving(const GbtGrid& grid,
                                 const HalvingParams& params,
-                                const data::Matrix& x_train,
+                                const data::MatrixView& x_train,
                                 std::span<const double> y_train,
-                                const data::Matrix& x_val,
+                                const data::MatrixView& x_val,
                                 std::span<const double> y_val,
                                 const SearchCallback& on_point = nullptr);
 

@@ -15,7 +15,7 @@ constexpr double kVarFloor = 1e-8;
 GbtUncertainty::GbtUncertainty(GbtParams mean_params, GbtParams variance_params)
     : mean_(mean_params), variance_(variance_params) {}
 
-void GbtUncertainty::fit(const data::Matrix& x, std::span<const double> y) {
+void GbtUncertainty::fit(const data::MatrixView& x, std::span<const double> y) {
   mean_.fit(x, y);
   const auto mean_pred = mean_.predict(x);
   // Target: log(residual^2). Training-set residuals understate the true
@@ -31,7 +31,8 @@ void GbtUncertainty::fit(const data::Matrix& x, std::span<const double> y) {
   fitted_ = true;
 }
 
-GbtDistPrediction GbtUncertainty::predict_dist(const data::Matrix& x) const {
+GbtDistPrediction GbtUncertainty::predict_dist(
+    const data::MatrixView& x) const {
   if (!fitted_) throw std::logic_error("GbtUncertainty: not fitted");
   GbtDistPrediction out;
   out.mean = mean_.predict(x);

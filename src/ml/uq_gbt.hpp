@@ -23,10 +23,10 @@ class GbtUncertainty {
  public:
   GbtUncertainty(GbtParams mean_params, GbtParams variance_params);
 
-  void fit(const data::Matrix& x, std::span<const double> y);
+  void fit(const data::MatrixView& x, std::span<const double> y);
 
   /// Mean prediction and aleatory variance per row.
-  GbtDistPrediction predict_dist(const data::Matrix& x) const;
+  GbtDistPrediction predict_dist(const data::MatrixView& x) const;
 
   const GradientBoostedTrees& mean_model() const { return mean_; }
   const GradientBoostedTrees& variance_model() const { return variance_; }

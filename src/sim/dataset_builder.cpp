@@ -29,6 +29,7 @@ data::Dataset build_dataset(
   data::Dataset ds;
   ds.system_name = system_name;
   ds.features = data::Table(dataset_feature_names(with_lmt));
+  ds.features.reserve_rows(records.size());
   ds.meta.reserve(records.size());
   ds.target.reserve(records.size());
 

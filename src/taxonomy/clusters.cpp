@@ -15,7 +15,7 @@
 namespace iotax::taxonomy {
 
 ClusterBreakdown cluster_error_breakdown(
-    const data::Dataset& ds, std::span<const double> errors,
+    const data::DatasetView& ds, std::span<const double> errors,
     const std::vector<FeatureSet>& feature_sets, ml::KMeansParams params) {
   if (errors.size() != ds.size() || ds.size() == 0) {
     throw std::invalid_argument("cluster_error_breakdown: bad input sizes");
@@ -50,8 +50,8 @@ ClusterBreakdown cluster_error_breakdown(
       if (labels[i] != c) continue;
       ++cs.n_jobs;
       abs_err.push_back(std::fabs(errors[i]));
-      targets.push_back(ds.target[i]);
-      apps.insert(ds.meta[i].app_id);
+      targets.push_back(ds.target(i));
+      apps.insert(ds.meta(i).app_id);
       dups += is_dup[i] ? 1 : 0;
     }
     if (cs.n_jobs == 0) continue;

@@ -32,9 +32,10 @@ struct ClusterBreakdown {
 };
 
 /// Cluster the jobs (application features) and attribute model errors.
-/// `errors` are signed log10 prediction errors, parallel to ds rows.
+/// `errors` are signed log10 prediction errors, parallel to the view's
+/// rows.
 ClusterBreakdown cluster_error_breakdown(
-    const data::Dataset& ds, std::span<const double> errors,
+    const data::DatasetView& ds, std::span<const double> errors,
     const std::vector<FeatureSet>& feature_sets, ml::KMeansParams params = {});
 
 /// Render as aligned rows.

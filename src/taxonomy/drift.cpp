@@ -110,10 +110,8 @@ std::vector<FeatureDrift> feature_drift(
   std::vector<double> rec;
   for (std::size_t c = 0; c < features.n_cols(); ++c) {
     const auto col = features.col(c);
-    ref.clear();
-    rec.clear();
-    for (const auto r : reference_rows) ref.push_back(col[r]);
-    for (const auto r : recent_rows) rec.push_back(col[r]);
+    data::gather(col, reference_rows, &ref);
+    data::gather(col, recent_rows, &rec);
     drifts.push_back({features.names()[c], stats::two_sample_ks(ref, rec)});
   }
   std::sort(drifts.begin(), drifts.end(),
@@ -122,6 +120,24 @@ std::vector<FeatureDrift> feature_drift(
             });
   if (drifts.size() > top_k) drifts.resize(top_k);
   return drifts;
+}
+
+std::vector<FeatureDrift> feature_drift(const data::DatasetView& ds,
+                                        std::span<const std::size_t>
+                                            reference_rows,
+                                        std::span<const std::size_t>
+                                            recent_rows,
+                                        std::size_t top_k) {
+  // Map view-local rows to base rows once, then reuse the Table path.
+  std::vector<std::size_t> ref_base(reference_rows.size());
+  std::vector<std::size_t> rec_base(recent_rows.size());
+  for (std::size_t i = 0; i < reference_rows.size(); ++i) {
+    ref_base[i] = ds.base_row(reference_rows[i]);
+  }
+  for (std::size_t i = 0; i < recent_rows.size(); ++i) {
+    rec_base[i] = ds.base_row(recent_rows[i]);
+  }
+  return feature_drift(ds.features(), ref_base, rec_base, top_k);
 }
 
 }  // namespace iotax::taxonomy

@@ -9,12 +9,12 @@
 
 namespace iotax::taxonomy {
 
-std::vector<DuplicateSet> find_duplicate_sets(const data::Dataset& ds) {
+std::vector<DuplicateSet> find_duplicate_sets(const data::DatasetView& ds) {
   // std::map gives a deterministic (sorted) set order.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::size_t>>
       groups;
   for (std::size_t i = 0; i < ds.size(); ++i) {
-    groups[{ds.meta[i].app_id, ds.meta[i].config_id}].push_back(i);
+    groups[{ds.meta(i).app_id, ds.meta(i).config_id}].push_back(i);
   }
   std::vector<DuplicateSet> sets;
   for (auto& [key, rows] : groups) {
@@ -24,14 +24,14 @@ std::vector<DuplicateSet> find_duplicate_sets(const data::Dataset& ds) {
     set.config_id = key.second;
     set.rows = std::move(rows);
     double sum = 0.0;
-    for (std::size_t r : set.rows) sum += ds.target[r];
+    for (std::size_t r : set.rows) sum += ds.target(r);
     set.mean_target = sum / static_cast<double>(set.rows.size());
     sets.push_back(std::move(set));
   }
   return sets;
 }
 
-DuplicateStats duplicate_stats(const data::Dataset& ds,
+DuplicateStats duplicate_stats(const data::DatasetView& ds,
                                const std::vector<DuplicateSet>& sets) {
   DuplicateStats stats;
   stats.n_sets = sets.size();
@@ -46,7 +46,7 @@ DuplicateStats duplicate_stats(const data::Dataset& ds,
   return stats;
 }
 
-std::vector<double> duplicate_errors(const data::Dataset& ds,
+std::vector<double> duplicate_errors(const data::DatasetView& ds,
                                      const std::vector<DuplicateSet>& sets) {
   std::vector<double> errors;
   for (const auto& s : sets) {
@@ -55,13 +55,13 @@ std::vector<double> duplicate_errors(const data::Dataset& ds,
     // true mean, shrinking raw deviations by sqrt((n-1)/n) on average.
     const double bessel = std::sqrt(n / (n - 1.0));
     for (std::size_t r : s.rows) {
-      errors.push_back((ds.target[r] - s.mean_target) * bessel);
+      errors.push_back((ds.target(r) - s.mean_target) * bessel);
     }
   }
   return errors;
 }
 
-std::vector<DuplicatePair> duplicate_pairs(const data::Dataset& ds,
+std::vector<DuplicatePair> duplicate_pairs(const data::DatasetView& ds,
                                            const std::vector<DuplicateSet>& sets,
                                            std::size_t max_set_pairs_from) {
   std::vector<DuplicatePair> pairs;
@@ -70,7 +70,7 @@ std::vector<DuplicatePair> duplicate_pairs(const data::Dataset& ds,
     // natural neighbours.
     auto rows = s.rows;
     std::sort(rows.begin(), rows.end(), [&ds](std::size_t a, std::size_t b) {
-      return ds.meta[a].start_time < ds.meta[b].start_time;
+      return ds.meta(a).start_time < ds.meta(b).start_time;
     });
     std::vector<std::pair<std::size_t, std::size_t>> idx_pairs;
     if (rows.size() <= max_set_pairs_from) {
@@ -90,8 +90,8 @@ std::vector<DuplicatePair> duplicate_pairs(const data::Dataset& ds,
       DuplicatePair p;
       p.row_a = a;
       p.row_b = b;
-      p.dt = std::fabs(ds.meta[a].start_time - ds.meta[b].start_time);
-      p.dphi = ds.target[a] - ds.target[b];
+      p.dt = std::fabs(ds.meta(a).start_time - ds.meta(b).start_time);
+      p.dphi = ds.target(a) - ds.target(b);
       p.weight = w;
       pairs.push_back(p);
     }
@@ -100,7 +100,7 @@ std::vector<DuplicatePair> duplicate_pairs(const data::Dataset& ds,
 }
 
 std::vector<DuplicateSet> concurrent_subsets(
-    const data::Dataset& ds, const std::vector<DuplicateSet>& sets,
+    const data::DatasetView& ds, const std::vector<DuplicateSet>& sets,
     double dt_window) {
   if (dt_window <= 0.0) {
     throw std::invalid_argument("concurrent_subsets: dt_window must be > 0");
@@ -109,7 +109,7 @@ std::vector<DuplicateSet> concurrent_subsets(
   for (const auto& s : sets) {
     auto rows = s.rows;
     std::sort(rows.begin(), rows.end(), [&ds](std::size_t a, std::size_t b) {
-      return ds.meta[a].start_time < ds.meta[b].start_time;
+      return ds.meta(a).start_time < ds.meta(b).start_time;
     });
     std::size_t cluster_begin = 0;
     const auto flush = [&](std::size_t begin, std::size_t end) {
@@ -120,15 +120,15 @@ std::vector<DuplicateSet> concurrent_subsets(
       sub.rows.assign(rows.begin() + static_cast<long>(begin),
                       rows.begin() + static_cast<long>(end));
       double sum = 0.0;
-      for (std::size_t r : sub.rows) sum += ds.target[r];
+      for (std::size_t r : sub.rows) sum += ds.target(r);
       sub.mean_target = sum / static_cast<double>(sub.rows.size());
       out.push_back(std::move(sub));
     };
     for (std::size_t i = 1; i <= rows.size(); ++i) {
       const bool breaks =
           i == rows.size() ||
-          ds.meta[rows[i]].start_time -
-                  ds.meta[rows[cluster_begin]].start_time >
+          ds.meta(rows[i]).start_time -
+                  ds.meta(rows[cluster_begin]).start_time >
               dt_window;
       if (breaks) {
         flush(cluster_begin, i);

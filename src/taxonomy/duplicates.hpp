@@ -7,20 +7,20 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/data/dataset.hpp"
+#include "src/data/view.hpp"
 
 namespace iotax::taxonomy {
 
 struct DuplicateSet {
   std::uint64_t app_id = 0;
   std::uint64_t config_id = 0;
-  std::vector<std::size_t> rows;  // dataset row indices, size >= 2
+  std::vector<std::size_t> rows;  // view-local row indices, size >= 2
   double mean_target = 0.0;       // mean log10 throughput of the set
 };
 
 /// All duplicate sets (>= 2 members) keyed by (app_id, config_id), in a
 /// deterministic order.
-std::vector<DuplicateSet> find_duplicate_sets(const data::Dataset& ds);
+std::vector<DuplicateSet> find_duplicate_sets(const data::DatasetView& ds);
 
 struct DuplicateStats {
   std::size_t n_sets = 0;
@@ -29,13 +29,13 @@ struct DuplicateStats {
   std::size_t largest_set = 0;
 };
 
-DuplicateStats duplicate_stats(const data::Dataset& ds,
+DuplicateStats duplicate_stats(const data::DatasetView& ds,
                                const std::vector<DuplicateSet>& sets);
 
 /// Per-duplicate errors around the set mean, with Bessel's correction
 /// sqrt(n/(n-1)) so small sets don't understate the spread (§VI.A step 3,
 /// §IX.A). Order follows sets/rows.
-std::vector<double> duplicate_errors(const data::Dataset& ds,
+std::vector<double> duplicate_errors(const data::DatasetView& ds,
                                      const std::vector<DuplicateSet>& sets);
 
 /// One duplicate pair with its start-time gap and throughput gap, plus the
@@ -51,14 +51,14 @@ struct DuplicatePair {
 /// All intra-set pairs. Sets larger than `max_set_pairs_from` members are
 /// subsampled by taking consecutive pairs to bound the O(n^2) blowup.
 std::vector<DuplicatePair> duplicate_pairs(
-    const data::Dataset& ds, const std::vector<DuplicateSet>& sets,
+    const data::DatasetView& ds, const std::vector<DuplicateSet>& sets,
     std::size_t max_set_pairs_from = 200);
 
 /// Restrict sets to concurrent runs: within each set, clusters of jobs
 /// whose start times fall within `dt_window` seconds of the cluster's
 /// first job. Returned sets have >= 2 members each (litmus 4/5 input).
 std::vector<DuplicateSet> concurrent_subsets(
-    const data::Dataset& ds, const std::vector<DuplicateSet>& sets,
+    const data::DatasetView& ds, const std::vector<DuplicateSet>& sets,
     double dt_window);
 
 }  // namespace iotax::taxonomy

@@ -8,14 +8,14 @@
 
 namespace iotax::taxonomy {
 
-std::vector<std::string> feature_columns(const data::Dataset& ds,
+std::vector<std::string> feature_columns(const data::DatasetView& ds,
                                          const std::vector<FeatureSet>& sets) {
   std::vector<std::string> cols;
   const auto append = [&cols, &ds](const std::vector<std::string>& names) {
     for (const auto& n : names) {
-      if (!ds.features.has_column(n)) {
+      if (!ds.has_feature(n)) {
         throw std::invalid_argument("feature_columns: dataset for system '" +
-                                    ds.system_name + "' lacks column " + n);
+                                    ds.system_name() + "' lacks column " + n);
       }
       cols.push_back(n);
     }
@@ -42,27 +42,47 @@ std::vector<std::string> feature_columns(const data::Dataset& ds,
   return cols;
 }
 
-data::Matrix feature_matrix(const data::Dataset& ds,
+data::Matrix feature_matrix(const data::DatasetView& ds,
                             const std::vector<FeatureSet>& sets,
                             std::span<const std::size_t> rows) {
   const auto cols = feature_columns(ds, sets);
-  data::Matrix m(rows.empty() ? ds.size() : rows.size(), cols.size());
+  const std::size_t n = rows.empty() ? ds.size() : rows.size();
+  data::Matrix m(n, cols.size());
   for (std::size_t c = 0; c < cols.size(); ++c) {
-    const auto col = ds.features.col(cols[c]);
-    if (rows.empty()) {
-      for (std::size_t r = 0; r < col.size(); ++r) m(r, c) = col[r];
-    } else {
-      for (std::size_t r = 0; r < rows.size(); ++r) m(r, c) = col[rows[r]];
+    const auto col = ds.features().col(cols[c]);
+    for (std::size_t r = 0; r < n; ++r) {
+      m(r, c) = col[ds.base_row(rows.empty() ? r : rows[r])];
     }
   }
   return m;
 }
 
-std::vector<double> targets(const data::Dataset& ds,
+data::MatrixView feature_view(const data::DatasetView& ds,
+                              const std::vector<FeatureSet>& sets,
+                              std::vector<std::size_t>* cols_storage,
+                              std::vector<std::size_t>* rows_storage,
+                              std::span<const std::size_t> rows) {
+  const auto names = feature_columns(ds, sets);
+  cols_storage->clear();
+  cols_storage->reserve(names.size());
+  for (const auto& name : names) {
+    cols_storage->push_back(ds.features().index_of(name));
+  }
+  const std::size_t n = rows.empty() ? ds.size() : rows.size();
+  rows_storage->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*rows_storage)[i] = ds.base_row(rows.empty() ? i : rows[i]);
+  }
+  return data::MatrixView(ds.features(), *rows_storage, *cols_storage);
+}
+
+std::vector<double> targets(const data::DatasetView& ds,
                             std::span<const std::size_t> rows) {
-  if (rows.empty()) return ds.target;
-  std::vector<double> out(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = ds.target[rows[i]];
+  const std::size_t n = rows.empty() ? ds.size() : rows.size();
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ds.target(rows.empty() ? i : rows[i]);
+  }
   return out;
 }
 

@@ -1,13 +1,19 @@
 // Feature-set selection for the paper's experiments: POSIX-only,
 // POSIX+MPI-IO, POSIX+Cobalt (Fig. 3), POSIX+start-time (litmus 2),
 // and Darshan+Lustre (Fig. 4).
+//
+// All entry points take a DatasetView (a Dataset converts implicitly);
+// row arguments are view-local indices. feature_matrix still
+// materializes its result — it is the one deliberate copy the pipeline
+// makes when assembling model input — but callers that already hold a
+// superset matrix should slice it with MatrixView instead of calling
+// feature_matrix repeatedly (see taxonomy/pipeline.cpp).
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "src/data/dataset.hpp"
-#include "src/data/matrix.hpp"
+#include "src/data/view.hpp"
 
 namespace iotax::taxonomy {
 
@@ -22,17 +28,29 @@ enum class FeatureSet {
 /// Column names for a combination of feature sets, in canonical order.
 /// Throws if the dataset lacks one of the requested groups (e.g. LMT on a
 /// Theta-like system).
-std::vector<std::string> feature_columns(const data::Dataset& ds,
+std::vector<std::string> feature_columns(const data::DatasetView& ds,
                                          const std::vector<FeatureSet>& sets);
 
 /// Materialize the selected features as a model-input Matrix for the given
-/// rows (pass all rows with an empty span).
-data::Matrix feature_matrix(const data::Dataset& ds,
+/// view-local rows (pass all rows with an empty span).
+data::Matrix feature_matrix(const data::DatasetView& ds,
                             const std::vector<FeatureSet>& sets,
                             std::span<const std::size_t> rows = {});
 
-/// Targets for the given rows (all rows when empty).
-std::vector<double> targets(const data::Dataset& ds,
+/// Zero-copy alternative to feature_matrix: a MatrixView over the
+/// dataset's column-major feature table. Element (i, c) reads the same
+/// value feature_matrix would have written, so models consume either
+/// interchangeably with bit-identical results. The resolved column and
+/// row index maps are written into *cols_storage / *rows_storage, which
+/// must outlive the returned view (the view keeps them by reference).
+data::MatrixView feature_view(const data::DatasetView& ds,
+                              const std::vector<FeatureSet>& sets,
+                              std::vector<std::size_t>* cols_storage,
+                              std::vector<std::size_t>* rows_storage,
+                              std::span<const std::size_t> rows = {});
+
+/// Targets for the given view-local rows (all rows when empty).
+std::vector<double> targets(const data::DatasetView& ds,
                             std::span<const std::size_t> rows = {});
 
 }  // namespace iotax::taxonomy

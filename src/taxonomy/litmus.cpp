@@ -11,7 +11,7 @@
 
 namespace iotax::taxonomy {
 
-AppBoundResult litmus_application_bound(const data::Dataset& ds) {
+AppBoundResult litmus_application_bound(const data::DatasetView& ds) {
   const auto sets = find_duplicate_sets(ds);
   if (sets.empty()) {
     throw std::invalid_argument(
@@ -26,39 +26,55 @@ AppBoundResult litmus_application_bound(const data::Dataset& ds) {
   return res;
 }
 
-SystemBoundResult litmus_system_bound(const data::Dataset& ds,
+SystemBoundResult litmus_system_bound(const data::DatasetView& ds,
                                       const data::Split& split,
                                       const std::vector<FeatureSet>& app_sets,
                                       const ml::GbtParams& params) {
   if (split.train.empty() || split.test.empty()) {
     throw std::invalid_argument("litmus_system_bound: empty split side");
   }
+  auto timed_sets = app_sets;
+  timed_sets.push_back(FeatureSet::kStartTimeOnly);
+  const auto x_train_app = feature_matrix(ds, app_sets, split.train);
+  const auto x_test_app = feature_matrix(ds, app_sets, split.test);
+  const auto x_train_timed = feature_matrix(ds, timed_sets, split.train);
+  const auto x_test_timed = feature_matrix(ds, timed_sets, split.test);
   const auto y_train = targets(ds, split.train);
   const auto y_test = targets(ds, split.test);
+  return litmus_system_bound(x_train_app, x_test_app, x_train_timed,
+                             x_test_timed, y_train, y_test, params);
+}
 
+SystemBoundResult litmus_system_bound(const data::MatrixView& x_train_app,
+                                      const data::MatrixView& x_test_app,
+                                      const data::MatrixView& x_train_timed,
+                                      const data::MatrixView& x_test_timed,
+                                      std::span<const double> y_train,
+                                      std::span<const double> y_test,
+                                      const ml::GbtParams& params) {
+  if (y_train.empty() || y_test.empty()) {
+    throw std::invalid_argument("litmus_system_bound: empty split side");
+  }
   SystemBoundResult res;
   {
     ml::GradientBoostedTrees model(params);
-    model.fit(feature_matrix(ds, app_sets, split.train), y_train);
-    res.err_app_only = ml::median_abs_log_error(
-        y_test, model.predict(feature_matrix(ds, app_sets, split.test)));
+    model.fit(x_train_app, y_train);
+    res.err_app_only =
+        ml::median_abs_log_error(y_test, model.predict(x_test_app));
   }
   {
-    auto timed_sets = app_sets;
-    timed_sets.push_back(FeatureSet::kStartTimeOnly);
     // Remembering the whole lifetime of I/O weather takes a bigger model
     // than app behaviour alone (§VII.A): more trees, and day-level bin
     // resolution on the start-time column (weather events last hours to
     // days; coarse quantile bins would average them away).
     ml::GbtParams golden = params;
     golden.n_estimators = std::max<std::size_t>(golden.n_estimators * 2, 128);
-    const auto x_train = feature_matrix(ds, timed_sets, split.train);
-    golden.per_feature_bins.assign(x_train.cols(), golden.max_bins);
+    golden.per_feature_bins.assign(x_train_timed.cols(), golden.max_bins);
     golden.per_feature_bins.back() = 2048;  // start time is the last column
     ml::GradientBoostedTrees model(golden);
-    model.fit(x_train, y_train);
-    res.err_with_time = ml::median_abs_log_error(
-        y_test, model.predict(feature_matrix(ds, timed_sets, split.test)));
+    model.fit(x_train_timed, y_train);
+    res.err_with_time =
+        ml::median_abs_log_error(y_test, model.predict(x_test_timed));
   }
   res.reduction_frac =
       res.err_app_only > 0.0
@@ -117,7 +133,7 @@ OodResult litmus_ood(std::span<const double> epistemic,
   return res;
 }
 
-NoiseBoundResult litmus_noise_bound(const data::Dataset& ds, double dt_window,
+NoiseBoundResult litmus_noise_bound(const data::DatasetView& ds, double dt_window,
                                     const std::vector<bool>* exclude) {
   auto all_sets = find_duplicate_sets(ds);
   if (exclude != nullptr) {
@@ -179,7 +195,7 @@ NoiseBoundResult litmus_noise_bound(const data::Dataset& ds, double dt_window,
   return res;
 }
 
-std::vector<DtBin> dt_binned_distributions(const data::Dataset& ds,
+std::vector<DtBin> dt_binned_distributions(const data::DatasetView& ds,
                                            std::span<const double> edges) {
   if (edges.size() < 2) {
     throw std::invalid_argument("dt_binned_distributions: need >= 2 edges");

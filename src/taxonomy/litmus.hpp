@@ -34,7 +34,7 @@ struct AppBoundResult {
 
 /// Estimate the lower bound on median |log10| error achievable by any
 /// model that sees only application features (duplicate-set litmus test).
-AppBoundResult litmus_application_bound(const data::Dataset& ds);
+AppBoundResult litmus_application_bound(const data::DatasetView& ds);
 
 // ------------------------------------------------ Litmus 2: system
 
@@ -47,9 +47,21 @@ struct SystemBoundResult {
 /// Train GBT models with and without the start-time feature and report
 /// test errors. `app_sets` chooses the application features (typically
 /// POSIX or POSIX+MPI-IO).
-SystemBoundResult litmus_system_bound(const data::Dataset& ds,
+SystemBoundResult litmus_system_bound(const data::DatasetView& ds,
                                       const data::Split& split,
                                       const std::vector<FeatureSet>& app_sets,
+                                      const ml::GbtParams& params);
+
+/// View-based variant used by the pipeline: the caller supplies
+/// app-feature and app+start-time slices of one shared matrix. The
+/// start-time column must be the LAST column of the timed views (its
+/// bin budget is widened to day-level resolution).
+SystemBoundResult litmus_system_bound(const data::MatrixView& x_train_app,
+                                      const data::MatrixView& x_test_app,
+                                      const data::MatrixView& x_train_timed,
+                                      const data::MatrixView& x_test_timed,
+                                      std::span<const double> y_train,
+                                      std::span<const double> y_test,
                                       const ml::GbtParams& params);
 
 // ------------------------------------------------ Litmus 3: OoD
@@ -93,7 +105,7 @@ struct NoiseBoundResult {
 /// Estimate the contention+noise floor from duplicates started within
 /// `dt_window` seconds of each other, excluding rows flagged in
 /// `exclude` (OoD jobs, per the litmus ordering).
-NoiseBoundResult litmus_noise_bound(const data::Dataset& ds,
+NoiseBoundResult litmus_noise_bound(const data::DatasetView& ds,
                                     double dt_window = 1.0,
                                     const std::vector<bool>* exclude = nullptr);
 
@@ -114,7 +126,7 @@ struct DtBin {
 /// Weighted distribution of duplicate-pair Δφ per Δt bin (log-spaced
 /// edges in seconds). The first bin [0, edges[0]) holds the concurrent
 /// pairs.
-std::vector<DtBin> dt_binned_distributions(const data::Dataset& ds,
+std::vector<DtBin> dt_binned_distributions(const data::DatasetView& ds,
                                            std::span<const double> edges);
 
 }  // namespace iotax::taxonomy

@@ -2,31 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
+#include "src/data/footprint.hpp"
 #include "src/ml/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/str.hpp"
 
 namespace iotax::taxonomy {
 
-TaxonomyReport run_taxonomy(const data::Dataset& ds,
+TaxonomyReport run_taxonomy(const data::DatasetView& ds,
                             const PipelineConfig& config) {
   IOTAX_TRACE_SPAN("taxonomy.run");
   obs::span_arg("jobs", static_cast<double>(ds.size()));
   TaxonomyReport report;
-  report.system = ds.system_name;
+  report.system = ds.system_name();
   report.n_jobs = ds.size();
   util::Rng split_rng(config.split_seed);
   report.split = data::random_split(ds.size(), config.train_frac,
                                     config.val_frac, split_rng);
   const auto& split = report.split;
 
-  const auto x_train = feature_matrix(ds, config.app_features, split.train);
+  // Zero-copy model input: every step trains and predicts through
+  // MatrixViews of the dataset's column-major feature table, so the
+  // pipeline itself materializes no feature matrix. What remains on
+  // the data.{live,peak}_materialized_bytes gauges is per-model
+  // working state (binned code tables, MLP scaler outputs). Each view
+  // gets its own index storage — views keep the spans by reference.
+  const bool has_lmt = ds.has_feature("LMT_OSS_CPU_MEAN");
+  std::vector<std::size_t> c_train, r_train, c_val, r_val, c_test, r_test;
+  const auto x_train =
+      feature_view(ds, config.app_features, &c_train, &r_train, split.train);
+  const auto x_val =
+      feature_view(ds, config.app_features, &c_val, &r_val, split.val);
+  const auto x_test =
+      feature_view(ds, config.app_features, &c_test, &r_test, split.test);
   const auto y_train = targets(ds, split.train);
-  const auto x_val = feature_matrix(ds, config.app_features, split.val);
   const auto y_val = targets(ds, split.val);
-  const auto x_test = feature_matrix(ds, config.app_features, split.test);
   const auto y_test = targets(ds, split.test);
 
   // ---- Step 1: baseline model with library-default hyperparameters.
@@ -59,22 +72,35 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   // ---- Step 3.1: system bound via the start-time golden model.
   {
     IOTAX_TRACE_SPAN("taxonomy.system_bound");
-    report.system_bound = litmus_system_bound(ds, split, config.app_features,
-                                              report.tuned_params);
+    // The golden model additionally sees the start time (last column).
+    auto timed_sets = config.app_features;
+    timed_sets.push_back(FeatureSet::kStartTimeOnly);
+    std::vector<std::size_t> c_ttr, r_ttr, c_tte, r_tte;
+    const auto x_train_timed =
+        feature_view(ds, timed_sets, &c_ttr, &r_ttr, split.train);
+    const auto x_test_timed =
+        feature_view(ds, timed_sets, &c_tte, &r_tte, split.test);
+    report.system_bound =
+        litmus_system_bound(x_train, x_test, x_train_timed, x_test_timed,
+                            y_train, y_test, report.tuned_params);
   }
 
   // ---- Step 3.2: realized improvement from storage telemetry.
-  if (ds.features.has_column("LMT_OSS_CPU_MEAN")) {
+  if (has_lmt) {
     IOTAX_TRACE_SPAN("taxonomy.lmt_enrich");
     auto enriched_sets = config.app_features;
     enriched_sets.push_back(FeatureSet::kLmt);
+    std::vector<std::size_t> c_etr, r_etr, c_ete, r_ete;
+    const auto x_train_enr =
+        feature_view(ds, enriched_sets, &c_etr, &r_etr, split.train);
+    const auto x_test_enr =
+        feature_view(ds, enriched_sets, &c_ete, &r_ete, split.test);
     ml::GbtParams params = report.tuned_params;
     params.n_estimators = std::max<std::size_t>(params.n_estimators * 2, 128);
     ml::GradientBoostedTrees model(params);
-    model.fit(feature_matrix(ds, enriched_sets, split.train), y_train);
-    report.lmt_enriched_error = ml::median_abs_log_error(
-        y_test,
-        model.predict(feature_matrix(ds, enriched_sets, split.test)));
+    model.fit(x_train_enr, y_train);
+    report.lmt_enriched_error =
+        ml::median_abs_log_error(y_test, model.predict(x_test_enr));
   }
 
   // ---- Step 4: OoD attribution via deep-ensemble epistemic uncertainty.
@@ -88,8 +114,10 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
                     uq_rows.end() - static_cast<long>(config.uq_train_cap));
     }
     ml::DeepEnsemble ensemble(config.ensemble);
-    ensemble.fit(feature_matrix(ds, config.app_features, uq_rows),
-                 targets(ds, uq_rows));
+    std::vector<std::size_t> c_uq, r_uq;
+    const auto x_uq =
+        feature_view(ds, config.app_features, &c_uq, &r_uq, uq_rows);
+    ensemble.fit(x_uq, targets(ds, uq_rows));
     const auto uq = ensemble.predict_uncertainty(x_test);
     std::vector<double> abs_err(y_test.size());
     for (std::size_t i = 0; i < y_test.size(); ++i) {
@@ -131,6 +159,7 @@ TaxonomyReport run_taxonomy(const data::Dataset& ds,
   report.share_unexplained =
       clamp01(1.0 - report.share_app - report.share_system -
               report.share_ood - report.share_aleatory);
+  data::footprint::publish();
   return report;
 }
 

@@ -85,8 +85,13 @@ struct TaxonomyReport {
   double share_unexplained = 0.0;
 };
 
-/// Run the full five-step framework on a dataset.
-TaxonomyReport run_taxonomy(const data::Dataset& ds,
+/// Run the full five-step framework on a dataset (or a DatasetView
+/// window of one — a Dataset converts implicitly). The pipeline
+/// materializes a single superset feature matrix and runs every step
+/// through views of it; peak materialized bytes are published to the
+/// obs gauges `data.live_materialized_bytes` /
+/// `data.peak_materialized_bytes` on return.
+TaxonomyReport run_taxonomy(const data::DatasetView& ds,
                             const PipelineConfig& config = {});
 
 /// Render the report as aligned text, including an ASCII rendition of the

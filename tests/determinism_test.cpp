@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/data/table.hpp"
+#include "src/data/view.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
 #include "src/ml/nas.hpp"
@@ -202,6 +204,69 @@ TEST_F(ThreadDeterminism, BootstrapBitIdentical) {
   EXPECT_EQ(serial.point, threaded.point);
   EXPECT_EQ(serial.lo, threaded.lo);
   EXPECT_EQ(serial.hi, threaded.hi);
+}
+
+TEST_F(ThreadDeterminism, GbtOnTableBackedViewBitIdentical) {
+  // The zero-copy pipeline trains models through MatrixViews of a
+  // column-major Table; the view path must stay thread-invariant too.
+  const auto train = small_data(14);
+  data::Table table({"a", "b", "c"});
+  table.reserve_rows(train.x.rows());
+  std::vector<double> row(3);
+  for (std::size_t r = 0; r < train.x.rows(); ++r) {
+    for (std::size_t c = 0; c < 3; ++c) row[c] = train.x(r, c);
+    table.add_row(row);
+  }
+  std::vector<std::size_t> rows(train.x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const std::vector<std::size_t> cols = {0, 1, 2};
+  const data::MatrixView view(table, rows, cols);
+  const auto [serial, threaded] = at_1_and_4_threads([&] {
+    ml::GbtParams params;
+    params.n_estimators = 16;
+    params.subsample = 0.8;
+    ml::GradientBoostedTrees model(params);
+    model.fit(view, train.y);
+    return model.predict(view);
+  });
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]);
+  }
+  // The view path must also match a model trained on the materialized
+  // copy of the same view, bit for bit.
+  const auto copy = view.materialize();
+  ml::GbtParams params;
+  params.n_estimators = 16;
+  params.subsample = 0.8;
+  ml::GradientBoostedTrees model(params);
+  model.fit(copy, train.y);
+  const auto via_copy = model.predict(copy);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], via_copy[i]);
+  }
+}
+
+TEST_F(ThreadDeterminism, TaxonomyPipelineOnViewsBitIdentical) {
+  // End-to-end: the full five-step framework (which now runs entirely
+  // on views of the dataset's feature table) at 1 vs 4 threads.
+  const auto res = sim::simulate(sim::tiny_system(77));
+  taxonomy::PipelineConfig pc;
+  pc.grid.n_estimators = {8, 16};
+  pc.grid.max_depth = {3, 5};
+  pc.ensemble.size = 2;
+  pc.ensemble.epochs = 3;
+  pc.uq_train_cap = 300;
+  const auto [serial, threaded] = at_1_and_4_threads(
+      [&] { return taxonomy::run_taxonomy(res.dataset, pc); });
+  EXPECT_EQ(serial.baseline_error, threaded.baseline_error);
+  EXPECT_EQ(serial.tuned_error, threaded.tuned_error);
+  EXPECT_EQ(serial.app_bound.median_abs_error,
+            threaded.app_bound.median_abs_error);
+  EXPECT_EQ(serial.system_bound.err_with_time,
+            threaded.system_bound.err_with_time);
+  EXPECT_EQ(serial.noise.median_abs_error, threaded.noise.median_abs_error);
+  EXPECT_EQ(serial.share_unexplained, threaded.share_unexplained);
 }
 
 TEST(Determinism, SimulationRecordsBitIdentical) {
