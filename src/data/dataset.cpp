@@ -1,5 +1,6 @@
 #include "src/data/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -26,6 +27,46 @@ std::vector<std::size_t> Dataset::rows_in_window(double t0, double t1) const {
     }
   }
   return rows;
+}
+
+util::QuarantineReport Dataset::validate_all() const {
+  util::QuarantineReport report;
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  if (features.n_rows() != meta.size() || meta.size() != target.size()) {
+    report.add({util::Reason::kSizeMismatch, 0, npos, 0,
+                "features/meta/target size mismatch"});
+  }
+  const std::size_t n =
+      std::min({features.n_rows(), meta.size(), target.size()});
+  for (std::size_t c = 0; c < features.n_cols(); ++c) {
+    const auto col = features.col(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(col[i])) {
+        report.add({util::Reason::kNonFiniteValue, meta[i].job_id, i, c,
+                    "non-finite value in feature '" + features.names()[c] +
+                        "'"});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = meta[i];
+    if (!std::isfinite(m.start_time) || !std::isfinite(m.end_time)) {
+      report.add({util::Reason::kNonFiniteValue, m.job_id, i, 0,
+                  "non-finite job timestamps"});
+    } else if (m.end_time < m.start_time) {
+      report.add({util::Reason::kTimeInverted, m.job_id, i, 0,
+                  "job ends before it starts"});
+    }
+    if (!std::isfinite(target[i])) {
+      report.add({util::Reason::kNonFiniteValue, m.job_id, i, 0,
+                  "non-finite target"});
+    } else if (!(std::fabs(m.log_throughput() - target[i]) <= 1e-9)) {
+      // The negated form catches a NaN decomposition too.
+      report.add({util::Reason::kTruthMismatch, m.job_id, i, 0,
+                  "target does not match ground-truth decomposition"});
+    }
+  }
+  return report;
 }
 
 void Dataset::validate() const {

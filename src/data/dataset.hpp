@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/data/table.hpp"
+#include "src/util/quarantine.hpp"
 
 namespace iotax::data {
 
@@ -54,6 +55,15 @@ struct Dataset {
 
   /// Internal consistency checks; throws std::logic_error on violation.
   void validate() const;
+
+  /// Collect EVERY internal-consistency violation into a structured
+  /// report instead of failing at the first, using the same reason
+  /// codes the ingest quarantine speaks: size-mismatch, time-inverted,
+  /// non-finite-value (features, target, or timestamps), truth-mismatch.
+  /// NaN-aware where validate()'s comparisons are not (a NaN target
+  /// passes `fabs(x) > eps` but is reported here). An empty report
+  /// means validate() would also have passed, NaNs aside.
+  util::QuarantineReport validate_all() const;
 };
 
 /// Three-way split indices. Time-ordered splits model deployment: the

@@ -1,0 +1,81 @@
+// Seed-deterministic fault injection for telemetry archives.
+//
+// The injector corrupts a clean job-log archive (text or binary) the way
+// production telemetry actually breaks — truncated logs, dropped and
+// duplicated records, NaN/negative throughput, zeroed counters, clock
+// skew between collectors, out-of-order records, mangled fields — and
+// computes the exact quarantine counts the hardened parse+ingest
+// pipeline must report, by simulating its detection rules. Detectable
+// faults (mangle, truncation, bad throughput, duplication) are asserted
+// count-for-count against that ground truth; silent faults (drop,
+// zeroed counters, clock skew, reorder) leave the archive well-formed
+// and show up only as bounded drift in the downstream taxonomy report.
+//
+// Determinism contract: identical (plan, input) produce identical
+// output bytes and report, on any thread count; a plan with all rates
+// zero is a byte-identical passthrough.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/faults/plan.hpp"
+#include "src/telemetry/darshan_log.hpp"
+#include "src/util/quarantine.hpp"
+
+namespace iotax::faults {
+
+/// What one injection pass did, plus the quarantine counts the lenient
+/// parse + ingest pipeline is expected to report for the corrupted
+/// archive (exact, not a bound).
+struct InjectionReport {
+  std::size_t input_records = 0;
+  /// Records serialized into the corrupted archive (after drop and
+  /// duplicate, before the tail cut removes bytes).
+  std::size_t written_records = 0;
+
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t zeroed = 0;
+  std::size_t bad_throughput = 0;
+  std::size_t skewed = 0;
+  std::size_t reordered = 0;  // adjacent swaps applied
+  std::size_t mangled = 0;
+  std::size_t truncated_records = 0;  // fully or partially cut by truncate
+  std::size_t truncated_bytes = 0;
+
+  /// Per-reason quarantine counts the pipeline must produce, indexed by
+  /// util::Reason.
+  std::array<std::size_t, util::kReasonCount> expected_quarantine{};
+
+  std::size_t injected_total() const;
+  std::size_t expected_total() const;
+  std::size_t expected(util::Reason reason) const {
+    return expected_quarantine[static_cast<std::size_t>(reason)];
+  }
+
+  util::Json to_json() const;
+  static InjectionReport from_json(const util::Json& doc);
+};
+
+struct InjectionResult {
+  std::string bytes;  // the corrupted archive
+  InjectionReport report;
+};
+
+/// Corrupt a clean record list into archive bytes (text darshan format
+/// or the binary container). Publishes the `faults.injected` obs
+/// counter when observability is on.
+InjectionResult inject_archive_bytes(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const FaultPlan& plan, bool binary);
+
+/// File-to-file convenience: strict-parse `in_path` (it must be clean),
+/// inject, write the corrupted archive to `out_path`.
+InjectionReport inject_archive(const std::string& in_path,
+                               const std::string& out_path, bool binary,
+                               const FaultPlan& plan);
+
+}  // namespace iotax::faults

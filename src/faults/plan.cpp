@@ -1,0 +1,98 @@
+#include "src/faults/plan.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iotax::faults {
+
+namespace {
+
+struct RateField {
+  const char* key;
+  double FaultPlan::* member;
+};
+
+constexpr RateField kRates[] = {
+    {"truncate", &FaultPlan::truncate},
+    {"mangle", &FaultPlan::mangle},
+    {"drop", &FaultPlan::drop},
+    {"duplicate", &FaultPlan::duplicate},
+    {"zero_counters", &FaultPlan::zero_counters},
+    {"bad_throughput", &FaultPlan::bad_throughput},
+    {"clock_skew", &FaultPlan::clock_skew},
+    {"reorder", &FaultPlan::reorder},
+};
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  for (const auto& f : kRates) {
+    const double v = this->*(f.member);
+    if (!(v >= 0.0 && v < 1.0)) {
+      throw std::invalid_argument("fault plan: rate '" + std::string(f.key) +
+                                  "' must be in [0, 1)");
+    }
+  }
+  if (!std::isfinite(skew_seconds)) {
+    throw std::invalid_argument("fault plan: skew_seconds must be finite");
+  }
+}
+
+bool FaultPlan::all_zero() const {
+  for (const auto& f : kRates) {
+    if (this->*(f.member) != 0.0) return false;
+  }
+  return true;
+}
+
+util::Json FaultPlan::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("seed", static_cast<double>(seed));
+  for (const auto& f : kRates) doc.set(f.key, this->*(f.member));
+  doc.set("skew_seconds", skew_seconds);
+  return doc;
+}
+
+FaultPlan FaultPlan::from_json(const util::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("fault plan: document must be a JSON object");
+  }
+  FaultPlan plan;
+  for (const auto& [key, value] : doc.items()) {
+    if (key == "seed") {
+      const auto seed = value.as_int();
+      if (seed < 0) throw std::invalid_argument("fault plan: negative seed");
+      plan.seed = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    if (key == "skew_seconds") {
+      plan.skew_seconds = value.as_double();
+      continue;
+    }
+    bool matched = false;
+    for (const auto& f : kRates) {
+      if (key == f.key) {
+        plan.*(f.member) = value.as_double();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw std::invalid_argument("fault plan: unknown key '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fault plan: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(util::Json::parse(buf.str()));
+}
+
+}  // namespace iotax::faults

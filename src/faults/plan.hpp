@@ -1,0 +1,58 @@
+// A fault plan: per-class corruption rates for one deterministic
+// injection pass over a telemetry archive. Plans are plain JSON so an
+// experiment can version them next to its presets:
+//
+//   {"seed": 7, "mangle": 0.05, "truncate": 0.1, "bad_throughput": 0.02}
+//
+// Unknown keys are rejected (a typo like "mange" must not silently run
+// a zero-fault plan), and every rate is validated to [0, 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.hpp"
+
+namespace iotax::faults {
+
+struct FaultPlan {
+  // Byte-level faults, applied to the serialized archive.
+  double truncate = 0.0;  // fraction of the archive's tail bytes cut off
+  double mangle = 0.0;    // P(record's bytes corrupted in place)
+
+  // Record-level faults, applied before serialization.
+  double drop = 0.0;            // P(record silently removed)
+  double duplicate = 0.0;       // P(record emitted a second time)
+  double zero_counters = 0.0;   // P(POSIX/MPI-IO counters zeroed out)
+  double bad_throughput = 0.0;  // P(agg_perf_mib replaced by NaN or -1)
+  double clock_skew = 0.0;      // P(record's clock shifted by skew_seconds)
+  double reorder = 0.0;         // P(adjacent records swapped)
+
+  /// Clock offset applied by the clock_skew fault (LMT vs. Cobalt style
+  /// skew: the job moves, the storage timeline does not).
+  double skew_seconds = 300.0;
+
+  /// Seed for the injector's root RNG; every fault class forks its own
+  /// stream from it, so changing one rate never perturbs another
+  /// class's sampling.
+  std::uint64_t seed = 0xfa0175ULL;
+
+  /// Throws std::invalid_argument if any rate is outside [0, 1) or
+  /// skew_seconds is not finite.
+  void validate() const;
+
+  /// True when every rate is exactly zero: injection is guaranteed to be
+  /// a byte-identical passthrough.
+  bool all_zero() const;
+
+  util::Json to_json() const;
+
+  /// Parse a plan object. Missing keys keep their defaults; unknown keys
+  /// throw std::invalid_argument. The result is validate()d.
+  static FaultPlan from_json(const util::Json& doc);
+
+  /// Load from a JSON file; throws std::runtime_error if unreadable.
+  static FaultPlan from_file(const std::string& path);
+};
+
+}  // namespace iotax::faults

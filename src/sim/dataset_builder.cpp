@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "src/obs/metrics.hpp"
 #include "src/telemetry/cobalt.hpp"
 #include "src/telemetry/counters.hpp"
 
@@ -21,28 +23,143 @@ std::vector<std::string> dataset_feature_names(bool with_lmt) {
   return names;
 }
 
-data::Dataset build_dataset(
+namespace {
+
+/// First defect found in one record, or repaired state. The check order
+/// is fixed (sizes, throughput, counter values, times, duplication,
+/// truth) so quarantine counts are reproducible and match the fault
+/// injector's expectations.
+struct RecordVerdict {
+  bool quarantined = false;
+  util::Reason reason = util::Reason::kSizeMismatch;
+  std::string detail;
+  std::size_t repairs = 0;  // fixes applied in kRepair mode
+};
+
+/// Validate (and in repair mode fix) one record. `rec` may be mutated in
+/// kRepair mode only.
+RecordVerdict check_record(telemetry::JobLogRecord& rec, IngestMode mode,
+                           std::unordered_set<std::uint64_t>& seen_jobs,
+                           const TruthMap* truth,
+                           util::QuarantineReport& quarantine) {
+  RecordVerdict v;
+  const auto reject = [&v](util::Reason reason, std::string detail) {
+    v.quarantined = true;
+    v.reason = reason;
+    v.detail = std::move(detail);
+  };
+
+  if (rec.posix.size() != telemetry::posix_feature_names().size() ||
+      rec.mpiio.size() != telemetry::mpiio_feature_names().size()) {
+    reject(util::Reason::kSizeMismatch, "malformed record counters");
+    return v;
+  }
+  if (!std::isfinite(rec.agg_perf_mib) || rec.agg_perf_mib <= 0.0) {
+    reject(util::Reason::kBadThroughput,
+           "non-positive or non-finite throughput");
+    return v;
+  }
+  for (auto* counters : {&rec.posix, &rec.mpiio}) {
+    for (double& value : *counters) {
+      if (!std::isfinite(value)) {
+        if (mode == IngestMode::kRepair) {
+          value = 0.0;
+          ++v.repairs;
+          quarantine.note_repair(util::Reason::kNonFiniteValue);
+          continue;
+        }
+        reject(util::Reason::kNonFiniteValue, "non-finite counter value");
+        return v;
+      }
+      if (value < 0.0) {
+        if (mode == IngestMode::kRepair) {
+          value = 0.0;
+          ++v.repairs;
+          quarantine.note_repair(util::Reason::kNegativeCounter);
+          continue;
+        }
+        reject(util::Reason::kNegativeCounter, "negative counter value");
+        return v;
+      }
+    }
+  }
+  if (!std::isfinite(rec.start_time) || !std::isfinite(rec.end_time)) {
+    reject(util::Reason::kNonFiniteValue, "non-finite job timestamps");
+    return v;
+  }
+  if (rec.end_time < rec.start_time) {
+    if (mode == IngestMode::kRepair) {
+      std::swap(rec.start_time, rec.end_time);
+      ++v.repairs;
+      quarantine.note_repair(util::Reason::kTimeInverted);
+    } else {
+      reject(util::Reason::kTimeInverted, "job ends before it starts");
+      return v;
+    }
+  }
+  if (!seen_jobs.insert(rec.job_id).second) {
+    reject(util::Reason::kDuplicateJobId,
+           "job id already ingested (duplicated log record)");
+    return v;
+  }
+  if (truth != nullptr) {
+    const auto it = truth->find(rec.job_id);
+    if (it == truth->end()) {
+      reject(util::Reason::kMissingTruth, "job missing from truth");
+      return v;
+    }
+    const auto& t = it->second;
+    const double recomposed = t.log_fa + t.log_fg + t.log_fl + t.log_fn;
+    const double log_phi = std::log10(rec.agg_perf_mib);
+    if (std::fabs(recomposed - log_phi) > 1e-6) {
+      reject(util::Reason::kTruthMismatch,
+             "truth does not match measured throughput");
+      return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+IngestResult build_dataset_ingest(
     const std::vector<telemetry::JobLogRecord>& records,
     const telemetry::LmtTimeline* lmt, const std::string& system_name,
-    const TruthMap* truth) {
+    const TruthMap* truth, IngestMode mode) {
   const bool with_lmt = lmt != nullptr;
-  data::Dataset ds;
+  IngestResult out;
+  data::Dataset& ds = out.dataset;
   ds.system_name = system_name;
   ds.features = data::Table(dataset_feature_names(with_lmt));
   ds.features.reserve_rows(records.size());
   ds.meta.reserve(records.size());
   ds.target.reserve(records.size());
+  out.kept_records.reserve(records.size());
+
+  std::unordered_set<std::uint64_t> seen_jobs;
+  seen_jobs.reserve(records.size());
 
   std::vector<double> row;
   row.reserve(ds.features.n_cols());
-  for (const auto& rec : records) {
-    if (rec.posix.size() != telemetry::posix_feature_names().size() ||
-        rec.mpiio.size() != telemetry::mpiio_feature_names().size()) {
-      throw std::invalid_argument("build_dataset: malformed record counters");
+  std::size_t repaired = 0;
+  for (std::size_t idx = 0; idx < records.size(); ++idx) {
+    // Records are checked (and possibly repaired) on a copy; the caller's
+    // archive stays exactly as parsed.
+    telemetry::JobLogRecord rec = records[idx];
+    const auto verdict =
+        check_record(rec, mode, seen_jobs, truth, out.quarantine);
+    if (verdict.quarantined) {
+      if (mode == IngestMode::kStrict) {
+        throw IngestError(verdict.reason,
+                          "build_dataset: " + verdict.detail + " [" +
+                              util::reason_name(verdict.reason) +
+                              ", record " + std::to_string(idx) + "]");
+      }
+      out.quarantine.add({verdict.reason, rec.job_id, idx, 0, verdict.detail});
+      continue;
     }
-    if (rec.agg_perf_mib <= 0.0) {
-      throw std::invalid_argument("build_dataset: non-positive throughput");
-    }
+    repaired += verdict.repairs;
+
     row.clear();
     row.insert(row.end(), rec.posix.begin(), rec.posix.end());
     row.insert(row.end(), rec.mpiio.begin(), rec.mpiio.end());
@@ -70,30 +187,35 @@ data::Dataset build_dataset(
     m.nodes = rec.nodes;
     const double log_phi = std::log10(rec.agg_perf_mib);
     if (truth != nullptr) {
-      const auto it = truth->find(rec.job_id);
-      if (it == truth->end()) {
-        throw std::invalid_argument("build_dataset: job missing from truth");
-      }
-      m.log_fa = it->second.log_fa;
-      m.log_fg = it->second.log_fg;
-      m.log_fl = it->second.log_fl;
-      m.log_fn = it->second.log_fn;
-      m.novel_app = it->second.novel_app;
-      const double recomposed = m.log_throughput();
-      if (std::fabs(recomposed - log_phi) > 1e-6) {
-        throw std::invalid_argument(
-            "build_dataset: truth does not match measured throughput");
-      }
+      const auto& t = truth->at(rec.job_id);
+      m.log_fa = t.log_fa;
+      m.log_fg = t.log_fg;
+      m.log_fl = t.log_fl;
+      m.log_fn = t.log_fn;
+      m.novel_app = t.novel_app;
       // Absorb the residual from the text round-trip of agg_perf_mib so
       // Dataset::validate()'s exact check holds.
-      m.log_fn += log_phi - recomposed;
+      m.log_fn += log_phi - m.log_throughput();
     } else {
       m.log_fa = log_phi;
     }
     ds.meta.push_back(m);
     ds.target.push_back(log_phi);
+    out.kept_records.push_back(idx);
   }
-  return ds;
+  IOTAX_OBS_COUNT("ingest.records", records.size());
+  IOTAX_OBS_COUNT("ingest.quarantined", out.quarantine.total());
+  IOTAX_OBS_COUNT("ingest.repaired", repaired);
+  return out;
+}
+
+data::Dataset build_dataset(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const telemetry::LmtTimeline* lmt, const std::string& system_name,
+    const TruthMap* truth) {
+  return build_dataset_ingest(records, lmt, system_name, truth,
+                              IngestMode::kStrict)
+      .dataset;
 }
 
 }  // namespace iotax::sim

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "src/data/dataset.hpp"
 #include "src/telemetry/darshan_log.hpp"
 #include "src/telemetry/lmt.hpp"
+#include "src/util/quarantine.hpp"
 
 namespace iotax::sim {
 
@@ -38,6 +40,47 @@ data::Dataset build_dataset(const std::vector<telemetry::JobLogRecord>& records,
                             const telemetry::LmtTimeline* lmt,
                             const std::string& system_name,
                             const TruthMap* truth = nullptr);
+
+/// How the ingest reacts to a defective record:
+///   kStrict  — throw IngestError at the first violation (the legacy
+///              build_dataset behaviour, now with reason codes).
+///   kLenient — quarantine the record (drop it, count it with a reason
+///              code) and keep going.
+///   kRepair  — fix what is fixable in place (swap inverted timestamps,
+///              zero non-finite counters, clamp negative counters) and
+///              quarantine only what is not (bad throughput, duplicate
+///              job ids, truth violations).
+enum class IngestMode { kStrict, kLenient, kRepair };
+
+/// Thrown by strict-mode ingest; carries the reason code of the first
+/// violation so CLI error paths can print it.
+class IngestError : public std::invalid_argument {
+ public:
+  IngestError(util::Reason reason, const std::string& what)
+      : std::invalid_argument(what), reason_(reason) {}
+  util::Reason reason() const { return reason_; }
+
+ private:
+  util::Reason reason_;
+};
+
+struct IngestResult {
+  data::Dataset dataset;
+  util::QuarantineReport quarantine;
+  /// Input-record index of each dataset row (rows drop out of order only
+  /// through quarantine, never silently).
+  std::vector<std::size_t> kept_records;
+};
+
+/// Corruption-tolerant dataset assembly. Every accepted row satisfies
+/// Dataset::validate(); everything else is quarantined with a reason
+/// code, byte-exact against fault-injection ground truth. Publishes
+/// `ingest.records`, `ingest.quarantined` and `ingest.repaired` obs
+/// counters when observability is on.
+IngestResult build_dataset_ingest(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const telemetry::LmtTimeline* lmt, const std::string& system_name,
+    const TruthMap* truth, IngestMode mode);
 
 /// Names of the feature columns a built dataset contains, in order.
 std::vector<std::string> dataset_feature_names(bool with_lmt);

@@ -12,6 +12,48 @@
 
 namespace iotax::taxonomy {
 
+const StepHealth* TaxonomyReport::step_health(const std::string& step) const {
+  for (const auto& h : health) {
+    if (h.step == step) return &h;
+  }
+  return nullptr;
+}
+
+bool TaxonomyReport::degraded() const {
+  for (const auto& h : health) {
+    if (h.degraded) return true;
+  }
+  return false;
+}
+
+namespace {
+
+StepHealth healthy(std::string step, std::size_t n, std::size_t minimum,
+                   std::string below_reason) {
+  StepHealth h;
+  h.step = std::move(step);
+  h.ran = true;
+  h.n_samples = n;
+  if (n < minimum) {
+    h.degraded = true;
+    h.confidence = "reduced";
+    h.reason = std::move(below_reason);
+  }
+  return h;
+}
+
+StepHealth skipped(std::string step, std::string reason) {
+  StepHealth h;
+  h.step = std::move(step);
+  h.ran = false;
+  h.degraded = true;
+  h.confidence = "none";
+  h.reason = std::move(reason);
+  return h;
+}
+
+}  // namespace
+
 TaxonomyReport run_taxonomy(const data::DatasetView& ds,
                             const PipelineConfig& config) {
   IOTAX_TRACE_SPAN("taxonomy.run");
@@ -19,10 +61,18 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
   TaxonomyReport report;
   report.system = ds.system_name();
   report.n_jobs = ds.size();
+  const auto& req = config.requirements;
   util::Rng split_rng(config.split_seed);
   report.split = data::random_split(ds.size(), config.train_frac,
                                     config.val_frac, split_rng);
   const auto& split = report.split;
+  // The one hard requirement: without a train and a test row there is
+  // no model and no report. Everything past this degrades gracefully.
+  if (split.train.empty() || split.test.empty()) {
+    throw std::invalid_argument(
+        "run_taxonomy: dataset too small for a train/test split (" +
+        std::to_string(ds.size()) + " jobs)");
+  }
 
   // Zero-copy model input: every step trains and predicts through
   // MatrixViews of the dataset's column-major feature table, so the
@@ -49,16 +99,34 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     baseline.fit(x_train, y_train);
     report.baseline_error =
         ml::median_abs_log_error(y_test, baseline.predict(x_test));
+    auto h = healthy("baseline", split.train.size(), req.min_train,
+                     "train split below minimum");
+    if (!h.degraded && split.test.size() < req.min_test) {
+      h.degraded = true;
+      h.confidence = "reduced";
+      h.reason = "test split below minimum";
+    }
+    report.health.push_back(std::move(h));
   }
 
   // ---- Step 2.1: application-modeling bound from duplicate sets.
+  bool app_bound_ok = true;
   {
     IOTAX_TRACE_SPAN("taxonomy.app_bound");
-    report.app_bound = litmus_application_bound(ds);
+    try {
+      report.app_bound = litmus_application_bound(ds);
+      report.health.push_back(
+          healthy("app_bound", report.app_bound.stats.n_sets,
+                  req.min_dup_sets, "fewer duplicate sets than required"));
+    } catch (const std::invalid_argument&) {
+      app_bound_ok = false;
+      report.app_bound = AppBoundResult{};
+      report.health.push_back(skipped("app_bound", "no duplicate sets"));
+    }
   }
 
   // ---- Step 2.2: hyperparameter search toward the bound.
-  {
+  if (!split.val.empty()) {
     IOTAX_TRACE_SPAN("taxonomy.search");
     const auto search =
         ml::grid_search(config.grid, x_train, y_train, x_val, y_val);
@@ -67,6 +135,13 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     tuned.fit(x_train, y_train);
     report.tuned_error =
         ml::median_abs_log_error(y_test, tuned.predict(x_test));
+    report.health.push_back(healthy("search", split.val.size(), req.min_val,
+                                    "validation split below minimum"));
+  } else {
+    // No validation rows to search over: fall back to the baseline.
+    report.tuned_params = ml::GbtParams{};
+    report.tuned_error = report.baseline_error;
+    report.health.push_back(skipped("search", "no validation rows"));
   }
 
   // ---- Step 3.1: system bound via the start-time golden model.
@@ -83,6 +158,9 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     report.system_bound =
         litmus_system_bound(x_train, x_test, x_train_timed, x_test_timed,
                             y_train, y_test, report.tuned_params);
+    report.health.push_back(healthy("system_bound", split.test.size(),
+                                    req.min_test,
+                                    "test split below minimum"));
   }
 
   // ---- Step 3.2: realized improvement from storage telemetry.
@@ -101,6 +179,12 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     model.fit(x_train_enr, y_train);
     report.lmt_enriched_error =
         ml::median_abs_log_error(y_test, model.predict(x_test_enr));
+    report.health.push_back(healthy("lmt_enrich", split.train.size(),
+                                    req.min_train,
+                                    "train split below minimum"));
+  } else {
+    report.health.push_back(
+        skipped("lmt_enrich", "no LMT telemetry on this system"));
   }
 
   // ---- Step 4: OoD attribution via deep-ensemble epistemic uncertainty.
@@ -127,26 +211,50 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     for (std::size_t i = 0; i < split.test.size(); ++i) {
       if (report.ood->is_ood[i]) exclude[split.test[i]] = true;
     }
+    report.health.push_back(healthy("ood", uq_rows.size(), req.min_uq_rows,
+                                    "too few rows to train the ensemble"));
+  } else {
+    report.health.push_back(skipped("ood", "disabled (run_uq = false)"));
   }
 
   // ---- Step 5: contention+noise floor from concurrent duplicates.
+  bool noise_ok = true;
   {
     IOTAX_TRACE_SPAN("taxonomy.noise_bound");
-    report.noise = litmus_noise_bound(ds, config.dt_window, &exclude);
+    try {
+      report.noise = litmus_noise_bound(ds, config.dt_window, &exclude);
+      report.health.push_back(
+          healthy("noise_bound", report.noise.n_sets,
+                  req.min_concurrent_sets,
+                  "fewer concurrent duplicate sets than required"));
+    } catch (const std::invalid_argument&) {
+      noise_ok = false;
+      report.noise = NoiseBoundResult{};
+      report.health.push_back(
+          skipped("noise_bound", "too few concurrent duplicate sets"));
+    }
   }
 
   // ---- Fig. 7 segment arithmetic (fractions of the baseline error).
+  // A step that could not run contributes zero to the attribution; its
+  // health entry (confidence "none") marks the segment as unknown
+  // rather than measured-zero.
   const double base = std::max(report.baseline_error, 1e-12);
   const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
-  report.share_app =
-      clamp01((report.baseline_error - report.app_bound.median_abs_error) /
-              base);
+  if (app_bound_ok) {
+    report.share_app =
+        clamp01((report.baseline_error - report.app_bound.median_abs_error) /
+                base);
+  }
   report.share_app_realized =
       clamp01((report.baseline_error - report.tuned_error) / base);
+  // Without the duplicate-set bound, the tuned error is the best
+  // available reference for what system information could still remove.
+  const double system_ref = app_bound_ok
+                                ? report.app_bound.median_abs_error
+                                : report.tuned_error;
   report.share_system =
-      clamp01((report.app_bound.median_abs_error -
-               report.system_bound.err_with_time) /
-              base);
+      clamp01((system_ref - report.system_bound.err_with_time) / base);
   if (report.lmt_enriched_error.has_value()) {
     report.share_system_realized = clamp01(
         (report.tuned_error - *report.lmt_enriched_error) / base);
@@ -155,7 +263,9 @@ TaxonomyReport run_taxonomy(const data::DatasetView& ds,
     report.share_ood = clamp01(report.ood->error_share_ood *
                                report.system_bound.err_with_time / base);
   }
-  report.share_aleatory = clamp01(report.noise.median_abs_error / base);
+  if (noise_ok) {
+    report.share_aleatory = clamp01(report.noise.median_abs_error / base);
+  }
   report.share_unexplained =
       clamp01(1.0 - report.share_app - report.share_system -
               report.share_ood - report.share_aleatory);
@@ -189,17 +299,26 @@ void bar_line(std::ostream& out, const std::string& label, double share,
 
 std::string render_report(const TaxonomyReport& report) {
   std::ostringstream out;
+  const auto ran = [&report](const char* step) {
+    const auto* h = report.step_health(step);
+    return h == nullptr || h->ran;  // absent health (old reports): assume ran
+  };
   out << "=== I/O error taxonomy report: " << report.system << " ("
       << report.n_jobs << " jobs) ===\n";
   out << "Step 1   baseline model test error (median |log10|): "
       << pct(report.baseline_error, false) << "\n";
-  out << "Step 2.1 application-modeling bound: "
-      << pct(report.app_bound.median_abs_error, false) << "  ["
-      << report.app_bound.stats.n_duplicate_jobs << " duplicates, "
-      << report.app_bound.stats.n_sets << " sets, "
-      << util::format_double(report.app_bound.stats.duplicate_fraction * 100,
-                             1)
-      << "% of jobs]\n";
+  if (ran("app_bound")) {
+    out << "Step 2.1 application-modeling bound: "
+        << pct(report.app_bound.median_abs_error, false) << "  ["
+        << report.app_bound.stats.n_duplicate_jobs << " duplicates, "
+        << report.app_bound.stats.n_sets << " sets, "
+        << util::format_double(
+               report.app_bound.stats.duplicate_fraction * 100, 1)
+        << "% of jobs]\n";
+  } else {
+    out << "Step 2.1 application-modeling bound: unavailable "
+        << "(no duplicate sets)\n";
+  }
   out << "Step 2.2 tuned model error: " << pct(report.tuned_error, false)
       << "  [" << report.tuned_params.n_estimators << " trees, depth "
       << report.tuned_params.max_depth << "]\n";
@@ -224,12 +343,30 @@ std::string render_report(const TaxonomyReport& report) {
   } else {
     out << "Step 4   skipped (run_uq = false)\n";
   }
-  out << "Step 5   contention+noise floor: "
-      << pct(report.noise.median_abs_error, false) << " median; jobs expect "
-      << "+-" << util::format_double(report.noise.band68_pct, 2)
-      << "% (68%) / +-" << util::format_double(report.noise.band95_pct, 2)
-      << "% (95%); Student-t df="
-      << util::format_double(report.noise.t_fit.df, 1) << "\n";
+  if (ran("noise_bound")) {
+    out << "Step 5   contention+noise floor: "
+        << pct(report.noise.median_abs_error, false)
+        << " median; jobs expect "
+        << "+-" << util::format_double(report.noise.band68_pct, 2)
+        << "% (68%) / +-" << util::format_double(report.noise.band95_pct, 2)
+        << "% (95%); Student-t df="
+        << util::format_double(report.noise.t_fit.df, 1) << "\n";
+  } else {
+    out << "Step 5   contention+noise floor: unavailable "
+        << "(too few concurrent duplicate sets)\n";
+  }
+  if (!report.health.empty()) {
+    out << "--- step health ---\n";
+    for (const auto& h : report.health) {
+      out << "  " << (h.degraded ? '!' : ' ') << ' ' << h.step;
+      for (std::size_t i = h.step.size(); i < 14; ++i) out << ' ';
+      out << h.confidence;
+      for (std::size_t i = h.confidence.size(); i < 9; ++i) out << ' ';
+      out << h.n_samples << " samples";
+      if (!h.reason.empty()) out << "  (" << h.reason << ")";
+      out << '\n';
+    }
+  }
   out << "--- error attribution (fractions of baseline error) ---\n";
   bar_line(out, "application modeling", report.share_app,
            "realized by tuning: " + pct(report.share_app_realized, true));

@@ -21,6 +21,33 @@
 
 namespace iotax::taxonomy {
 
+/// Minimum data volumes each step needs to report full confidence.
+/// Below a minimum the step still runs (when it can run at all) but its
+/// report section is flagged as degraded, so a pipeline fed corrupted
+/// or quarantine-thinned telemetry produces a report instead of a crash.
+struct StepRequirements {
+  std::size_t min_train = 20;
+  std::size_t min_test = 10;
+  std::size_t min_val = 5;             // step 2.2 search
+  std::size_t min_dup_sets = 3;        // step 2.1 application bound
+  std::size_t min_uq_rows = 50;        // step 4 ensemble training
+  std::size_t min_concurrent_sets = 3; // step 5 noise floor
+};
+
+/// Health of one pipeline step after a run.
+///   confidence "full"    — ran with at least its required data
+///   confidence "reduced" — ran, but on less data than required
+///   confidence "none"    — could not run (its report numbers are absent
+///                          or zero and must not be interpreted)
+struct StepHealth {
+  std::string step;
+  bool ran = false;
+  bool degraded = false;   // anything below full confidence
+  std::string reason;      // empty when healthy
+  std::size_t n_samples = 0;
+  std::string confidence = "full";
+};
+
 struct PipelineConfig {
   /// Application feature sets the models see (POSIX+MPI-IO by default).
   std::vector<FeatureSet> app_features = {FeatureSet::kPosix,
@@ -49,6 +76,8 @@ struct PipelineConfig {
   bool run_uq = true;
   /// Step 5 concurrency window (seconds).
   double dt_window = 1.0;
+  /// Data minimums below which steps are flagged as degraded.
+  StepRequirements requirements;
 };
 
 struct TaxonomyReport {
@@ -83,6 +112,19 @@ struct TaxonomyReport {
   double share_ood = 0.0;
   double share_aleatory = 0.0;
   double share_unexplained = 0.0;
+
+  /// One entry per step, in pipeline order. A step that could not run
+  /// (no duplicate sets, too few concurrent sets, UQ disabled, no LMT)
+  /// appears with confidence "none" instead of aborting the run; the
+  /// only hard requirement is a non-empty train and test split.
+  std::vector<StepHealth> health;
+
+  /// Health entry by step name ("baseline", "app_bound", "search",
+  /// "system_bound", "lmt_enrich", "ood", "noise_bound"); nullptr when
+  /// absent.
+  const StepHealth* step_health(const std::string& step) const;
+  /// True when any step ran below full confidence (or not at all).
+  bool degraded() const;
 };
 
 /// Run the full five-step framework on a dataset (or a DatasetView

@@ -55,6 +55,11 @@ void write_report_csv(const std::string& path, const TaxonomyReport& report) {
   put("share_ood", report.share_ood);
   put("share_aleatory", report.share_aleatory);
   put("share_unexplained", report.share_unexplained);
+  for (const auto& h : report.health) {
+    csv.rows.push_back({"health." + h.step,
+                        h.confidence + "|" + std::to_string(h.n_samples) +
+                            "|" + h.reason});
+  }
   util::write_csv_file(path, csv);
 }
 
@@ -122,6 +127,25 @@ TaxonomyReport read_report_csv(const std::string& path) {
   report.share_ood = num("share_ood");
   report.share_aleatory = num("share_aleatory");
   report.share_unexplained = num("share_unexplained");
+  // Health rows (absent in pre-degradation reports): step order follows
+  // the file's key order, which is alphabetical after the map round-trip.
+  for (const auto& [key, value] : kv) {
+    if (key.rfind("health.", 0) != 0) continue;
+    StepHealth h;
+    h.step = key.substr(7);
+    const auto p1 = value.find('|');
+    const auto p2 = value.find('|', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos) {
+      throw std::runtime_error("read_report_csv: malformed health row");
+    }
+    h.confidence = value.substr(0, p1);
+    h.n_samples = static_cast<std::size_t>(
+        util::parse_int(value.substr(p1 + 1, p2 - p1 - 1)));
+    h.reason = value.substr(p2 + 1);
+    h.ran = h.confidence != "none";
+    h.degraded = h.confidence != "full";
+    report.health.push_back(std::move(h));
+  }
   return report;
 }
 

@@ -176,62 +176,160 @@ void write_binary_archive_file(const std::string& path,
   write_binary_archive(out, records);
 }
 
-std::vector<JobLogRecord> read_binary_archive(std::istream& in, bool strict,
-                                              ParseStats* stats) {
-  ParseStats local;
+namespace {
+
+/// Shared reader core. `throw_on_error` reproduces the legacy strict
+/// behaviour (throw at the first defect); otherwise defects land in the
+/// outcome, and `stop_on_first` decides whether parsing continues.
+ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
+                              bool stop_on_first) {
+  ParseOutcome out;
+  const auto container_error = [&](util::Reason reason,
+                                   const std::string& what,
+                                   std::size_t offset) {
+    if (throw_on_error) throw std::runtime_error("binary log: " + what);
+    out.ok = false;
+    out.error = "binary log: " + what;
+    out.quarantine.add(
+        {reason, 0, static_cast<std::size_t>(-1), offset, what});
+  };
+
   char magic[sizeof(kBinaryMagic)] = {};
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-    throw std::runtime_error("binary log: bad magic");
+    // Legacy strict and lenient both refuse a foreign container.
+    container_error(util::Reason::kBadMagic, "bad magic", 0);
+    return out;
   }
   std::uint32_t version = 0;
   std::uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || version != kBinaryVersion) {
-    throw std::runtime_error("binary log: unsupported version");
+  if (!in) {
+    container_error(util::Reason::kTruncated, "truncated header",
+                    sizeof(kBinaryMagic));
+    return out;
   }
+  if (version != kBinaryVersion) {
+    container_error(util::Reason::kBadVersion, "unsupported version",
+                    sizeof(kBinaryMagic));
+    return out;
+  }
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    container_error(util::Reason::kTruncated, "truncated header",
+                    sizeof(kBinaryMagic) + sizeof(version));
+    return out;
+  }
+
+  std::size_t offset = sizeof(kBinaryMagic) + sizeof(version) + sizeof(count);
+  bool stopped = false;
+  std::uint32_t i = 0;
   std::vector<JobLogRecord> records;
-  records.reserve(count);
+  // A corrupted count field must not drive allocation; push_back grows
+  // the vector naturally past this if the records really are there.
+  records.reserve(std::min<std::uint32_t>(count, 1u << 16));
   std::vector<char> payload;
-  for (std::uint32_t i = 0; i < count; ++i) {
+
+  // Quarantines record i and every later record the header promised but
+  // the unrecoverable framing makes unreachable. Counts stay exact even
+  // for absurd header counts; only one sample entry is stored.
+  const auto lose_rest = [&](util::Reason reason, const std::string& what) {
+    out.quarantine.add_many(reason, count - i, {reason, 0, i, offset, what});
+    stopped = true;
+  };
+
+  for (; i < count && !stopped; ++i) {
+    const std::size_t record_offset = offset;
     std::uint32_t size = 0;
     std::uint32_t crc = 0;
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
     in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
     if (!in) {
-      if (strict) throw std::runtime_error("binary log: truncated archive");
-      ++local.skipped;
+      if (throw_on_error) {
+        throw std::runtime_error("binary log: truncated archive");
+      }
+      lose_rest(util::Reason::kTruncated, "truncated archive");
       break;
     }
     if (size > (1u << 24)) {
       // Framing is clearly corrupt; cannot resynchronise safely.
-      if (strict) throw std::runtime_error("binary log: implausible size");
-      ++local.skipped;
+      if (throw_on_error) {
+        throw std::runtime_error("binary log: implausible size");
+      }
+      lose_rest(util::Reason::kImplausibleSize, "implausible record size");
       break;
     }
     payload.resize(size);
     in.read(payload.data(), size);
     if (!in) {
-      if (strict) throw std::runtime_error("binary log: truncated record");
-      ++local.skipped;
+      if (throw_on_error) {
+        throw std::runtime_error("binary log: truncated record");
+      }
+      lose_rest(util::Reason::kTruncated, "truncated record");
       break;
     }
+    offset = record_offset + sizeof(size) + sizeof(crc) + size;
     if (crc32c(payload.data(), payload.size()) != crc) {
-      if (strict) throw std::runtime_error("binary log: checksum mismatch");
-      ++local.skipped;
+      if (throw_on_error) {
+        throw std::runtime_error("binary log: checksum mismatch");
+      }
+      out.quarantine.add({util::Reason::kBadChecksum, 0, i, record_offset,
+                          "checksum mismatch"});
+      if (stop_on_first) stopped = true;
       continue;  // framing intact; move to the next record
     }
     try {
       records.push_back(decode_record(payload.data(), payload.size()));
-      ++local.parsed;
-    } catch (const std::runtime_error&) {
-      if (strict) throw;
-      ++local.skipped;
+    } catch (const std::runtime_error& e) {
+      if (throw_on_error) throw;
+      const std::string what = e.what();
+      auto reason = util::Reason::kTruncated;
+      if (what.find("counter index") != std::string::npos) {
+        reason = util::Reason::kCounterIndexOutOfRange;
+      } else if (what.find("trailing") != std::string::npos) {
+        reason = util::Reason::kTrailingBytes;
+      }
+      out.quarantine.add({reason, 0, i, record_offset, what});
+      if (stop_on_first) stopped = true;
     }
   }
-  if (stats != nullptr) *stats = local;
-  return records;
+  out.records = std::move(records);
+  if (stop_on_first && out.quarantine.total() != 0) {
+    out.ok = false;
+    out.error = "binary log: " + out.quarantine.entries().front().detail;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<JobLogRecord> read_binary_archive(std::istream& in, bool strict,
+                                              ParseStats* stats) {
+  if (strict) {
+    auto outcome = read_binary_core(in, /*throw_on_error=*/true,
+                                    /*stop_on_first=*/false);
+    if (stats != nullptr) *stats = outcome.stats();
+    return std::move(outcome.records);
+  }
+  auto outcome = read_binary_core(in, /*throw_on_error=*/false,
+                                  /*stop_on_first=*/false);
+  if (!outcome.ok && outcome.quarantine.count(util::Reason::kBadMagic) != 0) {
+    // Legacy lenient mode still refused a foreign container.
+    throw std::runtime_error("binary log: bad magic");
+  }
+  if (!outcome.ok &&
+      outcome.quarantine.count(util::Reason::kBadVersion) != 0) {
+    throw std::runtime_error("binary log: unsupported version");
+  }
+  if (!outcome.ok) {
+    throw std::runtime_error(outcome.error);
+  }
+  if (stats != nullptr) {
+    // Legacy counting: a mid-stream truncation was one skip, not one per
+    // promised-but-lost record. Stored entries are one per defect site.
+    *stats = {outcome.records.size(), outcome.quarantine.entries().size()};
+  }
+  return std::move(outcome.records);
 }
 
 std::vector<JobLogRecord> read_binary_archive_file(const std::string& path,
@@ -242,6 +340,23 @@ std::vector<JobLogRecord> read_binary_archive_file(const std::string& path,
     throw std::runtime_error("read_binary_archive_file: cannot open " + path);
   }
   return read_binary_archive(in, strict, stats);
+}
+
+ParseOutcome read_binary_archive_outcome(std::istream& in, ParseMode mode) {
+  return read_binary_core(in, /*throw_on_error=*/false,
+                          /*stop_on_first=*/mode == ParseMode::kStrict);
+}
+
+ParseOutcome read_binary_archive_file_outcome(const std::string& path,
+                                              ParseMode mode) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ParseOutcome out;
+    out.ok = false;
+    out.error = "cannot open " + path;
+    return out;
+  }
+  return read_binary_archive_outcome(in, mode);
 }
 
 }  // namespace iotax::telemetry

@@ -48,4 +48,15 @@ std::vector<JobLogRecord> read_binary_archive_file(const std::string& path,
                                                    bool strict = true,
                                                    ParseStats* stats = nullptr);
 
+/// Non-throwing variants. Container-level corruption (bad magic/version,
+/// unreadable stream) sets ok=false; per-record corruption is quarantined
+/// with its byte offset. When the stream ends early, every record the
+/// header promised but the bytes no longer hold is quarantined as
+/// `truncated`, so quarantine counts match ground truth exactly even for
+/// hard-truncated files.
+ParseOutcome read_binary_archive_outcome(std::istream& in,
+                                         ParseMode mode = ParseMode::kLenient);
+ParseOutcome read_binary_archive_file_outcome(
+    const std::string& path, ParseMode mode = ParseMode::kLenient);
+
 }  // namespace iotax::telemetry

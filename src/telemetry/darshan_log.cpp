@@ -92,16 +92,23 @@ void write_archive(const std::string& path,
   for (const auto& rec : records) write_record(out, rec);
 }
 
-std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
-                                        ParseStats* stats) {
-  std::vector<JobLogRecord> records;
-  ParseStats local;
+namespace {
+
+/// How the shared parse core reacts to a defect: legacy strict throws at
+/// the offending line; outcome-strict records it and stops; lenient
+/// records it and resynchronises at the next record boundary.
+enum class OnError { kThrow, kStopFirst, kLenient };
+
+ParseOutcome parse_core(std::istream& in, OnError on_error) {
+  ParseOutcome out;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t record_index = 0;  // index of the record being parsed
 
   JobLogRecord rec;
   bool in_record = false;
   bool record_bad = false;
+  bool stop = false;
   // Header completeness tracking for the current record.
   int header_fields_seen = 0;
   constexpr int kRequiredHeaderFields = 9;
@@ -116,49 +123,64 @@ std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
   };
   reset();
 
-  const auto record_error = [&](const std::string& what) {
-    if (strict) fail(line_no, what);
+  const auto record_error = [&](util::Reason reason,
+                                const std::string& what) {
+    if (on_error == OnError::kThrow) fail(line_no, what);
+    if (!record_bad) {
+      // One quarantine entry per corrupt record: the first defect wins.
+      out.quarantine.add({reason, rec.job_id, record_index, line_no, what});
+    }
     record_bad = true;
+    if (on_error == OnError::kStopFirst) {
+      out.ok = false;
+      out.error = "line " + std::to_string(line_no) + ": " + what;
+      stop = true;
+    }
   };
 
-  while (std::getline(in, line)) {
+  while (!stop && std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     const auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
 
     if (trimmed == kVersionLine) {
-      if (in_record) record_error("record not terminated before new record");
+      if (in_record) {
+        record_error(util::Reason::kTruncated,
+                     "record not terminated before new record");
+        ++record_index;
+      }
       reset();
       in_record = true;
       continue;
     }
     if (trimmed == kEndOfRecord) {
       if (!in_record) {
-        record_error("end_of_record outside a record");
+        record_error(util::Reason::kMalformedLine,
+                     "end_of_record outside a record");
       } else if (header_fields_seen < kRequiredHeaderFields) {
-        record_error("incomplete header");
+        record_error(util::Reason::kIncompleteHeader, "incomplete header");
       }
-      if (in_record && !record_bad) {
-        records.push_back(rec);
-        ++local.parsed;
-      } else {
-        ++local.skipped;
-      }
+      if (in_record && !record_bad) out.records.push_back(rec);
+      ++record_index;
       reset();
       continue;
     }
     if (!in_record) {
-      record_error("content before version line");
+      record_error(util::Reason::kMalformedLine,
+                   "content before version line");
+      // Not inside a record: don't let the bad flag leak into the next one.
+      record_bad = false;
       continue;
     }
-    if (record_bad && !strict) continue;  // skip rest of corrupt record
+    if (record_bad) continue;  // skip the rest of a corrupt record
 
     try {
       if (trimmed.front() == '#') {
         const auto colon = trimmed.find(':');
         if (colon == std::string_view::npos) {
-          record_error("malformed header line");
+          record_error(util::Reason::kMalformedHeader,
+                       "malformed header line");
           continue;
         }
         const auto key = util::trim(trimmed.substr(1, colon - 1));
@@ -190,7 +212,8 @@ std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
       // Counter line: MODULE \t rank \t NAME \t value
       const auto fields = util::split(std::string(trimmed), '\t');
       if (fields.size() != 4) {
-        record_error("counter line must have 4 tab-separated fields");
+        record_error(util::Reason::kMalformedLine,
+                     "counter line must have 4 tab-separated fields");
         continue;
       }
       const auto& module = fields[0];
@@ -199,30 +222,50 @@ std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
       if (module == "POSIX") {
         const auto it = posix_index().find(name);
         if (it == posix_index().end()) {
-          record_error("unknown POSIX counter '" + name + "'");
+          record_error(util::Reason::kUnknownCounter,
+                       "unknown POSIX counter '" + name + "'");
           continue;
         }
         rec.posix[it->second] = value;
       } else if (module == "MPIIO") {
         const auto it = mpiio_index().find(name);
         if (it == mpiio_index().end()) {
-          record_error("unknown MPIIO counter '" + name + "'");
+          record_error(util::Reason::kUnknownCounter,
+                       "unknown MPIIO counter '" + name + "'");
           continue;
         }
         rec.mpiio[it->second] = value;
       } else {
-        record_error("unknown module '" + module + "'");
+        record_error(util::Reason::kUnknownModule,
+                     "unknown module '" + module + "'");
       }
     } catch (const std::invalid_argument& e) {
-      record_error(e.what());
+      record_error(util::Reason::kBadNumber, e.what());
     }
   }
-  if (in_record) {
-    if (strict) fail(line_no, "truncated final record");
-    ++local.skipped;
+  if (in_record && !stop) {
+    if (on_error == OnError::kThrow) fail(line_no, "truncated final record");
+    if (!record_bad) {
+      out.quarantine.add({util::Reason::kTruncated, rec.job_id, record_index,
+                          line_no, "truncated final record"});
+    }
+    if (on_error == OnError::kStopFirst) {
+      out.ok = false;
+      out.error = "line " + std::to_string(line_no) +
+                  ": truncated final record";
+    }
   }
-  if (stats != nullptr) *stats = local;
-  return records;
+  return out;
+}
+
+}  // namespace
+
+std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
+                                        ParseStats* stats) {
+  auto outcome =
+      parse_core(in, strict ? OnError::kThrow : OnError::kLenient);
+  if (stats != nullptr) *stats = outcome.stats();
+  return std::move(outcome.records);
 }
 
 std::vector<JobLogRecord> parse_archive_file(const std::string& path,
@@ -230,6 +273,23 @@ std::vector<JobLogRecord> parse_archive_file(const std::string& path,
   std::ifstream in(path);
   if (!in) throw std::runtime_error("parse_archive_file: cannot open " + path);
   return parse_archive(in, strict, stats);
+}
+
+ParseOutcome parse_archive_outcome(std::istream& in, ParseMode mode) {
+  return parse_core(in, mode == ParseMode::kStrict ? OnError::kStopFirst
+                                                   : OnError::kLenient);
+}
+
+ParseOutcome parse_archive_file_outcome(const std::string& path,
+                                        ParseMode mode) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseOutcome out;
+    out.ok = false;
+    out.error = "cannot open " + path;
+    return out;
+  }
+  return parse_archive_outcome(in, mode);
 }
 
 }  // namespace iotax::telemetry

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/quarantine.hpp"
+
 namespace iotax::telemetry {
 
 /// One job's log: identification header plus both counter modules.
@@ -61,6 +63,26 @@ struct ParseStats {
   std::size_t skipped = 0;  // corrupt records dropped in lenient mode
 };
 
+enum class ParseMode { kStrict, kLenient };
+
+/// Result of a non-throwing parse. `ok` is false only when the container
+/// itself was unusable (bad magic, unreadable stream) — per-record
+/// corruption lands in `quarantine` instead, with reason codes, the
+/// record index and the line number / byte offset where it was detected.
+/// In kStrict mode the first defect of any kind sets ok=false and stops;
+/// in kLenient mode parsing continues past every recoverable defect and
+/// ok stays true unless the framing is beyond recovery.
+struct ParseOutcome {
+  std::vector<JobLogRecord> records;
+  util::QuarantineReport quarantine;
+  bool ok = true;
+  std::string error;  // set when !ok
+
+  ParseStats stats() const {
+    return {records.size(), quarantine.total()};
+  }
+};
+
 /// Parse all records from a stream. In strict mode any malformed record
 /// throws std::runtime_error with a line number; in lenient mode the
 /// record is skipped and counted in stats.
@@ -70,5 +92,11 @@ std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict = true,
 std::vector<JobLogRecord> parse_archive_file(const std::string& path,
                                              bool strict = true,
                                              ParseStats* stats = nullptr);
+
+/// Non-throwing variants: corruption is reported, never thrown.
+ParseOutcome parse_archive_outcome(std::istream& in,
+                                   ParseMode mode = ParseMode::kLenient);
+ParseOutcome parse_archive_file_outcome(const std::string& path,
+                                        ParseMode mode = ParseMode::kLenient);
 
 }  // namespace iotax::telemetry

@@ -1,0 +1,145 @@
+#include "src/util/quarantine.hpp"
+
+#include <sstream>
+
+namespace iotax::util {
+
+namespace {
+
+constexpr std::array<const char*, kReasonCount> kReasonNames = {
+    "bad-magic",
+    "bad-version",
+    "truncated",
+    "implausible-size",
+    "bad-checksum",
+    "counter-index-out-of-range",
+    "trailing-bytes",
+    "malformed-header",
+    "incomplete-header",
+    "malformed-line",
+    "unknown-counter",
+    "unknown-module",
+    "bad-number",
+    "ragged-row",
+    "size-mismatch",
+    "bad-throughput",
+    "non-finite-value",
+    "negative-counter",
+    "time-inverted",
+    "duplicate-job-id",
+    "missing-truth",
+    "truth-mismatch",
+};
+
+std::size_t index_of(Reason reason) {
+  return static_cast<std::size_t>(reason);
+}
+
+}  // namespace
+
+const char* reason_name(Reason reason) {
+  return kReasonNames[index_of(reason)];
+}
+
+void QuarantineReport::add(QuarantineEntry entry) {
+  ++counts_[index_of(entry.reason)];
+  if (entries_.size() < kMaxStoredEntries) {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void QuarantineReport::add_many(Reason reason, std::size_t n,
+                                QuarantineEntry sample) {
+  if (n == 0) return;
+  counts_[index_of(reason)] += n;
+  sample.reason = reason;
+  if (entries_.size() < kMaxStoredEntries) {
+    entries_.push_back(std::move(sample));
+  }
+}
+
+void QuarantineReport::note_repair(Reason reason) {
+  ++repairs_[index_of(reason)];
+}
+
+void QuarantineReport::merge(const QuarantineReport& other) {
+  for (std::size_t i = 0; i < kReasonCount; ++i) {
+    counts_[i] += other.counts_[i];
+    repairs_[i] += other.repairs_[i];
+  }
+  for (const auto& e : other.entries_) {
+    if (entries_.size() >= kMaxStoredEntries) break;
+    entries_.push_back(e);
+  }
+}
+
+std::size_t QuarantineReport::total() const {
+  std::size_t total = 0;
+  for (const auto n : counts_) total += n;
+  return total;
+}
+
+std::size_t QuarantineReport::count(Reason reason) const {
+  return counts_[index_of(reason)];
+}
+
+std::size_t QuarantineReport::repaired_total() const {
+  std::size_t total = 0;
+  for (const auto n : repairs_) total += n;
+  return total;
+}
+
+std::size_t QuarantineReport::repaired(Reason reason) const {
+  return repairs_[index_of(reason)];
+}
+
+Json QuarantineReport::to_json(std::size_t max_entries) const {
+  Json doc = Json::object();
+  doc.set("quarantined", total());
+  doc.set("repaired", repaired_total());
+  Json by_reason = Json::object();
+  Json repaired_by = Json::object();
+  for (std::size_t i = 0; i < kReasonCount; ++i) {
+    if (counts_[i] != 0) by_reason.set(kReasonNames[i], counts_[i]);
+    if (repairs_[i] != 0) repaired_by.set(kReasonNames[i], repairs_[i]);
+  }
+  doc.set("by_reason", std::move(by_reason));
+  doc.set("repaired_by_reason", std::move(repaired_by));
+  Json list = Json::array();
+  const std::size_t n = entries_.size() < max_entries ? entries_.size()
+                                                      : max_entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = entries_[i];
+    Json item = Json::object();
+    item.set("reason", reason_name(e.reason));
+    if (e.job_id != 0) item.set("job_id", static_cast<double>(e.job_id));
+    if (e.record_index != static_cast<std::size_t>(-1)) {
+      item.set("record", e.record_index);
+    }
+    item.set("offset", e.offset);
+    if (!e.detail.empty()) item.set("detail", e.detail);
+    list.push_back(std::move(item));
+  }
+  doc.set("entries", std::move(list));
+  return doc;
+}
+
+std::string QuarantineReport::render() const {
+  std::ostringstream out;
+  out << "quarantined " << total() << " record(s), repaired "
+      << repaired_total() << '\n';
+  for (std::size_t i = 0; i < kReasonCount; ++i) {
+    if (counts_[i] == 0 && repairs_[i] == 0) continue;
+    out << "  " << kReasonNames[i];
+    for (std::size_t pad = std::string(kReasonNames[i]).size(); pad < 28;
+         ++pad) {
+      out << ' ';
+    }
+    out << "quarantined " << counts_[i];
+    if (repairs_[i] != 0) out << ", repaired " << repairs_[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace iotax::util

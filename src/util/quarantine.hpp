@@ -1,0 +1,103 @@
+// Shared vocabulary for ingest-time data defects. Every layer that can
+// reject or repair a record — the telemetry parsers, the dataset
+// builder, Dataset::validate_all — reports violations through the same
+// reason codes, so a quarantine report reads the same whether the
+// defect was caught at the byte, record, or dataset level, and fault-
+// injection ground truth can be compared against it exactly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/json.hpp"
+
+namespace iotax::util {
+
+/// Why a record (or byte range) was quarantined or repaired. Codes are
+/// grouped by the layer that detects them; the numeric values are part
+/// of the tooling interface (stable across releases).
+enum class Reason : std::uint8_t {
+  // Container / framing level (binary + text parsers).
+  kBadMagic = 0,        // archive does not start with the format magic
+  kBadVersion,          // unsupported container version
+  kTruncated,           // stream ended inside a header or record
+  kImplausibleSize,     // framing length field is corrupt
+  kBadChecksum,         // record payload fails its CRC
+  kCounterIndexOutOfRange,  // sparse counter index past the schema
+  kTrailingBytes,       // payload longer than its decoded content
+  // Text / CSV / JSON field level.
+  kMalformedHeader,     // header line is not "# key: value"
+  kIncompleteHeader,    // record ended before all required header fields
+  kMalformedLine,       // counter/CSV line with the wrong field count
+  kUnknownCounter,      // counter name not in the schema
+  kUnknownModule,       // counter module not POSIX/MPIIO
+  kBadNumber,           // numeric field failed to parse
+  kRaggedRow,           // CSV row width differs from the header
+  // Record semantics (dataset builder / validate).
+  kSizeMismatch,        // counter vector sizes do not match the schema
+  kBadThroughput,       // non-positive or non-finite target throughput
+  kNonFiniteValue,      // NaN/Inf in a counter or feature column
+  kNegativeCounter,     // negative value in a non-negative counter
+  kTimeInverted,        // job ends before it starts
+  kDuplicateJobId,      // job id already ingested (log duplication)
+  kMissingTruth,        // job absent from the ground-truth map
+  kTruthMismatch,       // target disagrees with the truth decomposition
+};
+
+inline constexpr std::size_t kReasonCount = 22;
+
+/// Stable kebab-case name for a reason code ("bad-checksum").
+const char* reason_name(Reason reason);
+
+struct QuarantineEntry {
+  Reason reason = Reason::kBadMagic;
+  std::uint64_t job_id = 0;     // 0 when not attributable to a job
+  /// Index of the record in the input stream; npos when not record-scoped.
+  std::size_t record_index = static_cast<std::size_t>(-1);
+  /// Byte offset (binary formats) or line number (text formats).
+  std::size_t offset = 0;
+  std::string detail;
+};
+
+/// Accumulates quarantined records and applied repairs across an ingest
+/// pass. Per-reason counts are exact so they can be checked against
+/// fault-injection ground truth; the entry list is a bounded sample
+/// (kMaxStoredEntries) so a pathological input — e.g. a corrupted record
+/// count promising 4 billion records — cannot drive memory growth.
+class QuarantineReport {
+ public:
+  static constexpr std::size_t kMaxStoredEntries = 10000;
+
+  void add(QuarantineEntry entry);
+  /// Count `n` rejections of one reason at once, storing a single sample
+  /// entry. Used when a truncation wipes out a whole tail of records.
+  void add_many(Reason reason, std::size_t n, QuarantineEntry sample);
+  void note_repair(Reason reason);
+  void merge(const QuarantineReport& other);
+
+  /// Bounded sample of quarantined records (counts stay exact above it).
+  const std::vector<QuarantineEntry>& entries() const { return entries_; }
+  std::size_t total() const;
+  std::size_t count(Reason reason) const;
+  std::size_t repaired_total() const;
+  std::size_t repaired(Reason reason) const;
+  bool empty() const { return total() == 0 && repaired_total() == 0; }
+
+  /// Deterministic JSON: {"quarantined": N, "repaired": N,
+  ///  "by_reason": {...}, "repaired_by_reason": {...}, "entries": [...]}.
+  /// At most `max_entries` entries are emitted (the counts stay exact).
+  Json to_json(std::size_t max_entries = 50) const;
+
+  /// Aligned text table of per-reason counts for CLI output.
+  std::string render() const;
+
+ private:
+  std::vector<QuarantineEntry> entries_;
+  std::array<std::size_t, kReasonCount> counts_{};
+  std::array<std::size_t, kReasonCount> repairs_{};
+};
+
+}  // namespace iotax::util

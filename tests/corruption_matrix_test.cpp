@@ -1,0 +1,239 @@
+// End-to-end corruption matrix: every fault class, in both archive
+// formats, through parse + ingest in every tolerant mode — no crash,
+// quarantine counts exactly equal to the injector's ground truth — and
+// the taxonomy pipeline degrading gracefully (per-step health instead
+// of an abort) when fed quarantine-thinned data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "src/faults/injector.hpp"
+#include "src/faults/plan.hpp"
+#include "src/sim/dataset_builder.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/pipeline.hpp"
+#include "src/taxonomy/report_io.hpp"
+#include "src/telemetry/binary_log.hpp"
+#include "src/telemetry/darshan_log.hpp"
+
+namespace iotax {
+namespace {
+
+const sim::SimulationResult& fixture() {
+  static const auto* res =
+      new sim::SimulationResult(sim::simulate(sim::tiny_system(5)));
+  return *res;
+}
+
+std::vector<telemetry::JobLogRecord> fixture_records(std::size_t n) {
+  auto records = fixture().records;
+  records.resize(std::min(records.size(), n));
+  return records;
+}
+
+struct MatrixCase {
+  const char* name;
+  double faults::FaultPlan::* rate;
+  double value;
+};
+
+const MatrixCase kMatrix[] = {
+    {"truncate", &faults::FaultPlan::truncate, 0.10},
+    {"mangle", &faults::FaultPlan::mangle, 0.08},
+    {"drop", &faults::FaultPlan::drop, 0.05},
+    {"duplicate", &faults::FaultPlan::duplicate, 0.08},
+    {"zero_counters", &faults::FaultPlan::zero_counters, 0.05},
+    {"bad_throughput", &faults::FaultPlan::bad_throughput, 0.08},
+    {"clock_skew", &faults::FaultPlan::clock_skew, 0.10},
+    {"reorder", &faults::FaultPlan::reorder, 0.10},
+};
+
+faults::FaultPlan single_class_plan(const MatrixCase& c) {
+  faults::FaultPlan plan;
+  plan.*(c.rate) = c.value;
+  plan.seed = 1234;
+  return plan;
+}
+
+telemetry::ParseOutcome parse_bytes(const std::string& bytes, bool binary) {
+  std::istringstream in(bytes);
+  return binary ? telemetry::read_binary_archive_outcome(in)
+                : telemetry::parse_archive_outcome(in);
+}
+
+TEST(CorruptionMatrix, EveryFaultClassEveryFormatEveryTolerantMode) {
+  const auto records = fixture_records(400);
+  for (const auto& c : kMatrix) {
+    const auto plan = single_class_plan(c);
+    for (const bool binary : {false, true}) {
+      const auto out = faults::inject_archive_bytes(records, plan, binary);
+      const auto outcome = parse_bytes(out.bytes, binary);
+      ASSERT_TRUE(outcome.ok)
+          << c.name << (binary ? " binary: " : " text: ") << outcome.error;
+      for (const auto mode :
+           {sim::IngestMode::kLenient, sim::IngestMode::kRepair}) {
+        sim::IngestResult ingest;
+        ASSERT_NO_THROW(ingest = sim::build_dataset_ingest(
+                            outcome.records, nullptr, "matrix", nullptr,
+                            mode))
+            << c.name;
+        util::QuarantineReport combined = outcome.quarantine;
+        combined.merge(ingest.quarantine);
+        for (std::size_t i = 0; i < util::kReasonCount; ++i) {
+          const auto reason = static_cast<util::Reason>(i);
+          EXPECT_EQ(combined.count(reason), out.report.expected(reason))
+              << c.name << (binary ? " binary " : " text ")
+              << util::reason_name(reason);
+        }
+        EXPECT_EQ(ingest.dataset.size(),
+                  outcome.records.size() - ingest.quarantine.total());
+        EXPECT_NO_THROW(ingest.dataset.validate());
+      }
+    }
+  }
+}
+
+TEST(CorruptionMatrix, StrictModeRefusesEveryDetectableFaultClass) {
+  const auto records = fixture_records(400);
+  for (const auto& c : kMatrix) {
+    const auto plan = single_class_plan(c);
+    const auto out = faults::inject_archive_bytes(records, plan, true);
+    if (out.report.expected_total() == 0) continue;  // silent class
+    const auto outcome = parse_bytes(out.bytes, true);
+    const bool parse_caught = !outcome.quarantine.empty();
+    bool ingest_threw = false;
+    try {
+      sim::build_dataset_ingest(outcome.records, nullptr, "matrix", nullptr,
+                                sim::IngestMode::kStrict);
+    } catch (const sim::IngestError&) {
+      ingest_threw = true;
+    }
+    // Every detectable fault is refused somewhere: at the parse layer
+    // (truncation, checksum) or by strict ingest (throughput, duplicates).
+    EXPECT_TRUE(parse_caught || ingest_threw) << c.name;
+  }
+}
+
+taxonomy::PipelineConfig trimmed_config() {
+  taxonomy::PipelineConfig cfg;
+  cfg.grid = {.n_estimators = {16},
+              .max_depth = {4},
+              .subsample = {0.9},
+              .colsample = {0.9},
+              .base = {}};
+  cfg.run_uq = false;  // shows up as step health "none", by design
+  return cfg;
+}
+
+TEST(CorruptionMatrix, TaxonomyDegradesGracefullyOnCorruptedTelemetry) {
+  const auto records = fixture().records;
+  faults::FaultPlan plan;
+  plan.truncate = 0.05;
+  plan.mangle = 0.03;
+  plan.drop = 0.03;
+  plan.duplicate = 0.03;
+  plan.bad_throughput = 0.03;
+  plan.clock_skew = 0.05;
+  plan.reorder = 0.05;
+  plan.seed = 77;
+
+  const auto clean_ingest = sim::build_dataset_ingest(
+      records, nullptr, "clean", nullptr, sim::IngestMode::kLenient);
+  const auto out = faults::inject_archive_bytes(records, plan, true);
+  const auto outcome = parse_bytes(out.bytes, true);
+  ASSERT_TRUE(outcome.ok);
+  const auto corrupt_ingest = sim::build_dataset_ingest(
+      outcome.records, nullptr, "corrupt", nullptr, sim::IngestMode::kLenient);
+  ASSERT_GT(corrupt_ingest.dataset.size(), 0u);
+  ASSERT_LT(corrupt_ingest.dataset.size(), clean_ingest.dataset.size());
+
+  const auto cfg = trimmed_config();
+  taxonomy::TaxonomyReport clean_report;
+  taxonomy::TaxonomyReport corrupt_report;
+  ASSERT_NO_THROW(clean_report = taxonomy::run_taxonomy(clean_ingest.dataset,
+                                                        cfg));
+  ASSERT_NO_THROW(corrupt_report =
+                      taxonomy::run_taxonomy(corrupt_ingest.dataset, cfg));
+
+  // One health entry per step, in pipeline order, and the degradation is
+  // flagged (UQ disabled => ood has confidence "none").
+  ASSERT_EQ(corrupt_report.health.size(), 7u);
+  EXPECT_EQ(corrupt_report.health.front().step, "baseline");
+  ASSERT_NE(corrupt_report.step_health("ood"), nullptr);
+  EXPECT_EQ(corrupt_report.step_health("ood")->confidence, "none");
+  EXPECT_TRUE(corrupt_report.degraded());
+  const auto rendered = taxonomy::render_report(corrupt_report);
+  EXPECT_NE(rendered.find("step health"), std::string::npos);
+
+  // Quarantine-thinned data moves the headline number only boundedly.
+  const double clean_err = clean_report.baseline_error;
+  const double corrupt_err = corrupt_report.baseline_error;
+  EXPECT_TRUE(std::isfinite(corrupt_err));
+  EXPECT_LE(std::fabs(corrupt_err - clean_err),
+            std::max(0.5 * clean_err, 0.05))
+      << "clean " << clean_err << " corrupt " << corrupt_err;
+}
+
+TEST(CorruptionMatrix, TinyDatasetDegradesInsteadOfCrashing) {
+  const auto& res = fixture();
+  std::vector<std::size_t> rows(30);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  auto ds = res.dataset.take(rows);
+  // Uniquify the duplicate-set key so steps 2.1 and 5 cannot run.
+  for (std::size_t i = 0; i < ds.meta.size(); ++i) {
+    ds.meta[i].config_id = 100000 + i;
+  }
+  taxonomy::TaxonomyReport report;
+  ASSERT_NO_THROW(report = taxonomy::run_taxonomy(ds, trimmed_config()));
+  ASSERT_NE(report.step_health("app_bound"), nullptr);
+  EXPECT_EQ(report.step_health("app_bound")->confidence, "none");
+  ASSERT_NE(report.step_health("noise_bound"), nullptr);
+  EXPECT_EQ(report.step_health("noise_bound")->confidence, "none");
+  ASSERT_NE(report.step_health("baseline"), nullptr);
+  EXPECT_EQ(report.step_health("baseline")->confidence, "reduced");
+  EXPECT_TRUE(report.degraded());
+  // Share arithmetic stays sane without the skipped steps' numbers.
+  EXPECT_GE(report.share_app, 0.0);
+  EXPECT_GE(report.share_aleatory, 0.0);
+  EXPECT_EQ(report.share_aleatory, 0.0);
+  EXPECT_NO_THROW(taxonomy::render_report(report));
+}
+
+TEST(CorruptionMatrix, EmptyDatasetIsTheOnlyHardFailure) {
+  const auto& res = fixture();
+  const auto empty = res.dataset.take(std::vector<std::size_t>{});
+  EXPECT_THROW(taxonomy::run_taxonomy(empty, trimmed_config()),
+               std::invalid_argument);
+}
+
+TEST(CorruptionMatrix, HealthRowsSurviveReportCsvRoundTrip) {
+  const auto& res = fixture();
+  std::vector<std::size_t> rows(60);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const auto ds = res.dataset.take(rows);
+  const auto report = taxonomy::run_taxonomy(ds, trimmed_config());
+  ASSERT_FALSE(report.health.empty());
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "iotax_health_report.csv")
+                               .string();
+  taxonomy::write_report_csv(path, report);
+  const auto back = taxonomy::read_report_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(back.health.size(), report.health.size());
+  for (const auto& h : report.health) {
+    const auto* rt = back.step_health(h.step);
+    ASSERT_NE(rt, nullptr) << h.step;
+    EXPECT_EQ(rt->confidence, h.confidence) << h.step;
+    EXPECT_EQ(rt->n_samples, h.n_samples) << h.step;
+    EXPECT_EQ(rt->reason, h.reason) << h.step;
+    EXPECT_EQ(rt->ran, h.ran) << h.step;
+    EXPECT_EQ(rt->degraded, h.degraded) << h.step;
+  }
+  EXPECT_EQ(back.degraded(), report.degraded());
+}
+
+}  // namespace
+}  // namespace iotax

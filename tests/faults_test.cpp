@@ -1,0 +1,168 @@
+// Fault-plan and injector properties: zero-rate passthrough is
+// byte-identical, identical (plan, seed) gives identical bytes on any
+// thread setting, per-class streams are independent, and the injector's
+// expected-quarantine ground truth matches what the hardened pipeline
+// actually reports.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/faults/injector.hpp"
+#include "src/faults/plan.hpp"
+#include "src/sim/dataset_builder.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/telemetry/binary_log.hpp"
+#include "src/telemetry/darshan_log.hpp"
+
+namespace iotax {
+namespace {
+
+const std::vector<telemetry::JobLogRecord>& fixture_records() {
+  static const auto* records = [] {
+    auto* r = new std::vector<telemetry::JobLogRecord>(
+        sim::simulate(sim::tiny_system(11)).records);
+    r->resize(std::min<std::size_t>(r->size(), 300));
+    return r;
+  }();
+  return *records;
+}
+
+faults::FaultPlan mixed_plan() {
+  faults::FaultPlan plan;
+  plan.truncate = 0.1;
+  plan.mangle = 0.05;
+  plan.drop = 0.03;
+  plan.duplicate = 0.05;
+  plan.zero_counters = 0.04;
+  plan.bad_throughput = 0.05;
+  plan.clock_skew = 0.1;
+  plan.reorder = 0.1;
+  plan.seed = 99;
+  return plan;
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+  const auto plan = mixed_plan();
+  const auto back = faults::FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(back.to_json().dump(), plan.to_json().dump());
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(back.mangle, plan.mangle);
+}
+
+TEST(FaultPlan, UnknownKeyRejected) {
+  auto doc = util::Json::object();
+  doc.set("mange", 0.1);  // typo must not silently run a zero-fault plan
+  EXPECT_THROW(faults::FaultPlan::from_json(doc), std::invalid_argument);
+}
+
+TEST(FaultPlan, OutOfRangeRateRejected) {
+  auto doc = util::Json::object();
+  doc.set("truncate", 1.0);
+  EXPECT_THROW(faults::FaultPlan::from_json(doc), std::invalid_argument);
+  faults::FaultPlan plan;
+  plan.drop = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, DefaultsAreAllZero) {
+  EXPECT_TRUE(faults::FaultPlan{}.all_zero());
+  EXPECT_FALSE(mixed_plan().all_zero());
+}
+
+TEST(Injector, ZeroPlanIsByteIdenticalPassthrough) {
+  const auto& records = fixture_records();
+  {
+    std::ostringstream clean;
+    for (const auto& rec : records) telemetry::write_record(clean, rec);
+    const auto out =
+        faults::inject_archive_bytes(records, {}, /*binary=*/false);
+    EXPECT_EQ(out.bytes, clean.str());
+    EXPECT_EQ(out.report.injected_total(), 0u);
+    EXPECT_EQ(out.report.expected_total(), 0u);
+  }
+  {
+    std::ostringstream clean(std::ios::binary);
+    telemetry::write_binary_archive(clean, records);
+    const auto out =
+        faults::inject_archive_bytes(records, {}, /*binary=*/true);
+    EXPECT_EQ(out.bytes, clean.str());
+    EXPECT_EQ(out.report.expected_total(), 0u);
+  }
+}
+
+TEST(Injector, DeterministicAcrossThreadSettings) {
+  const auto& records = fixture_records();
+  const auto plan = mixed_plan();
+  for (const bool binary : {false, true}) {
+    setenv("IOTAX_THREADS", "1", 1);
+    const auto a = faults::inject_archive_bytes(records, plan, binary);
+    setenv("IOTAX_THREADS", "4", 1);
+    const auto b = faults::inject_archive_bytes(records, plan, binary);
+    unsetenv("IOTAX_THREADS");
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.report.to_json().dump(), b.report.to_json().dump());
+  }
+}
+
+TEST(Injector, SeedChangesOutput) {
+  const auto& records = fixture_records();
+  auto plan = mixed_plan();
+  const auto a = faults::inject_archive_bytes(records, plan, false);
+  plan.seed += 1;
+  const auto b = faults::inject_archive_bytes(records, plan, false);
+  EXPECT_NE(a.bytes, b.bytes);
+}
+
+TEST(Injector, FaultClassStreamsAreIndependent) {
+  // Turning a second class on must not change which records the first
+  // class picked (each class forks its own RNG stream).
+  const auto& records = fixture_records();
+  faults::FaultPlan only_tp;
+  only_tp.bad_throughput = 0.2;
+  auto with_skew = only_tp;
+  with_skew.clock_skew = 0.5;
+  const auto a = faults::inject_archive_bytes(records, only_tp, false);
+  const auto b = faults::inject_archive_bytes(records, with_skew, false);
+  EXPECT_EQ(a.report.bad_throughput, b.report.bad_throughput);
+  EXPECT_EQ(a.report.expected(util::Reason::kBadThroughput),
+            b.report.expected(util::Reason::kBadThroughput));
+}
+
+TEST(Injector, ExpectedQuarantineMatchesPipeline) {
+  const auto& records = fixture_records();
+  const auto plan = mixed_plan();
+  for (const bool binary : {false, true}) {
+    const auto out = faults::inject_archive_bytes(records, plan, binary);
+    std::istringstream in(out.bytes);
+    const auto outcome = binary
+                             ? telemetry::read_binary_archive_outcome(in)
+                             : telemetry::parse_archive_outcome(in);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    const auto ingest = sim::build_dataset_ingest(
+        outcome.records, nullptr, "faults-test", nullptr,
+        sim::IngestMode::kLenient);
+    util::QuarantineReport combined = outcome.quarantine;
+    combined.merge(ingest.quarantine);
+    for (std::size_t i = 0; i < util::kReasonCount; ++i) {
+      const auto reason = static_cast<util::Reason>(i);
+      EXPECT_EQ(combined.count(reason), out.report.expected(reason))
+          << (binary ? "binary" : "text") << " reason "
+          << util::reason_name(reason);
+    }
+  }
+}
+
+TEST(InjectionReport, JsonRoundTrip) {
+  const auto& records = fixture_records();
+  const auto out =
+      faults::inject_archive_bytes(records, mixed_plan(), /*binary=*/true);
+  const auto back =
+      faults::InjectionReport::from_json(out.report.to_json());
+  EXPECT_EQ(back.to_json().dump(), out.report.to_json().dump());
+  EXPECT_EQ(back.expected_total(), out.report.expected_total());
+}
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,82 @@
+# CLI error-path contract: every bad invocation must exit nonzero and
+# print a one-line diagnostic to stderr, never crash or exit 0. Invoked as
+#   cmake -DIOTAX_CLI=<path-to-iotax> -DWORK_DIR=<scratch> -P cli_errors.cmake
+foreach(var IOTAX_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_errors: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# expect_fail(<label> <stderr-substring> <arg...>): the invocation must
+# exit nonzero and say why on stderr.
+function(expect_fail label needle)
+  execute_process(
+    COMMAND "${IOTAX_CLI}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "cli_errors: '${label}' exited 0, expected failure")
+  endif()
+  if(err STREQUAL "")
+    message(FATAL_ERROR "cli_errors: '${label}' failed silently "
+                        "(rc=${rc}, no stderr diagnostic)")
+  endif()
+  if(NOT needle STREQUAL "")
+    string(FIND "${err}" "${needle}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR "cli_errors: '${label}' stderr missing "
+                          "'${needle}'; got: ${err}")
+    endif()
+  endif()
+  message(STATUS "cli_errors: ok '${label}' (rc=${rc})")
+endfunction()
+
+# No command at all / unknown command.
+expect_fail("no command" "usage:")
+expect_fail("unknown command" "unknown command" frobnicate)
+
+# Unknown flag (every command validates its flag set).
+expect_fail("unknown flag" "" simulate --preset tiny
+            --out "${WORK_DIR}" --bogus-flag 1)
+
+# Bad parameter values.
+expect_fail("bad preset" "unknown preset" simulate --preset nope
+            --out "${WORK_DIR}")
+expect_fail("bad audit mode" "--mode must be" audit
+            --archive "${WORK_DIR}/missing.log" --mode bogus)
+
+# Missing input files.
+expect_fail("missing dataset" "" taxonomy
+            --dataset "${WORK_DIR}/does_not_exist.csv")
+expect_fail("missing archive" "" parse
+            --archive "${WORK_DIR}/does_not_exist.log")
+expect_fail("missing inject input" "" inject
+            --in "${WORK_DIR}/does_not_exist.log"
+            --out "${WORK_DIR}/out.log")
+
+# Malformed fault plans.
+expect_fail("conflicting plan flags" "mutually exclusive" inject
+            --in "${WORK_DIR}/x.log" --out "${WORK_DIR}/y.log"
+            --plan "${WORK_DIR}/p.json" --plan-json "{}")
+expect_fail("plan rate out of range" "fault plan" inject
+            --in "${WORK_DIR}/x.log" --out "${WORK_DIR}/y.log"
+            --plan-json "{\"mangle\": 2.0}")
+expect_fail("plan unknown key" "unknown key" inject
+            --in "${WORK_DIR}/x.log" --out "${WORK_DIR}/y.log"
+            --plan-json "{\"mange\": 0.1}")
+expect_fail("plan not json" "" inject
+            --in "${WORK_DIR}/x.log" --out "${WORK_DIR}/y.log"
+            --plan-json "not json at all")
+
+# Malformed expectation file for audit.
+file(WRITE "${WORK_DIR}/empty.log" "")
+file(WRITE "${WORK_DIR}/bad_truth.json" "{]")
+expect_fail("malformed expect report" "" audit
+            --archive "${WORK_DIR}/empty.log"
+            --expect "${WORK_DIR}/bad_truth.json")
+
+message(STATUS "cli_errors: ok")

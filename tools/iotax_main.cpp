@@ -18,6 +18,8 @@
 
 #include "src/cli/args.hpp"
 #include "src/data/split.hpp"
+#include "src/faults/injector.hpp"
+#include "src/faults/plan.hpp"
 #include "src/data/table_io.hpp"
 #include "src/ml/metrics.hpp"
 #include "src/ml/registry.hpp"
@@ -63,6 +65,15 @@ commands:
              save it; params is a JSON object of hyperparameters
   predict    --dataset FILE --model-file MODEL [--out CSV]
              load a saved model and predict the dataset
+  inject     --in FILE [--binary] [--plan FILE | --plan-json STR]
+             [--seed N] --out FILE [--report FILE]
+             deterministically corrupt a clean archive per a fault plan;
+             --report saves the injection ground truth as JSON
+  audit      --archive FILE [--binary] [--mode strict|lenient|repair]
+             [--expect REPORT.json] [--quarantine-out FILE]
+             parse + ingest an (possibly corrupted) archive; strict mode
+             exits nonzero on any corruption; --expect checks quarantine
+             counts against an inject ground-truth report
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
 
@@ -327,6 +338,125 @@ int cmd_predict(const cli::Args& args) {
   return 0;
 }
 
+int cmd_inject(const cli::Args& args) {
+  args.check_allowed(
+      with_obs({"in", "binary", "plan", "plan-json", "seed", "out",
+                "report"}));
+  if (args.has("plan") && args.has("plan-json")) {
+    throw std::invalid_argument(
+        "inject: --plan and --plan-json are mutually exclusive");
+  }
+  faults::FaultPlan plan;
+  if (args.has("plan")) {
+    plan = faults::FaultPlan::from_file(args.get("plan"));
+  } else if (args.has("plan-json")) {
+    plan = faults::FaultPlan::from_json(
+        util::Json::parse(args.get("plan-json")));
+  }
+  if (args.has("seed")) {
+    plan.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
+  }
+  const auto report = faults::inject_archive(args.get("in"), args.get("out"),
+                                             args.has("binary"), plan);
+  std::printf("injected %zu fault(s) into %zu record(s) -> %s "
+              "(%zu written, %zu tail bytes cut)\n",
+              report.injected_total(), report.input_records,
+              args.get("out").c_str(), report.written_records,
+              report.truncated_bytes);
+  std::printf("expected quarantine downstream: %zu record(s)\n",
+              report.expected_total());
+  if (args.has("report")) {
+    std::ofstream out(args.get("report"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("report"));
+    out << report.to_json().dump(2) << '\n';
+    std::printf("ground truth written to %s\n", args.get("report").c_str());
+  }
+  return 0;
+}
+
+int cmd_audit(const cli::Args& args) {
+  args.check_allowed(
+      with_obs({"archive", "binary", "mode", "expect", "quarantine-out"}));
+  const auto mode_name = args.get_or("mode", "lenient");
+  sim::IngestMode mode;
+  if (mode_name == "strict") mode = sim::IngestMode::kStrict;
+  else if (mode_name == "lenient") mode = sim::IngestMode::kLenient;
+  else if (mode_name == "repair") mode = sim::IngestMode::kRepair;
+  else {
+    throw std::invalid_argument(
+        "audit: --mode must be strict, lenient or repair");
+  }
+
+  const auto outcome =
+      args.has("binary")
+          ? telemetry::read_binary_archive_file_outcome(
+                args.get("archive"), telemetry::ParseMode::kLenient)
+          : telemetry::parse_archive_file_outcome(
+                args.get("archive"), telemetry::ParseMode::kLenient);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "audit: unreadable archive: %s\n",
+                 outcome.error.c_str());
+    return 1;
+  }
+  // Strict mode still ingests leniently so the report covers every
+  // defect (not just the first); its exit code is what is strict.
+  const auto ingest = sim::build_dataset_ingest(
+      outcome.records, nullptr, "audit", nullptr,
+      mode == sim::IngestMode::kStrict ? sim::IngestMode::kLenient : mode);
+  util::QuarantineReport combined = outcome.quarantine;
+  combined.merge(ingest.quarantine);
+  std::printf("parsed %zu record(s), built %zu dataset row(s)\n",
+              outcome.records.size(), ingest.dataset.size());
+  if (!combined.empty()) std::fputs(combined.render().c_str(), stdout);
+
+  int rc = 0;
+  if (args.has("expect")) {
+    std::ifstream in(args.get("expect"));
+    if (!in) throw std::runtime_error("cannot open " + args.get("expect"));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto truth =
+        faults::InjectionReport::from_json(util::Json::parse(buf.str()));
+    bool mismatch = false;
+    for (std::size_t i = 0; i < util::kReasonCount; ++i) {
+      const auto reason = static_cast<util::Reason>(i);
+      if (combined.count(reason) != truth.expected(reason)) {
+        std::fprintf(stderr,
+                     "audit: reason %s: expected %zu quarantined, got %zu\n",
+                     util::reason_name(reason), truth.expected(reason),
+                     combined.count(reason));
+        mismatch = true;
+      }
+    }
+    if (mismatch) {
+      rc = 1;
+    } else {
+      std::printf("quarantine matches injection ground truth "
+                  "(%zu record(s))\n",
+                  truth.expected_total());
+    }
+  }
+  if (args.has("quarantine-out")) {
+    std::ofstream out(args.get("quarantine-out"));
+    if (!out) {
+      throw std::runtime_error("cannot open " + args.get("quarantine-out"));
+    }
+    out << combined.to_json().dump(2) << '\n';
+  }
+  if (mode == sim::IngestMode::kStrict && combined.total() != 0) {
+    std::string reasons;
+    for (std::size_t i = 0; i < util::kReasonCount; ++i) {
+      if (combined.count(static_cast<util::Reason>(i)) == 0) continue;
+      if (!reasons.empty()) reasons += ", ";
+      reasons += util::reason_name(static_cast<util::Reason>(i));
+    }
+    std::fprintf(stderr, "audit: strict mode: %zu corrupt record(s) [%s]\n",
+                 combined.total(), reasons.c_str());
+    rc = 1;
+  }
+  return rc;
+}
+
 int cmd_checkjson(const cli::Args& args) {
   args.check_allowed(with_obs({}));
   if (args.positional().empty()) {
@@ -397,6 +527,8 @@ int main(int argc, char** argv) {
     else if (command == "drift") rc = cmd_drift(args);
     else if (command == "train") rc = cmd_train(args);
     else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "inject") rc = cmd_inject(args);
+    else if (command == "audit") rc = cmd_audit(args);
     else if (command == "checkjson") rc = cmd_checkjson(args);
     if (rc < 0) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
