@@ -1,0 +1,187 @@
+// Serving-path harness: stands the iotax serve daemon up in-process on
+// a Unix socket, drives it with pipelined client threads, and reports
+// request latency (p50/p99) and throughput at IOTAX_THREADS=1 and 4.
+// Writes BENCH_serve.json; the CI bench job uploads it next to
+// BENCH_pipeline.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/data/matrix.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/env.hpp"
+
+namespace iotax {
+namespace {
+
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kPipelineWindow = 16;
+
+struct RunStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double requests_per_sec = 0.0;
+  std::size_t requests = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// One client: pipeline `n_requests` rows through its own connection,
+/// recording client-observed latency per request.
+void client_loop(const std::string& socket_path, const data::Matrix& x,
+                 std::size_t n_requests, std::vector<double>* latencies_ms) {
+  auto client = serve::Client::connect_unix(socket_path);
+  latencies_ms->reserve(n_requests);
+  std::vector<std::chrono::steady_clock::time_point> sent(n_requests);
+  const auto send_row = [&](std::uint64_t id) {
+    serve::PredictRequest req;
+    req.request_id = id + 1;
+    const auto src = x.row(id % x.rows());
+    req.features.assign(src.begin(), src.end());
+    sent[id] = std::chrono::steady_clock::now();
+    client.send_predict(req);
+  };
+  std::size_t next = 0, done = 0;
+  while (done < n_requests) {
+    while (next < n_requests && next - done < kPipelineWindow) {
+      send_row(next++);
+    }
+    serve::Client::Reply reply;
+    if (!client.read_reply(&reply)) break;
+    if (reply.type == util::FrameType::kErrorResponse) {
+      // BUSY under this load would skew the latency tail silently.
+      std::fprintf(stderr, "bench_serve: daemon replied %s\n",
+                   serve::serve_status_name(reply.error.status));
+      std::exit(1);
+    }
+    const auto id = reply.request_id - 1;
+    latencies_ms->push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - sent[id])
+                                .count());
+    ++done;
+  }
+}
+
+RunStats run_at(const char* threads, const std::string& model_path,
+                const data::Matrix& x, std::size_t requests_per_client) {
+  ::setenv("IOTAX_THREADS", threads, 1);
+  serve::ServeConfig cfg;
+  cfg.model_files = {model_path};
+  cfg.unix_socket = "/tmp/iotax_bench_serve.sock";
+  serve::Server server(cfg);
+  server.start();
+
+  std::vector<std::vector<double>> per_client(kClients);
+  bench::Timer timer;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back(client_loop, cfg.unix_socket, std::cref(x),
+                         requests_per_client, &per_client[c]);
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = timer.seconds();
+  server.stop();
+
+  std::vector<double> all;
+  for (const auto& v : per_client) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  RunStats stats;
+  stats.requests = all.size();
+  stats.p50_ms = percentile(all, 0.50);
+  stats.p99_ms = percentile(all, 0.99);
+  stats.requests_per_sec =
+      wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  const auto served = server.stats();
+  if (served.responses != all.size() || served.shed != 0) {
+    std::fprintf(stderr, "bench_serve: daemon accounting off "
+                         "(%llu responses, %llu shed)\n",
+                 static_cast<unsigned long long>(served.responses),
+                 static_cast<unsigned long long>(served.shed));
+    std::exit(1);
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace iotax
+
+int main() {
+  using namespace iotax;
+  bench::banner("Model-serving daemon latency/throughput",
+                "micro-batching serve path (iotax serve)");
+
+  const auto res = sim::simulate(sim::tiny_system());
+  const auto& ds = res.dataset;
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto x = taxonomy::feature_matrix(ds, feats);
+  const auto y = taxonomy::targets(ds);
+
+  ml::GbtParams p;
+  p.n_estimators = 30;
+  p.max_depth = 5;
+  ml::GradientBoostedTrees model(p);
+  model.fit(x, y);
+  const std::string model_path = "/tmp/iotax_bench_serve_model.gbt";
+  {
+    std::ofstream out(model_path);
+    model.save(out);
+  }
+
+  const auto requests_per_client = util::scaled_count(2500, 500);
+  const char* old_threads = std::getenv("IOTAX_THREADS");
+  const std::string saved = old_threads != nullptr ? old_threads : "";
+
+  const auto t1 = run_at("1", model_path, x, requests_per_client);
+  const auto t4 = run_at("4", model_path, x, requests_per_client);
+
+  if (!saved.empty()) {
+    ::setenv("IOTAX_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("IOTAX_THREADS");
+  }
+  std::remove(model_path.c_str());
+
+  std::printf("model                 %s (%zu features)\n",
+              model.name().c_str(), x.cols());
+  std::printf("clients               %zu x %zu requests, window %zu\n",
+              kClients, requests_per_client, kPipelineWindow);
+  std::printf("threads=1  p50 %.3f ms  p99 %.3f ms  %.0f req/s\n",
+              t1.p50_ms, t1.p99_ms, t1.requests_per_sec);
+  std::printf("threads=4  p50 %.3f ms  p99 %.3f ms  %.0f req/s\n",
+              t4.p50_ms, t4.p99_ms, t4.requests_per_sec);
+
+  FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out != nullptr) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"jobs\": %zu,\n"
+        "  \"clients\": %zu,\n"
+        "  \"pipeline_window\": %zu,\n"
+        "  \"requests_per_client\": %zu,\n"
+        "  \"threads_1\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"requests_per_sec\": %.1f},\n"
+        "  \"threads_4\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"requests_per_sec\": %.1f}\n"
+        "}\n",
+        ds.size(), kClients, kPipelineWindow, requests_per_client, t1.p50_ms,
+        t1.p99_ms, t1.requests_per_sec, t4.p50_ms, t4.p99_ms,
+        t4.requests_per_sec);
+    std::fclose(out);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return 0;
+}

@@ -52,6 +52,9 @@ class DeepEnsemble final : public Regressor {
   UncertaintyPrediction predict_uncertainty(const data::MatrixView& x) const;
   std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
+  std::size_t n_features() const override {
+    return members_.empty() ? 0 : members_.front()->n_features();
+  }
 
   /// Persist the K fitted members ("iotax-ensemble" header followed by
   /// one Mlp block per member). The NAS search space / history are not

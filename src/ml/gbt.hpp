@@ -85,6 +85,7 @@ class GradientBoostedTrees final : public Regressor {
 
   const GbtParams& params() const { return params_; }
   std::size_t n_trees() const { return trees_.size(); }
+  std::size_t n_features() const override { return n_features_; }
 
   /// Gain-based feature importances (summed split gains), normalised to
   /// sum to 1; zero vector if the model is constant.

@@ -19,6 +19,7 @@ class LinearRegressor final : public Regressor {
   void fit(const data::MatrixView& x, std::span<const double> y) override;
   std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
+  std::size_t n_features() const override { return coef_.size(); }
 
   const std::vector<double>& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }

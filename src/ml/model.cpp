@@ -17,12 +17,22 @@ void Regressor::save(std::ostream& /*out*/) const {
                          "' does not support serialization");
 }
 
-std::unique_ptr<Regressor> Regressor::load(std::istream& in) {
+const std::vector<std::string>& known_model_magics() {
+  static const std::vector<std::string> kMagics = {
+      "iotax-ensemble", "iotax-gbt", "iotax-linear", "iotax-mean",
+      "iotax-mlp"};
+  return kMagics;
+}
+
+std::unique_ptr<Regressor> Regressor::load(std::istream& in,
+                                           const std::string& source) {
+  const std::string where = source.empty() ? "" : source + ": ";
   // Peek the magic token ("iotax-<kind>") without consuming it, then
   // hand the stream to the family's own loader.
   const auto start = in.tellg();
   if (start == std::istream::pos_type(-1)) {
-    throw std::runtime_error("Regressor::load: stream not seekable");
+    throw std::runtime_error("Regressor::load: " + where +
+                             "stream not seekable");
   }
   std::string magic;
   in >> magic;
@@ -44,8 +54,15 @@ std::unique_ptr<Regressor> Regressor::load(std::istream& in) {
   if (magic == "iotax-ensemble") {
     return std::make_unique<DeepEnsemble>(DeepEnsemble::load(in));
   }
-  throw std::runtime_error("Regressor::load: unknown model header '" + magic +
-                           "'");
+  std::string known;
+  for (const auto& m : known_model_magics()) {
+    if (!known.empty()) known += ", ";
+    known += m;
+  }
+  throw std::runtime_error(
+      "Regressor::load: " + where + "unrecognized model header '" +
+      (magic.empty() ? "<empty stream>" : magic) +
+      "' (known model magics: " + known + ")");
 }
 
 void MeanRegressor::fit(const data::MatrixView& x, std::span<const double> y) {

@@ -32,6 +32,11 @@ class Regressor {
   /// Short human-readable description ("gbt[trees=32,depth=21]").
   virtual std::string name() const = 0;
 
+  /// Width of the feature vectors this fitted model consumes, or 0 when
+  /// the family accepts any width (MeanRegressor). The serve admission
+  /// path rejects mis-sized requests against this before batching.
+  virtual std::size_t n_features() const { return 0; }
+
   /// Serialize the fitted model as versioned text ("iotax-<kind> <ver>"
   /// header). The default throws std::logic_error for model families
   /// without persistence.
@@ -39,9 +44,18 @@ class Regressor {
 
   /// Restore any regressor saved through save(): peeks the magic token
   /// and dispatches to the matching family's loader. The stream must be
-  /// seekable (file or string stream).
-  static std::unique_ptr<Regressor> load(std::istream& in);
+  /// seekable (file or string stream). `source` names the stream in
+  /// diagnostics (a file path, or "" for anonymous streams); an
+  /// unrecognized header reports the source, the offending token, and
+  /// the known model magics.
+  static std::unique_ptr<Regressor> load(std::istream& in,
+                                         const std::string& source = "");
 };
+
+/// The magic tokens Regressor::load dispatches on, sorted ("iotax-gbt",
+/// "iotax-mlp", ...). Error messages and tooling list these so a bad
+/// checkpoint says what would have been accepted.
+const std::vector<std::string>& known_model_magics();
 
 /// Baseline that predicts the training-set mean: the weakest legitimate
 /// model, used to normalise taxonomy error fractions.

@@ -47,6 +47,9 @@ class Mlp final : public Regressor {
   void fit(const data::MatrixView& x, std::span<const double> y) override;
   std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
+  std::size_t n_features() const override {
+    return layers_.empty() ? 0 : layers_.front().in;
+  }
 
   /// fit() on an already log1p'd + standardised matrix, adopting the
   /// scaler that produced it. DeepEnsemble preprocesses its training set

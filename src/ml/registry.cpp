@@ -1,5 +1,6 @@
 #include "src/ml/registry.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "src/ml/ensemble.hpp"
@@ -167,6 +168,20 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
   if (name == "ensemble") return make_ensemble(params);
   throw std::invalid_argument("make_regressor: unknown model family '" + name +
                               "'");
+}
+
+std::unique_ptr<Regressor> load_regressor_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open model file " + path);
+  }
+  return Regressor::load(in, path);
+}
+
+std::size_t ModelRegistry::add(const std::string& path) {
+  models_.push_back(load_regressor_file(path));
+  paths_.push_back(path);
+  return models_.size() - 1;
 }
 
 }  // namespace iotax::ml

@@ -27,4 +27,31 @@ std::vector<std::string> regressor_names();
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
                                           const std::string& params_json = "{}");
 
+/// Open `path` and restore the checkpoint through Regressor::load. All
+/// failures — missing file, unreadable stream, unrecognized magic —
+/// surface as std::runtime_error naming the path (and, for a bad
+/// header, the offending token plus the known model magics), so a CLI
+/// pointed at the wrong file says which file and why.
+std::unique_ptr<Regressor> load_regressor_file(const std::string& path);
+
+/// In-memory registry of loaded checkpoints for the serve daemon: each
+/// add() loads one file; requests address models by their add() index.
+/// The registry is immutable after construction-time loading, so
+/// concurrent lookup from session/batcher threads needs no locking.
+class ModelRegistry {
+ public:
+  /// Load a checkpoint; returns its index. Throws like
+  /// load_regressor_file.
+  std::size_t add(const std::string& path);
+
+  std::size_t size() const { return models_.size(); }
+  const Regressor& model(std::size_t i) const { return *models_.at(i); }
+  /// Source path of model i (diagnostics / the serve startup banner).
+  const std::string& path(std::size_t i) const { return paths_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Regressor>> models_;
+  std::vector<std::string> paths_;
+};
+
 }  // namespace iotax::ml

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -52,6 +53,30 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Rank of the target observation (1-based), then walk buckets until
+  // the cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i + 1 == counts.size()) return edges_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : edges_[i - 1];
+      const double hi = edges_[i];
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return edges_.back();
+}
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);

@@ -62,6 +62,11 @@ class Histogram {
   std::vector<std::uint64_t> bucket_counts() const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within
+  /// the bucket holding the q-th observation (Prometheus
+  /// histogram_quantile semantics). Returns NaN with no observations;
+  /// a quantile landing in the overflow bucket clamps to the last edge.
+  double quantile(double q) const;
   void reset();
 
  private:

@@ -1,0 +1,178 @@
+#include "src/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace iotax::serve {
+
+using util::FrameDecode;
+using util::FrameHeader;
+using util::FrameType;
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      start_(std::exchange(other.start_, 0)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+    start_ = std::exchange(other.start_, 0);
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("query: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("query: socket(AF_UNIX) failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("query: cannot connect to " + path + ": " +
+                             std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                &hints, &res);
+  if (gai != 0 || res == nullptr) {
+    throw std::runtime_error("query: cannot resolve " + host + ": " +
+                             ::gai_strerror(gai));
+  }
+  int fd = -1;
+  int last_err = 0;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw std::runtime_error("query: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(last_err));
+  }
+  return Client(fd);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("query: send failed: ") +
+                               std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_predict(const PredictRequest& req) {
+  send_raw(encode_predict_request(req));
+}
+
+void Client::send_ping(std::uint64_t request_id) {
+  send_raw(encode_ping(request_id));
+}
+
+bool Client::read_reply(Reply* out) {
+  char chunk[16384];
+  while (true) {
+    const auto bytes = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(buf_.data()) + start_,
+        buf_.size() - start_);
+    const FrameDecode dec = util::decode_frame(bytes);
+    if (dec.status == FrameDecode::Status::kBad) {
+      throw std::runtime_error("query: malformed reply frame: " + dec.detail);
+    }
+    if (dec.status == FrameDecode::Status::kOk) {
+      const auto payload =
+          bytes.subspan(FrameHeader::kWireSize, dec.header.payload_len);
+      out->type = static_cast<FrameType>(dec.header.type);
+      out->request_id = dec.header.request_id;
+      bool parsed = true;
+      switch (out->type) {
+        case FrameType::kPredictResponse:
+          parsed = decode_predict_response(dec.header, payload, &out->predict);
+          break;
+        case FrameType::kErrorResponse:
+          parsed = decode_error_response(dec.header, payload, &out->error);
+          break;
+        case FrameType::kPong:
+          break;
+        default:
+          parsed = false;
+      }
+      if (!parsed) {
+        throw std::runtime_error("query: unparseable reply payload (type " +
+                                 std::to_string(dec.header.type) + ")");
+      }
+      start_ += dec.consumed;
+      if (start_ == buf_.size()) {
+        buf_.clear();
+        start_ = 0;
+      }
+      return true;
+    }
+    // kNeedMore: pull more bytes off the socket.
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("query: recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (start_ < buf_.size()) {
+        throw std::runtime_error("query: connection closed mid-reply");
+      }
+      return false;  // clean EOF
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace iotax::serve

@@ -1,0 +1,59 @@
+// Blocking client for the serve protocol, shared by the `iotax query`
+// CLI, the serve robustness tests, and bench_serve. Thin by design: it
+// connects, writes frames, and reads back framed replies; pipelining is
+// the caller's loop (send k requests, then match replies by id).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/serve/protocol.hpp"
+
+namespace iotax::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a Unix-domain / TCP serve listener. Throws
+  /// std::runtime_error (with errno text) when the daemon is not there.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+  /// Half-close: signal end-of-requests while still reading replies —
+  /// how the truncation tests hand the daemon a partial frame.
+  void shutdown_write();
+
+  /// Raw bytes on the wire (tests craft partial/corrupt frames with it).
+  void send_raw(std::string_view bytes);
+  void send_predict(const PredictRequest& req);
+  void send_ping(std::uint64_t request_id);
+
+  struct Reply {
+    util::FrameType type = util::FrameType::kPong;
+    std::uint64_t request_id = 0;
+    PredictResponse predict;  // valid when type == kPredictResponse
+    ErrorResponse error;      // valid when type == kErrorResponse
+  };
+
+  /// Block for the next reply frame. Returns false on clean EOF; throws
+  /// on transport errors or a reply the codec cannot parse.
+  bool read_reply(Reply* out);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buf_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace iotax::serve

@@ -1,0 +1,138 @@
+#include "src/serve/protocol.hpp"
+
+#include <cmath>
+
+namespace iotax::serve {
+
+using util::FrameFlag;
+using util::FrameHeader;
+using util::FrameType;
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kBusy: return "busy";
+    case ServeStatus::kBadFrame: return "bad-frame";
+    case ServeStatus::kBadRequest: return "bad-request";
+    case ServeStatus::kUnknownModel: return "unknown-model";
+    case ServeStatus::kShuttingDown: return "shutting-down";
+    case ServeStatus::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string encode_predict_request(const PredictRequest& req) {
+  std::string payload;
+  payload.reserve(4 + 8 * req.features.size());
+  util::put_u16(&payload, req.model_index);
+  util::put_u16(&payload, static_cast<std::uint16_t>(req.features.size()));
+  for (const double v : req.features) util::put_f64(&payload, v);
+  return util::encode_frame(FrameType::kPredictRequest,
+                            req.want_dist ? FrameFlag::kFlagPredictDist : 0,
+                            req.request_id, payload);
+}
+
+std::string encode_predict_response(const PredictResponse& resp) {
+  std::string payload;
+  payload.reserve(2 + 8 * resp.values.size());
+  util::put_u16(&payload, static_cast<std::uint16_t>(resp.values.size()));
+  for (const double v : resp.values) util::put_f64(&payload, v);
+  return util::encode_frame(FrameType::kPredictResponse, 0, resp.request_id,
+                            payload);
+}
+
+std::string encode_error_response(const ErrorResponse& err) {
+  std::string payload;
+  util::put_u16(&payload, static_cast<std::uint16_t>(err.status));
+  util::put_u16(&payload, err.reason.has_value()
+                              ? static_cast<std::uint16_t>(*err.reason)
+                              : kNoReason);
+  util::put_u32(&payload, static_cast<std::uint32_t>(err.detail.size()));
+  payload.append(err.detail);
+  return util::encode_frame(FrameType::kErrorResponse, 0, err.request_id,
+                            payload);
+}
+
+std::string encode_ping(std::uint64_t request_id) {
+  return util::encode_frame(FrameType::kPing, 0, request_id, {});
+}
+
+std::string encode_pong(std::uint64_t request_id) {
+  return util::encode_frame(FrameType::kPong, 0, request_id, {});
+}
+
+bool decode_predict_request(const FrameHeader& header,
+                            std::span<const std::uint8_t> payload,
+                            PredictRequest* out, ErrorResponse* err) {
+  err->request_id = header.request_id;
+  err->status = ServeStatus::kBadRequest;
+  out->request_id = header.request_id;
+  out->want_dist = (header.flags & FrameFlag::kFlagPredictDist) != 0;
+  std::size_t pos = 0;
+  std::uint16_t n_features = 0;
+  if (!util::get_u16(payload, &pos, &out->model_index) ||
+      !util::get_u16(payload, &pos, &n_features)) {
+    err->reason = util::Reason::kTruncated;
+    err->detail = "request payload shorter than its fixed fields";
+    return false;
+  }
+  if (payload.size() != 4 + 8 * static_cast<std::size_t>(n_features)) {
+    err->reason = util::Reason::kSizeMismatch;
+    err->detail = "payload length " + std::to_string(payload.size()) +
+                  " does not match n_features " + std::to_string(n_features);
+    return false;
+  }
+  out->features.resize(n_features);
+  for (std::size_t i = 0; i < n_features; ++i) {
+    util::get_f64(payload, &pos, &out->features[i]);
+    if (!std::isfinite(out->features[i])) {
+      err->reason = util::Reason::kNonFiniteValue;
+      err->detail = "feature " + std::to_string(i) + " is not finite";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool decode_predict_response(const FrameHeader& header,
+                             std::span<const std::uint8_t> payload,
+                             PredictResponse* out) {
+  out->request_id = header.request_id;
+  std::size_t pos = 0;
+  std::uint16_t n_values = 0;
+  if (!util::get_u16(payload, &pos, &n_values)) return false;
+  if (payload.size() != 2 + 8 * static_cast<std::size_t>(n_values)) {
+    return false;
+  }
+  out->values.resize(n_values);
+  for (std::size_t i = 0; i < n_values; ++i) {
+    util::get_f64(payload, &pos, &out->values[i]);
+  }
+  return true;
+}
+
+bool decode_error_response(const FrameHeader& header,
+                           std::span<const std::uint8_t> payload,
+                           ErrorResponse* out) {
+  out->request_id = header.request_id;
+  std::size_t pos = 0;
+  std::uint16_t status = 0;
+  std::uint16_t reason = 0;
+  std::uint32_t detail_len = 0;
+  if (!util::get_u16(payload, &pos, &status) ||
+      !util::get_u16(payload, &pos, &reason) ||
+      !util::get_u32(payload, &pos, &detail_len)) {
+    return false;
+  }
+  if (payload.size() != 8 + static_cast<std::size_t>(detail_len)) return false;
+  out->status = static_cast<ServeStatus>(status);
+  if (reason == kNoReason || reason >= util::kReasonCount) {
+    out->reason.reset();
+  } else {
+    out->reason = static_cast<util::Reason>(reason);
+  }
+  out->detail.assign(reinterpret_cast<const char*>(payload.data()) + pos,
+                     detail_len);
+  return true;
+}
+
+}  // namespace iotax::serve

@@ -1,0 +1,99 @@
+// Message bodies carried inside serve frames (src/util/frame.hpp): the
+// predict request/response pair and the typed error reply. Encoding is
+// exact — feature values and predictions travel as IEEE-754 bit
+// patterns — so a served prediction is byte-for-byte the number the
+// model computed, and the serve-vs-offline golden tests can demand
+// bit-identity. Decoding is non-throwing and maps every defect onto the
+// quarantine Reason vocabulary, mirroring the archive parsers.
+//
+// PredictRequest payload:
+//   u16 model_index   registry slot chosen at `iotax serve` startup
+//   u16 n_features    row width; must satisfy payload_len = 4 + 8*n
+//   f64 * n_features  the feature row (order = taxonomy feature_matrix)
+//
+// PredictResponse payload:
+//   u16 n_values      1 (point prediction) or 3 (mean, aleatory,
+//                     epistemic — granted when the request set
+//                     kFlagPredictDist and the model supports it)
+//   f64 * n_values
+//
+// ErrorResponse payload:
+//   u16 status        ServeStatus
+//   u16 reason        util::Reason for frame/request defects;
+//                     kNoReason (0xFFFF) otherwise
+//   u32 detail_len    followed by that many bytes of human-readable text
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/frame.hpp"
+#include "src/util/quarantine.hpp"
+
+namespace iotax::serve {
+
+/// Why the daemon refused a request (beyond what a Reason code says).
+enum class ServeStatus : std::uint16_t {
+  kBusy = 1,          // admission control shed the request (max-inflight)
+  kBadFrame = 2,      // framing defect; reason holds the Reason code
+  kBadRequest = 3,    // well-framed but invalid payload; reason set
+  kUnknownModel = 4,  // model_index outside the registry
+  kShuttingDown = 5,  // daemon is draining; no new work accepted
+  kInternal = 6,      // model threw during predict
+};
+
+const char* serve_status_name(ServeStatus status);
+
+inline constexpr std::uint16_t kNoReason = 0xFFFF;
+
+struct PredictRequest {
+  std::uint64_t request_id = 0;
+  std::uint16_t model_index = 0;
+  bool want_dist = false;
+  std::vector<double> features;
+};
+
+struct PredictResponse {
+  std::uint64_t request_id = 0;
+  /// 1 value (point) or 3 (mean, aleatory variance, epistemic variance).
+  std::vector<double> values;
+};
+
+struct ErrorResponse {
+  std::uint64_t request_id = 0;  // 0 when the defect predates an id
+  ServeStatus status = ServeStatus::kInternal;
+  /// Set for kBadFrame/kBadRequest; nullopt otherwise.
+  std::optional<util::Reason> reason;
+  std::string detail;
+};
+
+// -- encode (returns complete wire frames) ----------------------------------
+
+std::string encode_predict_request(const PredictRequest& req);
+std::string encode_predict_response(const PredictResponse& resp);
+std::string encode_error_response(const ErrorResponse& err);
+std::string encode_ping(std::uint64_t request_id);
+std::string encode_pong(std::uint64_t request_id);
+
+// -- decode (payload given a decoded frame header) --------------------------
+
+/// Parse a kPredictRequest payload. On failure returns false and fills
+/// *err with the matching quarantine reason (size-mismatch for a length
+/// disagreeing with n_features, non-finite-value for NaN/Inf features).
+bool decode_predict_request(const util::FrameHeader& header,
+                            std::span<const std::uint8_t> payload,
+                            PredictRequest* out, ErrorResponse* err);
+
+/// Parse a kPredictResponse payload (client side). False on malformed.
+bool decode_predict_response(const util::FrameHeader& header,
+                             std::span<const std::uint8_t> payload,
+                             PredictResponse* out);
+
+/// Parse a kErrorResponse payload (client side). False on malformed.
+bool decode_error_response(const util::FrameHeader& header,
+                           std::span<const std::uint8_t> payload,
+                           ErrorResponse* out);
+
+}  // namespace iotax::serve

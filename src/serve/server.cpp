@@ -1,0 +1,520 @@
+#include "src/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/data/matrix.hpp"
+#include "src/ml/ensemble.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace iotax::serve {
+
+using util::FrameDecode;
+using util::FrameHeader;
+using util::FrameType;
+using util::Reason;
+
+struct Server::Session {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> dead{false};
+
+  ~Session() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One admitted request waiting for its batch.
+struct Server::Pending {
+  std::shared_ptr<Session> session;
+  PredictRequest req;
+  std::chrono::steady_clock::time_point t_enqueue;
+};
+
+namespace {
+
+int make_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket(AF_UNIX) failed");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve: cannot listen on unix socket " + path +
+                             ": " + std::strerror(err));
+  }
+  return fd;
+}
+
+int make_tcp_listener(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket(AF_INET) failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve: cannot listen on TCP port " +
+                             std::to_string(port) + ": " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(ServeConfig config) : config_(std::move(config)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("serve: already running");
+  }
+  for (const auto& path : config_.model_files) registry_.add(path);
+  if (registry_.size() == 0) {
+    throw std::runtime_error("serve: no model checkpoints given");
+  }
+  queue_ = std::make_unique<util::BoundedQueue<Pending>>(config_.max_inflight);
+  if (!config_.unix_socket.empty()) {
+    unix_fd_ = make_unix_listener(config_.unix_socket);
+  }
+  if (config_.tcp_port >= 0) {
+    tcp_fd_ = make_tcp_listener(config_.tcp_port, &bound_tcp_port_);
+  }
+  if (unix_fd_ < 0 && tcp_fd_ < 0) {
+    throw std::runtime_error("serve: no listener configured "
+                             "(need --socket and/or --port)");
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) {
+    // Another thread is already draining; wait for it to finish.
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;
+  }
+  // 1. Stop accepting and close the listeners.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    ::unlink(config_.unix_socket.c_str());
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  // 2. Stop the session readers (no new admissions). shutdown(SHUT_RD)
+  // turns a blocked poll into an immediate EOF; pending responses still
+  // flow out through the write side.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& weak : sessions_) {
+      if (const auto session = weak.lock()) {
+        ::shutdown(session->fd, SHUT_RD);
+      }
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    readers.swap(session_threads_);
+  }
+  for (auto& t : readers) t.join();
+  // 3. Drain: the batcher answers every admitted request, then exits.
+  queue_->close();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.responses = n_responses_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.shed = n_shed_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  s.quarantined = n_quarantined_.load(std::memory_order_relaxed);
+  return s;
+}
+
+util::QuarantineReport Server::quarantine() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantine_;
+}
+
+bool Server::write_frame(Session& session, std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  if (session.dead.load(std::memory_order_relaxed)) return false;
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(session.fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      session.dead.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Server::note_quarantine(Reason reason, const std::string& detail) {
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    util::QuarantineEntry entry;
+    entry.reason = reason;
+    entry.detail = detail;
+    quarantine_.add(std::move(entry));
+  }
+  n_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  IOTAX_OBS_COUNT("serve.quarantined", 1);
+}
+
+void Server::send_error(const std::shared_ptr<Session>& session,
+                        const ErrorResponse& err, bool count_as_error) {
+  write_frame(*session, encode_error_response(err));
+  if (count_as_error) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    IOTAX_OBS_COUNT("serve.errors", 1);
+  } else {
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    IOTAX_OBS_COUNT("serve.shed", 1);
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    int n_fds = 0;
+    if (unix_fd_ >= 0) fds[n_fds++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n_fds++] = {tcp_fd_, POLLIN, 0};
+    const int rc = ::poll(fds, static_cast<nfds_t>(n_fds), 100);
+    if (rc <= 0) continue;
+    for (int i = 0; i < n_fds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept4(fds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd < 0) continue;
+      auto session = std::make_shared<Session>();
+      session->fd = cfd;
+      n_connections_.fetch_add(1, std::memory_order_relaxed);
+      IOTAX_OBS_COUNT("serve.connections", 1);
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(session);
+      session_threads_.emplace_back(
+          [this, session = std::move(session)] { session_loop(session); });
+    }
+  }
+}
+
+void Server::session_loop(std::shared_ptr<Session> session) {
+  std::vector<std::uint8_t> buf;
+  std::size_t start = 0;  // parse cursor into buf
+  std::uint8_t chunk[16384];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{session->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    const ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // EOF. Anything left in the buffer is a frame the peer never
+      // finished — the wire-level analogue of a truncated archive.
+      // During drain the cut is ours, not the peer's: stay silent.
+      if (start < buf.size() && !stopping_.load(std::memory_order_acquire)) {
+        note_quarantine(Reason::kTruncated,
+                        "connection closed inside a frame (" +
+                            std::to_string(buf.size() - start) +
+                            " byte(s) of partial frame)");
+        ErrorResponse err;
+        err.status = ServeStatus::kBadFrame;
+        err.reason = Reason::kTruncated;
+        err.detail = "truncated frame";
+        send_error(session, err);
+      }
+      break;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+    bool close_session = false;
+    while (true) {
+      const auto view = std::span<const std::uint8_t>(buf).subspan(start);
+      const FrameDecode dec = util::decode_frame(view);
+      if (dec.status == FrameDecode::Status::kNeedMore) break;
+      if (dec.status == FrameDecode::Status::kBad) {
+        // Framing is lost — reply with the typed defect and close; the
+        // daemon itself keeps serving every other connection.
+        note_quarantine(dec.reason, dec.detail);
+        ErrorResponse err;
+        err.status = ServeStatus::kBadFrame;
+        err.reason = dec.reason;
+        err.detail = dec.detail;
+        send_error(session, err);
+        close_session = true;
+        break;
+      }
+      const auto payload =
+          view.subspan(FrameHeader::kWireSize,
+                       dec.header.payload_len);
+      if (!handle_frame(session, dec.header, payload)) {
+        close_session = true;
+        break;
+      }
+      start += dec.consumed;
+    }
+    if (close_session) break;
+    // Compact the consumed prefix once it dominates the buffer.
+    if (start > 4096 && start * 2 > buf.size()) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<long>(start));
+      start = 0;
+    }
+  }
+}
+
+bool Server::handle_frame(const std::shared_ptr<Session>& session,
+                          const FrameHeader& header,
+                          std::span<const std::uint8_t> payload) {
+  switch (static_cast<FrameType>(header.type)) {
+    case FrameType::kPing:
+      write_frame(*session, encode_pong(header.request_id));
+      return true;
+    case FrameType::kPredictRequest:
+      break;
+    default: {
+      // Well-framed but not something a client may send. The frame
+      // boundary is intact, so the connection survives.
+      note_quarantine(Reason::kMalformedHeader,
+                      "unexpected frame type " +
+                          std::to_string(header.type));
+      ErrorResponse err;
+      err.request_id = header.request_id;
+      err.status = ServeStatus::kBadFrame;
+      err.reason = Reason::kMalformedHeader;
+      err.detail = "unexpected frame type";
+      send_error(session, err);
+      return true;
+    }
+  }
+
+  Pending pending;
+  pending.session = session;
+  ErrorResponse err;
+  if (!decode_predict_request(header, payload, &pending.req, &err)) {
+    note_quarantine(*err.reason, err.detail);
+    send_error(session, err);
+    return true;
+  }
+  if (pending.req.model_index >= registry_.size()) {
+    err.request_id = header.request_id;
+    err.status = ServeStatus::kUnknownModel;
+    err.reason.reset();
+    err.detail = "model index " + std::to_string(pending.req.model_index) +
+                 " outside registry of " + std::to_string(registry_.size());
+    send_error(session, err);
+    return true;
+  }
+  const auto& model = registry_.model(pending.req.model_index);
+  if (model.n_features() != 0 &&
+      pending.req.features.size() != model.n_features()) {
+    err.request_id = header.request_id;
+    err.status = ServeStatus::kBadRequest;
+    err.reason = Reason::kSizeMismatch;
+    err.detail = "model expects " + std::to_string(model.n_features()) +
+                 " features, request carries " +
+                 std::to_string(pending.req.features.size());
+    note_quarantine(Reason::kSizeMismatch, err.detail);
+    send_error(session, err);
+    return true;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    err.request_id = header.request_id;
+    err.status = ServeStatus::kShuttingDown;
+    err.reason.reset();
+    err.detail = "daemon is draining";
+    send_error(session, err, /*count_as_error=*/false);
+    return true;
+  }
+  // Admission control: past max-inflight the request is shed with a
+  // typed BUSY reply — the client backs off, the daemon never queues
+  // unboundedly.
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+      config_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    err.request_id = header.request_id;
+    err.status = ServeStatus::kBusy;
+    err.reason.reset();
+    err.detail = "max-inflight " + std::to_string(config_.max_inflight) +
+                 " reached";
+    send_error(session, err, /*count_as_error=*/false);
+    return true;
+  }
+  pending.t_enqueue = std::chrono::steady_clock::now();
+  if (!queue_->try_push(std::move(pending))) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    err.request_id = header.request_id;
+    err.status = queue_->closed() ? ServeStatus::kShuttingDown
+                                  : ServeStatus::kBusy;
+    err.reason.reset();
+    err.detail = "request queue full";
+    send_error(session, err, /*count_as_error=*/false);
+    return true;
+  }
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  IOTAX_OBS_COUNT("serve.requests", 1);
+  IOTAX_OBS_GAUGE("serve.inflight",
+                  static_cast<double>(
+                      inflight_.load(std::memory_order_relaxed)));
+  return true;
+}
+
+void Server::batcher_loop() {
+  while (true) {
+    auto batch = queue_->pop_batch(
+        config_.batch_size, std::chrono::microseconds(config_.batch_wait_us));
+    if (batch.empty()) break;  // closed and drained
+    run_batch(std::move(batch));
+  }
+}
+
+void Server::run_batch(std::vector<Pending>&& batch) {
+  IOTAX_TRACE_SPAN("serve.batch");
+  obs::span_arg("rows", static_cast<double>(batch.size()));
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  IOTAX_OBS_COUNT("serve.batches", 1);
+
+  // Group batch slots by (model, row width, dist?) in first-appearance
+  // order, then run each group through one MatrixView-backed predict.
+  struct Group {
+    std::uint16_t model_index;
+    std::size_t width;
+    bool dist;
+    std::vector<std::size_t> slots;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& req = batch[i].req;
+    Group* group = nullptr;
+    for (auto& g : groups) {
+      if (g.model_index == req.model_index &&
+          g.width == req.features.size() && g.dist == req.want_dist) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{req.model_index, req.features.size(),
+                             req.want_dist, {}});
+      group = &groups.back();
+    }
+    group->slots.push_back(i);
+  }
+
+  for (const auto& group : groups) {
+    const auto& model = registry_.model(group.model_index);
+    data::Matrix x(group.slots.size(), group.width);
+    for (std::size_t r = 0; r < group.slots.size(); ++r) {
+      const auto& feats = batch[group.slots[r]].req.features;
+      auto row = x.mutable_row(r);
+      for (std::size_t c = 0; c < group.width; ++c) row[c] = feats[c];
+    }
+    std::vector<PredictResponse> responses(group.slots.size());
+    bool ok = true;
+    try {
+      // A dist request against an ensemble gets the full decomposition;
+      // any other model family answers with its point prediction. Both
+      // run the ordinary batch kernels, so a served value is bit-equal
+      // to what offline `iotax predict` computes for the same row.
+      const auto* ensemble =
+          group.dist ? dynamic_cast<const ml::DeepEnsemble*>(&model) : nullptr;
+      if (ensemble != nullptr) {
+        const auto uq = ensemble->predict_uncertainty(x);
+        for (std::size_t r = 0; r < group.slots.size(); ++r) {
+          responses[r].values = {uq.mean[r], uq.aleatory[r], uq.epistemic[r]};
+        }
+      } else {
+        const auto pred = model.predict(x);
+        for (std::size_t r = 0; r < group.slots.size(); ++r) {
+          responses[r].values = {pred[r]};
+        }
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      for (const auto slot : group.slots) {
+        ErrorResponse err;
+        err.request_id = batch[slot].req.request_id;
+        err.status = ServeStatus::kInternal;
+        err.detail = e.what();
+        send_error(batch[slot].session, err);
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    if (!ok) continue;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < group.slots.size(); ++r) {
+      const auto slot = group.slots[r];
+      responses[r].request_id = batch[slot].req.request_id;
+      write_frame(*batch[slot].session, encode_predict_response(responses[r]));
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      n_responses_.fetch_add(1, std::memory_order_relaxed);
+      IOTAX_OBS_COUNT("serve.responses", 1);
+      if (obs::enabled()) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                now - batch[slot].t_enqueue)
+                .count();
+        IOTAX_OBS_HIST_MS("serve.request_ms", ms);
+      }
+    }
+  }
+  IOTAX_OBS_GAUGE("serve.inflight",
+                  static_cast<double>(
+                      inflight_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace iotax::serve

@@ -1,0 +1,100 @@
+// Bounded multi-producer / multi-consumer queue with explicit
+// backpressure, built for the serve request path: session readers
+// try_push() and treat a full queue as "shed this request", the batcher
+// pop_batch()es up to a batch size within a bounded gather window, and
+// close() starts a graceful drain — producers are refused, consumers
+// keep popping until the queue is empty and only then see "done".
+//
+// All synchronisation is a mutex + two condition variables; no lock-free
+// cleverness, so the type is trivially ThreadSanitizer-clean and the
+// shutdown ordering is easy to reason about.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace iotax::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. False when the queue is full (backpressure: the
+  /// caller sheds) or closed (drain: the caller refuses new work).
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(v));
+    }
+    nonempty_cv_.notify_one();
+    return true;
+  }
+
+  /// Pop up to `max_n` items as one batch. Blocks until at least one
+  /// item is available (or the queue is closed); once the first item of
+  /// the batch is in hand, waits at most `gather_wait` for more before
+  /// returning what accumulated. Returns an empty vector only when the
+  /// queue is closed *and* drained — the consumer's signal to exit.
+  std::vector<T> pop_batch(std::size_t max_n,
+                           std::chrono::microseconds gather_wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    nonempty_cv_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return {};  // closed and drained
+    if (q_.size() < max_n && !closed_) {
+      const auto deadline = std::chrono::steady_clock::now() + gather_wait;
+      nonempty_cv_.wait_until(lock, deadline, [&] {
+        return q_.size() >= max_n || closed_;
+      });
+    }
+    std::vector<T> batch;
+    const std::size_t n = q_.size() < max_n ? q_.size() : max_n;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return batch;
+  }
+
+  /// Refuse all future pushes and wake every blocked consumer. Items
+  /// already queued stay poppable (drain-then-exit semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    nonempty_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace iotax::util

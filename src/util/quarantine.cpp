@@ -41,6 +41,16 @@ const char* reason_name(Reason reason) {
   return kReasonNames[index_of(reason)];
 }
 
+bool reason_from_name(std::string_view name, Reason* out) {
+  for (std::size_t i = 0; i < kReasonCount; ++i) {
+    if (name == kReasonNames[i]) {
+      *out = static_cast<Reason>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
 void QuarantineReport::add(QuarantineEntry entry) {
   ++counts_[index_of(entry.reason)];
   if (entries_.size() < kMaxStoredEntries) {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/json.hpp"
@@ -51,6 +52,11 @@ inline constexpr std::size_t kReasonCount = 22;
 
 /// Stable kebab-case name for a reason code ("bad-checksum").
 const char* reason_name(Reason reason);
+
+/// Reverse lookup of reason_name: false (and *out untouched) for a
+/// string outside the vocabulary. Used by serve clients rendering typed
+/// error replies and by tooling that reads quarantine JSON back.
+bool reason_from_name(std::string_view name, Reason* out);
 
 struct QuarantineEntry {
   Reason reason = Reason::kBadMagic;

@@ -230,6 +230,46 @@ TEST(UnifiedLoad, RejectsUnknownHeaderAndUnseekableGarbage) {
   EXPECT_THROW(ml::Regressor::load(empty), std::runtime_error);
 }
 
+// A bad checkpoint must say which file, what it found, and what would
+// have been valid — the operator is three shell commands away from the
+// fix only if the message carries all three.
+TEST(UnifiedLoad, DiagnosticNamesSourceTokenAndKnownMagics) {
+  std::stringstream buf("iotax-frobnicator 1\n");
+  try {
+    ml::Regressor::load(buf, "checkpoints/prod.gbt");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoints/prod.gbt"), std::string::npos) << what;
+    EXPECT_NE(what.find("iotax-frobnicator"), std::string::npos) << what;
+    for (const auto& magic : ml::known_model_magics()) {
+      EXPECT_NE(what.find(magic), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(UnifiedLoad, EmptyStreamDiagnosticIsExplicit) {
+  std::stringstream empty;
+  try {
+    ml::Regressor::load(empty, "empty.bin");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("known model magics"), std::string::npos) << what;
+  }
+}
+
+TEST(UnifiedLoad, LoadRegressorFileReportsMissingPath) {
+  try {
+    ml::load_regressor_file("/no/such/dir/model.gbt");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/dir/model.gbt"),
+              std::string::npos);
+  }
+}
+
 // --- make_regressor factory --------------------------------------------
 
 TEST(Registry, BuildsEveryAdvertisedFamily) {

@@ -1,0 +1,568 @@
+// The serving stack: frame codec, bounded MPMC queue, and the daemon
+// end to end over a real Unix socket — golden bit-identity against
+// offline predictions at IOTAX_THREADS 1 and 4, truncation at every
+// byte boundary, admission control, and graceful-drain accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/data/matrix.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/registry.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/frame.hpp"
+#include "src/util/mpmc.hpp"
+#include "src/util/quarantine.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax {
+namespace {
+
+using util::FrameDecode;
+using util::FrameHeader;
+using util::FrameType;
+using util::Reason;
+
+// -- frame codec ------------------------------------------------------------
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Frame, PrimitivesRoundTripBitExact) {
+  std::string buf;
+  util::put_u16(&buf, 0xBEEF);
+  util::put_u32(&buf, 0xDEADBEEFu);
+  util::put_u64(&buf, 0x0123456789ABCDEFull);
+  util::put_f64(&buf, -0.0);
+  util::put_f64(&buf, 1e-308);  // subnormal territory survives transport
+  std::size_t pos = 0;
+  std::uint16_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  double d = 0.0, e = 0.0;
+  ASSERT_TRUE(util::get_u16(as_bytes(buf), &pos, &a));
+  ASSERT_TRUE(util::get_u32(as_bytes(buf), &pos, &b));
+  ASSERT_TRUE(util::get_u64(as_bytes(buf), &pos, &c));
+  ASSERT_TRUE(util::get_f64(as_bytes(buf), &pos, &d));
+  ASSERT_TRUE(util::get_f64(as_bytes(buf), &pos, &e));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(std::signbit(d));  // -0.0, not 0.0
+  EXPECT_EQ(e, 1e-308);
+  EXPECT_EQ(pos, buf.size());
+  // Reads past the end fail without moving the cursor.
+  EXPECT_FALSE(util::get_u16(as_bytes(buf), &pos, &a));
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  const auto wire = util::encode_frame(FrameType::kPredictRequest,
+                                       util::kFlagPredictDist, 42, "payload");
+  ASSERT_EQ(wire.size(), FrameHeader::kWireSize + 7);
+  const auto dec = util::decode_frame(as_bytes(wire));
+  ASSERT_EQ(dec.status, FrameDecode::Status::kOk);
+  EXPECT_EQ(dec.header.version, FrameHeader::kVersion);
+  EXPECT_EQ(dec.header.type,
+            static_cast<std::uint8_t>(FrameType::kPredictRequest));
+  EXPECT_EQ(dec.header.flags, util::kFlagPredictDist);
+  EXPECT_EQ(dec.header.request_id, 42u);
+  EXPECT_EQ(dec.header.payload_len, 7u);
+  EXPECT_EQ(dec.consumed, wire.size());
+}
+
+TEST(Frame, EveryPrefixNeedsMore) {
+  const auto wire =
+      util::encode_frame(FrameType::kPredictRequest, 0, 7, "abcdef");
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto dec = util::decode_frame(as_bytes(wire).subspan(0, n));
+    EXPECT_EQ(dec.status, FrameDecode::Status::kNeedMore) << "prefix " << n;
+  }
+}
+
+TEST(Frame, BadMagicRejectedFromFirstByte) {
+  auto wire = util::encode_frame(FrameType::kPing, 0, 1, "");
+  wire[0] = 'X';
+  // A wrong protocol is detected on the very first byte, before a full
+  // header ever accumulates.
+  const auto dec = util::decode_frame(as_bytes(wire).subspan(0, 1));
+  EXPECT_EQ(dec.status, FrameDecode::Status::kBad);
+  EXPECT_EQ(dec.reason, Reason::kBadMagic);
+}
+
+TEST(Frame, BadVersionRejected) {
+  auto wire = util::encode_frame(FrameType::kPing, 0, 1, "");
+  wire[4] = 9;  // version field, little-endian low byte
+  const auto dec = util::decode_frame(as_bytes(wire));
+  EXPECT_EQ(dec.status, FrameDecode::Status::kBad);
+  EXPECT_EQ(dec.reason, Reason::kBadVersion);
+}
+
+TEST(Frame, ImplausiblePayloadLengthRejected) {
+  auto wire = util::encode_frame(FrameType::kPing, 0, 1, "");
+  const std::uint32_t huge = FrameHeader::kMaxPayload + 1;
+  std::memcpy(wire.data() + 16, &huge, sizeof(huge));
+  const auto dec = util::decode_frame(as_bytes(wire));
+  EXPECT_EQ(dec.status, FrameDecode::Status::kBad);
+  EXPECT_EQ(dec.reason, Reason::kImplausibleSize);
+}
+
+TEST(Frame, ReasonNamesRoundTrip) {
+  Reason r = Reason::kBadChecksum;
+  ASSERT_TRUE(util::reason_from_name("truncated", &r));
+  EXPECT_EQ(r, Reason::kTruncated);
+  EXPECT_FALSE(util::reason_from_name("no-such-reason", &r));
+  EXPECT_EQ(r, Reason::kTruncated);  // untouched on failure
+}
+
+// -- bounded MPMC queue -----------------------------------------------------
+
+TEST(BoundedQueue, BackpressureAndClose) {
+  util::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: caller sheds
+  auto batch = q.pop_batch(8, std::chrono::microseconds(0));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: no new work
+  EXPECT_TRUE(q.pop_batch(8, std::chrono::microseconds(0)).empty());
+}
+
+TEST(BoundedQueue, BatchGatherRespectsMaxN) {
+  util::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  const auto first = q.pop_batch(3, std::chrono::microseconds(0));
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2}));
+  const auto rest = q.pop_batch(3, std::chrono::microseconds(0));
+  EXPECT_EQ(rest, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueue, ConcurrentProducersDrainCompletely) {
+  util::BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 500;
+  std::atomic<int> pushed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, &pushed] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!q.try_push(i)) std::this_thread::yield();
+        pushed.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&q, &popped] {
+    while (true) {
+      const auto batch = q.pop_batch(8, std::chrono::microseconds(50));
+      if (batch.empty()) return;  // closed and drained
+      popped.fetch_add(static_cast<int>(batch.size()));
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(pushed.load(), 3 * kPerProducer);
+  EXPECT_EQ(popped.load(), 3 * kPerProducer);
+}
+
+// -- daemon end to end ------------------------------------------------------
+
+struct Xy {
+  data::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Xy make_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Xy d;
+  d.x = data::Matrix(n, 5);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 5; ++c) d.x(i, c) = rng.uniform(-3.0, 3.0);
+    d.y[i] = std::sin(d.x(i, 0)) + 0.3 * d.x(i, 1) * d.x(i, 2) +
+             rng.normal(0.0, 0.05);
+  }
+  return d;
+}
+
+/// Train a small GBT once, save the checkpoint to a temp file, and hand
+/// out servers bound to per-test Unix sockets.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_ = new Xy(make_data(400, 11));
+    probe_ = new Xy(make_data(64, 12));
+    ml::GbtParams p;
+    p.n_estimators = 12;
+    p.max_depth = 4;
+    model_ = new ml::GradientBoostedTrees(p);
+    model_->fit(train_->x, train_->y);
+    model_path_ = ::testing::TempDir() + "serve_test_model.gbt";
+    std::ofstream out(model_path_);
+    ASSERT_TRUE(out.is_open());
+    model_->save(out);
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete probe_;
+    delete model_;
+    train_ = nullptr;
+    probe_ = nullptr;
+    model_ = nullptr;
+  }
+
+  serve::ServeConfig base_config(const char* tag) const {
+    serve::ServeConfig cfg;
+    cfg.model_files = {model_path_};
+    cfg.unix_socket = ::testing::TempDir() + "serve_test_" + tag + ".sock";
+    return cfg;
+  }
+
+  static serve::PredictRequest request_for_row(std::size_t row,
+                                               std::uint64_t id) {
+    serve::PredictRequest req;
+    req.request_id = id;
+    const auto src = probe_->x.row(row);
+    req.features.assign(src.begin(), src.end());
+    return req;
+  }
+
+  /// Pipeline every probe row through `client` and return predictions
+  /// in row order.
+  static std::vector<double> query_all(serve::Client& client) {
+    const std::size_t n = probe_->x.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      client.send_predict(request_for_row(i, i + 1));
+    }
+    std::vector<double> pred(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::Client::Reply reply;
+      EXPECT_TRUE(client.read_reply(&reply));
+      EXPECT_EQ(reply.type, FrameType::kPredictResponse);
+      EXPECT_EQ(reply.predict.values.size(), 1u);
+      const auto row = reply.request_id - 1;
+      EXPECT_LT(row, n);
+      if (reply.predict.values.size() == 1 && row < n) {
+        pred[row] = reply.predict.values[0];
+      }
+    }
+    return pred;
+  }
+
+  static Xy* train_;
+  static Xy* probe_;
+  static ml::GradientBoostedTrees* model_;
+  static std::string model_path_;
+};
+
+Xy* ServeTest::train_ = nullptr;
+Xy* ServeTest::probe_ = nullptr;
+ml::GradientBoostedTrees* ServeTest::model_ = nullptr;
+std::string ServeTest::model_path_;
+
+/// Bit-pattern equality: the golden guarantee is byte-identity, not
+/// almost-equality.
+void expect_bit_identical(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    EXPECT_EQ(ba, bb) << "row " << i;
+  }
+}
+
+TEST_F(ServeTest, GoldenBitIdenticalToOfflineAcrossThreadCounts) {
+  // setenv only while no server threads are alive; each pass brings the
+  // daemon up under one fixed IOTAX_THREADS.
+  const char* old = std::getenv("IOTAX_THREADS");
+  const std::string saved = old != nullptr ? old : "";
+  for (const char* threads : {"1", "4"}) {
+    ::setenv("IOTAX_THREADS", threads, 1);
+    const auto offline = model_->predict(probe_->x);
+    serve::Server server(base_config("golden"));
+    server.start();
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    const auto served = query_all(client);
+    client.close();
+    server.stop();
+    expect_bit_identical(served, offline);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, probe_->x.rows());
+    EXPECT_EQ(stats.responses, probe_->x.rows());
+    EXPECT_GE(stats.batches, 1u);
+  }
+  if (!saved.empty()) {
+    ::setenv("IOTAX_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("IOTAX_THREADS");
+  }
+}
+
+TEST_F(ServeTest, ServesManyConnectionsOverTcp) {
+  auto cfg = base_config("tcp");
+  cfg.unix_socket.clear();
+  cfg.tcp_port = 0;  // ephemeral
+  serve::Server server(cfg);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  const auto offline = model_->predict(probe_->x);
+  for (int pass = 0; pass < 3; ++pass) {
+    auto client = serve::Client::connect_tcp(
+        "127.0.0.1", static_cast<std::uint16_t>(server.tcp_port()));
+    expect_bit_identical(query_all(client), offline);
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().connections, 3u);
+}
+
+TEST_F(ServeTest, TruncationAtEveryByteBoundaryIsQuarantined) {
+  serve::Server server(base_config("trunc"));
+  server.start();
+  const auto wire = serve::encode_predict_request(request_for_row(0, 99));
+  std::uint64_t expect_truncated = 0;
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_raw(std::string_view(wire).substr(0, cut));
+    client.shutdown_write();
+    serve::Client::Reply reply;
+    if (cut == 0) {
+      // A clean close is not a defect.
+      EXPECT_FALSE(client.read_reply(&reply));
+      continue;
+    }
+    ++expect_truncated;
+    ASSERT_TRUE(client.read_reply(&reply)) << "cut at byte " << cut;
+    EXPECT_EQ(reply.type, FrameType::kErrorResponse);
+    EXPECT_EQ(reply.error.status, serve::ServeStatus::kBadFrame);
+    ASSERT_TRUE(reply.error.reason.has_value());
+    EXPECT_EQ(*reply.error.reason, Reason::kTruncated) << "cut " << cut;
+    EXPECT_FALSE(client.read_reply(&reply));  // connection then closes
+  }
+  // The daemon took every partial frame on the chin and still serves.
+  auto client = serve::Client::connect_unix(server.config().unix_socket);
+  client.send_predict(request_for_row(0, 7));
+  serve::Client::Reply reply;
+  ASSERT_TRUE(client.read_reply(&reply));
+  EXPECT_EQ(reply.type, FrameType::kPredictResponse);
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.quarantine().count(Reason::kTruncated), expect_truncated);
+  EXPECT_EQ(server.stats().quarantined, expect_truncated);
+}
+
+TEST_F(ServeTest, BadMagicClosesOnlyThatConnection) {
+  serve::Server server(base_config("magic"));
+  server.start();
+  auto bad = serve::Client::connect_unix(server.config().unix_socket);
+  bad.send_raw("GET / HTTP/1.1\r\n\r\n");  // wrong protocol entirely
+  serve::Client::Reply reply;
+  ASSERT_TRUE(bad.read_reply(&reply));
+  EXPECT_EQ(reply.type, FrameType::kErrorResponse);
+  EXPECT_EQ(reply.error.status, serve::ServeStatus::kBadFrame);
+  ASSERT_TRUE(reply.error.reason.has_value());
+  EXPECT_EQ(*reply.error.reason, Reason::kBadMagic);
+  EXPECT_FALSE(bad.read_reply(&reply));  // that connection is done
+
+  auto good = serve::Client::connect_unix(server.config().unix_socket);
+  good.send_ping(5);
+  ASSERT_TRUE(good.read_reply(&reply));
+  EXPECT_EQ(reply.type, FrameType::kPong);
+  EXPECT_EQ(reply.request_id, 5u);
+  server.stop();
+  EXPECT_EQ(server.quarantine().count(Reason::kBadMagic), 1u);
+}
+
+TEST_F(ServeTest, WireDefectsMapToStableReasons) {
+  serve::Server server(base_config("defects"));
+  server.start();
+  serve::Client::Reply reply;
+
+  {  // Unsupported protocol version.
+    auto wire = util::encode_frame(FrameType::kPing, 0, 1, "");
+    wire[4] = 9;
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_raw(wire);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_TRUE(reply.error.reason.has_value());
+    EXPECT_EQ(*reply.error.reason, Reason::kBadVersion);
+  }
+  {  // Server-only frame type arriving at the server.
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_raw(util::encode_frame(FrameType::kPong, 0, 2, ""));
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_TRUE(reply.error.reason.has_value());
+    EXPECT_EQ(*reply.error.reason, Reason::kMalformedHeader);
+    // Frame boundaries are intact, so the connection survives.
+    client.send_ping(3);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_EQ(reply.type, FrameType::kPong);
+  }
+  {  // NaN feature: well-framed, semantically poisonous.
+    auto req = request_for_row(1, 4);
+    req.features[2] = std::nan("");
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_predict(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_EQ(reply.error.status, serve::ServeStatus::kBadRequest);
+    ASSERT_TRUE(reply.error.reason.has_value());
+    EXPECT_EQ(*reply.error.reason, Reason::kNonFiniteValue);
+  }
+  {  // Feature width that disagrees with the checkpoint.
+    serve::PredictRequest req;
+    req.request_id = 5;
+    req.features = {1.0, 2.0};  // model expects 5
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_predict(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_EQ(reply.error.status, serve::ServeStatus::kBadRequest);
+    ASSERT_TRUE(reply.error.reason.has_value());
+    EXPECT_EQ(*reply.error.reason, Reason::kSizeMismatch);
+  }
+  {  // Model index outside the registry.
+    auto req = request_for_row(1, 6);
+    req.model_index = 7;
+    auto client = serve::Client::connect_unix(server.config().unix_socket);
+    client.send_predict(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_EQ(reply.error.status, serve::ServeStatus::kUnknownModel);
+    EXPECT_FALSE(reply.error.reason.has_value());
+    // Recoverable: the same connection can still predict.
+    client.send_predict(request_for_row(1, 7));
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_EQ(reply.type, FrameType::kPredictResponse);
+  }
+  server.stop();
+  const auto q = server.quarantine();
+  EXPECT_EQ(q.count(Reason::kBadVersion), 1u);
+  EXPECT_EQ(q.count(Reason::kMalformedHeader), 1u);
+  EXPECT_EQ(q.count(Reason::kNonFiniteValue), 1u);
+  EXPECT_EQ(q.count(Reason::kSizeMismatch), 1u);
+}
+
+TEST_F(ServeTest, AdmissionControlShedsWithTypedBusy) {
+  auto cfg = base_config("busy");
+  cfg.batch_size = 4;
+  cfg.batch_wait_us = 200000;  // hold the batch open: responses can't race
+  cfg.max_inflight = 2;
+  serve::Server server(cfg);
+  server.start();
+  auto client = serve::Client::connect_unix(server.config().unix_socket);
+  // Three back-to-back requests down one pipe: the reader admits 1 and
+  // 2, then inflight == max and 3 must shed.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    client.send_predict(request_for_row(id, id));
+  }
+  std::map<std::uint64_t, bool> busy;  // id -> was shed
+  for (int i = 0; i < 3; ++i) {
+    serve::Client::Reply reply;
+    ASSERT_TRUE(client.read_reply(&reply));
+    if (reply.type == FrameType::kErrorResponse) {
+      ASSERT_EQ(reply.error.status, serve::ServeStatus::kBusy);
+      busy[reply.request_id] = true;
+    } else {
+      ASSERT_EQ(reply.type, FrameType::kPredictResponse);
+      busy[reply.request_id] = false;
+    }
+  }
+  EXPECT_FALSE(busy[1]);
+  EXPECT_FALSE(busy[2]);
+  EXPECT_TRUE(busy[3]);
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.responses, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.errors, 0u);  // BUSY is shed, not an error
+}
+
+TEST_F(ServeTest, DrainAnswersEverythingAdmitted) {
+  auto cfg = base_config("drain");
+  cfg.batch_size = 8;
+  cfg.batch_wait_us = 5000;
+  serve::Server server(cfg);
+  server.start();
+  auto client = serve::Client::connect_unix(server.config().unix_socket);
+  constexpr std::uint64_t kRequests = 40;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    client.send_predict(request_for_row(id % 64, id));
+  }
+  std::uint64_t answered = 0;
+  for (; answered < kRequests; ++answered) {
+    serve::Client::Reply reply;
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kPredictResponse);
+  }
+  server.stop();
+  const auto stats = server.stats();
+  // The drain invariant: every admitted request was answered.
+  EXPECT_EQ(stats.requests, kRequests);
+  EXPECT_EQ(stats.responses, kRequests);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_TRUE(server.quarantine().empty());
+  // stop() is idempotent.
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, RegistryServesMultipleModelsByIndex) {
+  // Second checkpoint: a deeper GBT with different predictions.
+  ml::GbtParams p;
+  p.n_estimators = 20;
+  p.max_depth = 3;
+  ml::GradientBoostedTrees other(p);
+  other.fit(train_->x, train_->y);
+  const auto other_path = ::testing::TempDir() + "serve_test_other.gbt";
+  {
+    std::ofstream out(other_path);
+    ASSERT_TRUE(out.is_open());
+    other.save(out);
+  }
+  auto cfg = base_config("multi");
+  cfg.model_files.push_back(other_path);
+  serve::Server server(cfg);
+  server.start();
+  ASSERT_EQ(server.registry().size(), 2u);
+  auto client = serve::Client::connect_unix(server.config().unix_socket);
+  const auto expect0 = model_->predict(probe_->x);
+  const auto expect1 = other.predict(probe_->x);
+  std::vector<double> got0(probe_->x.rows()), got1(probe_->x.rows());
+  for (std::size_t i = 0; i < probe_->x.rows(); ++i) {
+    auto req = request_for_row(i, 2 * i + 1);
+    client.send_predict(req);
+    req.request_id = 2 * i + 2;
+    req.model_index = 1;
+    client.send_predict(req);
+  }
+  for (std::size_t i = 0; i < 2 * probe_->x.rows(); ++i) {
+    serve::Client::Reply reply;
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kPredictResponse);
+    const auto row = (reply.request_id - 1) / 2;
+    if (reply.request_id % 2 == 1) {
+      got0[row] = reply.predict.values[0];
+    } else {
+      got1[row] = reply.predict.values[0];
+    }
+  }
+  server.stop();
+  expect_bit_identical(got0, expect0);
+  expect_bit_identical(got1, expect1);
+}
+
+}  // namespace
+}  // namespace iotax

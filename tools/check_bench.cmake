@@ -1,0 +1,123 @@
+# Bench regression gate: compare a fresh BENCH_pipeline.json against the
+# committed baseline and fail the job when the zero-copy path regresses.
+# Invoked as
+#   cmake -DCURRENT=<BENCH_pipeline.json> -DBASELINE=<baseline.json> \
+#         [-DBYTES_TOL=0.10] [-DWALL_TOL=1.5] -P check_bench.cmake
+#
+# What is gated, and how tightly:
+#   * reports_bit_identical must be true — a correctness bit, no tolerance.
+#   * view.peak_materialized_bytes may grow at most BYTES_TOL (default
+#     +10%) over baseline. Peak footprint is deterministic for a fixed
+#     IOTAX_SCALE, so the tolerance only absorbs allocator rounding; a
+#     real regression (a new materializing copy) jumps far past it.
+#   * view.wall_ms may grow at most WALL_TOL times baseline (default
+#     1.5x). Wall time on shared CI runners is noisy, so the gate is
+#     generous — it catches the pipeline going quadratic, not a wobble.
+# The baseline (bench/baselines/) must be regenerated whenever the bench
+# workload changes shape; the gate requires matching job counts so a
+# stale baseline fails loudly instead of gating garbage.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+foreach(var CURRENT BASELINE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_bench: -D${var}=... is required")
+  endif()
+  if(NOT EXISTS "${${var}}")
+    message(FATAL_ERROR "check_bench: ${var} file '${${var}}' not found")
+  endif()
+endforeach()
+if(NOT DEFINED BYTES_TOL)
+  set(BYTES_TOL 0.10)
+endif()
+if(NOT DEFINED WALL_TOL)
+  set(WALL_TOL 1.5)
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+# get_field(<out> <json> <path...>): string(JSON GET) with a fatal error
+# instead of silent NOTFOUND.
+function(get_field out json)
+  string(JSON value ERROR_VARIABLE err GET "${json}" ${ARGN})
+  if(NOT err STREQUAL "NOTFOUND")
+    string(REPLACE ";" "." dotted "${ARGN}")
+    message(FATAL_ERROR "check_bench: cannot read ${dotted}: ${err}")
+  endif()
+  set(${out} "${value}" PARENT_SCOPE)
+endfunction()
+
+# to_millis(<out> <decimal>): "0.10" -> 100, "1.5" -> 1500, "2" -> 2000.
+# cmake's math(EXPR) is integer-only, so tolerances are scaled by 1000.
+function(to_millis out decimal)
+  if(decimal MATCHES "^([0-9]*)\\.([0-9]+)$")
+    set(int_part "${CMAKE_MATCH_1}")
+    if(int_part STREQUAL "")
+      set(int_part 0)
+    endif()
+    string(SUBSTRING "${CMAKE_MATCH_2}000" 0 3 frac3)
+    math(EXPR millis "${int_part} * 1000 + ${frac3}")
+  elseif(decimal MATCHES "^[0-9]+$")
+    math(EXPR millis "${decimal} * 1000")
+  else()
+    message(FATAL_ERROR "check_bench: '${decimal}' is not a decimal")
+  endif()
+  set(${out} "${millis}" PARENT_SCOPE)
+endfunction()
+
+# truncate(<out> <decimal>): drop the fractional part ("7776.3" -> 7776).
+function(truncate out decimal)
+  string(REGEX REPLACE "\\..*$" "" int_part "${decimal}")
+  if(int_part STREQUAL "")
+    set(int_part 0)
+  endif()
+  set(${out} "${int_part}" PARENT_SCOPE)
+endfunction()
+
+# Comparable workloads only: a scale/preset change needs a new baseline.
+get_field(cur_jobs "${current_json}" jobs)
+get_field(base_jobs "${baseline_json}" jobs)
+if(NOT cur_jobs EQUAL base_jobs)
+  message(FATAL_ERROR "check_bench: job count ${cur_jobs} != baseline "
+                      "${base_jobs}; regenerate bench/baselines/ for the "
+                      "new workload")
+endif()
+
+# Correctness bit: the copy/view A/B must still agree exactly.
+# string(JSON) renders JSON true as "ON".
+get_field(identical "${current_json}" reports_bit_identical)
+if(NOT identical)
+  message(FATAL_ERROR "check_bench: reports_bit_identical is "
+                      "'${identical}' — the zero-copy path diverged from "
+                      "the materializing path")
+endif()
+
+# Peak-footprint gate: cur <= base + base * BYTES_TOL.
+get_field(cur_peak "${current_json}" view peak_materialized_bytes)
+get_field(base_peak "${baseline_json}" view peak_materialized_bytes)
+to_millis(bytes_tol_millis "${BYTES_TOL}")
+math(EXPR peak_limit "${base_peak} + ${base_peak} * ${bytes_tol_millis} / 1000")
+if(cur_peak GREATER peak_limit)
+  message(FATAL_ERROR "check_bench: peak materialized bytes regressed: "
+                      "${cur_peak} > limit ${peak_limit} "
+                      "(baseline ${base_peak}, tol +${BYTES_TOL})")
+endif()
+message(STATUS "check_bench: peak bytes ${cur_peak} <= ${peak_limit} "
+               "(baseline ${base_peak}) ok")
+
+# Wall-time gate: cur <= base * WALL_TOL.
+get_field(cur_wall "${current_json}" view wall_ms)
+get_field(base_wall "${baseline_json}" view wall_ms)
+to_millis(wall_tol_millis "${WALL_TOL}")
+truncate(cur_wall_int "${cur_wall}")
+truncate(base_wall_int "${base_wall}")
+math(EXPR wall_limit "${base_wall_int} * ${wall_tol_millis} / 1000")
+if(cur_wall_int GREATER wall_limit)
+  message(FATAL_ERROR "check_bench: pipeline wall time regressed: "
+                      "${cur_wall} ms > limit ${wall_limit} ms "
+                      "(baseline ${base_wall} ms, tol ${WALL_TOL}x)")
+endif()
+message(STATUS "check_bench: wall ${cur_wall} ms <= ${wall_limit} ms "
+               "(baseline ${base_wall} ms) ok")
+
+message(STATUS "check_bench: PASS")

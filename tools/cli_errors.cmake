@@ -72,6 +72,38 @@ expect_fail("plan not json" "" inject
             --in "${WORK_DIR}/x.log" --out "${WORK_DIR}/y.log"
             --plan-json "not json at all")
 
+# Bad model checkpoints: the diagnostic must carry the file path, the
+# offending token, and the set of valid magics (satellite of the serve
+# work: operators see *what* was wrong, not just "load failed").
+file(WRITE "${WORK_DIR}/garbage.model" "iotax-frobnicator 1\n")
+expect_fail("predict garbage model path" "garbage.model" predict
+            --dataset "${WORK_DIR}/missing.csv"
+            --model-file "${WORK_DIR}/garbage.model")
+expect_fail("predict garbage model token" "iotax-frobnicator" predict
+            --dataset "${WORK_DIR}/missing.csv"
+            --model-file "${WORK_DIR}/garbage.model")
+expect_fail("predict garbage model magics" "known model magics" predict
+            --dataset "${WORK_DIR}/missing.csv"
+            --model-file "${WORK_DIR}/garbage.model")
+expect_fail("predict missing model" "cannot open model file" predict
+            --dataset "${WORK_DIR}/missing.csv"
+            --model-file "${WORK_DIR}/no_such.model")
+
+# Serve/query flag contracts.
+expect_fail("serve without models" "--models" serve
+            --socket "${WORK_DIR}/s.sock")
+expect_fail("serve garbage model" "known model magics" serve
+            --models "${WORK_DIR}/garbage.model"
+            --socket "${WORK_DIR}/s.sock")
+# A loadable checkpoint gets serve past the registry and onto the
+# listener contract.
+file(WRITE "${WORK_DIR}/mean.model" "iotax-mean 1\nmean 2.5\n")
+expect_fail("serve without listener" "--socket" serve
+            --models "${WORK_DIR}/mean.model")
+expect_fail("query without target" "need --socket or --port" query --ping)
+expect_fail("query dead socket" "cannot connect" query --ping
+            --socket "${WORK_DIR}/nobody_home.sock")
+
 # Malformed expectation file for audit.
 file(WRITE "${WORK_DIR}/empty.log" "")
 file(WRITE "${WORK_DIR}/bad_truth.json" "{]")

@@ -16,8 +16,17 @@
 #include <set>
 #include <sstream>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <map>
+#include <thread>
+
 #include "src/cli/args.hpp"
 #include "src/data/split.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/str.hpp"
 #include "src/faults/injector.hpp"
 #include "src/faults/plan.hpp"
 #include "src/data/table_io.hpp"
@@ -74,6 +83,18 @@ commands:
              parse + ingest an (possibly corrupted) archive; strict mode
              exits nonzero on any corruption; --expect checks quarantine
              counts against an inject ground-truth report
+  serve      --models A[,B,...] (--socket PATH | --port N)
+             [--batch-size N] [--batch-wait-us N] [--max-inflight N]
+             [--ready-file FILE]
+             long-lived inference daemon: loads the checkpoints into a
+             model registry and answers framed predict requests with
+             micro-batching; drains gracefully on SIGTERM/SIGINT
+  query      (--socket PATH | --host H --port N) [--ping | --dataset FILE]
+             [--model IDX] [--dist] [--pipeline N] [--repeat N]
+             [--wait-secs S] [--out CSV]
+             client driver: sends every dataset row to a serve daemon
+             (responses are bit-identical to offline `predict`) or
+             health-checks it with --ping
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
 
@@ -310,10 +331,11 @@ int cmd_train(const cli::Args& args) {
 
 int cmd_predict(const cli::Args& args) {
   args.check_allowed(with_obs({"dataset", "model-file", "out"}));
+  // Load the checkpoint first: a bad model file fails fast with the
+  // path / offending-token / known-magics diagnostic before the
+  // (possibly large) dataset is read.
+  const auto model = ml::load_regressor_file(args.get("model-file"));
   const auto ds = load_dataset(args);
-  std::ifstream in(args.get("model-file"));
-  if (!in) throw std::runtime_error("cannot open " + args.get("model-file"));
-  const auto model = ml::Regressor::load(in);
   std::vector<std::size_t> rows(ds.size());
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
   const std::vector<taxonomy::FeatureSet> feats = {
@@ -457,6 +479,244 @@ int cmd_audit(const cli::Args& args) {
   return rc;
 }
 
+std::atomic<int> g_serve_signal{0};
+
+void serve_signal_handler(int sig) { g_serve_signal.store(sig); }
+
+int cmd_serve(const cli::Args& args) {
+  args.check_allowed(with_obs({"models", "socket", "port", "batch-size",
+                               "batch-wait-us", "max-inflight",
+                               "ready-file"}));
+  serve::ServeConfig cfg;
+  for (const auto& path : util::split(args.get("models"), ',')) {
+    const auto trimmed = util::trim(path);
+    if (!trimmed.empty()) cfg.model_files.emplace_back(trimmed);
+  }
+  if (cfg.model_files.empty()) {
+    throw std::invalid_argument("serve: --models needs at least one file");
+  }
+  cfg.unix_socket = args.get_or("socket", "");
+  cfg.tcp_port = static_cast<int>(args.get_int_or("port", -1));
+  cfg.batch_size =
+      static_cast<std::size_t>(args.get_int_or("batch-size", 32));
+  cfg.batch_wait_us =
+      static_cast<std::uint64_t>(args.get_int_or("batch-wait-us", 200));
+  cfg.max_inflight =
+      static_cast<std::size_t>(args.get_int_or("max-inflight", 256));
+
+  serve::Server server(cfg);
+  server.start();
+  for (std::size_t i = 0; i < server.registry().size(); ++i) {
+    std::printf("serve: model %zu: %s (%s, %zu features)\n", i,
+                server.registry().path(i).c_str(),
+                server.registry().model(i).name().c_str(),
+                server.registry().model(i).n_features());
+  }
+  if (!cfg.unix_socket.empty()) {
+    std::printf("serve: listening on unix socket %s\n",
+                cfg.unix_socket.c_str());
+  }
+  if (cfg.tcp_port >= 0) {
+    std::printf("serve: listening on 127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::printf("serve: batch-size %zu, batch-wait %llu us, max-inflight %zu\n",
+              cfg.batch_size,
+              static_cast<unsigned long long>(cfg.batch_wait_us),
+              cfg.max_inflight);
+  std::fflush(stdout);
+  if (args.has("ready-file")) {
+    // Written only once the listeners accept: scripts poll for this
+    // file instead of racing the daemon startup.
+    std::ofstream ready(args.get("ready-file"));
+    if (!ready) {
+      throw std::runtime_error("cannot open " + args.get("ready-file"));
+    }
+    ready << "port " << server.tcp_port() << '\n';
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  while (g_serve_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("serve: signal %d, draining...\n", g_serve_signal.load());
+  std::fflush(stdout);
+  server.stop();
+
+  const auto stats = server.stats();
+  std::printf("serve: drained; %llu request(s) in %llu batch(es), "
+              "%llu response(s), %llu shed, %llu error(s), "
+              "%llu quarantined\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.quarantined));
+  if (obs::enabled()) {
+    auto& hist = obs::MetricsRegistry::global().histogram(
+        "serve.request_ms", obs::latency_ms_edges());
+    if (hist.count() > 0) {
+      std::printf("serve: latency p50 %.3f ms, p99 %.3f ms\n",
+                  hist.quantile(0.5), hist.quantile(0.99));
+    }
+  }
+  const auto quarantined = server.quarantine();
+  if (!quarantined.empty()) std::fputs(quarantined.render().c_str(), stdout);
+  return 0;
+}
+
+serve::Client connect_query_client(const cli::Args& args) {
+  const double wait_secs = args.get_double_or("wait-secs", 0.0);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_secs);
+  while (true) {
+    try {
+      if (args.has("socket")) {
+        return serve::Client::connect_unix(args.get("socket"));
+      }
+      if (args.has("port")) {
+        return serve::Client::connect_tcp(
+            args.get_or("host", "127.0.0.1"),
+            static_cast<std::uint16_t>(args.get_int_or("port", 0)));
+      }
+      throw std::invalid_argument("query: need --socket or --port");
+    } catch (const std::runtime_error&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+}
+
+int cmd_query(const cli::Args& args) {
+  args.check_allowed(with_obs({"socket", "host", "port", "dataset", "model",
+                               "dist", "out", "pipeline", "repeat", "ping",
+                               "wait-secs"}));
+  auto client = connect_query_client(args);
+  if (args.has("ping")) {
+    client.send_ping(1);
+    serve::Client::Reply reply;
+    if (!client.read_reply(&reply) ||
+        reply.type != util::FrameType::kPong) {
+      throw std::runtime_error("query: no pong from daemon");
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  const auto ds = load_dataset(args);
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto x = taxonomy::feature_matrix(ds, feats);
+  const auto model_index =
+      static_cast<std::uint16_t>(args.get_int_or("model", 0));
+  const bool want_dist = args.has("dist");
+  const auto window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int_or("pipeline", 32)));
+  const auto repeats = std::max<long long>(1, args.get_int_or("repeat", 1));
+
+  const std::size_t n = x.rows();
+  std::vector<double> pred(n, 0.0);
+  std::uint64_t busy_retries = 0;
+  bool repeat_mismatch = false;
+  const auto send_row = [&](std::uint64_t id, std::size_t row) {
+    serve::PredictRequest req;
+    req.request_id = id;
+    req.model_index = model_index;
+    req.want_dist = want_dist;
+    const auto src = x.row(row);
+    req.features.assign(src.begin(), src.end());
+    client.send_predict(req);
+  };
+
+  for (long long rep = 0; rep < repeats; ++rep) {
+    const std::uint64_t id_base =
+        static_cast<std::uint64_t>(rep) * n + 1;
+    std::map<std::uint64_t, std::size_t> inflight;  // id -> row
+    std::size_t next = 0;
+    std::size_t done = 0;
+    while (done < n) {
+      while (next < n && inflight.size() < window) {
+        send_row(id_base + next, next);
+        inflight[id_base + next] = next;
+        ++next;
+      }
+      serve::Client::Reply reply;
+      if (!client.read_reply(&reply)) {
+        throw std::runtime_error("query: daemon closed the connection with " +
+                                 std::to_string(n - done) +
+                                 " response(s) outstanding");
+      }
+      if (reply.type == util::FrameType::kPredictResponse) {
+        const auto it = inflight.find(reply.request_id);
+        if (it == inflight.end()) {
+          throw std::runtime_error("query: response for unknown request id " +
+                                   std::to_string(reply.request_id));
+        }
+        if (reply.predict.values.empty()) {
+          throw std::runtime_error("query: empty prediction payload");
+        }
+        const double value = reply.predict.values[0];
+        if (rep == 0) {
+          pred[it->second] = value;
+        } else if (pred[it->second] != value) {
+          // The daemon is deterministic; any drift across repeats means
+          // served state leaked between requests.
+          repeat_mismatch = true;
+        }
+        inflight.erase(it);
+        ++done;
+      } else if (reply.type == util::FrameType::kErrorResponse &&
+                 reply.error.status == serve::ServeStatus::kBusy) {
+        const auto it = inflight.find(reply.request_id);
+        if (it == inflight.end()) {
+          throw std::runtime_error("query: BUSY for unknown request id");
+        }
+        ++busy_retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        send_row(it->first, it->second);
+      } else if (reply.type == util::FrameType::kErrorResponse) {
+        std::string what = std::string("query: daemon replied ") +
+                           serve::serve_status_name(reply.error.status);
+        if (reply.error.reason.has_value()) {
+          what += std::string(" [") +
+                  util::reason_name(*reply.error.reason) + "]";
+        }
+        if (!reply.error.detail.empty()) what += ": " + reply.error.detail;
+        throw std::runtime_error(what);
+      } else {
+        throw std::runtime_error("query: unexpected reply frame");
+      }
+    }
+  }
+
+  const double err =
+      ml::median_abs_log_error(taxonomy::targets(ds), pred);
+  std::printf("served %zu prediction(s) over %lld pass(es) "
+              "(%llu busy retried), error %.2f%% median |log10|\n",
+              n, repeats, static_cast<unsigned long long>(busy_retries),
+              ml::log_error_to_percent(err));
+  if (repeat_mismatch) {
+    std::fprintf(stderr,
+                 "query: responses drifted across repeat passes "
+                 "(daemon is not deterministic)\n");
+    return 1;
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    out << "job_id,log10_pred\n";
+    out.precision(17);
+    for (std::size_t i = 0; i < n; ++i) {
+      out << ds.meta[i].job_id << ',' << pred[i] << '\n';
+    }
+    std::printf("predictions written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_checkjson(const cli::Args& args) {
   args.check_allowed(with_obs({}));
   if (args.positional().empty()) {
@@ -527,6 +787,8 @@ int main(int argc, char** argv) {
     else if (command == "drift") rc = cmd_drift(args);
     else if (command == "train") rc = cmd_train(args);
     else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "serve") rc = cmd_serve(args);
+    else if (command == "query") rc = cmd_query(args);
     else if (command == "inject") rc = cmd_inject(args);
     else if (command == "audit") rc = cmd_audit(args);
     else if (command == "checkjson") rc = cmd_checkjson(args);
