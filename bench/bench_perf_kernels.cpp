@@ -4,13 +4,29 @@
 // thread-parameterized benches (Arg = IOTAX_THREADS) track the
 // wall-clock speedup of the deterministic thread-pool paths; the rest
 // guard single-core throughput.
+// Invoked with --kernels_ab, the binary skips google-benchmark and runs
+// the scalar-vs-AVX2 A/B harness for the three SIMD kernels (histogram
+// split scan, packed forest traversal, dense GEMM) at IOTAX_THREADS 1
+// and 4, verifies the tiers agree bit for bit, and writes
+// BENCH_kernels.json for tools/check_bench.cmake (KIND=kernels).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <random>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/ml/binning.hpp"
+#include "src/ml/kernels/dispatch.hpp"
+#include "src/ml/kernels/forest.hpp"
+#include "src/ml/kernels/gemm.hpp"
+#include "src/ml/kernels/hist.hpp"
+#include "src/util/parallel.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
 #include "src/ml/nn.hpp"
@@ -273,6 +289,344 @@ void BM_FindDuplicates(benchmark::State& state) {
 }
 BENCHMARK(BM_FindDuplicates)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Scalar-vs-AVX2 A/B harness (--kernels_ab).
+
+namespace kernels_ab {
+
+namespace kn = ml::kernels;
+
+// Pin the kernel tier for one scope; restores "auto" on exit.
+class ScopedKernels {
+ public:
+  explicit ScopedKernels(const char* policy) {
+    ::setenv("IOTAX_KERNELS", policy, 1);
+    kn::refresh();
+  }
+  ~ScopedKernels() {
+    ::unsetenv("IOTAX_KERNELS");
+    kn::refresh();
+  }
+};
+
+constexpr std::size_t kRows = 50000;
+constexpr std::size_t kBins = 64;
+constexpr std::size_t kHistFeatures = 32;
+// The hist scan's vector win is the gain sweep (the scatter-add build is
+// inherently scalar), so its workload is the sweep-heavy shape split
+// finding actually hits: a deep tree level — many small nodes — scanning
+// a high-resolution feature (per_feature_bins day-level start-time
+// budgets run to kMaxBins). 64 nodes x 780 rows under 1024 bins puts
+// roughly 6x more work in the sweep than in the build.
+constexpr std::size_t kHistBins = 1024;
+constexpr std::size_t kHistNodes = 64;
+constexpr std::size_t kHistNodeRows = 780;
+constexpr std::size_t kTrees = 64;
+constexpr int kTreeDepth = 6;
+constexpr std::size_t kTravFeatures = 16;
+constexpr std::size_t kGemmRows = 4096;
+constexpr std::size_t kGemmDim = 64;
+constexpr int kReps = 5;
+
+template <typename F>
+double best_of_ms(F&& fn) {
+  fn();  // warm-up (page in buffers, spin up the pool)
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    bench::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best * 1e3;
+}
+
+// --- histogram split scan, mirroring build_tree's per-feature loop ----
+
+struct HistWorkload {
+  std::vector<std::uint16_t> cols;  // feature-major, features x total rows
+  std::vector<std::size_t> order;
+  std::vector<double> grad;
+  std::vector<kn::FeatureScanParams> node_params;  // one per node
+};
+
+HistWorkload make_hist_workload() {
+  HistWorkload w;
+  std::mt19937 rng(101);
+  const std::size_t total = kHistNodes * kHistNodeRows;
+  std::uniform_int_distribution<int> bin(0, kHistBins - 1);
+  std::normal_distribution<double> g(0.0, 2.0);
+  w.cols.resize(kHistFeatures * total);
+  for (auto& c : w.cols) c = static_cast<std::uint16_t>(bin(rng));
+  w.order.resize(total);
+  for (std::size_t i = 0; i < total; ++i) w.order[i] = i;
+  w.grad.resize(total);
+  for (auto& v : w.grad) v = g(rng);
+  for (std::size_t node = 0; node < kHistNodes; ++node) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < kHistNodeRows; ++i) {
+      g_total += w.grad[node * kHistNodeRows + i];
+    }
+    const double h_total = static_cast<double>(kHistNodeRows);
+    w.node_params.push_back(
+        {g_total, h_total, 1.0, 1.0, 0.0,
+         g_total * g_total / (h_total + 1.0)});
+  }
+  return w;
+}
+
+// One pass: scan every feature across every node of the level, results
+// into per-(feature, node) slots. The parallel shape (features across
+// the pool, kernel-owned per-thread scratch) is exactly gbt.cpp's
+// split search.
+void run_hist(const HistWorkload& w, std::vector<kn::SplitScan>* out) {
+  out->assign(kHistFeatures * kHistNodes, {});
+  const std::size_t total = kHistNodes * kHistNodeRows;
+  util::parallel_for_chunks(kHistFeatures, [&](std::size_t lo,
+                                               std::size_t hi) {
+    for (std::size_t f = lo; f < hi; ++f) {
+      for (std::size_t node = 0; node < kHistNodes; ++node) {
+        const std::size_t row_lo = node * kHistNodeRows;
+        (*out)[f * kHistNodes + node] = kn::feature_scan(
+            w.cols.data() + f * total, w.order.data() + row_lo,
+            kHistNodeRows, w.grad.data() + row_lo, kHistBins,
+            w.node_params[node]);
+      }
+    }
+  });
+}
+
+bool scans_identical(const std::vector<kn::SplitScan>& a,
+                     const std::vector<kn::SplitScan>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].valid != b[i].valid || a[i].bin != b[i].bin ||
+        std::memcmp(&a[i].gain, &b[i].gain, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- packed forest code traversal, mirroring predict_codes ------------
+
+struct TravWorkload {
+  kn::PackedForest forest;
+  std::vector<std::uint16_t> codes;  // row-major, kRows x kTravFeatures
+};
+
+TravWorkload make_trav_workload() {
+  TravWorkload w;
+  std::mt19937 rng(202);
+  using NodeDesc = kn::PackedForest::NodeDesc;
+  std::normal_distribution<double> leaf(0.0, 1.0);
+  for (std::size_t t = 0; t < kTrees; ++t) {
+    std::vector<NodeDesc> nodes;
+    nodes.push_back({});
+    std::vector<std::pair<int, int>> stack = {{0, kTreeDepth}};
+    while (!stack.empty()) {
+      const auto [idx, d] = stack.back();
+      stack.pop_back();
+      auto& n = nodes[static_cast<std::size_t>(idx)];
+      if (d == 0 || rng() % 5 == 0) {
+        n.feature = -1;
+        n.split_bin = -1;
+        n.left = n.right = -1;
+        n.value = leaf(rng);
+        continue;
+      }
+      n.feature = static_cast<int>(rng() % kTravFeatures);
+      n.split_bin = static_cast<int>(rng() % (kBins - 1));
+      n.threshold = static_cast<double>(n.split_bin);
+      n.left = static_cast<int>(nodes.size());
+      n.right = n.left + 1;
+      nodes.push_back({});
+      nodes.push_back({});
+      stack.push_back({n.left, d - 1});
+      stack.push_back({n.right, d - 1});
+    }
+    w.forest.add_tree(nodes, /*with_codes=*/true);
+  }
+  w.codes.resize(kRows * kTravFeatures);
+  for (auto& c : w.codes) c = static_cast<std::uint16_t>(rng() % kBins);
+  return w;
+}
+
+void run_trav(const TravWorkload& w, std::vector<double>* out) {
+  out->assign(kRows, 0.0);
+  util::parallel_for_chunks(
+      kRows,
+      [&](std::size_t lo, std::size_t hi) {
+        w.forest.predict_codes(w.codes.data() + lo * kTravFeatures,
+                               kTravFeatures, hi - lo, out->data() + lo);
+      },
+      /*grain=*/256);
+}
+
+// --- dense GEMM, mirroring Mlp::forward_batch --------------------------
+
+struct GemmWorkload {
+  std::vector<double> in;    // kGemmRows x kGemmDim
+  std::vector<double> w;     // kGemmDim x kGemmDim
+  std::vector<double> bias;  // kGemmDim
+};
+
+GemmWorkload make_gemm_workload() {
+  GemmWorkload w;
+  std::mt19937 rng(303);
+  std::normal_distribution<double> d(0.0, 1.0);
+  w.in.resize(kGemmRows * kGemmDim);
+  w.w.resize(kGemmDim * kGemmDim);
+  w.bias.resize(kGemmDim);
+  for (auto& v : w.in) v = d(rng);
+  for (auto& v : w.w) v = d(rng);
+  for (auto& v : w.bias) v = d(rng);
+  return w;
+}
+
+void run_gemm(const GemmWorkload& w, std::vector<double>* out) {
+  out->assign(kGemmRows * kGemmDim, 0.0);
+  util::parallel_for_chunks(
+      kGemmRows,
+      [&](std::size_t lo, std::size_t hi) {
+        kn::dense_forward(w.in.data() + lo * kGemmDim, hi - lo, kGemmDim,
+                          w.w.data(), w.bias.data(), kGemmDim,
+                          out->data() + lo * kGemmDim);
+      },
+      /*grain=*/64);
+}
+
+struct AbResult {
+  double scalar_ms[2];  // [0] = 1 thread, [1] = 4 threads
+  double avx2_ms[2];
+  bool identical = true;
+};
+
+struct KernelAb {
+  const char* name;
+  AbResult result;
+};
+
+// Time one kernel under both tiers and both thread counts; identity is
+// every output against the scalar single-thread reference.
+template <typename OutT, typename RunFn, typename EqFn>
+AbResult ab_kernel(const RunFn& run, const EqFn& eq) {
+  AbResult r;
+  OutT reference;
+  {
+    ScopedKernels tier("scalar");
+    ScopedThreads threads(1);
+    run(&reference);
+  }
+  const long thread_counts[2] = {1, 4};
+  for (int ti = 0; ti < 2; ++ti) {
+    ScopedThreads threads(thread_counts[ti]);
+    {
+      ScopedKernels tier("scalar");
+      OutT out;
+      r.scalar_ms[ti] = best_of_ms([&] { run(&out); });
+      r.identical = r.identical && eq(reference, out);
+    }
+    {
+      ScopedKernels tier("avx2");
+      OutT out;
+      r.avx2_ms[ti] = best_of_ms([&] { run(&out); });
+      r.identical = r.identical && eq(reference, out);
+    }
+  }
+  return r;
+}
+
+bool doubles_identical(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+int run_kernels_ab() {
+  bench::banner("SIMD kernel A/B (scalar vs AVX2)",
+                "histogram scan / packed traversal / dense GEMM");
+  const bool avx2_active = kn::avx2_compiled() && kn::avx2_supported();
+  std::printf("dispatch: %s\n", kn::describe().c_str());
+  if (!avx2_active) {
+    std::printf("AVX2 tier unavailable; A/B degenerates to scalar/scalar\n");
+  }
+
+  const auto hist_w = make_hist_workload();
+  const auto hist = ab_kernel<std::vector<kn::SplitScan>>(
+      [&](std::vector<kn::SplitScan>* out) { run_hist(hist_w, out); },
+      scans_identical);
+
+  const auto trav_w = make_trav_workload();
+  const auto trav = ab_kernel<std::vector<double>>(
+      [&](std::vector<double>* out) { run_trav(trav_w, out); },
+      doubles_identical);
+
+  const auto gemm_w = make_gemm_workload();
+  const auto gemm = ab_kernel<std::vector<double>>(
+      [&](std::vector<double>* out) { run_gemm(gemm_w, out); },
+      doubles_identical);
+
+  const KernelAb kernels[] = {
+      {"hist", hist}, {"traversal", trav}, {"gemm", gemm}};
+  bool identical = true;
+  std::printf("%-10s %4s %12s %12s %9s %6s\n", "kernel", "thr", "scalar_ms",
+              "avx2_ms", "speedup", "ident");
+  for (const auto& k : kernels) {
+    identical = identical && k.result.identical;
+    for (int ti = 0; ti < 2; ++ti) {
+      std::printf("%-10s %4d %12.2f %12.2f %8.2fx %6s\n", k.name,
+                  ti == 0 ? 1 : 4, k.result.scalar_ms[ti],
+                  k.result.avx2_ms[ti],
+                  k.result.scalar_ms[ti] / k.result.avx2_ms[ti],
+                  k.result.identical ? "yes" : "NO");
+    }
+  }
+
+  FILE* out = std::fopen("BENCH_kernels.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"rows\": %zu,\n"
+                 "  \"dispatch\": \"%s\",\n"
+                 "  \"avx2_active\": %s,\n"
+                 "  \"identical\": %s",
+                 kRows, kn::describe().c_str(), avx2_active ? "true" : "false",
+                 identical ? "true" : "false");
+    for (const auto& k : kernels) {
+      std::fprintf(
+          out,
+          ",\n"
+          "  \"%s\": {\n"
+          "    \"t1\": {\"scalar_ms\": %.2f, \"avx2_ms\": %.2f, "
+          "\"speedup\": %.3f},\n"
+          "    \"t4\": {\"scalar_ms\": %.2f, \"avx2_ms\": %.2f, "
+          "\"speedup\": %.3f}\n"
+          "  }",
+          k.name, k.result.scalar_ms[0], k.result.avx2_ms[0],
+          k.result.scalar_ms[0] / k.result.avx2_ms[0], k.result.scalar_ms[1],
+          k.result.avx2_ms[1], k.result.scalar_ms[1] / k.result.avx2_ms[1]);
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_kernels.json\n");
+  }
+  std::printf("tiers bit-identical   %s\n", identical ? "PASS" : "FAIL");
+  return identical ? 0 : 1;
+}
+
+}  // namespace kernels_ab
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--kernels_ab") {
+      return kernels_ab::run_kernels_ab();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

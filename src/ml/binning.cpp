@@ -35,8 +35,9 @@ BinnedMatrix::BinnedMatrix(const BinnedMatrix& other)
       cols_(other.cols_),
       max_bins_used_(other.max_bins_used_),
       codes_(other.codes_),
+      fcodes_(other.fcodes_),
       uppers_(other.uppers_) {
-  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
+  data::footprint::add(code_bytes());
 }
 
 BinnedMatrix::BinnedMatrix(BinnedMatrix&& other) noexcept
@@ -44,45 +45,49 @@ BinnedMatrix::BinnedMatrix(BinnedMatrix&& other) noexcept
       cols_(std::exchange(other.cols_, 0)),
       max_bins_used_(std::exchange(other.max_bins_used_, 1)),
       codes_(std::move(other.codes_)),
+      fcodes_(std::move(other.fcodes_)),
       uppers_(std::move(other.uppers_)) {
   other.codes_.clear();
+  other.fcodes_.clear();
   other.uppers_.clear();
 }
 
 BinnedMatrix& BinnedMatrix::operator=(const BinnedMatrix& other) {
   if (this == &other) return *this;
-  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
+  data::footprint::sub(code_bytes());
   rows_ = other.rows_;
   cols_ = other.cols_;
   max_bins_used_ = other.max_bins_used_;
   codes_ = other.codes_;
+  fcodes_ = other.fcodes_;
   uppers_ = other.uppers_;
-  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
+  data::footprint::add(code_bytes());
   return *this;
 }
 
 BinnedMatrix& BinnedMatrix::operator=(BinnedMatrix&& other) noexcept {
   if (this == &other) return *this;
-  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
+  data::footprint::sub(code_bytes());
   rows_ = std::exchange(other.rows_, 0);
   cols_ = std::exchange(other.cols_, 0);
   max_bins_used_ = std::exchange(other.max_bins_used_, 1);
   codes_ = std::move(other.codes_);
+  fcodes_ = std::move(other.fcodes_);
   uppers_ = std::move(other.uppers_);
   other.codes_.clear();
+  other.fcodes_.clear();
   other.uppers_.clear();
   return *this;
 }
 
-BinnedMatrix::~BinnedMatrix() {
-  data::footprint::sub(codes_.size() * sizeof(std::uint16_t));
-}
+BinnedMatrix::~BinnedMatrix() { data::footprint::sub(code_bytes()); }
 
 void BinnedMatrix::build(const data::MatrixView& x,
                          const std::vector<std::size_t>& per_feature_bins) {
   if (rows_ == 0) throw std::invalid_argument("BinnedMatrix: empty matrix");
   codes_.resize(rows_ * cols_);
-  data::footprint::add(codes_.size() * sizeof(std::uint16_t));
+  fcodes_.resize(rows_ * cols_);
+  data::footprint::add(code_bytes());
   uppers_.resize(cols_);
 
   // Gather each column once; `raw` keeps sample order for encoding while
@@ -110,7 +115,9 @@ void BinnedMatrix::build(const data::MatrixView& x,
     while (!uppers.empty() && uppers.back() >= sorted.back()) uppers.pop_back();
     max_bins_used_ = std::max(max_bins_used_, uppers.size() + 1);
     for (std::size_t r = 0; r < rows_; ++r) {
-      codes_[r * cols_ + c] = encode(c, raw[r]);
+      const std::uint16_t code = encode(c, raw[r]);
+      codes_[r * cols_ + c] = code;
+      fcodes_[c * rows_ + r] = code;
     }
   }
 }

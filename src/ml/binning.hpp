@@ -57,6 +57,14 @@ class BinnedMatrix {
     return {codes_.data() + r * cols_, cols_};
   }
 
+  /// All codes of feature c (feature-major mirror, contiguous). The
+  /// histogram scan reads one feature across many rows; the row-major
+  /// buffer would make that a 2-byte pick from every (cols x 2)-byte
+  /// stride, so a transposed copy is kept for unit-stride access.
+  std::span<const std::uint16_t> col_codes(std::size_t c) const {
+    return {fcodes_.data() + c * rows_, rows_};
+  }
+
   /// Real-valued split threshold for "bin <= b goes left": the upper edge
   /// of bin b. Requires b < n_bins(feature) - 1.
   double threshold(std::size_t feature, std::size_t b) const {
@@ -78,10 +86,15 @@ class BinnedMatrix {
   void build(const data::MatrixView& x,
              const std::vector<std::size_t>& per_feature_bins);
 
+  std::size_t code_bytes() const {
+    return (codes_.size() + fcodes_.size()) * sizeof(std::uint16_t);
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t max_bins_used_ = 1;
   std::vector<std::uint16_t> codes_;         // row-major
+  std::vector<std::uint16_t> fcodes_;        // feature-major mirror
   std::vector<std::vector<double>> uppers_;  // per feature, ascending
 };
 

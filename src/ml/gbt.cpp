@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "src/data/footprint.hpp"
+#include "src/ml/kernels/hist.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/stats/descriptive.hpp"
@@ -17,14 +18,6 @@
 namespace iotax::ml {
 
 namespace {
-
-/// Best split found within one feature; `valid` is false when no bin
-/// cleared the minimum gain.
-struct SplitCandidate {
-  double gain = 0.0;
-  std::size_t bin = 0;
-  bool valid = false;
-};
 
 // Node size (rows in node × features scanned) below which the
 // per-feature scan stays serial: dispatch overhead would beat the win.
@@ -101,11 +94,11 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
   tree.nodes.push_back({});
   stack.push_back({0, 0, order.size(), 0});
 
-  // Per-feature histogram workspace for the serial path (hessian == 1
-  // for squared loss, so we track gradient sums and counts).
-  std::vector<double> hist_grad(binned.max_bins_used());
-  std::vector<double> hist_count(binned.max_bins_used());
-  std::vector<SplitCandidate> candidates;
+  // Histogram scratch is owned by the kernel layer (thread-local per
+  // tier); hessian == 1 for squared loss, so the kernels track gradient
+  // sums and counts.
+  std::vector<double> node_grad(order.size());
+  std::vector<kernels::SplitScan> candidates;
   std::size_t hist_scans = 0;
 
   while (!stack.empty()) {
@@ -113,8 +106,14 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
     stack.pop_back();
     auto& node = tree.nodes[static_cast<std::size_t>(item.node)];
     const std::size_t n = item.hi - item.lo;
-    double g_total = 0.0;
-    for (std::size_t i = item.lo; i < item.hi; ++i) g_total += grad[order[i]];
+    // Gather this node's gradients once, in ascending row order — every
+    // downstream sum sees the same FP sequence as reading grad[order[i]]
+    // in place, and the per-feature scans stream a dense buffer instead
+    // of re-gathering per feature.
+    for (std::size_t i = 0; i < n; ++i) {
+      node_grad[i] = grad[order[item.lo + i]];
+    }
+    const double g_total = kernels::node_sum(node_grad.data(), n);
     const double h_total = static_cast<double>(n);
     const double leaf_value =
         -g_total / (h_total + params_.reg_lambda) * params_.learning_rate;
@@ -127,63 +126,36 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
       continue;
     }
 
-    // Histogram + best-bin scan of one feature. The within-feature
-    // strict `>` picks the first bin attaining the feature's max gain,
-    // so folding features in fixed order below reproduces the
-    // sequential first-feature-wins selection exactly.
-    const auto scan_feature = [&](std::size_t f, std::vector<double>& hg,
-                                  std::vector<double>& hc) -> SplitCandidate {
-      SplitCandidate cand;
+    // Histogram + best-bin scan of one feature, via the dispatched
+    // kernel (kernels::feature_scan — the scalar tier is the seed loop
+    // verbatim, the AVX2 tier is bit-identical to it). The
+    // within-feature strict `>` picks the first bin attaining the
+    // feature's max gain, so folding features in fixed order below
+    // reproduces the sequential first-feature-wins selection exactly.
+    const kernels::FeatureScanParams scan_params{
+        g_total,
+        h_total,
+        params_.reg_lambda,
+        params_.min_child_weight,
+        params_.min_split_gain,
+        parent_score};
+    const auto scan_feature = [&](std::size_t f) -> kernels::SplitScan {
       const std::size_t bins = binned.n_bins(f);
-      if (bins < 2) return cand;
-      std::fill(hg.begin(), hg.begin() + static_cast<long>(bins), 0.0);
-      std::fill(hc.begin(), hc.begin() + static_cast<long>(bins), 0.0);
-      for (std::size_t i = item.lo; i < item.hi; ++i) {
-        const std::size_t r = order[i];
-        const auto b = binned.code(r, f);
-        hg[b] += grad[r];
-        hc[b] += 1.0;
-      }
-      double gl = 0.0;
-      double hl = 0.0;
-      double best = params_.min_split_gain;
-      for (std::size_t b = 0; b + 1 < bins; ++b) {
-        gl += hg[b];
-        hl += hc[b];
-        const double hr = h_total - hl;
-        if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
-          continue;
-        }
-        const double gr = g_total - gl;
-        const double gain = gl * gl / (hl + params_.reg_lambda) +
-                            gr * gr / (hr + params_.reg_lambda) -
-                            parent_score;
-        if (gain > best) {
-          best = gain;
-          cand.gain = gain;
-          cand.bin = b;
-          cand.valid = true;
-        }
-      }
-      return cand;
+      if (bins < 2) return {};
+      return kernels::feature_scan(binned.col_codes(f).data(),
+                                   order.data() + item.lo, n,
+                                   node_grad.data(), bins, scan_params);
     };
 
-    candidates.assign(features.size(), SplitCandidate{});
+    candidates.assign(features.size(), kernels::SplitScan{});
     hist_scans += features.size();
     if (n * features.size() >= kParallelScanWork && features.size() >= 2) {
       util::parallel_for(features.size(), [&](std::size_t j) {
-        // Pool workers are long-lived, so each keeps its own workspace.
-        static thread_local std::vector<double> tl_hg;
-        static thread_local std::vector<double> tl_hc;
-        if (tl_hg.size() < binned.max_bins_used()) {
-          tl_hg.resize(binned.max_bins_used());
-          tl_hc.resize(binned.max_bins_used());
-        }
-        candidates[j] = scan_feature(features[j], tl_hg, tl_hc);
+        candidates[j] = scan_feature(features[j]);
       });
     } else {
       for (std::size_t j = 0; j < features.size(); ++j) {
-        candidates[j] = scan_feature(features[j], hist_grad, hist_count);
+        candidates[j] = scan_feature(features[j]);
       }
     }
 
@@ -276,6 +248,7 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
   n_features_ = x.cols();
   importance_.assign(n_features_, 0.0);
   trees_.clear();
+  packed_.clear();
   base_score_ = params_.loss == GbtLoss::kQuantile
                     ? stats::quantile(std::vector<double>(y.begin(), y.end()),
                                       params_.quantile_alpha)
@@ -343,6 +316,12 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
             : all_features;
 
     Tree tree = build_tree(binned, rows, features, grad);
+    // Pack the new tree immediately: the per-round prediction updates
+    // below run on the SoA layout, and packed_ stays in lockstep with
+    // trees_ (re-synced only if early stopping trims the tail). Trees
+    // built here always carry fit-time split bins.
+    append_packed(tree, /*with_codes=*/true);
+    const std::size_t t_idx = packed_.n_trees() - 1;
     // Update running predictions on all rows (per-index slots, so the
     // result is identical at any thread count). Routing by bin codes
     // gives the same leaf as routing the raw row by thresholds — see
@@ -351,9 +330,9 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
     util::parallel_for_chunks(
         x.rows(),
         [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            preds[i] += tree.predict_codes(binned.row_codes(i));
-          }
+          packed_.predict_codes_tree(t_idx, binned.row_codes(lo).data(),
+                                     n_features_, hi - lo,
+                                     preds.data() + lo);
         },
         512);
     IOTAX_OBS_COUNT("gbt.trees", 1);
@@ -363,10 +342,13 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
                             1e6);
     }
     if (use_eval) {
+      // Batch-update the validation predictions, then accumulate the
+      // squared error in row order — the same values and the same FP
+      // sum sequence as the seed's fused loop, just two passes.
+      packed_.predict_codes_tree(t_idx, val_codes.data(), n_features_,
+                                 x_val.rows(), val_preds.data());
       double sq = 0.0;
       for (std::size_t i = 0; i < x_val.rows(); ++i) {
-        val_preds[i] += tree.predict_codes(
-            std::span(val_codes).subspan(i * n_features_, n_features_));
         const double d = val_preds[i] - y_val[i];
         sq += d * d;
       }
@@ -389,6 +371,22 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
   obs::span_arg("trees", static_cast<double>(trees_.size()));
   fitted_ = true;
   has_split_bins_ = true;
+  if (packed_.n_trees() != trees_.size()) rebuild_packed();
+}
+
+void GradientBoostedTrees::append_packed(const Tree& tree, bool with_codes) {
+  std::vector<kernels::PackedForest::NodeDesc> descs;
+  descs.reserve(tree.nodes.size());
+  for (const auto& n : tree.nodes) {
+    descs.push_back(
+        {n.feature, n.threshold, n.split_bin, n.left, n.right, n.value});
+  }
+  packed_.add_tree(descs, with_codes);
+}
+
+void GradientBoostedTrees::rebuild_packed() {
+  packed_.clear();
+  for (const auto& tree : trees_) append_packed(tree, has_split_bins_);
 }
 
 std::vector<double> GradientBoostedTrees::predict(
@@ -405,11 +403,20 @@ std::vector<double> GradientBoostedTrees::predict(
   util::parallel_for_chunks(
       x.rows(),
       [&](std::size_t lo, std::size_t hi) {
+        // Materialize the chunk as a dense block (the view may be
+        // strided or row-mapped) and descend all trees on it at once.
+        // The leaf per row — and the add order across trees — is
+        // exactly the seed's per-row Tree::predict loop.
         std::vector<double> scratch;  // untouched when rows are spans
+        std::vector<double> block((hi - lo) * n_features_);
         for (std::size_t i = lo; i < hi; ++i) {
           const auto row = x.row(i, scratch);
-          for (const auto& tree : trees_) out[i] += tree.predict(row);
+          std::copy(row.begin(), row.end(),
+                    block.begin() +
+                        static_cast<long>((i - lo) * n_features_));
         }
+        packed_.predict_values(block.data(), n_features_, hi - lo,
+                               out.data() + lo);
       },
       256);
   return out;
@@ -436,10 +443,36 @@ std::vector<double> GradientBoostedTrees::predict_codes(
   util::parallel_for_chunks(
       n,
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto row = codes.subspan(i * n_features_, n_features_);
-          for (const auto& tree : trees_) out[i] += tree.predict_codes(row);
-        }
+        packed_.predict_codes(codes.data() + lo * n_features_, n_features_,
+                              hi - lo, out.data() + lo);
+      },
+      256);
+  return out;
+}
+
+std::vector<double> GradientBoostedTrees::predict_codes_prefix(
+    std::span<const std::uint16_t> codes, std::size_t n_trees) const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::predict_codes: not fitted");
+  }
+  if (!has_split_bins_) {
+    throw std::logic_error(
+        "GradientBoostedTrees::predict_codes: model has no fit-time split "
+        "bins (loaded from disk?) — use predict()");
+  }
+  if (n_features_ == 0 || codes.size() % n_features_ != 0) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::predict_codes: code count not a multiple of "
+        "the feature count");
+  }
+  IOTAX_TRACE_SPAN("gbt.predict");
+  const std::size_t n = codes.size() / n_features_;
+  std::vector<double> out(n, base_score_);
+  util::parallel_for_chunks(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        packed_.predict_codes_prefix(n_trees, codes.data() + lo * n_features_,
+                                     n_features_, hi - lo, out.data() + lo);
       },
       256);
   return out;
@@ -548,6 +581,10 @@ GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
   }
   if (!in) throw std::runtime_error("GradientBoostedTrees::load: truncated");
   model.fitted_ = true;
+  // Loaded trees carry thresholds but no fit-time split bins
+  // (has_split_bins_ stays false): the packed layout supports value
+  // traversal only, and predict_codes keeps throwing.
+  model.rebuild_packed();
   return model;
 }
 

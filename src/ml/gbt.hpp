@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/ml/binning.hpp"
+#include "src/ml/kernels/forest.hpp"
 #include "src/ml/model.hpp"
 #include "src/util/rng.hpp"
 
@@ -81,6 +82,15 @@ class GradientBoostedTrees final : public Regressor {
   /// thresholds but not fit-time bin indices, and throw here.
   std::vector<double> predict_codes(std::span<const std::uint16_t> codes) const;
 
+  /// predict_codes() using only the first `n_trees` boosting rounds
+  /// (clamped to the fitted count). Because round t depends only on
+  /// rounds before it, this is bit-identical to predict_codes() on a
+  /// model fitted with n_estimators == n_trees and the same seed —
+  /// hyperparameter searches fit the largest candidate of an
+  /// n_estimators ladder once and score the rest as prefixes.
+  std::vector<double> predict_codes_prefix(
+      std::span<const std::uint16_t> codes, std::size_t n_trees) const;
+
   std::string name() const override;
 
   const GbtParams& params() const { return params_; }
@@ -126,9 +136,18 @@ class GradientBoostedTrees final : public Regressor {
                 const data::MatrixView& x_val, std::span<const double> y_val,
                 const BinnedMatrix* binned);
 
+  /// Append one tree to packed_ (the SoA batch-prediction layout).
+  void append_packed(const Tree& tree, bool with_codes);
+  /// Rebuild packed_ from trees_ after they change wholesale.
+  void rebuild_packed();
+
   GbtParams params_;
   double base_score_ = 0.0;
   std::vector<Tree> trees_;
+  // Breadth-first SoA relayout of trees_ for batch prediction; rebuilt
+  // whenever trees_ changes (fit, load). Bit-identical to walking the
+  // Tree nodes — see kernels::PackedForest.
+  kernels::PackedForest packed_;
   std::size_t n_features_ = 0;
   std::vector<double> importance_;
   bool fitted_ = false;

@@ -1,0 +1,42 @@
+#include "src/ml/kernels/gemm.hpp"
+
+#include "src/ml/kernels/dispatch.hpp"
+#include "src/ml/kernels/internal.hpp"
+
+namespace iotax::ml::kernels {
+
+namespace {
+
+// Literal transcription of Mlp::forward's dense loop — the reference
+// the AVX2 tier must match bit for bit.
+void dense_forward_scalar(const double* in, std::size_t n_rows,
+                          std::size_t in_dim, const double* w,
+                          const double* bias, std::size_t out_dim,
+                          double* out) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = in + r * in_dim;
+    double* orow = out + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      double acc = bias[o];
+      for (std::size_t i = 0; i < in_dim; ++i) acc += wo[i] * row[i];
+      orow[o] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void dense_forward(const double* in, std::size_t n_rows, std::size_t in_dim,
+                   const double* w, const double* bias, std::size_t out_dim,
+                   double* out) {
+#if defined(IOTAX_KERNELS_AVX2)
+  if (active_tier() == Tier::kAvx2) {
+    avx2::dense_forward(in, n_rows, in_dim, w, bias, out_dim, out);
+    return;
+  }
+#endif
+  dense_forward_scalar(in, n_rows, in_dim, w, bias, out_dim, out);
+}
+
+}  // namespace iotax::ml::kernels

@@ -1,0 +1,27 @@
+// Dense-layer batch forward microkernel for Mlp inference.
+//
+// Computes, for a block of rows,
+//
+//   out[r][o] = bias[o] + sum_i w[o][i] * in[r][i]   (i ascending)
+//
+// which is exactly Mlp::forward's per-row loop. The AVX2 tier packs a
+// 4-row panel of the input transposed (panel[i*4 + lane] = in[r+lane][i])
+// so the inner product becomes contiguous vector loads, broadcasts one
+// weight at a time, and accumulates with separate mul + add — each SIMD
+// lane runs one row's scalar FP sequence unchanged, so the default tier
+// is bit-identical. Under IOTAX_FAST_MATH=1 the accumulate contracts to
+// FMA (when the CPU has it), which is faster and more accurate but not
+// bit-identical.
+#pragma once
+
+#include <cstddef>
+
+namespace iotax::ml::kernels {
+
+/// in: n_rows x in_dim row-major block (contiguous, stride == in_dim).
+/// w:  out_dim x in_dim row-major weights. out: n_rows x out_dim.
+void dense_forward(const double* in, std::size_t n_rows, std::size_t in_dim,
+                   const double* w, const double* bias, std::size_t out_dim,
+                   double* out);
+
+}  // namespace iotax::ml::kernels

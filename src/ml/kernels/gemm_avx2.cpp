@@ -1,0 +1,118 @@
+// AVX2 tier of the dense-layer forward: 4-row × 2-output register tile
+// over a transposed input panel. Each SIMD lane carries one row's
+// accumulator and the reduction index i ascends exactly as in the
+// scalar loop, so with separate mul + add (the default) the result is
+// bit-identical. This TU is compiled with -mfma but also
+// -ffp-contract=off: FMA is only ever emitted through the explicit
+// _mm256_fmadd_pd in the opt-in fast-math path.
+#if defined(IOTAX_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <vector>
+
+#include "src/ml/kernels/dispatch.hpp"
+#include "src/ml/kernels/internal.hpp"
+#include "src/util/aligned.hpp"
+
+namespace iotax::ml::kernels::avx2 {
+
+namespace {
+
+bool cpu_has_fma() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("fma") != 0;
+#else
+  return false;
+#endif
+}
+
+inline void store_lanes(__m256d acc, double* out, std::size_t stride) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  out[0] = lanes[0];
+  out[stride] = lanes[1];
+  out[2 * stride] = lanes[2];
+  out[3 * stride] = lanes[3];
+}
+
+}  // namespace
+
+void dense_forward(const double* in, std::size_t n_rows, std::size_t in_dim,
+                   const double* w, const double* bias, std::size_t out_dim,
+                   double* out) {
+  const bool use_fma = fast_math() && cpu_has_fma();
+  // Pool workers are long-lived; the panel grows to the widest layer
+  // seen and stays.
+  static thread_local util::aligned_vector<double> panel;
+  if (panel.size() < in_dim * 4) panel.resize(in_dim * 4);
+
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    // Transpose a 4-row panel: panel[i*4 + lane] = in[r+lane][i], so the
+    // inner product loads one contiguous vector per reduction step.
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      panel[i * 4 + 0] = in[(r + 0) * in_dim + i];
+      panel[i * 4 + 1] = in[(r + 1) * in_dim + i];
+      panel[i * 4 + 2] = in[(r + 2) * in_dim + i];
+      panel[i * 4 + 3] = in[(r + 3) * in_dim + i];
+    }
+    double* orow = out + r * out_dim;
+    std::size_t o = 0;
+    for (; o + 2 <= out_dim; o += 2) {
+      const double* w0 = w + o * in_dim;
+      const double* w1 = w0 + in_dim;
+      __m256d acc0 = _mm256_set1_pd(bias[o]);
+      __m256d acc1 = _mm256_set1_pd(bias[o + 1]);
+      if (use_fma) {
+        for (std::size_t i = 0; i < in_dim; ++i) {
+          const __m256d p = _mm256_load_pd(panel.data() + i * 4);
+          acc0 = _mm256_fmadd_pd(_mm256_set1_pd(w0[i]), p, acc0);
+          acc1 = _mm256_fmadd_pd(_mm256_set1_pd(w1[i]), p, acc1);
+        }
+      } else {
+        for (std::size_t i = 0; i < in_dim; ++i) {
+          const __m256d p = _mm256_load_pd(panel.data() + i * 4);
+          acc0 = _mm256_add_pd(acc0,
+                               _mm256_mul_pd(_mm256_set1_pd(w0[i]), p));
+          acc1 = _mm256_add_pd(acc1,
+                               _mm256_mul_pd(_mm256_set1_pd(w1[i]), p));
+        }
+      }
+      store_lanes(acc0, orow + o, out_dim);
+      store_lanes(acc1, orow + o + 1, out_dim);
+    }
+    for (; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      __m256d acc = _mm256_set1_pd(bias[o]);
+      if (use_fma) {
+        for (std::size_t i = 0; i < in_dim; ++i) {
+          acc = _mm256_fmadd_pd(_mm256_set1_pd(wo[i]),
+                                _mm256_load_pd(panel.data() + i * 4), acc);
+        }
+      } else {
+        for (std::size_t i = 0; i < in_dim; ++i) {
+          acc = _mm256_add_pd(
+              acc, _mm256_mul_pd(_mm256_set1_pd(wo[i]),
+                                 _mm256_load_pd(panel.data() + i * 4)));
+        }
+      }
+      store_lanes(acc, orow + o, out_dim);
+    }
+  }
+  // Row remainder: the scalar reference loop.
+  for (; r < n_rows; ++r) {
+    const double* row = in + r * in_dim;
+    double* orow = out + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      double acc = bias[o];
+      for (std::size_t i = 0; i < in_dim; ++i) acc += wo[i] * row[i];
+      orow[o] = acc;
+    }
+  }
+}
+
+}  // namespace iotax::ml::kernels::avx2
+
+#endif  // IOTAX_KERNELS_AVX2

@@ -1,0 +1,213 @@
+// AVX2 tier of the GBT split-finding kernels. Compiled with -mavx2 (and
+// -ffp-contract=off so the compiler cannot fuse the mul+add pairs that
+// keep the default tier bit-identical).
+#if defined(IOTAX_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "src/ml/kernels/internal.hpp"
+#include "src/util/aligned.hpp"
+
+namespace iotax::ml::kernels::avx2 {
+
+namespace {
+// Tier-owned histogram scratch, kept ALL-ZERO between calls: each scan
+// re-zeroes only what it touched on the way out, so the zeroing cost
+// scales with the node instead of the bin count. resize() zero-fills
+// any growth, so the invariant survives a larger-bins call.
+thread_local util::aligned_vector<double> tl_hg;
+thread_local util::aligned_vector<double> tl_hc;
+}  // namespace
+
+SplitScan feature_scan(const std::uint16_t* col, const std::size_t* order,
+                       std::size_t n, const double* node_grad,
+                       std::size_t bins, const FeatureScanParams& p) {
+  if (tl_hg.size() < bins) {
+    tl_hg.resize(bins, 0.0);
+    tl_hc.resize(bins, 0.0);
+  }
+  double* hg = tl_hg.data();
+  double* hc = tl_hc.data();
+  SplitScan cand;
+
+  // Histogram build: the adds scatter to data-dependent bins, so this
+  // loop stays scalar and is kept verbatim from the scalar tier — each
+  // add targets its own accumulator and rows are visited in ascending
+  // order, so the per-bin FP sequences are unchanged. (Unroll/prefetch
+  // and integer-count variants both measured slower here; the loop is
+  // already throughput-bound on the two read-add-write chains.) The
+  // touched-bin range tracked alongside bounds every later pass.
+  std::size_t bmin = bins;
+  std::size_t bmax = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = col[order[i]];
+    hg[b] += node_grad[i];
+    hc[b] += 1.0;
+    bmin = b < bmin ? b : bmin;
+    bmax = b > bmax ? b : bmax;
+  }
+
+  const std::size_t sweep = bins - 1;  // bin `bins-1` can't split
+  double gl = 0.0;
+  double hl = 0.0;
+  double best = p.min_split_gain;
+
+  // Every bin below bmin sees the all-empty prefix (gl = hl = 0), so
+  // the scalar tier computes the identical gain for each of them and
+  // its strict `>` can only ever take the first, bin 0. Reproduce that
+  // with a single evaluation of the seed loop body at bin 0 (hg[0] and
+  // hc[0] are zero here, so the adds are omitted). Also covers n == 0,
+  // where every bin is prefix.
+  if (bmin > 0) {
+    const double hr = p.h_total - hl;
+    if (!(hl < p.min_child_weight || hr < p.min_child_weight)) {
+      const double gr = p.g_total - gl;
+      const double gain = gl * gl / (hl + p.reg_lambda) +
+                          gr * gr / (hr + p.reg_lambda) - p.parent_score;
+      if (gain > best) {
+        best = gain;
+        cand.gain = gain;
+        cand.bin = 0;
+        cand.valid = true;
+      }
+    }
+  }
+
+  // Fused gain sweep over the touched range only, four bins per
+  // iteration. The running left sums gl/hl are a true serial dependence
+  // (reassociating them would change the bits), so they stay scalar in
+  // exactly the seed's order; each 4-bin block of them is then packed
+  // into a vector and the expensive part — two multiplies and two
+  // divides per bin — runs 4-wide. All of it is elementwise IEEE
+  // arithmetic in the scalar expression's association, so every lane
+  // produces the exact double the scalar loop would. Fusing matters: a
+  // separate prefix pass is latency-bound on the gl/hl chains with
+  // nothing to hide behind, where here the out-of-order window overlaps
+  // the chain with the previous block's divides. Bins failing the
+  // min-child-weight screen get -inf, which the strict `>` below skips
+  // just like the scalar `continue`.
+  //
+  // Trimming is exact: bins past bmax leave gl/hl fixed, so their gains
+  // duplicate the gain at bmax and lose the strict `>`; likewise a
+  // 4-bin block whose counts are all zero adds only +0.0 to gl/hl and
+  // duplicates the previous bin's gain, so it is skipped after one
+  // vector compare. (An empty bin's hg is +0.0 by the scratch
+  // invariant; dropping a `x + 0.0` can only flip a -0.0 left-sum to
+  // +0.0, and every use squares it or compares it, so the gains match
+  // bit for bit.)
+  const std::size_t stop = bmax + 1 < sweep ? bmax + 1 : sweep;  // exclusive
+  const __m256d v_gtot = _mm256_set1_pd(p.g_total);
+  const __m256d v_htot = _mm256_set1_pd(p.h_total);
+  const __m256d v_lam = _mm256_set1_pd(p.reg_lambda);
+  const __m256d v_mcw = _mm256_set1_pd(p.min_child_weight);
+  const __m256d v_parent = _mm256_set1_pd(p.parent_score);
+  const __m256d v_ninf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m256d v_zero = _mm256_setzero_pd();
+  __m256d v_best = _mm256_set1_pd(best);
+  std::size_t b = bmin;
+  for (; b + 4 <= stop; b += 4) {
+    const __m256d vcnt = _mm256_loadu_pd(hc + b);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(vcnt, v_zero, _CMP_NEQ_OQ)) == 0) {
+      continue;  // all four bins empty — pure duplicates, skip
+    }
+    const double gl0 = gl + hg[b];
+    const double gl1 = gl0 + hg[b + 1];
+    const double gl2 = gl1 + hg[b + 2];
+    const double gl3 = gl2 + hg[b + 3];
+    const double hl0 = hl + hc[b];
+    const double hl1 = hl0 + hc[b + 1];
+    const double hl2 = hl1 + hc[b + 2];
+    const double hl3 = hl2 + hc[b + 3];
+    gl = gl3;
+    hl = hl3;
+    const __m256d vgl = _mm256_set_pd(gl3, gl2, gl1, gl0);
+    const __m256d vhl = _mm256_set_pd(hl3, hl2, hl1, hl0);
+    const __m256d vhr = _mm256_sub_pd(v_htot, vhl);
+    const __m256d bad =
+        _mm256_or_pd(_mm256_cmp_pd(vhl, v_mcw, _CMP_LT_OQ),
+                     _mm256_cmp_pd(vhr, v_mcw, _CMP_LT_OQ));
+    const __m256d vgr = _mm256_sub_pd(v_gtot, vgl);
+    const __m256d lterm = _mm256_div_pd(_mm256_mul_pd(vgl, vgl),
+                                        _mm256_add_pd(vhl, v_lam));
+    const __m256d rterm = _mm256_div_pd(_mm256_mul_pd(vgr, vgr),
+                                        _mm256_add_pd(vhr, v_lam));
+    const __m256d gain = _mm256_blendv_pd(
+        _mm256_sub_pd(_mm256_add_pd(lterm, rterm), v_parent), v_ninf, bad);
+    // First-bin-wins argmax: lanes beating the block-entry best are
+    // rare, so the in-order scalar resolution only runs on a hit. The
+    // per-lane strict `>` against the running best reproduces the
+    // scalar tier's update order within the block.
+    if (_mm256_movemask_pd(_mm256_cmp_pd(gain, v_best, _CMP_GT_OQ)) != 0) {
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, gain);
+      for (int k = 0; k < 4; ++k) {
+        if (lanes[k] > best) {
+          best = lanes[k];
+          cand.gain = lanes[k];
+          cand.bin = b + static_cast<std::size_t>(k);
+          cand.valid = true;
+        }
+      }
+      v_best = _mm256_set1_pd(best);
+    }
+  }
+  // Remainder bins: the seed loop, continuing the same running sums.
+  for (; b < stop; ++b) {
+    gl += hg[b];
+    hl += hc[b];
+    const double hr = p.h_total - hl;
+    if (hl < p.min_child_weight || hr < p.min_child_weight) continue;
+    const double gr = p.g_total - gl;
+    const double gain = gl * gl / (hl + p.reg_lambda) +
+                        gr * gr / (hr + p.reg_lambda) - p.parent_score;
+    if (gain > best) {
+      best = gain;
+      cand.gain = gain;
+      cand.bin = b;
+      cand.valid = true;
+    }
+  }
+
+  // Restore the all-zero scratch invariant, paying only for what this
+  // scan dirtied: re-walk the rows when the node is smaller than its
+  // bin range, else stream zeros over [bmin, bmax].
+  if (n != 0) {
+    if (n < bmax - bmin + 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t t = col[order[i]];
+        hg[t] = 0.0;
+        hc[t] = 0.0;
+      }
+    } else {
+      std::size_t z = bmin;
+      for (; z + 4 <= bmax + 1; z += 4) {
+        _mm256_storeu_pd(hg + z, v_zero);
+        _mm256_storeu_pd(hc + z, v_zero);
+      }
+      for (; z <= bmax; ++z) {
+        hg[z] = 0.0;
+        hc[z] = 0.0;
+      }
+    }
+  }
+  return cand;
+}
+
+double node_sum_lanes(const double* v, std::size_t n) {
+  // Fast-math only: four running lane sums, reduced in fixed lane order.
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < n; ++i) total += v[i];
+  return total;
+}
+
+}  // namespace iotax::ml::kernels::avx2
+
+#endif  // IOTAX_KERNELS_AVX2

@@ -1,0 +1,33 @@
+// Declarations of the AVX2 kernel variants, defined in the *_avx2.cpp
+// translation units (the only ones compiled with -mavx2). Dispatchers
+// reference these under #if defined(IOTAX_KERNELS_AVX2) so the symbols
+// are never needed in a nosimd build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ml/kernels/forest.hpp"
+#include "src/ml/kernels/hist.hpp"
+
+namespace iotax::ml::kernels::avx2 {
+
+SplitScan feature_scan(const std::uint16_t* col, const std::size_t* order,
+                       std::size_t n, const double* node_grad,
+                       std::size_t bins, const FeatureScanParams& p);
+
+double node_sum_lanes(const double* v, std::size_t n);
+
+// Forest traversal over rows [0, n_rows) for trees [t_begin, t_end).
+void forest_codes(const ForestView& f, std::size_t t_begin, std::size_t t_end,
+                  const std::uint16_t* codes, std::size_t stride,
+                  std::size_t n_rows, double* out);
+
+void forest_values(const ForestView& f, const double* x, std::size_t stride,
+                   std::size_t n_rows, double* out);
+
+void dense_forward(const double* in, std::size_t n_rows, std::size_t in_dim,
+                   const double* w, const double* bias, std::size_t out_dim,
+                   double* out);
+
+}  // namespace iotax::ml::kernels::avx2

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/ml/kernels/gemm.hpp"
 #include "src/obs/trace.hpp"
 #include "src/stats/descriptive.hpp"
 #include "src/util/parallel.hpp"
@@ -82,6 +83,30 @@ void Mlp::forward(std::span<const double> input, std::vector<double>* acts,
       }
     }
   }
+}
+
+const double* Mlp::forward_batch(const double* in, std::size_t n_rows,
+                                 std::vector<double>& buf_a,
+                                 std::vector<double>& buf_b) const {
+  const double* cur = in;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double>& out_buf = (l % 2 == 0) ? buf_a : buf_b;
+    if (out_buf.size() < n_rows * layer.out) {
+      out_buf.resize(n_rows * layer.out);
+    }
+    kernels::dense_forward(cur, n_rows, layer.in, layer.w.data(),
+                           layer.b.data(), layer.out, out_buf.data());
+    if (l + 1 < layers_.size()) {
+      // ReLU, elementwise — same std::max as the per-row forward().
+      const std::size_t total = n_rows * layer.out;
+      for (std::size_t k = 0; k < total; ++k) {
+        out_buf[k] = std::max(0.0, out_buf[k]);
+      }
+    }
+    cur = out_buf.data();
+  }
+  return cur;
 }
 
 void Mlp::fit(const data::MatrixView& x, std::span<const double> y) {
@@ -298,18 +323,20 @@ std::vector<double> Mlp::predict(const data::MatrixView& x) const {
   IOTAX_TRACE_SPAN("mlp.predict");
   const data::Matrix z = scaler_.transform_log1p(x);
   std::vector<double> out(z.rows());
-  const std::size_t out_off = act_offsets_.back();
-  // Rows are independent; each chunk owns a scratch activation buffer
-  // and writes only its own output slots (bit-identical at any thread
-  // count).
+  // Rows are independent; each chunk owns scratch buffers and writes
+  // only its own output slots (bit-identical at any thread count).
+  const std::size_t out_dim = layers_.back().out;
   util::parallel_for_chunks(
       z.rows(),
       [&](std::size_t lo, std::size_t hi) {
-        std::vector<double> acts(act_total_);
-        std::vector<char> masks;
+        // z is row-major and contiguous, so the chunk is a dense block;
+        // forward_batch runs it through the GEMM microkernel.
+        std::vector<double> buf_a;
+        std::vector<double> buf_b;
+        const double* res = forward_batch(z.row(lo).data(), hi - lo,
+                                          buf_a, buf_b);
         for (std::size_t r = lo; r < hi; ++r) {
-          forward(z.row(r), &acts, nullptr, &masks);
-          out[r] = acts[out_off] * y_scale_ + y_mean_;
+          out[r] = res[(r - lo) * out_dim] * y_scale_ + y_mean_;
         }
       },
       64);
@@ -338,17 +365,18 @@ void Mlp::predict_dist_preprocessed(const data::Matrix& z,
   IOTAX_TRACE_SPAN("mlp.predict_dist");
   out->mean.resize(z.rows());
   out->variance.resize(z.rows());
-  const std::size_t out_off = act_offsets_.back();
+  const std::size_t out_dim = layers_.back().out;
   util::parallel_for_chunks(
       z.rows(),
       [&](std::size_t lo, std::size_t hi) {
-        std::vector<double> acts(act_total_);
-        std::vector<char> masks;
+        std::vector<double> buf_a;
+        std::vector<double> buf_b;
+        const double* res = forward_batch(z.row(lo).data(), hi - lo,
+                                          buf_a, buf_b);
         for (std::size_t r = lo; r < hi; ++r) {
-          forward(z.row(r), &acts, nullptr, &masks);
-          out->mean[r] = acts[out_off] * y_scale_ + y_mean_;
-          const double log_var =
-              std::clamp(acts[out_off + 1], kLogVarMin, kLogVarMax);
+          const double* orow = res + (r - lo) * out_dim;
+          out->mean[r] = orow[0] * y_scale_ + y_mean_;
+          const double log_var = std::clamp(orow[1], kLogVarMin, kLogVarMax);
           out->variance[r] = std::exp(log_var) * y_scale_ * y_scale_;
         }
       },

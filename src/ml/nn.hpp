@@ -93,6 +93,16 @@ class Mlp final : public Regressor {
   void forward(std::span<const double> input, std::vector<double>* acts,
                util::Rng* dropout_rng, std::vector<char>* masks) const;
 
+  /// Inference-only forward over a dense row-major block (n_rows x
+  /// input width, contiguous) through the dispatched GEMM microkernel
+  /// (kernels::dense_forward) — bit-identical per row to forward()
+  /// without dropout. Returns a pointer to the final layer's
+  /// activations (n_rows x out_dim) inside one of the two ping-pong
+  /// scratch buffers.
+  const double* forward_batch(const double* in, std::size_t n_rows,
+                              std::vector<double>& buf_a,
+                              std::vector<double>& buf_b) const;
+
   /// Training loop on the preprocessed matrix (scaler_ already set).
   void fit_impl(const data::Matrix& z, std::span<const double> y);
 

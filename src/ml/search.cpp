@@ -54,10 +54,38 @@ struct EncodedVal {
   EncodedVal& operator=(const EncodedVal&) = delete;
 };
 
+// True when the two candidates run the identical fit except for how
+// many boosting rounds it keeps.
+bool same_except_trees(const GbtParams& a, const GbtParams& b) {
+  return a.max_depth == b.max_depth && a.loss == b.loss &&
+         a.quantile_alpha == b.quantile_alpha &&
+         a.learning_rate == b.learning_rate &&
+         a.reg_lambda == b.reg_lambda &&
+         a.min_child_weight == b.min_child_weight &&
+         a.min_split_gain == b.min_split_gain &&
+         a.subsample == b.subsample && a.colsample == b.colsample &&
+         a.max_bins == b.max_bins &&
+         a.per_feature_bins == b.per_feature_bins &&
+         a.early_stopping_rounds == b.early_stopping_rounds &&
+         a.seed == b.seed;
+}
+
 // Evaluate pre-generated candidates concurrently (each trial writes its
 // own slot), then fold serially in candidate order so `on_point`
 // callback order and the strict-< first-point-wins tie-breaking match
 // the sequential loop bit for bit.
+//
+// Candidates that differ only in n_estimators are fitted once, not once
+// each: boosting round t depends only on rounds before it (fit_binned
+// disables early stopping, and the per-round rng stream is a function
+// of the shared seed alone), so round t of the largest candidate builds
+// the identical tree to round t of every smaller one. The group fits at
+// its largest tree count and each member is scored against a tree
+// prefix of that one model — per-candidate val errors, and therefore
+// the selected point, are bit-identical to fitting every candidate
+// separately, at a fraction of the tree builds. A grid with an
+// n_estimators ladder of {16,32,64,128} pays for 128 trees per depth
+// instead of 240.
 SearchResult evaluate_all(const std::vector<GbtParams>& points,
                           const data::MatrixView& x_train,
                           std::span<const double> y_train,
@@ -67,10 +95,49 @@ SearchResult evaluate_all(const std::vector<GbtParams>& points,
   points.front().validate();  // surface bad shared params before binning
   const BinnedMatrix binned = bin_for_search(points.front(), x_train);
   const EncodedVal val(binned, x_val);
+
+  // Group candidate indices into prefix families, members sorted by
+  // ascending n_estimators. Searches with per-candidate seeds (random,
+  // halving populations) degenerate to singleton groups.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<bool> claimed(points.size(), false);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (claimed[i]) continue;
+    std::vector<std::size_t> members{i};
+    claimed[i] = true;
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (!claimed[j] && same_except_trees(points[i], points[j])) {
+        members.push_back(j);
+        claimed[j] = true;
+      }
+    }
+    std::stable_sort(members.begin(), members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return points[a].n_estimators < points[b].n_estimators;
+                     });
+    groups.push_back(std::move(members));
+  }
+
   std::vector<SearchPoint> evaluated(points.size());
-  util::parallel_for(points.size(), [&](std::size_t i) {
-    evaluated[i] =
-        evaluate(points[i], x_train, y_train, binned, val.codes, y_val);
+  util::parallel_for(groups.size(), [&](std::size_t g) {
+    const auto& members = groups[g];
+    GradientBoostedTrees model(points[members.back()]);
+    {
+      obs::SpanGuard fit_span("search.fit");
+      obs::span_arg("group_size", static_cast<double>(members.size()));
+      model.fit_binned(x_train, y_train, binned);
+    }
+    for (const std::size_t idx : members) {
+      obs::SpanGuard trial_span("search.trial");
+      IOTAX_OBS_COUNT("search.trials", 1);
+      SearchPoint point;
+      point.params = points[idx];
+      point.val_error = median_abs_log_error(
+          y_val,
+          model.predict_codes_prefix(val.codes, points[idx].n_estimators));
+      obs::span_arg("val_error", point.val_error);
+      evaluated[idx] = std::move(point);
+    }
   });
   SearchResult result;
   result.best.val_error = std::numeric_limits<double>::infinity();

@@ -427,6 +427,16 @@ void Server::run_batch(std::vector<Pending>&& batch) {
   obs::span_arg("rows", static_cast<double>(batch.size()));
   n_batches_.fetch_add(1, std::memory_order_relaxed);
   IOTAX_OBS_COUNT("serve.batches", 1);
+  if (obs::enabled()) {
+    // Rows per executed batch: how much batching the admission window
+    // actually achieves, and thus how much of the packed-kernel batch
+    // speedup each request sees (wide buckets — sizes are powers-ish).
+    static obs::Histogram& batch_rows_hist =
+        obs::MetricsRegistry::global().histogram(
+            "serve.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                                 128.0, 256.0, 512.0});
+    batch_rows_hist.observe(static_cast<double>(batch.size()));
+  }
 
   // Group batch slots by (model, row width, dist?) in first-appearance
   // order, then run each group through one MatrixView-backed predict.

@@ -1,10 +1,15 @@
-# Bench regression gate: compare a fresh BENCH_pipeline.json against the
-# committed baseline and fail the job when the zero-copy path regresses.
+# Bench regression gate: compare a fresh bench JSON against the
+# committed baseline and fail the job when the measured path regresses.
 # Invoked as
 #   cmake -DCURRENT=<BENCH_pipeline.json> -DBASELINE=<baseline.json> \
 #         [-DBYTES_TOL=0.10] [-DWALL_TOL=1.5] -P check_bench.cmake
+# or, for the SIMD kernel A/B report (bench_perf_kernels --kernels_ab):
+#   cmake -DKIND=kernels -DCURRENT=<BENCH_kernels.json> \
+#         -DBASELINE=<baseline.json> [-DMIN_SPEEDUP_HIST=1.05] \
+#         [-DMIN_SPEEDUP_TRAVERSAL=1.2] [-DMIN_SPEEDUP_GEMM=1.2] \
+#         -P check_bench.cmake
 #
-# What is gated, and how tightly:
+# KIND=pipeline (the default) gates:
 #   * reports_bit_identical must be true — a correctness bit, no tolerance.
 #   * view.peak_materialized_bytes may grow at most BYTES_TOL (default
 #     +10%) over baseline. Peak footprint is deterministic for a fixed
@@ -13,8 +18,17 @@
 #   * view.wall_ms may grow at most WALL_TOL times baseline (default
 #     1.5x). Wall time on shared CI runners is noisy, so the gate is
 #     generous — it catches the pipeline going quadratic, not a wobble.
+# KIND=kernels gates:
+#   * identical must be true — the AVX2 tier produced bit-different
+#     output from the scalar tier somewhere. No tolerance.
+#   * single-thread speedup floors per kernel, but only when the report
+#     says avx2_active — on hardware or builds without the AVX2 tier the
+#     A/B degenerates to scalar/scalar and the floors are skipped with a
+#     warning. Floors are deliberately far below the measured speedups:
+#     they catch the vector path silently rotting back to scalar, not a
+#     noisy-runner wobble.
 # The baseline (bench/baselines/) must be regenerated whenever the bench
-# workload changes shape; the gate requires matching job counts so a
+# workload changes shape; the gate requires matching job/row counts so a
 # stale baseline fails loudly instead of gating garbage.
 cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
 
@@ -73,6 +87,69 @@ function(truncate out decimal)
   endif()
   set(${out} "${int_part}" PARENT_SCOPE)
 endfunction()
+
+if(NOT DEFINED KIND)
+  set(KIND pipeline)
+endif()
+
+if(KIND STREQUAL "kernels")
+  # Comparable workloads only.
+  get_field(cur_rows "${current_json}" rows)
+  get_field(base_rows "${baseline_json}" rows)
+  if(NOT cur_rows EQUAL base_rows)
+    message(FATAL_ERROR "check_bench: row count ${cur_rows} != baseline "
+                        "${base_rows}; regenerate bench/baselines/ for the "
+                        "new workload")
+  endif()
+
+  # Correctness bit: every kernel's AVX2 tier matched the scalar tier
+  # exactly, across both thread counts. string(JSON) renders true as "ON".
+  get_field(identical "${current_json}" identical)
+  if(NOT identical)
+    message(FATAL_ERROR "check_bench: kernel tiers are not bit-identical — "
+                        "an AVX2 kernel diverged from the scalar reference")
+  endif()
+  message(STATUS "check_bench: kernel tiers bit-identical ok")
+
+  # Speedup floors, single-thread numbers only (less scheduler noise).
+  # Only meaningful when the AVX2 tier actually ran.
+  get_field(avx2_active "${current_json}" avx2_active)
+  if(NOT avx2_active)
+    message(WARNING "check_bench: AVX2 tier inactive in this report; "
+                    "skipping speedup floors (scalar/scalar A/B)")
+    message(STATUS "check_bench: PASS")
+    return()
+  endif()
+  if(NOT DEFINED MIN_SPEEDUP_HIST)
+    set(MIN_SPEEDUP_HIST 1.05)
+  endif()
+  if(NOT DEFINED MIN_SPEEDUP_TRAVERSAL)
+    set(MIN_SPEEDUP_TRAVERSAL 1.2)
+  endif()
+  if(NOT DEFINED MIN_SPEEDUP_GEMM)
+    set(MIN_SPEEDUP_GEMM 1.2)
+  endif()
+  foreach(pair "hist;${MIN_SPEEDUP_HIST}"
+               "traversal;${MIN_SPEEDUP_TRAVERSAL}"
+               "gemm;${MIN_SPEEDUP_GEMM}")
+    list(GET pair 0 kernel)
+    list(GET pair 1 floor)
+    get_field(speedup "${current_json}" ${kernel} t1 speedup)
+    to_millis(speedup_millis "${speedup}")
+    to_millis(floor_millis "${floor}")
+    if(speedup_millis LESS floor_millis)
+      message(FATAL_ERROR "check_bench: ${kernel} AVX2 speedup ${speedup}x "
+                          "fell below the ${floor}x floor — the vector "
+                          "path stopped paying for itself")
+    endif()
+    message(STATUS "check_bench: ${kernel} speedup ${speedup}x >= "
+                   "${floor}x ok")
+  endforeach()
+  message(STATUS "check_bench: PASS")
+  return()
+endif()
+
+# ---- KIND=pipeline (default) -----------------------------------------
 
 # Comparable workloads only: a scale/preset change needs a new baseline.
 get_field(cur_jobs "${current_json}" jobs)

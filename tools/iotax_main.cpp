@@ -30,6 +30,7 @@
 #include "src/faults/injector.hpp"
 #include "src/faults/plan.hpp"
 #include "src/data/table_io.hpp"
+#include "src/ml/kernels/dispatch.hpp"
 #include "src/ml/metrics.hpp"
 #include "src/ml/registry.hpp"
 #include "src/obs/metrics.hpp"
@@ -97,6 +98,8 @@ commands:
              health-checks it with --ping
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
+  --version  print the build version and the selected kernel tier
+             (IOTAX_KERNELS=scalar|avx2|auto picks; auto is the default)
 
 observability (any command):
   --metrics-out FILE   write counters/gauges/histograms as JSON
@@ -772,6 +775,10 @@ void write_obs_outputs(const cli::Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("iotax 1 kernels=%s\n", ml::kernels::describe().c_str());
+    return 0;
+  }
   const cli::Args args(argc - 2, argv + 2);
   if (args.has("metrics-out") || args.has("trace-out")) {
     obs::set_enabled(true);
