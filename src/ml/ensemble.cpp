@@ -18,10 +18,29 @@ DeepEnsemble::DeepEnsemble(EnsembleParams params)
   }
 }
 
-void DeepEnsemble::fit(const data::MatrixView& x, std::span<const double> y,
-                       const std::vector<NasCandidate>& nas_history) {
-  params_.nas_history = nas_history;
-  fit(x, y);
+void DeepEnsemble::fit_continue(const data::MatrixView& x,
+                                std::span<const double> y,
+                                std::size_t extra_rounds) {
+  if (members_.empty()) {
+    throw std::logic_error("DeepEnsemble::fit_continue: not fitted");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("DeepEnsemble::fit_continue: size mismatch");
+  }
+  if (extra_rounds == 0) return;
+  IOTAX_TRACE_SPAN("ensemble.fit_continue");
+  obs::span_arg("members", static_cast<double>(members_.size()));
+  obs::span_arg("extra_rounds", static_cast<double>(extra_rounds));
+  // All members hold the fit-time scaler fit() shared across the
+  // ensemble; transform once and continue every member against the
+  // shared copy, exactly as fit() shared z.
+  const data::Matrix z = members_.front()->scaler().transform_log1p(x);
+  util::parallel_for(members_.size(), [&](std::size_t k) {
+    obs::SpanGuard member_span("ensemble.member");
+    obs::span_arg("member", static_cast<double>(k));
+    members_[k]->fit_continue_preprocessed(z, y, extra_rounds);
+  });
+  params_.epochs += extra_rounds;
 }
 
 void DeepEnsemble::fit(const data::MatrixView& x, std::span<const double> y) {

@@ -45,9 +45,18 @@ class DeepEnsemble final : public Regressor {
   /// all members, not re-materialized per member.
   void fit(const data::MatrixView& x, std::span<const double> y) override;
 
-  /// Legacy overload: install `nas_history` into the params, then fit.
-  void fit(const data::MatrixView& x, std::span<const double> y,
-           const std::vector<NasCandidate>& nas_history);
+  /// Warm-start continuation: every member runs `extra_rounds` more
+  /// epochs from its retained optimizer state against one shared
+  /// preprocessed copy of `x` (member hyperparameters were all drawn
+  /// up front at fit time, independent of the epoch count, so for the
+  /// same data this is bit-identical to a cold fit with
+  /// epochs == N + extra_rounds). Loaded ensembles carry no member
+  /// optimizer state and throw std::logic_error.
+  void fit_continue(const data::MatrixView& x, std::span<const double> y,
+                    std::size_t extra_rounds) override;
+  FitContinueInfo fit_continue_info() const override {
+    return {true, "epoch"};
+  }
 
   UncertaintyPrediction predict_uncertainty(const data::MatrixView& x) const;
   std::vector<double> predict(const data::MatrixView& x) const override;

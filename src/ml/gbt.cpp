@@ -374,14 +374,139 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
   if (packed_.n_trees() != trees_.size()) rebuild_packed();
 }
 
-void GradientBoostedTrees::append_packed(const Tree& tree, bool with_codes) {
+void GradientBoostedTrees::fit_continue(const data::MatrixView& x,
+                                        std::span<const double> y,
+                                        std::size_t extra_rounds) {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::fit_continue: not fitted");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::fit_continue: size mismatch");
+  }
+  if (x.rows() < 2) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::fit_continue: need >= 2 rows");
+  }
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::fit_continue: feature count mismatch");
+  }
+  if (extra_rounds == 0) return;
+  IOTAX_TRACE_SPAN("gbt.fit_continue");
+  obs::span_arg("rows", static_cast<double>(x.rows()));
+  obs::span_arg("extra_rounds", static_cast<double>(extra_rounds));
+
+  // Re-bin under the model's own budgets. For the matrix fit() saw this
+  // reproduces the fit-time bins bit-exactly (binning is a deterministic
+  // function of the column values), which is what makes warm == cold.
+  const BinnedMatrix binned = params_.per_feature_bins.empty()
+                                  ? BinnedMatrix(x, params_.max_bins)
+                                  : BinnedMatrix(x, params_.per_feature_bins);
+
+  // Replay the running predictions through the public predict() path:
+  // base score first, then leaf values per row in ascending tree order —
+  // the exact FP sequence the cold fit's per-round updates built up.
+  // Routing by raw thresholds reaches the same leaves code routing did,
+  // so this also works on loaded checkpoints that carry no fit-time
+  // codes.
+  std::vector<double> preds = predict(x);
+
+  // Replay the subsample/colsample RNG stream past the existing rounds:
+  // cold round t draws (rows, features) after t earlier rounds' draws,
+  // so warm round trees_.size() + k must see the same stream position.
+  util::Rng rng(params_.seed);
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(params_.subsample *
+                                  static_cast<double>(x.rows())));
+  const auto n_col = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.colsample *
+                                  static_cast<double>(n_features_)));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    if (params_.subsample < 1.0) {
+      rng.sample_without_replacement(x.rows(), n_sub);
+    }
+    if (params_.colsample < 1.0) {
+      rng.sample_without_replacement(n_features_, n_col);
+    }
+  }
+
+  std::vector<double> grad(x.rows());
+  std::vector<std::size_t> all_rows(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) all_rows[i] = i;
+  std::vector<std::size_t> all_features(n_features_);
+  for (std::size_t i = 0; i < n_features_; ++i) all_features[i] = i;
+
+  // New trees land in a codes-only scratch forest for the per-round
+  // prediction updates: the model's packed_ may hold loaded trees
+  // without split bins, and PackedForest rejects code traversal unless
+  // every tree carries them.
+  kernels::PackedForest fresh;
+  for (std::size_t k = 0; k < extra_rounds; ++k) {
+    const std::int64_t tree_t0 = obs::now_ns_if_enabled();
+    if (params_.loss == GbtLoss::kQuantile) {
+      const double a = params_.quantile_alpha;
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        grad[i] = preds[i] >= y[i] ? (1.0 - a) : -a;
+      }
+    } else {
+      for (std::size_t i = 0; i < x.rows(); ++i) grad[i] = preds[i] - y[i];
+    }
+
+    std::vector<std::size_t> rows =
+        params_.subsample < 1.0 ? rng.sample_without_replacement(x.rows(),
+                                                                 n_sub)
+                                : all_rows;
+    std::vector<std::size_t> features =
+        params_.colsample < 1.0
+            ? rng.sample_without_replacement(n_features_, n_col)
+            : all_features;
+
+    Tree tree = build_tree(binned, rows, features, grad);
+    pack_tree(fresh, tree, /*with_codes=*/true);
+    const std::size_t local_t = fresh.n_trees() - 1;
+    util::parallel_for_chunks(
+        x.rows(),
+        [&](std::size_t lo, std::size_t hi) {
+          fresh.predict_codes_tree(local_t, binned.row_codes(lo).data(),
+                                   n_features_, hi - lo, preds.data() + lo);
+        },
+        512);
+    IOTAX_OBS_COUNT("gbt.trees", 1);
+    if (tree_t0 != 0) {
+      IOTAX_OBS_HIST_MS("gbt.tree_ms",
+                        static_cast<double>(obs::now_ns_if_enabled() - tree_t0) /
+                            1e6);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  obs::span_arg("trees", static_cast<double>(trees_.size()));
+  // A continued forest has trees_.size() rounds total; advancing the
+  // recorded count keeps name()/save() agreeing with a cold fit of that
+  // length.
+  params_.n_estimators = trees_.size();
+
+  // The appended trees' split bins index this call's binning; any
+  // earlier trees' bins index theirs. No single binning covers the
+  // forest now, so code traversal is dropped and the whole forest is
+  // relaid out for raw-value routing only.
+  has_split_bins_ = false;
+  rebuild_packed();
+}
+
+void GradientBoostedTrees::pack_tree(kernels::PackedForest& forest,
+                                     const Tree& tree, bool with_codes) {
   std::vector<kernels::PackedForest::NodeDesc> descs;
   descs.reserve(tree.nodes.size());
   for (const auto& n : tree.nodes) {
     descs.push_back(
         {n.feature, n.threshold, n.split_bin, n.left, n.right, n.value});
   }
-  packed_.add_tree(descs, with_codes);
+  forest.add_tree(descs, with_codes);
+}
+
+void GradientBoostedTrees::append_packed(const Tree& tree, bool with_codes) {
+  pack_tree(packed_, tree, with_codes);
 }
 
 void GradientBoostedTrees::rebuild_packed() {

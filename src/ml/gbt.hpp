@@ -70,6 +70,29 @@ class GradientBoostedTrees final : public Regressor {
   void fit_eval(const data::MatrixView& x, std::span<const double> y,
                 const data::MatrixView& x_val, std::span<const double> y_val);
 
+  /// Warm-start continuation: append `extra_rounds` more boosting rounds
+  /// on top of the fitted forest. Continuation is stateless — the call
+  /// re-bins `x` under the model's bin budgets, replays the running
+  /// predictions through predict() (same per-row, tree-order FP
+  /// accumulation the cold fit produced) and replays the
+  /// subsample/colsample RNG stream past the existing rounds — so for
+  /// the same data and seed, fit(N) + fit_continue(x, y, M) is
+  /// bit-identical to a cold fit with n_estimators == N + M, at any
+  /// IOTAX_THREADS. Works on loaded checkpoints too (the saved params
+  /// carry the seed). On new data the base score and earlier trees stay
+  /// frozen and only the new rounds chase the new residuals. After a
+  /// continuation the forest mixes trees built against different
+  /// binnings, so fit-time code traversal (predict_codes) is dropped;
+  /// predict() routes by raw thresholds and is unaffected. fit_eval's
+  /// early stopping is a fit-time-only concern: continuation never
+  /// trims, and continuing a trimmed model re-draws from the kept
+  /// rounds.
+  void fit_continue(const data::MatrixView& x, std::span<const double> y,
+                    std::size_t extra_rounds) override;
+  FitContinueInfo fit_continue_info() const override {
+    return {true, "tree"};
+  }
+
   std::vector<double> predict(const data::MatrixView& x) const override;
 
   /// predict() for rows pre-encoded against the fit-time binning
@@ -136,6 +159,10 @@ class GradientBoostedTrees final : public Regressor {
                 const data::MatrixView& x_val, std::span<const double> y_val,
                 const BinnedMatrix* binned);
 
+  /// Relayout one tree into a PackedForest (the SoA batch-prediction
+  /// layout).
+  static void pack_tree(kernels::PackedForest& forest, const Tree& tree,
+                        bool with_codes);
   /// Append one tree to packed_ (the SoA batch-prediction layout).
   void append_packed(const Tree& tree, bool with_codes);
   /// Rebuild packed_ from trees_ after they change wholesale.

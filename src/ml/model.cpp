@@ -17,6 +17,14 @@ void Regressor::save(std::ostream& /*out*/) const {
                          "' does not support serialization");
 }
 
+void Regressor::fit_continue(const data::MatrixView& /*x*/,
+                             std::span<const double> /*y*/,
+                             std::size_t /*extra_rounds*/) {
+  throw std::logic_error("Regressor::fit_continue: '" + name() +
+                         "' does not support warm-start continuation "
+                         "(fit_continue_info().supported is false)");
+}
+
 const std::vector<std::string>& known_model_magics() {
   static const std::vector<std::string> kMagics = {
       "iotax-ensemble", "iotax-gbt", "iotax-linear", "iotax-mean",

@@ -16,6 +16,18 @@
 
 namespace iotax::ml {
 
+/// Capability report for Regressor::fit_continue. The online loop asks
+/// for this instead of dynamic_cast-probing concrete families: a model
+/// either supports warm-start continuation (and names the unit one
+/// round of continuation adds — "tree" for boosters, "epoch" for
+/// gradient trainers) or it does not and fit_continue throws.
+struct FitContinueInfo {
+  bool supported = false;
+  /// What one `extra_rounds` step means for this family ("tree",
+  /// "epoch"); empty when unsupported.
+  const char* round_unit = "";
+};
+
 class Regressor {
  public:
   virtual ~Regressor() = default;
@@ -28,6 +40,24 @@ class Regressor {
 
   /// Predict one value per row; requires fit() first.
   virtual std::vector<double> predict(const data::MatrixView& x) const = 0;
+
+  /// Warm-start continuation: add `extra_rounds` more rounds of training
+  /// (trees for GBT, epochs for MLP/ensemble members) on top of the
+  /// fitted state. The v2 contract is bit-exact resumability: for the
+  /// same data and seed, fit(N rounds) followed by
+  /// fit_continue(x, y, M) must equal a cold fit(N + M rounds) — same
+  /// predictions to the last bit, at any IOTAX_THREADS. Families that
+  /// cannot continue (mean, linear — they have no round structure)
+  /// report {supported = false} from fit_continue_info() and the default
+  /// implementation here throws std::logic_error naming the model.
+  virtual void fit_continue(const data::MatrixView& x,
+                            std::span<const double> y,
+                            std::size_t extra_rounds);
+
+  /// Whether fit_continue is implemented for this family, and what one
+  /// round means. Callers must check this instead of probing concrete
+  /// types; the base default reports unsupported.
+  virtual FitContinueInfo fit_continue_info() const { return {}; }
 
   /// Short human-readable description ("gbt[trees=32,depth=21]").
   virtual std::string name() const = 0;

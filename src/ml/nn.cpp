@@ -44,7 +44,29 @@ std::string MlpParams::to_string() const {
   return s;
 }
 
+// Per-layer Adam moments plus the step counter and the RNG streams the
+// epoch loop consumes; holding these (the weights live in the layers)
+// is exactly what makes epoch continuation bit-identical to having
+// never stopped.
+struct MlpTrainState {
+  struct Adam {
+    std::vector<double> mw, vw, mb, vb;
+  };
+  std::vector<Adam> adam;
+  std::size_t step = 0;
+  util::Rng shuffle_rng;
+  util::Rng dropout_rng;
+  /// Row visit order. Each epoch shuffles it IN PLACE, so epoch k's
+  /// permutation compounds on epoch k-1's; a continuation must resume
+  /// from the compounded order, not from identity.
+  std::vector<std::size_t> order;
+};
+
 Mlp::Mlp(MlpParams params) : params_(std::move(params)) { params_.validate(); }
+
+Mlp::~Mlp() = default;
+Mlp::Mlp(Mlp&&) noexcept = default;
+Mlp& Mlp::operator=(Mlp&&) noexcept = default;
 
 namespace {
 constexpr double kLogVarMin = -8.0;
@@ -171,21 +193,38 @@ void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
     act_total_ += widths[l + 1];
   }
 
-  // Adam state.
-  struct Adam {
-    std::vector<double> mw, vw, mb, vb;
-  };
-  std::vector<Adam> adam(layers_.size());
+  // Fresh optimizer state; run_epochs advances it and fit_continue
+  // resumes from wherever it stops.
+  train_state_ = std::make_unique<MlpTrainState>();
+  train_state_->adam.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    adam[l].mw.assign(layers_[l].w.size(), 0.0);
-    adam[l].vw.assign(layers_[l].w.size(), 0.0);
-    adam[l].mb.assign(layers_[l].b.size(), 0.0);
-    adam[l].vb.assign(layers_[l].b.size(), 0.0);
+    train_state_->adam[l].mw.assign(layers_[l].w.size(), 0.0);
+    train_state_->adam[l].vw.assign(layers_[l].w.size(), 0.0);
+    train_state_->adam[l].mb.assign(layers_[l].b.size(), 0.0);
+    train_state_->adam[l].vb.assign(layers_[l].b.size(), 0.0);
   }
+  train_state_->shuffle_rng = rng.fork(1);
+  train_state_->dropout_rng = rng.fork(2);
+
+  run_epochs(z, y, params_.epochs);
+  fitted_ = true;
+}
+
+void Mlp::run_epochs(const data::Matrix& z, std::span<const double> y,
+                     std::size_t n_epochs) {
+  // Target normalisation against the frozen fit-time statistics: the
+  // same elementwise arithmetic the cold fit ran, so resuming on the
+  // fit-time data recomputes an identical ty.
+  std::vector<double> ty(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ty[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  MlpTrainState& st = *train_state_;
+  std::vector<MlpTrainState::Adam>& adam = st.adam;
   constexpr double kBeta1 = 0.9;
   constexpr double kBeta2 = 0.999;
   constexpr double kEps = 1e-8;
-  std::size_t step = 0;
 
   std::vector<double> acts(act_total_);
   std::vector<double> deltas(act_total_);
@@ -197,14 +236,15 @@ void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
     gb[l].assign(layers_[l].b.size(), 0.0);
   }
 
-  std::vector<std::size_t> order(z.rows());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  util::Rng shuffle_rng = rng.fork(1);
-  util::Rng dropout_rng = rng.fork(2);
+  std::vector<std::size_t>& order = st.order;
+  if (order.size() != z.rows()) {
+    order.resize(z.rows());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
 
-  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+  for (std::size_t epoch = 0; epoch < n_epochs; ++epoch) {
     obs::SpanGuard epoch_span("mlp.epoch");
-    shuffle_rng.shuffle(order);
+    st.shuffle_rng.shuffle(order);
     for (std::size_t start = 0; start < order.size();
          start += params_.batch_size) {
       const std::size_t end =
@@ -216,7 +256,7 @@ void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
       for (std::size_t bi = start; bi < end; ++bi) {
         const std::size_t r = order[bi];
         forward(z.row(r), &acts,
-                params_.dropout > 0.0 ? &dropout_rng : nullptr, &masks);
+                params_.dropout > 0.0 ? &st.dropout_rng : nullptr, &masks);
 
         // Output deltas (dLoss/dPreactivation of the output layer).
         const std::size_t out_off = act_offsets_.back();
@@ -267,9 +307,9 @@ void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
       }
 
       // Adam update with decoupled weight decay.
-      ++step;
-      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
-      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      ++st.step;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(st.step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(st.step));
       for (std::size_t l = 0; l < layers_.size(); ++l) {
         Layer& layer = layers_[l];
         for (std::size_t i = 0; i < layer.w.size(); ++i) {
@@ -315,7 +355,48 @@ void Mlp::fit_impl(const data::Matrix& z, std::span<const double> y) {
       obs::span_arg("loss", loss / static_cast<double>(z.rows()));
     }
   }
-  fitted_ = true;
+}
+
+void Mlp::fit_continue(const data::MatrixView& x, std::span<const double> y,
+                       std::size_t extra_rounds) {
+  if (!fitted_) throw std::logic_error("Mlp::fit_continue: not fitted");
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("Mlp::fit_continue: size mismatch");
+  }
+  if (x.rows() < 2) {
+    throw std::invalid_argument("Mlp::fit_continue: need >= 2 rows");
+  }
+  // The scaler is frozen at fit time; transform_log1p reproduces the
+  // fit-time preprocessing bit-exactly (it is the same elementwise
+  // arithmetic fit_transform_log1p ran after fitting).
+  const data::Matrix z = scaler_.transform_log1p(x);
+  fit_continue_preprocessed(z, y, extra_rounds);
+}
+
+void Mlp::fit_continue_preprocessed(const data::Matrix& z,
+                                    std::span<const double> y,
+                                    std::size_t extra_rounds) {
+  if (!fitted_) throw std::logic_error("Mlp::fit_continue: not fitted");
+  if (z.rows() != y.size()) {
+    throw std::invalid_argument("Mlp::fit_continue: size mismatch");
+  }
+  if (z.cols() != n_features()) {
+    throw std::invalid_argument("Mlp::fit_continue: feature count mismatch");
+  }
+  if (train_state_ == nullptr) {
+    throw std::logic_error(
+        "Mlp::fit_continue: no retained training state — checkpoints do not "
+        "serialize optimizer moments, so loaded models cannot continue");
+  }
+  if (extra_rounds == 0) return;
+  IOTAX_TRACE_SPAN("mlp.fit_continue");
+  obs::span_arg("rows", static_cast<double>(z.rows()));
+  obs::span_arg("extra_rounds", static_cast<double>(extra_rounds));
+  run_epochs(z, y, extra_rounds);
+  // A continued model has trained epochs + extra_rounds epochs total;
+  // advancing the recorded count keeps name()/save() agreeing with a
+  // cold fit of that length.
+  params_.epochs += extra_rounds;
 }
 
 std::vector<double> Mlp::predict(const data::MatrixView& x) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "src/data/scaler.hpp"
@@ -16,6 +17,13 @@
 #include "src/util/rng.hpp"
 
 namespace iotax::ml {
+
+/// Optimizer state retained between fit() and fit_continue(): Adam
+/// moments, the global step count, and the shuffle/dropout RNG streams.
+/// Defined in nn.cpp; lives only on models fitted in this process
+/// (checkpoints don't serialize optimizer moments, so loaded models
+/// cannot continue).
+struct MlpTrainState;
 
 struct MlpParams {
   std::vector<std::size_t> hidden = {64, 64};
@@ -43,8 +51,29 @@ struct DistPrediction {
 class Mlp final : public Regressor {
  public:
   explicit Mlp(MlpParams params = {});
+  // Out-of-line for the unique_ptr<MlpTrainState> member (incomplete
+  // here); declaring the destructor suppresses the implicit moves, so
+  // they are re-declared and defaulted in nn.cpp.
+  ~Mlp() override;
+  Mlp(Mlp&&) noexcept;
+  Mlp& operator=(Mlp&&) noexcept;
 
   void fit(const data::MatrixView& x, std::span<const double> y) override;
+
+  /// Warm-start continuation: run `extra_rounds` more epochs from the
+  /// retained optimizer state (Adam moments, step count, shuffle and
+  /// dropout RNG streams). The preprocessing scaler and target
+  /// normalisation stay frozen at their fit-time values, so re-feeding
+  /// the fit-time matrix reproduces the exact training stream and
+  /// fit(N epochs) + fit_continue(x, y, M) is bit-identical to a cold
+  /// fit with epochs == N + M (params_.epochs is advanced to match).
+  /// Models loaded from a checkpoint carry no optimizer state and throw
+  /// std::logic_error here.
+  void fit_continue(const data::MatrixView& x, std::span<const double> y,
+                    std::size_t extra_rounds) override;
+  FitContinueInfo fit_continue_info() const override {
+    return {true, "epoch"};
+  }
   std::vector<double> predict(const data::MatrixView& x) const override;
   std::string name() const override;
   std::size_t n_features() const override {
@@ -57,6 +86,13 @@ class Mlp final : public Regressor {
   /// re-materializing the identical transform.
   void fit_preprocessed(const data::Matrix& z, std::span<const double> y,
                         const data::StandardScaler& scaler);
+
+  /// fit_continue() on an already log1p'd + standardised matrix (the
+  /// output of scaler().transform_log1p). DeepEnsemble transforms its
+  /// input once and continues every member against the shared copy.
+  void fit_continue_preprocessed(const data::Matrix& z,
+                                 std::span<const double> y,
+                                 std::size_t extra_rounds);
 
   /// Mean and aleatory variance; requires an NLL head.
   DistPrediction predict_dist(const data::MatrixView& x) const;
@@ -106,12 +142,20 @@ class Mlp final : public Regressor {
   /// Training loop on the preprocessed matrix (scaler_ already set).
   void fit_impl(const data::Matrix& z, std::span<const double> y);
 
+  /// Run `n_epochs` epochs of the Adam/SGD loop against the retained
+  /// train_state_ (which must exist). Shared by fit_impl (from a fresh
+  /// state) and fit_continue (resuming).
+  void run_epochs(const data::Matrix& z, std::span<const double> y,
+                  std::size_t n_epochs);
+
   MlpParams params_;
   std::vector<Layer> layers_;
   data::StandardScaler scaler_;
   double y_mean_ = 0.0;
   double y_scale_ = 1.0;
   bool fitted_ = false;
+  // Retained optimizer state for fit_continue; null on loaded models.
+  std::unique_ptr<MlpTrainState> train_state_;
 
   // Activation buffer offsets per layer (input + each layer output).
   std::vector<std::size_t> act_offsets_;

@@ -178,10 +178,97 @@ std::unique_ptr<Regressor> load_regressor_file(const std::string& path) {
   return Regressor::load(in, path);
 }
 
+std::uint64_t hash_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open model file " + path);
+  }
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  char buf[4096];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const auto n = static_cast<std::size_t>(in.gcount());
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ull;  // FNV-1a 64 prime
+    }
+    if (!in) break;
+  }
+  return h;
+}
+
+std::string format_params_hash(std::uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(hash >> shift) & 0xF];
+  }
+  return out;
+}
+
 std::size_t ModelRegistry::add(const std::string& path) {
-  models_.push_back(load_regressor_file(path));
+  const std::uint64_t hash = hash_model_file(path);
+  std::shared_ptr<const Regressor> model;
+  try {
+    model = load_regressor_file(path);
+  } catch (const std::exception& err) {
+    // The hash identifies the rejected artifact by content even though
+    // it never became a model.
+    throw std::runtime_error(
+        std::string(err.what()) + " (registry slot " +
+        std::to_string(slots_.size()) + ", generation 1, params hash " +
+        format_params_hash(hash) + ")");
+  }
+  auto entry = std::make_shared<const ModelEntry>(
+      ModelEntry{std::move(model), path, 1, hash});
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(std::move(entry));
+  previous_.push_back(nullptr);
   paths_.push_back(path);
-  return models_.size() - 1;
+  return slots_.size() - 1;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::entry(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.at(i);
+}
+
+std::uint64_t ModelRegistry::publish(std::size_t i,
+                                     std::shared_ptr<const Regressor> model,
+                                     std::string source,
+                                     std::uint64_t params_hash) {
+  if (model == nullptr) {
+    throw std::invalid_argument("ModelRegistry::publish: null model");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = slots_.at(i);
+  auto entry = std::make_shared<const ModelEntry>(
+      ModelEntry{std::move(model), std::move(source), slot->generation + 1,
+                 params_hash});
+  previous_.at(i) = slot;
+  slot = std::move(entry);
+  return slot->generation;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::rollback(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto prev = previous_.at(i);
+  if (prev == nullptr) {
+    throw std::runtime_error("ModelRegistry::rollback: slot " +
+                             std::to_string(i) +
+                             " has no previous publication");
+  }
+  auto cur = slots_.at(i);
+  auto entry = std::make_shared<const ModelEntry>(
+      ModelEntry{prev->model, prev->source, cur->generation + 1,
+                 prev->params_hash});
+  previous_.at(i) = std::move(cur);
+  slots_.at(i) = entry;
+  return entry;
 }
 
 }  // namespace iotax::ml

@@ -4,7 +4,9 @@
 // model choice is a string, not a compile-time type.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,23 +36,72 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
 /// pointed at the wrong file says which file and why.
 std::unique_ptr<Regressor> load_regressor_file(const std::string& path);
 
+/// FNV-1a 64-bit hash of a checkpoint file's bytes — the "params hash"
+/// shown by registry diagnostics and the serve banner. Computable even
+/// for a checkpoint that fails to load, so a broken or mismatched file
+/// is identifiable by content, not just by name. Throws
+/// std::runtime_error when the file cannot be opened.
+std::uint64_t hash_model_file(const std::string& path);
+
+/// Render a params hash the way diagnostics print it ("0x1a2b...").
+std::string format_params_hash(std::uint64_t hash);
+
+/// One publication in a registry slot: the model itself, where it came
+/// from, the slot's monotonically increasing generation, and the FNV-1a
+/// hash of the checkpoint bytes. Entries are immutable and shared — a
+/// serve batch snapshots the shared_ptr once and the model stays alive
+/// for the whole batch even if the slot is re-published underneath it.
+struct ModelEntry {
+  std::shared_ptr<const Regressor> model;
+  std::string source;
+  std::uint64_t generation = 0;
+  std::uint64_t params_hash = 0;
+};
+
 /// In-memory registry of loaded checkpoints for the serve daemon: each
-/// add() loads one file; requests address models by their add() index.
-/// The registry is immutable after construction-time loading, so
-/// concurrent lookup from session/batcher threads needs no locking.
+/// add() creates one slot; requests address models by their add()
+/// index. The slot count is fixed after startup, but each slot's
+/// current publication can be atomically replaced (publish) or restored
+/// (rollback) under live traffic: readers take entry() snapshots, so an
+/// in-flight batch keeps scoring against the model it started with
+/// while new requests see the new generation.
 class ModelRegistry {
  public:
-  /// Load a checkpoint; returns its index. Throws like
-  /// load_regressor_file.
+  /// Load a checkpoint into a new slot at generation 1; returns the
+  /// slot index. Load failures rethrow with the slot, the would-be
+  /// generation, and the checkpoint's params hash appended — enough to
+  /// tell which artifact was rejected, not just which path.
   std::size_t add(const std::string& path);
 
-  std::size_t size() const { return models_.size(); }
-  const Regressor& model(std::size_t i) const { return *models_.at(i); }
-  /// Source path of model i (diagnostics / the serve startup banner).
+  std::size_t size() const;
+
+  /// Snapshot of slot i's current publication (never null).
+  std::shared_ptr<const ModelEntry> entry(std::size_t i) const;
+
+  /// Replace slot i's publication; the displaced entry is retained for
+  /// rollback. Returns the new generation (previous + 1).
+  std::uint64_t publish(std::size_t i, std::shared_ptr<const Regressor> model,
+                        std::string source, std::uint64_t params_hash);
+
+  /// Restore slot i's previous publication under a fresh generation
+  /// (generations only ever increase, so clients can always detect a
+  /// swap). Rolling back twice toggles between the two newest
+  /// publications. Throws std::runtime_error when the slot has never
+  /// been re-published.
+  std::shared_ptr<const ModelEntry> rollback(std::size_t i);
+
+  /// Current model of slot i. Only safe when no concurrent publish can
+  /// run (startup banners, single-threaded tools); concurrent readers
+  /// must hold an entry() snapshot instead.
+  const Regressor& model(std::size_t i) const { return *entry(i)->model; }
+  /// Source path slot i was add()ed from (stable across publishes; the
+  /// current publication's origin is entry(i)->source).
   const std::string& path(std::size_t i) const { return paths_.at(i); }
 
  private:
-  std::vector<std::unique_ptr<Regressor>> models_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const ModelEntry>> slots_;
+  std::vector<std::shared_ptr<const ModelEntry>> previous_;
   std::vector<std::string> paths_;
 };
 

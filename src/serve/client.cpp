@@ -119,6 +119,10 @@ void Client::send_ping(std::uint64_t request_id) {
   send_raw(encode_ping(request_id));
 }
 
+void Client::send_control(const ControlRequest& req) {
+  send_raw(encode_control_request(req));
+}
+
 bool Client::read_reply(Reply* out) {
   char chunk[16384];
   while (true) {
@@ -141,6 +145,9 @@ bool Client::read_reply(Reply* out) {
           break;
         case FrameType::kErrorResponse:
           parsed = decode_error_response(dec.header, payload, &out->error);
+          break;
+        case FrameType::kControlResponse:
+          parsed = decode_control_response(dec.header, payload, &out->control);
           break;
         case FrameType::kPong:
           break;

@@ -36,12 +36,14 @@ class Client {
   void send_raw(std::string_view bytes);
   void send_predict(const PredictRequest& req);
   void send_ping(std::uint64_t request_id);
+  void send_control(const ControlRequest& req);
 
   struct Reply {
     util::FrameType type = util::FrameType::kPong;
     std::uint64_t request_id = 0;
     PredictResponse predict;  // valid when type == kPredictResponse
     ErrorResponse error;      // valid when type == kErrorResponse
+    ControlResponse control;  // valid when type == kControlResponse
   };
 
   /// Block for the next reply frame. Returns false on clean EOF; throws

@@ -26,8 +26,10 @@ std::string encode_predict_request(const PredictRequest& req) {
   util::put_u16(&payload, req.model_index);
   util::put_u16(&payload, static_cast<std::uint16_t>(req.features.size()));
   for (const double v : req.features) util::put_f64(&payload, v);
-  return util::encode_frame(FrameType::kPredictRequest,
-                            req.want_dist ? FrameFlag::kFlagPredictDist : 0,
+  std::uint8_t flags = 0;
+  if (req.want_dist) flags |= FrameFlag::kFlagPredictDist;
+  if (req.want_shadow) flags |= FrameFlag::kFlagShadow;
+  return util::encode_frame(FrameType::kPredictRequest, flags,
                             req.request_id, payload);
 }
 
@@ -60,6 +62,28 @@ std::string encode_pong(std::uint64_t request_id) {
   return util::encode_frame(FrameType::kPong, 0, request_id, {});
 }
 
+std::string encode_control_request(const ControlRequest& req) {
+  std::string payload;
+  util::put_u16(&payload, static_cast<std::uint16_t>(req.op));
+  util::put_u16(&payload, req.model_index);
+  util::put_u64(&payload, req.min_shadow_requests);
+  return util::encode_frame(FrameType::kControlRequest, 0, req.request_id,
+                            payload);
+}
+
+std::string encode_control_response(const ControlResponse& resp) {
+  std::string payload;
+  util::put_u16(&payload, resp.ok ? 1 : 0);
+  util::put_u64(&payload, resp.generation);
+  util::put_u64(&payload, resp.shadow_requests);
+  util::put_u64(&payload, resp.shadow_diverged);
+  util::put_f64(&payload, resp.max_abs_divergence);
+  util::put_u32(&payload, static_cast<std::uint32_t>(resp.detail.size()));
+  payload.append(resp.detail);
+  return util::encode_frame(FrameType::kControlResponse, 0, resp.request_id,
+                            payload);
+}
+
 bool decode_predict_request(const FrameHeader& header,
                             std::span<const std::uint8_t> payload,
                             PredictRequest* out, ErrorResponse* err) {
@@ -67,6 +91,7 @@ bool decode_predict_request(const FrameHeader& header,
   err->status = ServeStatus::kBadRequest;
   out->request_id = header.request_id;
   out->want_dist = (header.flags & FrameFlag::kFlagPredictDist) != 0;
+  out->want_shadow = (header.flags & FrameFlag::kFlagShadow) != 0;
   std::size_t pos = 0;
   std::uint16_t n_features = 0;
   if (!util::get_u16(payload, &pos, &out->model_index) ||
@@ -130,6 +155,61 @@ bool decode_error_response(const FrameHeader& header,
   } else {
     out->reason = static_cast<util::Reason>(reason);
   }
+  out->detail.assign(reinterpret_cast<const char*>(payload.data()) + pos,
+                     detail_len);
+  return true;
+}
+
+bool decode_control_request(const FrameHeader& header,
+                            std::span<const std::uint8_t> payload,
+                            ControlRequest* out, ErrorResponse* err) {
+  err->request_id = header.request_id;
+  err->status = ServeStatus::kBadRequest;
+  out->request_id = header.request_id;
+  std::size_t pos = 0;
+  std::uint16_t op = 0;
+  if (!util::get_u16(payload, &pos, &op) ||
+      !util::get_u16(payload, &pos, &out->model_index) ||
+      !util::get_u64(payload, &pos, &out->min_shadow_requests)) {
+    err->reason = util::Reason::kTruncated;
+    err->detail = "control payload shorter than its fixed fields";
+    return false;
+  }
+  if (payload.size() != 12) {
+    err->reason = util::Reason::kSizeMismatch;
+    err->detail = "control payload length " + std::to_string(payload.size()) +
+                  " (expected 12)";
+    return false;
+  }
+  if (op < static_cast<std::uint16_t>(ControlOp::kPromote) ||
+      op > static_cast<std::uint16_t>(ControlOp::kStatus)) {
+    err->reason = util::Reason::kBadNumber;
+    err->detail = "unknown control op " + std::to_string(op);
+    return false;
+  }
+  out->op = static_cast<ControlOp>(op);
+  return true;
+}
+
+bool decode_control_response(const FrameHeader& header,
+                             std::span<const std::uint8_t> payload,
+                             ControlResponse* out) {
+  out->request_id = header.request_id;
+  std::size_t pos = 0;
+  std::uint16_t ok = 0;
+  std::uint32_t detail_len = 0;
+  if (!util::get_u16(payload, &pos, &ok) ||
+      !util::get_u64(payload, &pos, &out->generation) ||
+      !util::get_u64(payload, &pos, &out->shadow_requests) ||
+      !util::get_u64(payload, &pos, &out->shadow_diverged) ||
+      !util::get_f64(payload, &pos, &out->max_abs_divergence) ||
+      !util::get_u32(payload, &pos, &detail_len)) {
+    return false;
+  }
+  if (payload.size() != pos + static_cast<std::size_t>(detail_len)) {
+    return false;
+  }
+  out->ok = ok != 0;
   out->detail.assign(reinterpret_cast<const char*>(payload.data()) + pos,
                      detail_len);
   return true;

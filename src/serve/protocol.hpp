@@ -52,6 +52,10 @@ struct PredictRequest {
   std::uint64_t request_id = 0;
   std::uint16_t model_index = 0;
   bool want_dist = false;
+  /// kFlagShadow: also score the daemon's shadow model; the response
+  /// carries values = {production, shadow} when one is configured (and
+  /// just {production} when not — callers check values.size()).
+  bool want_shadow = false;
   std::vector<double> features;
 };
 
@@ -69,6 +73,46 @@ struct ErrorResponse {
   std::string detail;
 };
 
+/// Administrative verbs carried by kControlRequest frames.
+///
+/// ControlRequest payload:
+///   u16 op                   ControlOp
+///   u16 model_index          registry slot the op targets
+///   u64 min_shadow_requests  promote gate: refuse unless the shadow has
+///                            scored at least this many requests (0 = no
+///                            floor beyond "shadow configured")
+///
+/// ControlResponse payload:
+///   u16 ok                   1 = op applied, 0 = refused
+///   u64 generation           slot generation after the op
+///   u64 shadow_requests      shadow divergence accounting at reply time
+///   u64 shadow_diverged
+///   f64 max_abs_divergence
+///   u32 detail_len           followed by human-readable text (refusal
+///                            reason, or the published model description)
+enum class ControlOp : std::uint16_t {
+  kPromote = 1,   // publish the shadow model into `model_index`
+  kRollback = 2,  // restore the slot's previous publication
+  kStatus = 3,    // report generation + shadow accounting, change nothing
+};
+
+struct ControlRequest {
+  std::uint64_t request_id = 0;
+  ControlOp op = ControlOp::kStatus;
+  std::uint16_t model_index = 0;
+  std::uint64_t min_shadow_requests = 0;
+};
+
+struct ControlResponse {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::uint64_t generation = 0;
+  std::uint64_t shadow_requests = 0;
+  std::uint64_t shadow_diverged = 0;
+  double max_abs_divergence = 0.0;
+  std::string detail;
+};
+
 // -- encode (returns complete wire frames) ----------------------------------
 
 std::string encode_predict_request(const PredictRequest& req);
@@ -76,6 +120,8 @@ std::string encode_predict_response(const PredictResponse& resp);
 std::string encode_error_response(const ErrorResponse& err);
 std::string encode_ping(std::uint64_t request_id);
 std::string encode_pong(std::uint64_t request_id);
+std::string encode_control_request(const ControlRequest& req);
+std::string encode_control_response(const ControlResponse& resp);
 
 // -- decode (payload given a decoded frame header) --------------------------
 
@@ -95,5 +141,16 @@ bool decode_predict_response(const util::FrameHeader& header,
 bool decode_error_response(const util::FrameHeader& header,
                            std::span<const std::uint8_t> payload,
                            ErrorResponse* out);
+
+/// Parse a kControlRequest payload (server side). On failure returns
+/// false and fills *err like decode_predict_request.
+bool decode_control_request(const util::FrameHeader& header,
+                            std::span<const std::uint8_t> payload,
+                            ControlRequest* out, ErrorResponse* err);
+
+/// Parse a kControlResponse payload (client side). False on malformed.
+bool decode_control_response(const util::FrameHeader& header,
+                             std::span<const std::uint8_t> payload,
+                             ControlResponse* out);
 
 }  // namespace iotax::serve

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -104,6 +105,32 @@ void Server::start() {
   if (registry_.size() == 0) {
     throw std::runtime_error("serve: no model checkpoints given");
   }
+  if (!config_.shadow_file.empty()) {
+    if (config_.shadow_slot >= registry_.size()) {
+      throw std::runtime_error(
+          "serve: --shadow-slot " + std::to_string(config_.shadow_slot) +
+          " outside registry of " + std::to_string(registry_.size()));
+    }
+    const std::uint64_t hash = ml::hash_model_file(config_.shadow_file);
+    auto entry = std::make_shared<ml::ModelEntry>();
+    entry->model = std::shared_ptr<const ml::Regressor>(
+        ml::load_regressor_file(config_.shadow_file));
+    entry->source = config_.shadow_file;
+    entry->generation = 0;  // candidate: not yet published
+    entry->params_hash = hash;
+    const auto prod = registry_.entry(config_.shadow_slot);
+    if (entry->model->n_features() != 0 && prod->model->n_features() != 0 &&
+        entry->model->n_features() != prod->model->n_features()) {
+      throw std::runtime_error(
+          "serve: shadow model expects " +
+          std::to_string(entry->model->n_features()) +
+          " features but production slot " +
+          std::to_string(config_.shadow_slot) + " expects " +
+          std::to_string(prod->model->n_features()));
+    }
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_ = std::move(entry);
+  }
   queue_ = std::make_unique<util::BoundedQueue<Pending>>(config_.max_inflight);
   if (!config_.unix_socket.empty()) {
     unix_fd_ = make_unix_listener(config_.unix_socket);
@@ -173,7 +200,20 @@ ServeStats Server::stats() const {
   s.shed = n_shed_.load(std::memory_order_relaxed);
   s.errors = n_errors_.load(std::memory_order_relaxed);
   s.quarantined = n_quarantined_.load(std::memory_order_relaxed);
+  s.shadow_requests = n_shadow_requests_.load(std::memory_order_relaxed);
+  s.shadow_diverged = n_shadow_diverged_.load(std::memory_order_relaxed);
+  s.promotions = n_promotions_.load(std::memory_order_relaxed);
+  s.rollbacks = n_rollbacks_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    s.max_abs_divergence = max_abs_divergence_;
+  }
   return s;
+}
+
+std::shared_ptr<const ml::ModelEntry> Server::shadow() const {
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  return shadow_;
 }
 
 util::QuarantineReport Server::quarantine() const {
@@ -326,6 +366,17 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
       return true;
     case FrameType::kPredictRequest:
       break;
+    case FrameType::kControlRequest: {
+      ControlRequest creq;
+      ErrorResponse cerr;
+      if (!decode_control_request(header, payload, &creq, &cerr)) {
+        note_quarantine(*cerr.reason, cerr.detail);
+        send_error(session, cerr);
+        return true;
+      }
+      handle_control(session, creq);
+      return true;
+    }
     default: {
       // Well-framed but not something a client may send. The frame
       // boundary is intact, so the connection survives.
@@ -359,7 +410,11 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
     send_error(session, err);
     return true;
   }
-  const auto& model = registry_.model(pending.req.model_index);
+  // Snapshot the slot's current publication: a concurrent promote can
+  // swap the slot, but this request validated (and will score) against a
+  // coherent entry that the shared_ptr keeps alive.
+  const auto entry = registry_.entry(pending.req.model_index);
+  const auto& model = *entry->model;
   if (model.n_features() != 0 &&
       pending.req.features.size() != model.n_features()) {
     err.request_id = header.request_id;
@@ -413,6 +468,107 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   return true;
 }
 
+void Server::handle_control(const std::shared_ptr<Session>& session,
+                            const ControlRequest& req) {
+  ControlResponse resp;
+  resp.request_id = req.request_id;
+  resp.shadow_requests = n_shadow_requests_.load(std::memory_order_relaxed);
+  resp.shadow_diverged = n_shadow_diverged_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    resp.max_abs_divergence = max_abs_divergence_;
+  }
+  if (req.model_index >= registry_.size()) {
+    resp.ok = false;
+    resp.detail = "model index " + std::to_string(req.model_index) +
+                  " outside registry of " + std::to_string(registry_.size());
+    write_frame(*session, encode_control_response(resp));
+    return;
+  }
+  switch (req.op) {
+    case ControlOp::kStatus: {
+      const auto entry = registry_.entry(req.model_index);
+      resp.ok = true;
+      resp.generation = entry->generation;
+      resp.detail = entry->model->name() + " from " + entry->source +
+                    " (params hash " +
+                    ml::format_params_hash(entry->params_hash) + ")";
+      break;
+    }
+    case ControlOp::kPromote: {
+      // Promotion gate: a shadow must exist, target the requested slot,
+      // and have scored enough live traffic. The publish itself is one
+      // registry generation bump; in-flight requests keep their entry
+      // snapshots and finish on the model they validated against.
+      std::shared_ptr<const ml::ModelEntry> candidate;
+      {
+        std::lock_guard<std::mutex> lock(shadow_mu_);
+        candidate = shadow_;
+      }
+      if (candidate == nullptr) {
+        resp.ok = false;
+        resp.generation = registry_.entry(req.model_index)->generation;
+        resp.detail = "no shadow candidate loaded";
+        break;
+      }
+      if (req.model_index != config_.shadow_slot) {
+        resp.ok = false;
+        resp.generation = registry_.entry(req.model_index)->generation;
+        resp.detail = "shadow is a candidate for slot " +
+                      std::to_string(config_.shadow_slot) + ", not " +
+                      std::to_string(req.model_index);
+        break;
+      }
+      if (resp.shadow_requests < req.min_shadow_requests) {
+        resp.ok = false;
+        resp.generation = registry_.entry(req.model_index)->generation;
+        resp.detail = "shadow has scored " +
+                      std::to_string(resp.shadow_requests) + " of required " +
+                      std::to_string(req.min_shadow_requests) + " request(s)";
+        break;
+      }
+      const std::uint64_t generation =
+          registry_.publish(req.model_index, candidate->model,
+                            candidate->source, candidate->params_hash);
+      {
+        std::lock_guard<std::mutex> lock(shadow_mu_);
+        shadow_.reset();  // consumed; further kFlagShadow rows answer {prod}
+      }
+      n_promotions_.fetch_add(1, std::memory_order_relaxed);
+      IOTAX_OBS_COUNT("serve.promotions", 1);
+      IOTAX_OBS_GAUGE("serve.generation", static_cast<double>(generation));
+      resp.ok = true;
+      resp.generation = generation;
+      resp.detail = "promoted " + candidate->source + " (params hash " +
+                    ml::format_params_hash(candidate->params_hash) +
+                    ") as generation " + std::to_string(generation);
+      break;
+    }
+    case ControlOp::kRollback: {
+      try {
+        const auto restored = registry_.rollback(req.model_index);
+        n_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+        IOTAX_OBS_COUNT("serve.rollbacks", 1);
+        IOTAX_OBS_GAUGE("serve.generation",
+                        static_cast<double>(restored->generation));
+        resp.ok = true;
+        resp.generation = restored->generation;
+        resp.detail = "rolled back to " + restored->source +
+                      " (params hash " +
+                      ml::format_params_hash(restored->params_hash) +
+                      ") as generation " +
+                      std::to_string(restored->generation);
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.generation = registry_.entry(req.model_index)->generation;
+        resp.detail = e.what();
+      }
+      break;
+    }
+  }
+  write_frame(*session, encode_control_response(resp));
+}
+
 void Server::batcher_loop() {
   while (true) {
     auto batch = queue_->pop_batch(
@@ -438,12 +594,14 @@ void Server::run_batch(std::vector<Pending>&& batch) {
     batch_rows_hist.observe(static_cast<double>(batch.size()));
   }
 
-  // Group batch slots by (model, row width, dist?) in first-appearance
-  // order, then run each group through one MatrixView-backed predict.
+  // Group batch slots by (model, row width, dist?, shadow?) in
+  // first-appearance order, then run each group through one
+  // MatrixView-backed predict.
   struct Group {
     std::uint16_t model_index;
     std::size_t width;
     bool dist;
+    bool shadow;
     std::vector<std::size_t> slots;
   };
   std::vector<Group> groups;
@@ -452,21 +610,34 @@ void Server::run_batch(std::vector<Pending>&& batch) {
     Group* group = nullptr;
     for (auto& g : groups) {
       if (g.model_index == req.model_index &&
-          g.width == req.features.size() && g.dist == req.want_dist) {
+          g.width == req.features.size() && g.dist == req.want_dist &&
+          g.shadow == req.want_shadow) {
         group = &g;
         break;
       }
     }
     if (group == nullptr) {
       groups.push_back(Group{req.model_index, req.features.size(),
-                             req.want_dist, {}});
+                             req.want_dist, req.want_shadow, {}});
       group = &groups.back();
     }
     group->slots.push_back(i);
   }
 
   for (const auto& group : groups) {
-    const auto& model = registry_.model(group.model_index);
+    // Entry snapshot: a promote landing mid-batch swaps the registry
+    // slot, but this group finishes on the model its requests were
+    // admitted against — no in-flight request is dropped or re-scored.
+    const auto entry = registry_.entry(group.model_index);
+    const auto& model = *entry->model;
+    // Shadow scoring applies to kFlagShadow point predictions against
+    // the candidate's slot; dist requests keep their 3-value contract.
+    std::shared_ptr<const ml::ModelEntry> shadow_entry;
+    if (group.shadow && !group.dist &&
+        group.model_index == config_.shadow_slot) {
+      std::lock_guard<std::mutex> lock(shadow_mu_);
+      shadow_entry = shadow_;
+    }
     data::Matrix x(group.slots.size(), group.width);
     for (std::size_t r = 0; r < group.slots.size(); ++r) {
       const auto& feats = batch[group.slots[r]].req.features;
@@ -486,6 +657,37 @@ void Server::run_batch(std::vector<Pending>&& batch) {
         const auto uq = ensemble->predict_uncertainty(x);
         for (std::size_t r = 0; r < group.slots.size(); ++r) {
           responses[r].values = {uq.mean[r], uq.aleatory[r], uq.epistemic[r]};
+        }
+      } else if (shadow_entry != nullptr) {
+        // Production and shadow score the identical Matrix through the
+        // same batch kernels, so both values are bit-equal to what
+        // offline `iotax predict` computes for the same rows — which is
+        // what lets divergence accounting be exact rather than
+        // tolerance-based.
+        const auto pred = model.predict(x);
+        const auto spred = shadow_entry->model->predict(x);
+        std::uint64_t diverged = 0;
+        double max_abs = 0.0;
+        for (std::size_t r = 0; r < group.slots.size(); ++r) {
+          responses[r].values = {pred[r], spred[r]};
+          if (std::memcmp(&pred[r], &spred[r], sizeof(double)) != 0) {
+            ++diverged;
+            const double d = std::abs(pred[r] - spred[r]);
+            if (d > max_abs) max_abs = d;
+          }
+        }
+        n_shadow_requests_.fetch_add(group.slots.size(),
+                                     std::memory_order_relaxed);
+        IOTAX_OBS_COUNT("shadow.requests",
+                        static_cast<std::uint64_t>(group.slots.size()));
+        if (diverged > 0) {
+          n_shadow_diverged_.fetch_add(diverged, std::memory_order_relaxed);
+          IOTAX_OBS_COUNT("shadow.diverged", diverged);
+        }
+        {
+          std::lock_guard<std::mutex> lock(shadow_mu_);
+          if (max_abs > max_abs_divergence_) max_abs_divergence_ = max_abs;
+          IOTAX_OBS_GAUGE("shadow.max_abs_divergence", max_abs_divergence_);
         }
       } else {
         const auto pred = model.predict(x);

@@ -54,6 +54,14 @@ struct ServeConfig {
   /// Admission control: requests beyond this many in flight get a typed
   /// BUSY reply instead of queueing (also the queue capacity).
   std::size_t max_inflight = 256;
+  /// Shadow deployment: a candidate checkpoint served beside production
+  /// ("" disables). Requests flagged kFlagShadow get values =
+  /// {production, shadow}; divergence between the two is accounted
+  /// bit-exactly and gates promotion (ControlOp::kPromote publishes the
+  /// shadow into `shadow_slot`).
+  std::string shadow_file;
+  /// Registry slot the shadow is a candidate for.
+  std::size_t shadow_slot = 0;
 };
 
 /// Monotonic totals since start(); exact (plain atomics, not gated on
@@ -67,6 +75,11 @@ struct ServeStats {
   std::uint64_t shed = 0;         // BUSY replies (admission control)
   std::uint64_t errors = 0;       // typed error replies other than BUSY
   std::uint64_t quarantined = 0;  // frame/request defects recorded
+  std::uint64_t shadow_requests = 0;  // rows also scored by the shadow
+  std::uint64_t shadow_diverged = 0;  // rows whose two answers differ bitwise
+  std::uint64_t promotions = 0;       // shadow publishes into the registry
+  std::uint64_t rollbacks = 0;        // registry rollbacks applied
+  double max_abs_divergence = 0.0;    // worst |production - shadow| seen
 };
 
 class Server {
@@ -94,6 +107,10 @@ class Server {
   const ml::ModelRegistry& registry() const { return registry_; }
   const ServeConfig& config() const { return config_; }
 
+  /// Snapshot of the shadow candidate (nullptr when none is loaded or
+  /// after a promotion consumed it).
+  std::shared_ptr<const ml::ModelEntry> shadow() const;
+
   ServeStats stats() const;
   /// Snapshot of frame/request defects seen so far.
   util::QuarantineReport quarantine() const;
@@ -110,6 +127,10 @@ class Server {
   bool handle_frame(const std::shared_ptr<Session>& session,
                     const util::FrameHeader& header,
                     std::span<const std::uint8_t> payload);
+  /// Apply one administrative verb (promote / rollback / status) and
+  /// reply with a ControlResponse on the requester's session.
+  void handle_control(const std::shared_ptr<Session>& session,
+                      const ControlRequest& req);
   void run_batch(std::vector<Pending>&& batch);
   void send_error(const std::shared_ptr<Session>& session,
                   const ErrorResponse& err, bool count_as_error = true);
@@ -145,6 +166,16 @@ class Server {
   std::atomic<std::uint64_t> n_shed_{0};
   std::atomic<std::uint64_t> n_errors_{0};
   std::atomic<std::uint64_t> n_quarantined_{0};
+
+  // Shadow deployment state. The candidate entry swaps out atomically on
+  // promotion; divergence accounting is monotonic since start().
+  mutable std::mutex shadow_mu_;
+  std::shared_ptr<const ml::ModelEntry> shadow_;  // guarded by shadow_mu_
+  double max_abs_divergence_ = 0.0;               // guarded by shadow_mu_
+  std::atomic<std::uint64_t> n_shadow_requests_{0};
+  std::atomic<std::uint64_t> n_shadow_diverged_{0};
+  std::atomic<std::uint64_t> n_promotions_{0};
+  std::atomic<std::uint64_t> n_rollbacks_{0};
 };
 
 }  // namespace iotax::serve

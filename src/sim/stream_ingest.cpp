@@ -1,0 +1,62 @@
+#include "src/sim/stream_ingest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+
+namespace iotax::sim {
+
+namespace {
+// A record boundary is the terminator line including its newline; a
+// "# end_of_record" without the trailing '\n' may still be a partial
+// write of a longer line, so only the full sequence splits the buffer.
+constexpr const char kRecordBoundary[] = "# end_of_record\n";
+constexpr std::size_t kBoundaryLen = sizeof(kRecordBoundary) - 1;
+}  // namespace
+
+LogTailer::LogTailer(std::string path) : path_(std::move(path)) {}
+
+std::vector<telemetry::JobLogRecord> LogTailer::poll() {
+  std::ifstream in(path_, std::ios::binary);
+  if (in) {
+    in.seekg(static_cast<std::streamoff>(offset_));
+    char chunk[1 << 16];
+    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+      pending_.append(chunk, static_cast<std::size_t>(in.gcount()));
+      offset_ += static_cast<std::uint64_t>(in.gcount());
+    }
+  }
+  const auto boundary = pending_.rfind(kRecordBoundary);
+  if (boundary == std::string::npos) return {};
+  std::string complete = pending_.substr(0, boundary + kBoundaryLen);
+  pending_.erase(0, boundary + kBoundaryLen);
+
+  std::istringstream stream(complete);
+  auto outcome =
+      telemetry::parse_archive_outcome(stream, telemetry::ParseMode::kLenient);
+  quarantine_.merge(outcome.quarantine);
+  IOTAX_OBS_COUNT("stream.records",
+                  static_cast<std::uint64_t>(outcome.records.size()));
+  if (outcome.quarantine.total() > 0) {
+    IOTAX_OBS_COUNT("stream.quarantined",
+                    static_cast<std::uint64_t>(outcome.quarantine.total()));
+  }
+  return std::move(outcome.records);
+}
+
+StreamIngestStep ingest_stream_records(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const telemetry::LmtTimeline* lmt, const std::string& system_name) {
+  StreamIngestStep step;
+  if (records.empty()) return step;
+  auto result = build_dataset_ingest(records, lmt, system_name,
+                                     /*truth=*/nullptr, IngestMode::kLenient);
+  step.dataset = std::move(result.dataset);
+  step.quarantine = std::move(result.quarantine);
+  step.kept_records = std::move(result.kept_records);
+  return step;
+}
+
+}  // namespace iotax::sim

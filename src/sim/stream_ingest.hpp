@@ -1,0 +1,74 @@
+// Streaming ingest: tail a growing darshan-style job-log archive and
+// feed complete records through the corruption-tolerant quarantine
+// pipeline, incrementally. This is the data plane of the online loop —
+// `iotax monitor` polls a LogTailer against the live archive, scores
+// the new jobs, and attributes windowed error to taxonomy classes.
+//
+// A poll never re-reads consumed bytes: the tailer remembers its byte
+// offset into the file and only parses what was appended since. Because
+// writers append whole records but the filesystem exposes partial
+// writes, each poll splits the new bytes at the last complete record
+// boundary ("# end_of_record\n"); the complete prefix is parsed
+// leniently (per-record corruption is quarantined with reason codes,
+// exactly like offline ingest) and the partial tail stays buffered for
+// the next poll. Every record in the format begins with its own version
+// line, so a chunk starting at a record boundary parses standalone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/dataset_builder.hpp"
+#include "src/telemetry/darshan_log.hpp"
+#include "src/util/quarantine.hpp"
+
+namespace iotax::sim {
+
+class LogTailer {
+ public:
+  /// Tail `path`. The file may not exist yet; poll() treats a missing
+  /// file as "nothing appended" so a monitor can start before its
+  /// producer.
+  explicit LogTailer(std::string path);
+
+  /// Read bytes appended since the last poll and return the records
+  /// completed by them (empty when nothing new). Corrupt records are
+  /// dropped and counted in quarantine() with reason codes; bytes of an
+  /// incomplete final record stay buffered until a later append
+  /// finishes them.
+  std::vector<telemetry::JobLogRecord> poll();
+
+  /// Cumulative quarantine across all polls.
+  const util::QuarantineReport& quarantine() const { return quarantine_; }
+
+  /// Bytes consumed from the file so far (= the resume offset).
+  std::uint64_t bytes_read() const { return offset_; }
+  /// Bytes buffered awaiting a record boundary.
+  std::size_t pending_bytes() const { return pending_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string pending_;
+  util::QuarantineReport quarantine_;
+};
+
+/// One incremental step of streaming dataset assembly: the rows built
+/// from a poll's records plus the ingest-stage quarantine for them.
+struct StreamIngestStep {
+  data::Dataset dataset;                  // rows for this step only
+  util::QuarantineReport quarantine;      // ingest-stage defects
+  std::vector<std::size_t> kept_records;  // indices into this step's input
+};
+
+/// Run one batch of tailed records through build_dataset_ingest
+/// (lenient mode — a live stream never throws), producing validated
+/// rows and quarantine counts. `lmt` may be null, matching offline
+/// ingest when the site collects no storage telemetry.
+StreamIngestStep ingest_stream_records(
+    const std::vector<telemetry::JobLogRecord>& records,
+    const telemetry::LmtTimeline* lmt, const std::string& system_name);
+
+}  // namespace iotax::sim

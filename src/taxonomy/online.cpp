@@ -1,0 +1,147 @@
+#include "src/taxonomy/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/obs/metrics.hpp"
+
+namespace iotax::taxonomy {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    // Lower-median partner: largest element of the left partition.
+    const double lo = *std::max_element(v.begin(),
+                                        v.begin() + static_cast<long>(mid));
+    m = 0.5 * (lo + m);
+  }
+  return m;
+}
+
+}  // namespace
+
+OnlineMonitor::OnlineMonitor(OnlineMonitorParams params)
+    : params_(params) {
+  if (params_.window_jobs == 0) {
+    throw std::invalid_argument("OnlineMonitor: window_jobs must be > 0");
+  }
+  if (params_.reference_windows == 0) {
+    throw std::invalid_argument(
+        "OnlineMonitor: reference_windows must be > 0");
+  }
+  if (!(params_.error_ratio_trigger > 0.0)) {
+    throw std::invalid_argument(
+        "OnlineMonitor: error_ratio_trigger must be > 0");
+  }
+}
+
+bool OnlineMonitor::reference_ready() const {
+  return n_closed_ >= params_.reference_windows;
+}
+
+bool OnlineMonitor::any_trigger() const {
+  for (const auto& w : windows_) {
+    if (w.triggered) return true;
+  }
+  return false;
+}
+
+std::optional<WindowAttribution> OnlineMonitor::observe(std::uint64_t app_id,
+                                                        double y_true,
+                                                        double y_pred) {
+  if (!std::isfinite(y_true) || !std::isfinite(y_pred)) {
+    throw std::invalid_argument(
+        "OnlineMonitor::observe: non-finite observation "
+        "(quarantine upstream, the monitor only sees validated rows)");
+  }
+  abs_errors_.push_back(std::abs(y_true - y_pred));
+  app_ids_.push_back(app_id);
+  if (abs_errors_.size() < params_.window_jobs) return std::nullopt;
+  return close_window();
+}
+
+std::optional<WindowAttribution> OnlineMonitor::flush() {
+  if (abs_errors_.empty()) return std::nullopt;
+  return close_window();
+}
+
+WindowAttribution OnlineMonitor::close_window() {
+  WindowAttribution w;
+  w.window_index = n_closed_;
+  w.n_jobs = abs_errors_.size();
+  w.median_abs_error = median_of(abs_errors_);
+  w.reference = n_closed_ < params_.reference_windows;
+
+  w.health.step = "online.window";
+  w.health.ran = true;
+  w.health.n_samples = w.n_jobs;
+  if (w.reference) {
+    // Baseline-building: the window's own numbers describe the floor,
+    // not a drift verdict — must not be interpreted as one.
+    w.health.confidence = "none";
+    w.health.degraded = true;
+    w.health.reason = "reference window " + std::to_string(n_closed_ + 1) +
+                      " of " + std::to_string(params_.reference_windows);
+    ref_errors_.insert(ref_errors_.end(), abs_errors_.begin(),
+                       abs_errors_.end());
+    ref_apps_.insert(app_ids_.begin(), app_ids_.end());
+    if (n_closed_ + 1 == params_.reference_windows) {
+      baseline_ = median_of(ref_errors_);
+    }
+  } else {
+    if (w.n_jobs >= params_.min_jobs) {
+      w.health.confidence = "full";
+    } else {
+      w.health.confidence = "reduced";
+      w.health.degraded = true;
+      w.health.reason = "window holds " + std::to_string(w.n_jobs) +
+                        " of required " + std::to_string(params_.min_jobs) +
+                        " jobs";
+    }
+    w.baseline_error = baseline_;
+    w.error_ratio =
+        baseline_ > 0.0 ? w.median_abs_error / baseline_ : 0.0;
+
+    double total = 0.0, ood = 0.0, noise = 0.0, drift = 0.0;
+    for (std::size_t i = 0; i < abs_errors_.size(); ++i) {
+      const double e = abs_errors_[i];
+      total += e;
+      if (ref_apps_.find(app_ids_[i]) == ref_apps_.end()) {
+        ood += e;  // population the reference never saw: litmus-3 online
+      } else if (e <= baseline_) {
+        noise += e;  // within the irreducible floor: litmus-4/5 online
+      } else {
+        noise += baseline_;
+        drift += e - baseline_;  // in-distribution excess: drift proper
+      }
+    }
+    if (total > 0.0) {
+      w.share_ood = ood / total;
+      w.share_noise = noise / total;
+      w.share_drift = drift / total;
+    }
+    w.triggered = w.health.confidence == "full" && baseline_ > 0.0 &&
+                  w.error_ratio >= params_.error_ratio_trigger;
+  }
+
+  IOTAX_OBS_GAUGE("drift.error_ratio", w.error_ratio);
+  IOTAX_OBS_GAUGE("drift.share_ood", w.share_ood);
+  IOTAX_OBS_GAUGE("drift.share_noise", w.share_noise);
+  IOTAX_OBS_GAUGE("drift.share_drift", w.share_drift);
+  IOTAX_OBS_COUNT("drift.windows", 1);
+  if (w.triggered) IOTAX_OBS_COUNT("drift.triggers", 1);
+
+  abs_errors_.clear();
+  app_ids_.clear();
+  ++n_closed_;
+  windows_.push_back(w);
+  return w;
+}
+
+}  // namespace iotax::taxonomy

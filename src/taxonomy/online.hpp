@@ -1,0 +1,112 @@
+// Online litmus monitors: attribute *live serving* error to taxonomy
+// classes, window by window, and raise a deterministic drift trigger.
+//
+// The offline pipeline (taxonomy/pipeline.hpp) attributes a frozen test
+// set's error once; the monitor does the streaming analogue. Jobs
+// arrive scored (prediction + measured target, both log10); windows of
+// `window_jobs` observations close in arrival order. The first
+// `reference_windows` windows form the baseline — their pooled median
+// absolute error is the irreducible floor (litmus 4/5's role online)
+// and their app-id set is the in-distribution population (litmus 3's
+// role online). Each later window's total absolute error then splits
+// into three shares:
+//
+//   share_ood   — error carried by jobs whose app id never appeared in
+//                 the reference windows (out-of-distribution);
+//   share_noise — up to the baseline floor per in-distribution job
+//                 (contention + noise, irreducible);
+//   share_drift — the in-distribution excess above the floor (system /
+//                 application drift: the model is now wrong about jobs
+//                 it used to predict).
+//
+// A window triggers when its median absolute error reaches
+// `error_ratio_trigger` times the baseline with at least `min_jobs`
+// observations. Everything is a pure function of the observation
+// sequence — two monitors fed the same stream report identical windows
+// and trigger at the same observation, which is what the online_smoke
+// gate and the retrain seed (`params.seed`, handed to the retrained
+// model) rely on.
+//
+// Window health reuses the pipeline's StepHealth confidence semantics:
+// "full" when the window has at least min_jobs observations, "reduced"
+// below that (a flush()ed partial window), "none" while the reference
+// is still accumulating — numbers from a "none" window must not be
+// interpreted, and such windows never trigger.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/taxonomy/pipeline.hpp"
+
+namespace iotax::taxonomy {
+
+struct OnlineMonitorParams {
+  /// Observations per attribution window.
+  std::size_t window_jobs = 64;
+  /// Leading windows pooled into the baseline (floor + app population).
+  std::size_t reference_windows = 2;
+  /// Trigger when median |error| >= this multiple of the baseline.
+  double error_ratio_trigger = 1.5;
+  /// Windows below this many observations report reduced confidence and
+  /// never trigger.
+  std::size_t min_jobs = 32;
+  /// Seed recorded for the retrain the trigger provokes; the monitor
+  /// itself is deterministic and draws no randomness.
+  std::uint64_t seed = 41;
+};
+
+struct WindowAttribution {
+  std::size_t window_index = 0;  // 0-based, includes reference windows
+  std::size_t n_jobs = 0;
+  double median_abs_error = 0.0;  // log10 units
+  double baseline_error = 0.0;    // pooled reference median at close time
+  double error_ratio = 0.0;       // median / baseline (0 while reference)
+  double share_ood = 0.0;
+  double share_noise = 0.0;
+  double share_drift = 0.0;
+  bool reference = false;  // this window fed the baseline
+  bool triggered = false;
+  StepHealth health;  // step = "online.window"
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(OnlineMonitorParams params);
+
+  /// Observe one scored job. Returns the window attribution when this
+  /// observation completes a window, nullopt otherwise.
+  std::optional<WindowAttribution> observe(std::uint64_t app_id,
+                                           double y_true, double y_pred);
+
+  /// Close the current partial window (end of stream). Returns nullopt
+  /// when no observations are pending.
+  std::optional<WindowAttribution> flush();
+
+  /// All closed windows, in order.
+  const std::vector<WindowAttribution>& windows() const { return windows_; }
+
+  /// True once every reference window has closed.
+  bool reference_ready() const;
+  /// Pooled reference median |error|; 0 before reference_ready().
+  double baseline_error() const { return baseline_; }
+  /// True if any closed window has triggered.
+  bool any_trigger() const;
+  const OnlineMonitorParams& params() const { return params_; }
+
+ private:
+  WindowAttribution close_window();
+
+  OnlineMonitorParams params_;
+  std::vector<double> abs_errors_;       // current window
+  std::vector<std::uint64_t> app_ids_;   // current window
+  std::vector<double> ref_errors_;       // pooled reference |errors|
+  std::unordered_set<std::uint64_t> ref_apps_;
+  double baseline_ = 0.0;
+  std::size_t n_closed_ = 0;
+  std::vector<WindowAttribution> windows_;
+};
+
+}  // namespace iotax::taxonomy

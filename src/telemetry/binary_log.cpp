@@ -178,16 +178,15 @@ void write_binary_archive_file(const std::string& path,
 
 namespace {
 
-/// Shared reader core. `throw_on_error` reproduces the legacy strict
-/// behaviour (throw at the first defect); otherwise defects land in the
-/// outcome, and `stop_on_first` decides whether parsing continues.
-ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
-                              bool stop_on_first) {
+/// Shared reader core: every defect lands in the outcome with a reason
+/// code, never a throw. `stop_on_first` decides whether parsing
+/// continues past a recoverable defect; the legacy throwing entry
+/// points re-raise outcome.error on top of this core.
+ParseOutcome read_binary_core(std::istream& in, bool stop_on_first) {
   ParseOutcome out;
   const auto container_error = [&](util::Reason reason,
                                    const std::string& what,
                                    std::size_t offset) {
-    if (throw_on_error) throw std::runtime_error("binary log: " + what);
     out.ok = false;
     out.error = "binary log: " + what;
     out.quarantine.add(
@@ -245,34 +244,22 @@ ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
     in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
     if (!in) {
-      if (throw_on_error) {
-        throw std::runtime_error("binary log: truncated archive");
-      }
       lose_rest(util::Reason::kTruncated, "truncated archive");
       break;
     }
     if (size > (1u << 24)) {
       // Framing is clearly corrupt; cannot resynchronise safely.
-      if (throw_on_error) {
-        throw std::runtime_error("binary log: implausible size");
-      }
       lose_rest(util::Reason::kImplausibleSize, "implausible record size");
       break;
     }
     payload.resize(size);
     in.read(payload.data(), size);
     if (!in) {
-      if (throw_on_error) {
-        throw std::runtime_error("binary log: truncated record");
-      }
       lose_rest(util::Reason::kTruncated, "truncated record");
       break;
     }
     offset = record_offset + sizeof(size) + sizeof(crc) + size;
     if (crc32c(payload.data(), payload.size()) != crc) {
-      if (throw_on_error) {
-        throw std::runtime_error("binary log: checksum mismatch");
-      }
       out.quarantine.add({util::Reason::kBadChecksum, 0, i, record_offset,
                           "checksum mismatch"});
       if (stop_on_first) stopped = true;
@@ -281,7 +268,6 @@ ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
     try {
       records.push_back(decode_record(payload.data(), payload.size()));
     } catch (const std::runtime_error& e) {
-      if (throw_on_error) throw;
       const std::string what = e.what();
       auto reason = util::Reason::kTruncated;
       if (what.find("counter index") != std::string::npos) {
@@ -296,7 +282,12 @@ ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
   out.records = std::move(records);
   if (stop_on_first && out.quarantine.total() != 0) {
     out.ok = false;
-    out.error = "binary log: " + out.quarantine.entries().front().detail;
+    // Decode-error details already carry the "binary log: " prefix
+    // (they come from decode_record's own throws); container defects do
+    // not. Normalise so the message carries it exactly once.
+    const std::string& detail = out.quarantine.entries().front().detail;
+    out.error = detail.rfind("binary log: ", 0) == 0 ? detail
+                                                     : "binary log: " + detail;
   }
   return out;
 }
@@ -305,14 +296,16 @@ ParseOutcome read_binary_core(std::istream& in, bool throw_on_error,
 
 std::vector<JobLogRecord> read_binary_archive(std::istream& in, bool strict,
                                               ParseStats* stats) {
+  // Legacy throwing entry point, now a thin wrapper over the
+  // non-throwing core: strict mode re-raises the outcome's first defect
+  // ("binary log: ..." — prefix already normalised by the core).
   if (strict) {
-    auto outcome = read_binary_core(in, /*throw_on_error=*/true,
-                                    /*stop_on_first=*/false);
+    auto outcome = read_binary_core(in, /*stop_on_first=*/true);
+    if (!outcome.ok) throw std::runtime_error(outcome.error);
     if (stats != nullptr) *stats = outcome.stats();
     return std::move(outcome.records);
   }
-  auto outcome = read_binary_core(in, /*throw_on_error=*/false,
-                                  /*stop_on_first=*/false);
+  auto outcome = read_binary_core(in, /*stop_on_first=*/false);
   if (!outcome.ok && outcome.quarantine.count(util::Reason::kBadMagic) != 0) {
     // Legacy lenient mode still refused a foreign container.
     throw std::runtime_error("binary log: bad magic");
@@ -343,8 +336,7 @@ std::vector<JobLogRecord> read_binary_archive_file(const std::string& path,
 }
 
 ParseOutcome read_binary_archive_outcome(std::istream& in, ParseMode mode) {
-  return read_binary_core(in, /*throw_on_error=*/false,
-                          /*stop_on_first=*/mode == ParseMode::kStrict);
+  return read_binary_core(in, /*stop_on_first=*/mode == ParseMode::kStrict);
 }
 
 ParseOutcome read_binary_archive_file_outcome(const std::string& path,

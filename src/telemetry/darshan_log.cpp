@@ -43,11 +43,6 @@ const std::unordered_map<std::string, std::size_t>& mpiio_index() {
   return *map;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("darshan parse error at line " +
-                           std::to_string(line_no) + ": " + what);
-}
-
 struct HeaderField {
   const char* key;
   bool seen = false;
@@ -94,10 +89,10 @@ void write_archive(const std::string& path,
 
 namespace {
 
-/// How the shared parse core reacts to a defect: legacy strict throws at
-/// the offending line; outcome-strict records it and stops; lenient
+/// How the shared parse core reacts to a defect: strict records it and
+/// stops (the throwing entry points re-raise outcome.error); lenient
 /// records it and resynchronises at the next record boundary.
-enum class OnError { kThrow, kStopFirst, kLenient };
+enum class OnError { kStopFirst, kLenient };
 
 ParseOutcome parse_core(std::istream& in, OnError on_error) {
   ParseOutcome out;
@@ -125,7 +120,6 @@ ParseOutcome parse_core(std::istream& in, OnError on_error) {
 
   const auto record_error = [&](util::Reason reason,
                                 const std::string& what) {
-    if (on_error == OnError::kThrow) fail(line_no, what);
     if (!record_bad) {
       // One quarantine entry per corrupt record: the first defect wins.
       out.quarantine.add({reason, rec.job_id, record_index, line_no, what});
@@ -244,7 +238,6 @@ ParseOutcome parse_core(std::istream& in, OnError on_error) {
     }
   }
   if (in_record && !stop) {
-    if (on_error == OnError::kThrow) fail(line_no, "truncated final record");
     if (!record_bad) {
       out.quarantine.add({util::Reason::kTruncated, rec.job_id, record_index,
                           line_no, "truncated final record"});
@@ -262,8 +255,15 @@ ParseOutcome parse_core(std::istream& in, OnError on_error) {
 
 std::vector<JobLogRecord> parse_archive(std::istream& in, bool strict,
                                         ParseStats* stats) {
+  // Legacy throwing entry point, now a thin wrapper over the
+  // non-throwing core: strict mode re-raises the outcome's first defect
+  // with the historical message shape ("darshan parse error at line N:
+  // ...") so existing catch sites and tests see identical text.
   auto outcome =
-      parse_core(in, strict ? OnError::kThrow : OnError::kLenient);
+      parse_core(in, strict ? OnError::kStopFirst : OnError::kLenient);
+  if (strict && !outcome.ok) {
+    throw std::runtime_error("darshan parse error at " + outcome.error);
+  }
   if (stats != nullptr) *stats = outcome.stats();
   return std::move(outcome.records);
 }

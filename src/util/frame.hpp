@@ -33,10 +33,13 @@ enum class FrameType : std::uint8_t {
   kErrorResponse = 3,    // payload: ErrorResponse
   kPing = 4,             // empty payload; server replies kPong
   kPong = 5,             // empty payload
+  kControlRequest = 6,   // payload: ControlRequest (promote/rollback/status)
+  kControlResponse = 7,  // payload: ControlResponse
 };
 
 enum FrameFlag : std::uint8_t {
   kFlagPredictDist = 1,  // request mean/aleatory/epistemic, not a point
+  kFlagShadow = 2,       // also score the shadow model: values = {prod, shadow}
 };
 
 struct FrameHeader {

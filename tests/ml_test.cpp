@@ -477,8 +477,9 @@ TEST(Ensemble, UsesNasHistoryArchitectures) {
   ml::EnsembleParams params;
   params.size = 2;
   params.epochs = 2;
+  params.nas_history = history;
   ml::DeepEnsemble ens(params);
-  ens.fit(prob.x_train, prob.y_train, history);
+  ens.fit(prob.x_train, prob.y_train);
   // Members seeded from the two best candidates (by val error).
   EXPECT_EQ(ens.member(0).params().hidden, std::vector<std::size_t>{24});
   EXPECT_EQ(ens.member(1).params().hidden,

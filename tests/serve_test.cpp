@@ -4,6 +4,7 @@
 // byte boundary, admission control, and graceful-drain accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -116,6 +117,84 @@ TEST(Frame, ImplausiblePayloadLengthRejected) {
   const auto dec = util::decode_frame(as_bytes(wire));
   EXPECT_EQ(dec.status, FrameDecode::Status::kBad);
   EXPECT_EQ(dec.reason, Reason::kImplausibleSize);
+}
+
+TEST(Frame, ControlCodecRoundTripAndDefects) {
+  serve::ControlRequest req;
+  req.request_id = 77;
+  req.op = serve::ControlOp::kPromote;
+  req.model_index = 3;
+  req.min_shadow_requests = 1000;
+  const auto wire = serve::encode_control_request(req);
+  auto dec = util::decode_frame(as_bytes(wire));
+  ASSERT_EQ(dec.status, FrameDecode::Status::kOk);
+  ASSERT_EQ(dec.header.type,
+            static_cast<std::uint8_t>(FrameType::kControlRequest));
+  serve::ControlRequest got;
+  serve::ErrorResponse err;
+  ASSERT_TRUE(serve::decode_control_request(
+      dec.header, as_bytes(wire).subspan(FrameHeader::kWireSize), &got, &err));
+  EXPECT_EQ(got.request_id, 77u);
+  EXPECT_EQ(got.op, serve::ControlOp::kPromote);
+  EXPECT_EQ(got.model_index, 3);
+  EXPECT_EQ(got.min_shadow_requests, 1000u);
+
+  serve::ControlResponse resp;
+  resp.request_id = 77;
+  resp.ok = true;
+  resp.generation = 9;
+  resp.shadow_requests = 1234;
+  resp.shadow_diverged = 5;
+  resp.max_abs_divergence = 0.125;
+  resp.detail = "promoted candidate.gbt as generation 9";
+  const auto rwire = serve::encode_control_response(resp);
+  dec = util::decode_frame(as_bytes(rwire));
+  ASSERT_EQ(dec.status, FrameDecode::Status::kOk);
+  serve::ControlResponse rgot;
+  ASSERT_TRUE(serve::decode_control_response(
+      dec.header, as_bytes(rwire).subspan(FrameHeader::kWireSize), &rgot));
+  EXPECT_TRUE(rgot.ok);
+  EXPECT_EQ(rgot.generation, 9u);
+  EXPECT_EQ(rgot.shadow_requests, 1234u);
+  EXPECT_EQ(rgot.shadow_diverged, 5u);
+  EXPECT_EQ(rgot.max_abs_divergence, 0.125);
+  EXPECT_EQ(rgot.detail, resp.detail);
+
+  // Defects carry typed reasons, like every other payload codec.
+  {  // Short payload: the fixed fields do not even fit.
+    const auto bad = util::encode_frame(FrameType::kControlRequest, 0, 1,
+                                        std::string(7, '\0'));
+    dec = util::decode_frame(as_bytes(bad));
+    ASSERT_EQ(dec.status, FrameDecode::Status::kOk);
+    EXPECT_FALSE(serve::decode_control_request(
+        dec.header, as_bytes(bad).subspan(FrameHeader::kWireSize), &got,
+        &err));
+    EXPECT_EQ(err.reason, Reason::kTruncated);
+  }
+  {  // Trailing garbage after the fixed fields.
+    const auto bad = util::encode_frame(FrameType::kControlRequest, 0, 1,
+                                        std::string(13, '\0'));
+    dec = util::decode_frame(as_bytes(bad));
+    EXPECT_FALSE(serve::decode_control_request(
+        dec.header, as_bytes(bad).subspan(FrameHeader::kWireSize), &got,
+        &err));
+    EXPECT_EQ(err.reason, Reason::kSizeMismatch);
+  }
+  {  // Unknown op (0 and one past kStatus are both outside the enum).
+    for (const std::uint16_t op : {std::uint16_t{0}, std::uint16_t{4}}) {
+      std::string payload;
+      util::put_u16(&payload, op);
+      util::put_u16(&payload, 0);
+      util::put_u64(&payload, 0);
+      const auto bad =
+          util::encode_frame(FrameType::kControlRequest, 0, 1, payload);
+      dec = util::decode_frame(as_bytes(bad));
+      EXPECT_FALSE(serve::decode_control_request(
+          dec.header, as_bytes(bad).subspan(FrameHeader::kWireSize), &got,
+          &err));
+      EXPECT_EQ(err.reason, Reason::kBadNumber) << "op " << op;
+    }
+  }
 }
 
 TEST(Frame, ReasonNamesRoundTrip) {
@@ -562,6 +641,256 @@ TEST_F(ServeTest, RegistryServesMultipleModelsByIndex) {
   server.stop();
   expect_bit_identical(got0, expect0);
   expect_bit_identical(got1, expect1);
+}
+
+// -- shadow deployment and promotion ----------------------------------------
+
+/// Train and save a candidate checkpoint with different hyperparameters
+/// (so its predictions visibly diverge from the fixture model's).
+std::string save_candidate_checkpoint(const Xy& train, const char* tag) {
+  ml::GbtParams p;
+  p.n_estimators = 20;
+  p.max_depth = 3;
+  ml::GradientBoostedTrees candidate(p);
+  candidate.fit(train.x, train.y);
+  const auto path =
+      ::testing::TempDir() + "serve_test_candidate_" + tag + ".gbt";
+  std::ofstream out(path);
+  EXPECT_TRUE(out.is_open());
+  candidate.save(out);
+  return path;
+}
+
+TEST_F(ServeTest, ShadowScoresBitExactAndPromotionSwapsGenerations) {
+  const auto candidate_path = save_candidate_checkpoint(*train_, "promo");
+  auto candidate = ml::load_regressor_file(candidate_path);
+  const auto offline_prod = model_->predict(probe_->x);
+  const auto offline_cand = candidate->predict(probe_->x);
+
+  auto cfg = base_config("shadow");
+  cfg.shadow_file = candidate_path;
+  serve::Server server(cfg);
+  server.start();
+  const auto shadow_entry = server.shadow();
+  ASSERT_NE(shadow_entry, nullptr);
+  EXPECT_EQ(shadow_entry->generation, 0u);  // candidate, not published
+  EXPECT_EQ(shadow_entry->source, candidate_path);
+
+  auto client = serve::Client::connect_unix(server.config().unix_socket);
+  serve::Client::Reply reply;
+
+  {  // Rollback before any publish is refused, not fatal.
+    serve::ControlRequest req;
+    req.request_id = 1;
+    req.op = serve::ControlOp::kRollback;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kControlResponse);
+    EXPECT_FALSE(reply.control.ok);
+  }
+  {  // Promote before the shadow has scored traffic is refused.
+    serve::ControlRequest req;
+    req.request_id = 2;
+    req.op = serve::ControlOp::kPromote;
+    req.min_shadow_requests = 1;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kControlResponse);
+    EXPECT_FALSE(reply.control.ok);
+    EXPECT_NE(reply.control.detail.find("scored 0 of required 1"),
+              std::string::npos)
+        << reply.control.detail;
+  }
+  {  // Control verbs bounds-check the slot like predict does.
+    serve::ControlRequest req;
+    req.request_id = 3;
+    req.op = serve::ControlOp::kStatus;
+    req.model_index = 7;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kControlResponse);
+    EXPECT_FALSE(reply.control.ok);
+  }
+
+  // Shadow-flagged traffic: each reply carries {production, shadow},
+  // both bit-identical to the respective offline predictions.
+  const std::size_t n = probe_->x.rows();
+  std::vector<double> prod(n, 0.0), shad(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto req = request_for_row(i, 100 + i);
+    req.want_shadow = true;
+    client.send_predict(req);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kPredictResponse);
+    ASSERT_EQ(reply.predict.values.size(), 2u);
+    const auto row = reply.request_id - 100;
+    ASSERT_LT(row, n);
+    prod[row] = reply.predict.values[0];
+    shad[row] = reply.predict.values[1];
+  }
+  expect_bit_identical(prod, offline_prod);
+  expect_bit_identical(shad, offline_cand);
+
+  // The daemon's divergence accounting must equal what the two offline
+  // prediction vectors say, bit for bit.
+  std::uint64_t expect_diverged = 0;
+  double expect_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::memcmp(&offline_prod[i], &offline_cand[i], sizeof(double)) != 0) {
+      ++expect_diverged;
+      expect_max = std::max(expect_max,
+                            std::abs(offline_prod[i] - offline_cand[i]));
+    }
+  }
+  ASSERT_GT(expect_diverged, 0u);  // the candidate is genuinely different
+
+  {  // Status reports the accounting without changing anything.
+    serve::ControlRequest req;
+    req.request_id = 4;
+    req.op = serve::ControlOp::kStatus;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kControlResponse);
+    EXPECT_TRUE(reply.control.ok);
+    EXPECT_EQ(reply.control.generation, 1u);
+    EXPECT_EQ(reply.control.shadow_requests, n);
+    EXPECT_EQ(reply.control.shadow_diverged, expect_diverged);
+    EXPECT_EQ(reply.control.max_abs_divergence, expect_max);
+  }
+  {  // Now the gate is satisfied: promotion publishes generation 2.
+    serve::ControlRequest req;
+    req.request_id = 5;
+    req.op = serve::ControlOp::kPromote;
+    req.min_shadow_requests = n;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kControlResponse);
+    EXPECT_TRUE(reply.control.ok) << reply.control.detail;
+    EXPECT_EQ(reply.control.generation, 2u);
+    EXPECT_NE(reply.control.detail.find("promoted"), std::string::npos);
+  }
+  EXPECT_EQ(server.shadow(), nullptr);  // promotion consumed the candidate
+
+  // Post-promotion traffic is served by the candidate, and a shadow
+  // flag with no candidate degrades to a single production value.
+  expect_bit_identical(query_all(client), offline_cand);
+  {
+    auto req = request_for_row(0, 900);
+    req.want_shadow = true;
+    client.send_predict(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    ASSERT_EQ(reply.type, FrameType::kPredictResponse);
+    EXPECT_EQ(reply.predict.values.size(), 1u);
+  }
+  {  // A second promote has nothing left to publish.
+    serve::ControlRequest req;
+    req.request_id = 6;
+    req.op = serve::ControlOp::kPromote;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_FALSE(reply.control.ok);
+    EXPECT_NE(reply.control.detail.find("no shadow candidate"),
+              std::string::npos)
+        << reply.control.detail;
+  }
+  {  // Rollback restores the original model under a fresh generation.
+    serve::ControlRequest req;
+    req.request_id = 7;
+    req.op = serve::ControlOp::kRollback;
+    client.send_control(req);
+    ASSERT_TRUE(client.read_reply(&reply));
+    EXPECT_TRUE(reply.control.ok) << reply.control.detail;
+    EXPECT_EQ(reply.control.generation, 3u);
+  }
+  expect_bit_identical(query_all(client), offline_prod);
+
+  client.close();
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.shadow_requests, n);
+  EXPECT_EQ(stats.shadow_diverged, expect_diverged);
+  EXPECT_EQ(stats.max_abs_divergence, expect_max);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_EQ(stats.requests, stats.responses);
+}
+
+TEST_F(ServeTest, HotSwapDropsNoInFlightRequests) {
+  const auto candidate_path = save_candidate_checkpoint(*train_, "hotswap");
+  auto candidate = ml::load_regressor_file(candidate_path);
+  const auto offline_prod = model_->predict(probe_->x);
+  const auto offline_cand = candidate->predict(probe_->x);
+
+  auto cfg = base_config("hotswap");
+  cfg.shadow_file = candidate_path;
+  serve::Server server(cfg);
+  server.start();
+
+  // Four clients hammer the slot with sequential round-trips while the
+  // main thread promotes and rolls back underneath them. Every reply
+  // must be a real prediction, bit-identical to ONE of the two models'
+  // offline answers for that row — never an error, never dropped, never
+  // a torn value.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 200;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto cl = serve::Client::connect_unix(server.config().unix_socket);
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t row =
+            static_cast<std::size_t>(c * kPerClient + i) % probe_->x.rows();
+        cl.send_predict(request_for_row(row, static_cast<std::uint64_t>(i) + 1));
+        serve::Client::Reply reply;
+        if (!cl.read_reply(&reply) ||
+            reply.type != FrameType::kPredictResponse ||
+            reply.predict.values.size() != 1) {
+          bad.fetch_add(1);
+          continue;
+        }
+        const double v = reply.predict.values[0];
+        const bool is_prod =
+            std::memcmp(&v, &offline_prod[row], sizeof(double)) == 0;
+        const bool is_cand =
+            std::memcmp(&v, &offline_cand[row], sizeof(double)) == 0;
+        if (!is_prod && !is_cand) bad.fetch_add(1);
+      }
+    });
+  }
+
+  auto admin = serve::Client::connect_unix(server.config().unix_socket);
+  serve::Client::Reply reply;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {  // min_shadow_requests = 0: no traffic floor for this swap.
+    serve::ControlRequest req;
+    req.request_id = 1;
+    req.op = serve::ControlOp::kPromote;
+    admin.send_control(req);
+    ASSERT_TRUE(admin.read_reply(&reply));
+    ASSERT_TRUE(reply.control.ok) << reply.control.detail;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    serve::ControlRequest req;
+    req.request_id = 2;
+    req.op = serve::ControlOp::kRollback;
+    admin.send_control(req);
+    ASSERT_TRUE(admin.read_reply(&reply));
+    ASSERT_TRUE(reply.control.ok) << reply.control.detail;
+  }
+  for (auto& t : clients) t.join();
+  admin.close();
+  server.stop();
+
+  EXPECT_EQ(bad.load(), 0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(stats.responses, stats.requests);  // the drain invariant held
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.shed, 0u);
 }
 
 }  // namespace

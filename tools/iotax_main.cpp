@@ -9,7 +9,9 @@
 //
 // Datasets are the CSV files written by `simulate` (or by
 // data::write_dataset_csv); archives are the text/binary job-log formats.
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -38,7 +40,9 @@
 #include "src/sim/dataset_builder.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/stream_ingest.hpp"
 #include "src/taxonomy/drift.hpp"
+#include "src/taxonomy/online.hpp"
 #include "src/taxonomy/interpret.hpp"
 #include "src/taxonomy/litmus.hpp"
 #include "src/taxonomy/pipeline.hpp"
@@ -71,8 +75,11 @@ commands:
   drift      --dataset FILE [--train-frac F] [--window DAYS]
              train on the first F of the timeline, monitor the rest
   train      --dataset FILE --model NAME [--params JSON] --out MODEL
+             [--time-split]
              fit any model family (mean|linear|gbt|mlp|ensemble) and
-             save it; params is a JSON object of hyperparameters
+             save it; params is a JSON object of hyperparameters;
+             --time-split trains on the earliest --train-frac of the
+             timeline instead of a random split (deployment-style)
   predict    --dataset FILE --model-file MODEL [--out CSV]
              load a saved model and predict the dataset
   inject     --in FILE [--binary] [--plan FILE | --plan-json STR]
@@ -86,16 +93,33 @@ commands:
              counts against an inject ground-truth report
   serve      --models A[,B,...] (--socket PATH | --port N)
              [--batch-size N] [--batch-wait-us N] [--max-inflight N]
-             [--ready-file FILE]
+             [--ready-file FILE] [--shadow FILE] [--shadow-slot N]
              long-lived inference daemon: loads the checkpoints into a
-             model registry and answers framed predict requests with
-             micro-batching; drains gracefully on SIGTERM/SIGINT
+             generation-counted model registry and answers framed
+             predict requests with micro-batching; --shadow serves a
+             candidate checkpoint beside production with bit-exact
+             divergence accounting; drains gracefully on SIGTERM/SIGINT
   query      (--socket PATH | --host H --port N) [--ping | --dataset FILE]
-             [--model IDX] [--dist] [--pipeline N] [--repeat N]
-             [--wait-secs S] [--out CSV]
+             [--model IDX] [--dist] [--shadow] [--pipeline N] [--repeat N]
+             [--wait-secs S] [--out CSV] [--shadow-out CSV]
              client driver: sends every dataset row to a serve daemon
              (responses are bit-identical to offline `predict`) or
-             health-checks it with --ping
+             health-checks it with --ping; --shadow also collects the
+             daemon's shadow-candidate predictions
+  monitor    --archive FILE --model-file MODEL [--follow] [--poll-ms N]
+             [--idle-secs S] [--window-jobs N] [--reference-windows N]
+             [--trigger RATIO] [--min-jobs N] [--extra-rounds N]
+             [--candidate-out FILE] [--seed N]
+             online litmus monitor: tail a growing job-log archive,
+             attribute windowed serving error to taxonomy classes
+             (ood / noise / drift), and on a drift trigger warm-start
+             the model (fit_continue) into a candidate checkpoint;
+             exits 3 when a trigger fired
+  promote    (--socket PATH | --host H --port N) [--model IDX]
+             [--min-shadow N] [--rollback | --status] [--wait-secs S]
+             control verbs against a serve daemon: promote the shadow
+             candidate into the registry (refused until it has scored
+             --min-shadow requests), roll a slot back, or report status
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
   --version  print the build version and the selected kernel tier
@@ -300,7 +324,7 @@ int cmd_drift(const cli::Args& args) {
 
 int cmd_train(const cli::Args& args) {
   args.check_allowed(with_obs({"dataset", "model", "params", "out",
-                               "train-frac", "seed"}));
+                               "train-frac", "seed", "time-split"}));
   const auto ds = load_dataset(args);
   auto model = ml::make_regressor(args.get("model"),
                                   args.get_or("params", "{}"));
@@ -308,8 +332,28 @@ int cmd_train(const cli::Args& args) {
   if (train_frac <= 0.0 || train_frac > 1.0) {
     throw std::invalid_argument("--train-frac must be in (0,1]");
   }
-  util::Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 3)));
-  const auto split = data::random_split(ds.size(), train_frac, 0.0, rng);
+  data::Split split;
+  if (args.has("time-split")) {
+    // Deployment-style split: train on the earliest fraction of the
+    // timeline, hold out the rest — what a site retraining a production
+    // model actually does, and what the online-loop smoke test needs so
+    // the production model has never seen the post-shift regime.
+    std::vector<std::size_t> order(ds.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ds.meta[a].start_time < ds.meta[b].start_time;
+                     });
+    const auto n_train = static_cast<std::size_t>(
+        static_cast<double>(order.size()) * train_frac);
+    split.train.assign(order.begin(),
+                       order.begin() + static_cast<long>(n_train));
+    split.test.assign(order.begin() + static_cast<long>(n_train),
+                      order.end());
+  } else {
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 3)));
+    split = data::random_split(ds.size(), train_frac, 0.0, rng);
+  }
   const std::vector<taxonomy::FeatureSet> feats = {
       taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
   model->fit(taxonomy::feature_matrix(ds, feats, split.train),
@@ -489,7 +533,7 @@ void serve_signal_handler(int sig) { g_serve_signal.store(sig); }
 int cmd_serve(const cli::Args& args) {
   args.check_allowed(with_obs({"models", "socket", "port", "batch-size",
                                "batch-wait-us", "max-inflight",
-                               "ready-file"}));
+                               "ready-file", "shadow", "shadow-slot"}));
   serve::ServeConfig cfg;
   for (const auto& path : util::split(args.get("models"), ',')) {
     const auto trimmed = util::trim(path);
@@ -506,14 +550,27 @@ int cmd_serve(const cli::Args& args) {
       static_cast<std::uint64_t>(args.get_int_or("batch-wait-us", 200));
   cfg.max_inflight =
       static_cast<std::size_t>(args.get_int_or("max-inflight", 256));
+  cfg.shadow_file = args.get_or("shadow", "");
+  cfg.shadow_slot =
+      static_cast<std::size_t>(args.get_int_or("shadow-slot", 0));
 
   serve::Server server(cfg);
   server.start();
   for (std::size_t i = 0; i < server.registry().size(); ++i) {
-    std::printf("serve: model %zu: %s (%s, %zu features)\n", i,
-                server.registry().path(i).c_str(),
-                server.registry().model(i).name().c_str(),
-                server.registry().model(i).n_features());
+    const auto entry = server.registry().entry(i);
+    std::printf("serve: model %zu: %s (%s, %zu features, generation %llu, "
+                "params hash %s)\n",
+                i, server.registry().path(i).c_str(),
+                entry->model->name().c_str(), entry->model->n_features(),
+                static_cast<unsigned long long>(entry->generation),
+                ml::format_params_hash(entry->params_hash).c_str());
+  }
+  if (const auto shadow = server.shadow()) {
+    std::printf("serve: shadow candidate for slot %zu: %s (%s, "
+                "params hash %s)\n",
+                cfg.shadow_slot, shadow->source.c_str(),
+                shadow->model->name().c_str(),
+                ml::format_params_hash(shadow->params_hash).c_str());
   }
   if (!cfg.unix_socket.empty()) {
     std::printf("serve: listening on unix socket %s\n",
@@ -558,6 +615,16 @@ int cmd_serve(const cli::Args& args) {
               static_cast<unsigned long long>(stats.shed),
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.quarantined));
+  if (stats.shadow_requests > 0 || stats.promotions > 0 ||
+      stats.rollbacks > 0) {
+    std::printf("serve: shadow scored %llu request(s), %llu diverged "
+                "(max |delta| %.17g); %llu promotion(s), %llu rollback(s)\n",
+                static_cast<unsigned long long>(stats.shadow_requests),
+                static_cast<unsigned long long>(stats.shadow_diverged),
+                stats.max_abs_divergence,
+                static_cast<unsigned long long>(stats.promotions),
+                static_cast<unsigned long long>(stats.rollbacks));
+  }
   if (obs::enabled()) {
     auto& hist = obs::MetricsRegistry::global().histogram(
         "serve.request_ms", obs::latency_ms_edges());
@@ -596,7 +663,7 @@ serve::Client connect_query_client(const cli::Args& args) {
 int cmd_query(const cli::Args& args) {
   args.check_allowed(with_obs({"socket", "host", "port", "dataset", "model",
                                "dist", "out", "pipeline", "repeat", "ping",
-                               "wait-secs"}));
+                               "wait-secs", "shadow", "shadow-out"}));
   auto client = connect_query_client(args);
   if (args.has("ping")) {
     client.send_ping(1);
@@ -616,12 +683,16 @@ int cmd_query(const cli::Args& args) {
   const auto model_index =
       static_cast<std::uint16_t>(args.get_int_or("model", 0));
   const bool want_dist = args.has("dist");
+  const bool want_shadow = args.has("shadow") || args.has("shadow-out");
   const auto window = std::max<std::size_t>(
       1, static_cast<std::size_t>(args.get_int_or("pipeline", 32)));
   const auto repeats = std::max<long long>(1, args.get_int_or("repeat", 1));
 
   const std::size_t n = x.rows();
   std::vector<double> pred(n, 0.0);
+  std::vector<double> shadow_pred;
+  std::size_t n_shadowed = 0;
+  if (want_shadow) shadow_pred.assign(n, 0.0);
   std::uint64_t busy_retries = 0;
   bool repeat_mismatch = false;
   const auto send_row = [&](std::uint64_t id, std::size_t row) {
@@ -629,6 +700,7 @@ int cmd_query(const cli::Args& args) {
     req.request_id = id;
     req.model_index = model_index;
     req.want_dist = want_dist;
+    req.want_shadow = want_shadow;
     const auto src = x.row(row);
     req.features.assign(src.begin(), src.end());
     client.send_predict(req);
@@ -662,6 +734,10 @@ int cmd_query(const cli::Args& args) {
           throw std::runtime_error("query: empty prediction payload");
         }
         const double value = reply.predict.values[0];
+        if (want_shadow && rep == 0 && reply.predict.values.size() >= 2) {
+          shadow_pred[it->second] = reply.predict.values[1];
+          ++n_shadowed;
+        }
         if (rep == 0) {
           pred[it->second] = value;
         } else if (pred[it->second] != value) {
@@ -701,6 +777,9 @@ int cmd_query(const cli::Args& args) {
               "(%llu busy retried), error %.2f%% median |log10|\n",
               n, repeats, static_cast<unsigned long long>(busy_retries),
               ml::log_error_to_percent(err));
+  if (want_shadow) {
+    std::printf("shadow answered %zu of %zu request(s)\n", n_shadowed, n);
+  }
   if (repeat_mismatch) {
     std::fprintf(stderr,
                  "query: responses drifted across repeat passes "
@@ -717,7 +796,207 @@ int cmd_query(const cli::Args& args) {
     }
     std::printf("predictions written to %s\n", args.get("out").c_str());
   }
+  if (args.has("shadow-out")) {
+    if (n_shadowed != n) {
+      throw std::runtime_error(
+          "query: --shadow-out needs a shadow answer for every row, got " +
+          std::to_string(n_shadowed) + " of " + std::to_string(n) +
+          " (is the daemon running with --shadow?)");
+    }
+    // Same format as offline `predict --out`, so a bit-exact shadow is
+    // verifiable with a plain byte compare against the candidate's
+    // offline predictions.
+    std::ofstream out(args.get("shadow-out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("shadow-out"));
+    out << "job_id,log10_pred\n";
+    out.precision(17);
+    for (std::size_t i = 0; i < n; ++i) {
+      out << ds.meta[i].job_id << ',' << shadow_pred[i] << '\n';
+    }
+    std::printf("shadow predictions written to %s\n",
+                args.get("shadow-out").c_str());
+  }
   return 0;
+}
+
+int cmd_monitor(const cli::Args& args) {
+  args.check_allowed(with_obs({"archive", "model-file", "follow", "poll-ms",
+                               "idle-secs", "window-jobs",
+                               "reference-windows", "trigger", "min-jobs",
+                               "extra-rounds", "candidate-out", "seed"}));
+  auto model = ml::load_regressor_file(args.get("model-file"));
+
+  taxonomy::OnlineMonitorParams mp;
+  mp.window_jobs =
+      static_cast<std::size_t>(args.get_int_or("window-jobs", 64));
+  mp.reference_windows =
+      static_cast<std::size_t>(args.get_int_or("reference-windows", 2));
+  mp.error_ratio_trigger = args.get_double_or("trigger", 1.5);
+  mp.min_jobs = static_cast<std::size_t>(args.get_int_or(
+      "min-jobs",
+      static_cast<long long>(std::min<std::size_t>(32, mp.window_jobs))));
+  mp.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 41));
+  taxonomy::OnlineMonitor monitor(mp);
+
+  sim::LogTailer tailer(args.get("archive"));
+  const bool follow = args.has("follow");
+  const auto poll_ms = std::max<long long>(1, args.get_int_or("poll-ms", 100));
+  const double idle_secs = args.get_double_or("idle-secs", 5.0);
+  const auto extra_rounds =
+      static_cast<std::size_t>(args.get_int_or("extra-rounds", 16));
+
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  const auto info = model->fit_continue_info();
+  std::printf("monitor: %s from %s (%s warm-start, unit '%s'), "
+              "window %zu job(s), trigger ratio %.2f\n",
+              model->name().c_str(), args.get("model-file").c_str(),
+              info.supported ? "supports" : "no", info.round_unit,
+              mp.window_jobs, mp.error_ratio_trigger);
+  std::fflush(stdout);
+
+  // Rolling buffer of the most recent window_jobs observations: at
+  // trigger time it holds exactly the triggering window's rows, which
+  // is what the candidate warm-starts on (deterministic: same stream ->
+  // same buffer -> same fit_continue RNG replay from the saved seed).
+  std::deque<std::pair<std::vector<double>, double>> recent;
+  util::QuarantineReport ingest_quarantine;
+  bool retrained = false;
+  std::size_t total_jobs = 0;
+  auto last_data = std::chrono::steady_clock::now();
+
+  const auto print_window = [](const taxonomy::WindowAttribution& w) {
+    std::printf("monitor: window %zu [%s] n=%zu err=%.4f ratio=%.2f "
+                "ood=%.2f noise=%.2f drift=%.2f\n",
+                w.window_index, w.health.confidence.c_str(), w.n_jobs,
+                w.median_abs_error, w.error_ratio, w.share_ood,
+                w.share_noise, w.share_drift);
+  };
+
+  const auto handle_closed = [&](const taxonomy::WindowAttribution& w) {
+    print_window(w);
+    if (!w.triggered) return;
+    std::printf("monitor: TRIGGER window %zu error ratio %.2f >= %.2f "
+                "(drift share %.2f, ood share %.2f)\n",
+                w.window_index, w.error_ratio, mp.error_ratio_trigger,
+                w.share_drift, w.share_ood);
+    std::fflush(stdout);
+    if (retrained) return;  // one candidate per run
+    if (!info.supported) {
+      std::printf("monitor: %s does not support warm-start; no candidate\n",
+                  model->name().c_str());
+      return;
+    }
+    if (recent.size() < 2) return;
+    data::Matrix rx(recent.size(), recent.front().first.size());
+    std::vector<double> ry(recent.size());
+    for (std::size_t r = 0; r < recent.size(); ++r) {
+      auto row = rx.mutable_row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = recent[r].first[c];
+      }
+      ry[r] = recent[r].second;
+    }
+    model->fit_continue(rx, ry, extra_rounds);
+    retrained = true;
+    std::printf("monitor: warm-started %zu extra %s(s) on %zu job(s)\n",
+                extra_rounds, info.round_unit, recent.size());
+    if (args.has("candidate-out")) {
+      std::ofstream out(args.get("candidate-out"));
+      if (!out) {
+        throw std::runtime_error("cannot open " + args.get("candidate-out"));
+      }
+      model->save(out);
+      std::printf("monitor: candidate saved to %s\n",
+                  args.get("candidate-out").c_str());
+    }
+    std::fflush(stdout);
+  };
+
+  while (true) {
+    const auto records = tailer.poll();
+    if (records.empty()) {
+      if (!follow) break;
+      const double idle = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - last_data)
+                              .count();
+      if (idle >= idle_secs) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      continue;
+    }
+    last_data = std::chrono::steady_clock::now();
+    auto step = sim::ingest_stream_records(records, nullptr, "monitor");
+    ingest_quarantine.merge(step.quarantine);
+    if (step.dataset.size() == 0) continue;
+    const auto x = taxonomy::feature_matrix(step.dataset, feats);
+    const auto y = taxonomy::targets(step.dataset);
+    // Score with the *production* view of the model: after a retrain the
+    // monitor keeps tracking what live serving would see until the
+    // candidate is promoted, so windows stay comparable... except the
+    // retrained model object IS the candidate. Score first, then learn:
+    // predictions for this batch come from the pre-update weights.
+    const auto pred = model->predict(x);
+    for (std::size_t i = 0; i < step.dataset.size(); ++i) {
+      const auto row = x.row(i);
+      recent.emplace_back(std::vector<double>(row.begin(), row.end()), y[i]);
+      if (recent.size() > mp.window_jobs) recent.pop_front();
+      ++total_jobs;
+      const auto closed =
+          monitor.observe(step.dataset.meta[i].app_id, y[i], pred[i]);
+      if (closed.has_value()) handle_closed(*closed);
+    }
+  }
+  if (const auto closed = monitor.flush()) handle_closed(*closed);
+
+  util::QuarantineReport combined = tailer.quarantine();
+  combined.merge(ingest_quarantine);
+  std::printf("monitor: %zu job(s) in %zu window(s), baseline %.4f, "
+              "%s; %zu quarantined\n",
+              total_jobs, monitor.windows().size(),
+              monitor.baseline_error(),
+              monitor.any_trigger() ? "TRIGGERED" : "no trigger",
+              combined.total());
+  if (!combined.empty()) std::fputs(combined.render().c_str(), stdout);
+  return monitor.any_trigger() ? 3 : 0;
+}
+
+int cmd_promote(const cli::Args& args) {
+  args.check_allowed(with_obs({"socket", "host", "port", "model",
+                               "min-shadow", "rollback", "status",
+                               "wait-secs"}));
+  if (args.has("rollback") && args.has("status")) {
+    throw std::invalid_argument(
+        "promote: --rollback and --status are mutually exclusive");
+  }
+  auto client = connect_query_client(args);
+  serve::ControlRequest req;
+  req.request_id = 1;
+  req.op = args.has("rollback") ? serve::ControlOp::kRollback
+           : args.has("status") ? serve::ControlOp::kStatus
+                                : serve::ControlOp::kPromote;
+  req.model_index = static_cast<std::uint16_t>(args.get_int_or("model", 0));
+  req.min_shadow_requests =
+      static_cast<std::uint64_t>(args.get_int_or("min-shadow", 1));
+  client.send_control(req);
+  serve::Client::Reply reply;
+  if (!client.read_reply(&reply) ||
+      reply.type != util::FrameType::kControlResponse) {
+    throw std::runtime_error("promote: no control response from daemon");
+  }
+  const auto& resp = reply.control;
+  const char* verb = args.has("rollback") ? "rollback"
+                     : args.has("status") ? "status"
+                                          : "promote";
+  std::printf("%s: %s; slot %u generation %llu: %s\n", verb,
+              resp.ok ? "ok" : "refused", req.model_index,
+              static_cast<unsigned long long>(resp.generation),
+              resp.detail.c_str());
+  std::printf("%s: shadow scored %llu request(s), %llu diverged "
+              "(max |delta| %.17g)\n",
+              verb, static_cast<unsigned long long>(resp.shadow_requests),
+              static_cast<unsigned long long>(resp.shadow_diverged),
+              resp.max_abs_divergence);
+  return resp.ok ? 0 : 1;
 }
 
 int cmd_checkjson(const cli::Args& args) {
@@ -796,6 +1075,8 @@ int main(int argc, char** argv) {
     else if (command == "predict") rc = cmd_predict(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "query") rc = cmd_query(args);
+    else if (command == "monitor") rc = cmd_monitor(args);
+    else if (command == "promote") rc = cmd_promote(args);
     else if (command == "inject") rc = cmd_inject(args);
     else if (command == "audit") rc = cmd_audit(args);
     else if (command == "checkjson") rc = cmd_checkjson(args);

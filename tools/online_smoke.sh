@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# End-to-end online-loop smoke: a production model trained on one
+# system watches a live log stream that shifts mid-stream to a different
+# system. The monitor must attribute the windowed error, raise its
+# deterministic drift trigger, warm-start a candidate, and exit 3; the
+# candidate must then shadow-validate bit-exactly against its offline
+# predictions inside a live daemon, survive a refused promotion, promote
+# under concurrent query load without dropping an in-flight request, and
+# actually recover the post-shift error.
+#
+#   online_smoke.sh <path-to-iotax> <work-dir>
+set -euo pipefail
+
+IOTAX="$1"
+WORK="$2"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+DAEMON_PID=""
+MONITOR_PID=""
+cleanup() {
+  for pid in "$DAEMON_PID" "$MONITOR_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
+}
+trap cleanup EXIT
+
+# First N whole records ("# end_of_record"-terminated) of an archive.
+head_records() {
+  awk -v n="$2" '{print} /^# end_of_record$/ {c++; if (c == n) exit}' "$1"
+}
+
+# The "error X.XX% median |log10|" figure from a predict/train log.
+error_pct() {
+  sed -n 's/.*error \([0-9.]*\)% median.*/\1/p' "$1" | head -1
+}
+
+echo "== two regimes: train on tiny (theta), shift to cori-like =="
+"$IOTAX" simulate --preset tiny --seed 7 --out sim_a
+"$IOTAX" simulate --preset cori --seed 9 --out sim_b
+
+echo "== production model: time-split train on the pre-shift system =="
+"$IOTAX" train --dataset sim_a/dataset.csv --model gbt \
+  --params '{"n_estimators": 40, "max_depth": 5}' \
+  --time-split --train-frac 0.8 --out model.gbt | tee train.log
+
+echo "== live stream: baseline windows, then a mid-stream shift =="
+: > stream.darshan.txt
+"$IOTAX" monitor --archive stream.darshan.txt --model-file model.gbt \
+  --follow --poll-ms 50 --idle-secs 4 \
+  --window-jobs 64 --reference-windows 2 --trigger 1.5 \
+  --extra-rounds 32 --candidate-out candidate.gbt \
+  > monitor.log 2>&1 &
+MONITOR_PID=$!
+
+# 3 windows of in-distribution traffic (2 reference + 1 quiet), then 2
+# windows from the other system, appended while the monitor is tailing.
+head_records sim_a/jobs.darshan.txt 192 >> stream.darshan.txt
+sleep 0.5
+head_records sim_b/jobs.darshan.txt 128 >> stream.darshan.txt
+
+MONITOR_RC=0
+wait "$MONITOR_PID" || MONITOR_RC=$?
+MONITOR_PID=""
+cat monitor.log
+[[ $MONITOR_RC -eq 3 ]] \
+  || { echo "FAIL: monitor exit $MONITOR_RC (wanted 3 = triggered)"; exit 1; }
+grep -q "monitor: TRIGGER" monitor.log \
+  || { echo "FAIL: no drift trigger in monitor.log"; exit 1; }
+grep -q "monitor: candidate saved to candidate.gbt" monitor.log \
+  || { echo "FAIL: monitor produced no candidate"; exit 1; }
+
+echo "== the candidate must beat production on the post-shift system =="
+IOTAX_THREADS=1 "$IOTAX" predict --dataset sim_b/dataset.csv \
+  --model-file model.gbt --out prod_offline_b.csv | tee prod_b.log
+IOTAX_THREADS=1 "$IOTAX" predict --dataset sim_b/dataset.csv \
+  --model-file candidate.gbt --out cand_offline_b.csv | tee cand_b.log
+PROD_ERR=$(error_pct prod_b.log)
+CAND_ERR=$(error_pct cand_b.log)
+awk -v p="$PROD_ERR" -v c="$CAND_ERR" 'BEGIN {exit !(c < p)}' \
+  || { echo "FAIL: candidate ($CAND_ERR%) not better than production" \
+              "($PROD_ERR%) post-shift"; exit 1; }
+echo "ok: post-shift error $PROD_ERR% -> $CAND_ERR%"
+
+echo "== shadow deployment: candidate beside production =="
+SOCK="$WORK/online.sock"
+rm -f ready.txt
+"$IOTAX" serve --models model.gbt --shadow candidate.gbt \
+  --socket "$SOCK" --ready-file ready.txt > serve.log 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 200); do
+  [[ -f ready.txt ]] && break
+  sleep 0.05
+done
+[[ -f ready.txt ]] || { echo "FAIL: daemon never became ready"; exit 1; }
+
+echo "== promotion gate: refused before the shadow has scored traffic =="
+PROMOTE_RC=0
+"$IOTAX" promote --socket "$SOCK" --min-shadow 1 \
+  > promote_early.log 2>&1 || PROMOTE_RC=$?
+[[ $PROMOTE_RC -eq 1 ]] \
+  || { echo "FAIL: premature promote exit $PROMOTE_RC (wanted refusal)"; exit 1; }
+grep -q "promote: refused" promote_early.log \
+  || { echo "FAIL: no refusal in promote_early.log"; exit 1; }
+
+echo "== shadow divergence accounting is bit-exact vs offline =="
+"$IOTAX" query --socket "$SOCK" --dataset sim_b/dataset.csv \
+  --out served_prod_b.csv --shadow-out served_shadow_b.csv
+cmp served_prod_b.csv prod_offline_b.csv \
+  || { echo "FAIL: served production CSV differs from offline"; exit 1; }
+cmp served_shadow_b.csv cand_offline_b.csv \
+  || { echo "FAIL: shadow CSV differs from candidate offline"; exit 1; }
+N_SHADOW=$(($(wc -l < served_shadow_b.csv) - 1))
+echo "ok: $N_SHADOW shadow answers byte-identical to the candidate offline"
+
+echo "== promote under concurrent query load =="
+# Each pass is a separate repeat=1 client: values legitimately change
+# across the swap, but every request must still get a real answer.
+LOAD_RC_FILE="$WORK/load.rc"
+(
+  rc=0
+  for _ in $(seq 1 6); do
+    "$IOTAX" query --socket "$SOCK" --dataset sim_a/dataset.csv \
+      --repeat 1 >> load.log 2>&1 || { rc=1; break; }
+  done
+  echo "$rc" > "$LOAD_RC_FILE"
+) &
+LOAD_PID=$!
+sleep 0.2
+"$IOTAX" promote --socket "$SOCK" --min-shadow "$N_SHADOW" | tee promote.log
+grep -q "promote: ok" promote.log \
+  || { echo "FAIL: promotion refused in promote.log"; exit 1; }
+wait "$LOAD_PID"
+[[ "$(cat "$LOAD_RC_FILE")" == "0" ]] \
+  || { echo "FAIL: a query pass failed during the hot swap"; exit 1; }
+
+echo "== post-promotion traffic is served by the candidate =="
+"$IOTAX" query --socket "$SOCK" --dataset sim_b/dataset.csv \
+  --out served_post.csv
+cmp served_post.csv cand_offline_b.csv \
+  || { echo "FAIL: post-promotion serving differs from candidate"; exit 1; }
+
+echo "== rollback restores production under a fresh generation =="
+"$IOTAX" promote --socket "$SOCK" --rollback | tee rollback.log
+grep -q "rollback: ok" rollback.log \
+  || { echo "FAIL: rollback refused"; exit 1; }
+"$IOTAX" query --socket "$SOCK" --dataset sim_b/dataset.csv \
+  --out served_rolled.csv
+cmp served_rolled.csv prod_offline_b.csv \
+  || { echo "FAIL: post-rollback serving differs from production"; exit 1; }
+
+echo "== graceful drain: every admitted request was answered =="
+kill -TERM "$DAEMON_PID"
+DRAIN_RC=0
+wait "$DAEMON_PID" || DRAIN_RC=$?
+DAEMON_PID=""
+[[ $DRAIN_RC -eq 0 ]] \
+  || { echo "FAIL: daemon exit $DRAIN_RC after SIGTERM"; exit 1; }
+cat serve.log
+DRAIN_REQ=$(sed -n 's/serve: drained; \([0-9]*\) request(s).*/\1/p' serve.log)
+DRAIN_RESP=$(sed -n 's/.*batch(es), \([0-9]*\) response(s).*/\1/p' serve.log)
+[[ -n "$DRAIN_REQ" && "$DRAIN_REQ" == "$DRAIN_RESP" ]] \
+  || { echo "FAIL: drain invariant broken ($DRAIN_REQ requests," \
+              "$DRAIN_RESP responses)"; exit 1; }
+grep -q "serve: shadow scored" serve.log \
+  || { echo "FAIL: no shadow accounting in the drain summary"; exit 1; }
+grep -q "promotion(s), 1 rollback(s)" serve.log \
+  || { echo "FAIL: drain summary missing promotion/rollback counts"; exit 1; }
+
+echo "online_smoke: PASS"
