@@ -10,12 +10,14 @@ namespace {
 
 std::atomic<std::size_t> g_live{0};
 std::atomic<std::size_t> g_peak{0};
+std::atomic<std::size_t> g_mapped{0};
+std::atomic<std::size_t> g_mapped_peak{0};
 
-void raise_peak(std::size_t candidate) {
-  std::size_t seen = g_peak.load(std::memory_order_relaxed);
+void raise_peak(std::atomic<std::size_t>& peak, std::size_t candidate) {
+  std::size_t seen = peak.load(std::memory_order_relaxed);
   while (candidate > seen &&
-         !g_peak.compare_exchange_weak(seen, candidate,
-                                       std::memory_order_relaxed)) {
+         !peak.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
   }
 }
 
@@ -25,7 +27,7 @@ void add(std::size_t bytes) {
   if (bytes == 0) return;
   const auto live =
       g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  raise_peak(live);
+  raise_peak(g_peak, live);
 }
 
 void sub(std::size_t bytes) {
@@ -33,12 +35,30 @@ void sub(std::size_t bytes) {
   g_live.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
+void add_mapped(std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto live =
+      g_mapped.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_peak(g_mapped_peak, live);
+}
+
+void sub_mapped(std::size_t bytes) {
+  if (bytes == 0) return;
+  g_mapped.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 std::size_t live_bytes() { return g_live.load(std::memory_order_relaxed); }
 std::size_t peak_bytes() { return g_peak.load(std::memory_order_relaxed); }
+std::size_t mapped_bytes() { return g_mapped.load(std::memory_order_relaxed); }
+std::size_t peak_mapped_bytes() {
+  return g_mapped_peak.load(std::memory_order_relaxed);
+}
 
 void reset_peak() {
   g_peak.store(g_live.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+  g_mapped_peak.store(g_mapped.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
 }
 
 void publish() {
@@ -47,6 +67,9 @@ void publish() {
       .set(static_cast<double>(live_bytes()));
   reg.gauge("data.peak_materialized_bytes")
       .set(static_cast<double>(peak_bytes()));
+  reg.gauge("data.mapped_bytes").set(static_cast<double>(mapped_bytes()));
+  reg.gauge("data.peak_mapped_bytes")
+      .set(static_cast<double>(peak_mapped_bytes()));
 }
 
 }  // namespace iotax::data::footprint

@@ -1,9 +1,24 @@
-// Process-wide accounting of bytes materialized by the data path:
-// every live Matrix payload and every BinnedMatrix code buffer reports
-// its allocation here. `peak_bytes()` is the high-water mark — the
-// number the zero-copy view refactor is meant to drive down — and is
-// published as the obs gauges `data.live_materialized_bytes` /
-// `data.peak_materialized_bytes` by publish_footprint().
+// Process-wide accounting of bytes held by the data path, split into two
+// pools that answer different capacity questions:
+//
+//  * Materialized bytes — heap allocations owned by data structures:
+//    every live Matrix payload and every in-RAM BinnedMatrix code
+//    buffer. This is resident memory the process must fit in RAM, the
+//    number the zero-copy view refactor and the out-of-core store are
+//    meant to drive down. Reported via add()/sub().
+//
+//  * Mapped bytes — file-backed mmap regions (ColumnStore columns,
+//    BinnedMatrix code spills). These cost address space and page cache,
+//    not committed heap: the kernel pages them in on demand and evicts
+//    them under memory pressure, so a 1M-row store can be "open" on a
+//    small machine. Reported via add_mapped()/sub_mapped().
+//
+// The out-of-core acceptance contract is stated in these terms: peak
+// *materialized* bytes stay bounded by the chunk budget while *mapped*
+// bytes scale with the dataset. `peak_bytes()` / `peak_mapped_bytes()`
+// are high-water marks, published as the obs gauges
+// `data.live_materialized_bytes` / `data.peak_materialized_bytes` /
+// `data.mapped_bytes` / `data.peak_mapped_bytes` by publish().
 //
 // Counters are relaxed atomics: the tally tolerates momentary
 // interleaving skew between threads, which can only under-report the
@@ -17,15 +32,20 @@ namespace iotax::data::footprint {
 void add(std::size_t bytes);
 void sub(std::size_t bytes);
 
+void add_mapped(std::size_t bytes);
+void sub_mapped(std::size_t bytes);
+
 std::size_t live_bytes();
 std::size_t peak_bytes();
+std::size_t mapped_bytes();
+std::size_t peak_mapped_bytes();
 
-/// Reset the high-water mark to the current live total (benchmarks call
-/// this between phases to attribute the peak to one phase).
+/// Reset both high-water marks to the current live totals (benchmarks
+/// call this between phases to attribute the peaks to one phase).
 void reset_peak();
 
-/// Copy live/peak into the obs metrics registry as gauges. Cheap; safe
-/// to call whether or not IOTAX_OBS is on.
+/// Copy live/peak for both pools into the obs metrics registry as
+/// gauges. Cheap; safe to call whether or not IOTAX_OBS is on.
 void publish();
 
 }  // namespace iotax::data::footprint

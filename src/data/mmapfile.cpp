@@ -1,0 +1,97 @@
+#include "src/data/mmapfile.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/data/footprint.hpp"
+
+namespace iotax::data {
+
+namespace {
+
+std::string errno_text(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::MappedFile(void* addr, std::size_t size, bool writable)
+    : addr_(addr), size_(size), writable_(writable) {
+  footprint::add_mapped(size_);
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  footprint::sub_mapped(size_);
+}
+
+std::byte* MappedFile::mutable_data() {
+  if (!writable_) {
+    throw std::logic_error("MappedFile: mutable_data on a read-only mapping");
+  }
+  return static_cast<std::byte*>(addr_);
+}
+
+std::unique_ptr<MappedFile> MappedFile::map_readonly(const std::string& path,
+                                                     std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("cannot open", path);
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) *error = errno_text("cannot stat", path);
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      if (error != nullptr) *error = errno_text("cannot mmap", path);
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  ::close(fd);  // the mapping keeps its own reference
+  return std::unique_ptr<MappedFile>(new MappedFile(addr, size, false));
+}
+
+std::unique_ptr<MappedFile> MappedFile::create_spill(const std::string& dir,
+                                                     std::size_t bytes,
+                                                     std::string* error) {
+  std::string tmpl = dir + "/iotax-spill-XXXXXX";
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("cannot create spill in", dir);
+    return nullptr;
+  }
+  // Unlink immediately: the bytes live only as long as the mapping.
+  ::unlink(tmpl.c_str());
+  if (bytes > 0 && ::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    if (error != nullptr) *error = errno_text("cannot size spill file", tmpl);
+    ::close(fd);
+    return nullptr;
+  }
+  void* addr = nullptr;
+  if (bytes > 0) {
+    addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      if (error != nullptr) *error = errno_text("cannot mmap spill file", tmpl);
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  ::close(fd);
+  return std::unique_ptr<MappedFile>(new MappedFile(addr, bytes, true));
+}
+
+}  // namespace iotax::data

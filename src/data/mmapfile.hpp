@@ -1,0 +1,55 @@
+// RAII mmap wrapper for the out-of-core data path. Two flavours:
+//
+//  * map_readonly — map an existing file (a ColumnStore column) read-only.
+//    The kernel pages data in on demand and evicts it under pressure, so
+//    a mapped column costs address space, not resident heap.
+//  * create_spill — create an anonymous-by-unlink scratch file of a fixed
+//    size in a spill directory, mapped read-write. The file is unlinked
+//    immediately after creation, so the bytes disappear when the last map
+//    (or the process) goes away — no cleanup path can leak it.
+//
+// Every mapping registers its size with data::footprint as *mapped*
+// bytes, a separate gauge from the materialized (heap) tally; see
+// src/data/footprint.hpp for the distinction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace iotax::data {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. Returns nullptr and sets *error (errno text
+  /// plus the path) on failure; an empty file maps to size()==0 with a
+  /// null data pointer, which is valid.
+  static std::unique_ptr<MappedFile> map_readonly(const std::string& path,
+                                                  std::string* error);
+
+  /// Create an unlinked scratch file of `bytes` under `dir` (the OOC
+  /// spill directory) and map it read-write. Returns nullptr and sets
+  /// *error on failure.
+  static std::unique_ptr<MappedFile> create_spill(const std::string& dir,
+                                                  std::size_t bytes,
+                                                  std::string* error);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const std::byte* data() const { return static_cast<const std::byte*>(addr_); }
+  /// Writable base address; only valid for create_spill mappings.
+  std::byte* mutable_data();
+  std::size_t size() const { return size_; }
+  bool writable() const { return writable_; }
+
+ private:
+  MappedFile(void* addr, std::size_t size, bool writable);
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool writable_ = false;
+};
+
+}  // namespace iotax::data

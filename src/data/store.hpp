@@ -1,0 +1,131 @@
+// On-disk columnar dataset store: one little-endian f64 file per column
+// plus a strict-JSON manifest, opened via mmap so a million-job dataset
+// costs mapped address space instead of resident heap.
+//
+// Layout of a store directory:
+//   <dir>/manifest.json   strict JSON, insertion-ordered keys:
+//     { "format": "iotax-store", "version": 1, "system": "...",
+//       "rows": N, "columns": [ { "name": "...", "file": "c0.f64",
+//       "dtype": "f64", "rows": N, "checksum": "0x..." }, ... ] }
+//   <dir>/c<i>.f64        raw doubles, host (little-endian) byte order,
+//                         rows*8 bytes, FNV-1a-64 checksum in manifest.
+//
+// Columns are the dataset feature columns in order, followed by the
+// reserved `__meta_*` columns of table_io (same encoding as the CSV
+// round-trip, so pack(csv) → open is value-exact).
+//
+// Lifetime rule (extends the view rules of src/data/view.hpp): the
+// Dataset returned by ColumnStore::dataset() holds Table columns that
+// reference the store's mappings. The ColumnStore must outlive that
+// Dataset, every copy of its feature Table, and every view built over
+// them. Meta and target are decoded into small owned vectors on open
+// (8–96 bytes/row), so only the O(rows × cols) feature payload stays
+// file-backed.
+//
+// Corruption tolerance: open never crashes on a damaged store. Every
+// defect — truncated or missing column file, bit-flipped checksum,
+// malformed or incomplete manifest — maps onto the shared quarantine
+// Reason vocabulary with the file path and offending field named in the
+// diagnostic, mirroring the ModelRegistry checkpoint diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/data/mmapfile.hpp"
+#include "src/util/quarantine.hpp"
+
+namespace iotax::data {
+
+/// Version stamped into manifests this build writes (printed by
+/// `iotax --version` as `store=v<N>`).
+inline constexpr int kStoreFormatVersion = 1;
+
+/// Streaming store writer: declare the feature columns once, append row
+/// chunks (each a small Dataset), finish() writes the manifest. Columns
+/// are written append-only with running FNV-1a-64 checksums, so packing
+/// never holds more than one chunk in RAM.
+class StoreWriter {
+ public:
+  /// Creates `dir` (and parents) and opens one column file per feature
+  /// plus the reserved meta columns. Throws std::runtime_error on I/O
+  /// errors.
+  StoreWriter(const std::string& dir, std::vector<std::string> feature_names,
+              std::string system_name);
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Append rows [row0, row0+n) of `chunk`. The chunk's feature columns
+  /// must match the declared names exactly.
+  void append_rows(const Dataset& chunk, std::size_t row0, std::size_t n);
+  /// Append a whole chunk.
+  void append(const Dataset& chunk) { append_rows(chunk, 0, chunk.size()); }
+
+  /// Flush, write manifest.json, close all column files. Idempotent.
+  /// Throws on I/O errors and on an empty (zero-row) store.
+  void finish();
+
+  std::size_t rows_written() const { return rows_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct ColumnFile;
+
+  void write_column(std::size_t index, const double* values, std::size_t n);
+
+  std::string dir_;
+  std::vector<std::string> feature_names_;
+  std::string system_name_;
+  std::vector<ColumnFile> cols_;
+  std::vector<std::vector<double>> meta_scratch_;
+  std::size_t rows_ = 0;
+  bool finished_ = false;
+};
+
+/// Pack an in-RAM dataset into a store directory in one call (chunked
+/// internally; see StoreWriter for the streaming interface).
+void pack_dataset(const std::string& dir, const Dataset& ds);
+
+/// A read-only mmap view of a store directory, exposed as a Dataset
+/// whose feature Table references the mapped column files directly.
+class ColumnStore {
+ public:
+  struct OpenOutcome {
+    std::unique_ptr<ColumnStore> store;  // null on failure
+    util::QuarantineReport quarantine;   // defects found while opening
+    bool ok() const { return store != nullptr; }
+    /// First diagnostic, for one-line CLI errors ("" when ok).
+    std::string first_error() const;
+  };
+
+  /// Open a store. Structural integrity (manifest fields, file presence
+  /// and byte sizes) is always checked; `verify_checksums` additionally
+  /// reads every column through its FNV-1a-64 checksum (`iotax pack
+  /// --check`). Never throws on corrupt input.
+  static OpenOutcome open(const std::string& dir,
+                          bool verify_checksums = false);
+
+  /// The mapped dataset. Valid only while this ColumnStore is alive.
+  const Dataset& dataset() const { return dataset_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t n_columns() const { return maps_.size(); }
+  std::size_t mapped_bytes() const;
+  const std::string& dir() const { return dir_; }
+  const std::string& system_name() const { return dataset_.system_name; }
+
+ private:
+  ColumnStore() = default;
+
+  std::string dir_;
+  std::size_t rows_ = 0;
+  std::vector<std::unique_ptr<MappedFile>> maps_;
+  Dataset dataset_;
+};
+
+}  // namespace iotax::data

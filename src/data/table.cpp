@@ -29,20 +29,31 @@ std::size_t Table::index_of(const std::string& name) const {
   throw std::out_of_range("Table: no column named '" + name + "'");
 }
 
-std::span<const double> Table::col(std::size_t i) const { return cols_.at(i); }
-
-std::span<const double> Table::col(const std::string& name) const {
-  return cols_[index_of(name)];
+std::span<const double> Table::col(std::size_t i) const {
+  return cols_.at(i).values();
 }
 
-std::vector<double>& Table::mutable_col(std::size_t i) { return cols_.at(i); }
+std::span<const double> Table::col(const std::string& name) const {
+  return cols_[index_of(name)].values();
+}
+
+std::vector<double>& Table::mutable_col(std::size_t i) {
+  Column& c = cols_.at(i);
+  if (c.external) {
+    throw std::logic_error("Table::mutable_col: column '" + names_[i] +
+                           "' references read-only external storage");
+  }
+  return c.owned;
+}
 
 std::vector<double>& Table::mutable_col(const std::string& name) {
-  return cols_[index_of(name)];
+  return mutable_col(index_of(name));
 }
 
 double Table::at(std::size_t row, std::size_t col) const {
-  return cols_.at(col).at(row);
+  const auto values = cols_.at(col).values();
+  if (row >= values.size()) throw std::out_of_range("Table::at: row");
+  return values[row];
 }
 
 void Table::add_column(std::string name, std::vector<double> values) {
@@ -54,27 +65,57 @@ void Table::add_column(std::string name, std::vector<double> values) {
     throw std::invalid_argument("Table::add_column: row count mismatch");
   }
   names_.push_back(std::move(name));
-  cols_.push_back(std::move(values));
+  Column c;
+  c.owned = std::move(values);
+  cols_.push_back(std::move(c));
+}
+
+void Table::add_column_ref(std::string name, std::span<const double> values) {
+  if (has_column(name)) {
+    throw std::invalid_argument("Table::add_column_ref: duplicate name '" +
+                                name + "'");
+  }
+  if (!cols_.empty() && values.size() != n_rows()) {
+    throw std::invalid_argument("Table::add_column_ref: row count mismatch");
+  }
+  names_.push_back(std::move(name));
+  Column c;
+  c.ref = values;
+  c.external = true;
+  cols_.push_back(std::move(c));
+}
+
+bool Table::has_external_columns() const {
+  for (const auto& c : cols_) {
+    if (c.external) return true;
+  }
+  return false;
 }
 
 void Table::reserve_rows(std::size_t n) {
-  for (auto& col : cols_) col.reserve(n);
+  for (auto& col : cols_) {
+    if (!col.external) col.owned.reserve(n);
+  }
 }
 
 void Table::add_row(std::span<const double> values) {
   if (values.size() != n_cols()) {
     throw std::invalid_argument("Table::add_row: column count mismatch");
   }
+  if (has_external_columns()) {
+    throw std::logic_error(
+        "Table::add_row: table has read-only external columns");
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
-    cols_[i].push_back(values[i]);
+    cols_[i].owned.push_back(values[i]);
   }
 }
 
 Table Table::select(std::span<const std::string> names) const {
   Table out;
   for (const auto& name : names) {
-    const auto& src = cols_[index_of(name)];
-    out.add_column(name, src);
+    const auto src = cols_[index_of(name)].values();
+    out.add_column(name, std::vector<double>(src.begin(), src.end()));
   }
   return out;
 }
@@ -82,9 +123,13 @@ Table Table::select(std::span<const std::string> names) const {
 Table Table::take(std::span<const std::size_t> rows) const {
   Table out(names_);
   for (std::size_t c = 0; c < cols_.size(); ++c) {
-    auto& dst = out.cols_[c];
+    const auto src = cols_[c].values();
+    auto& dst = out.cols_[c].owned;
     dst.reserve(rows.size());
-    for (std::size_t r : rows) dst.push_back(cols_[c].at(r));
+    for (std::size_t r : rows) {
+      if (r >= src.size()) throw std::out_of_range("Table::take: row");
+      dst.push_back(src[r]);
+    }
   }
   return out;
 }
@@ -95,7 +140,9 @@ Table Table::hcat(const Table& other) const {
   }
   Table out = *this;
   for (std::size_t c = 0; c < other.n_cols(); ++c) {
-    out.add_column(other.names_[c], other.cols_[c]);
+    const auto src = other.cols_[c].values();
+    out.add_column(other.names_[c],
+                   std::vector<double>(src.begin(), src.end()));
   }
   return out;
 }
@@ -104,10 +151,15 @@ Table Table::vcat(const Table& other) const {
   if (names_ != other.names_) {
     throw std::invalid_argument("Table::vcat: column name mismatch");
   }
+  if (has_external_columns()) {
+    throw std::logic_error(
+        "Table::vcat: table has read-only external columns");
+  }
   Table out = *this;
   for (std::size_t c = 0; c < cols_.size(); ++c) {
-    out.cols_[c].insert(out.cols_[c].end(), other.cols_[c].begin(),
-                        other.cols_[c].end());
+    const auto src = other.cols_[c].values();
+    out.cols_[c].owned.insert(out.cols_[c].owned.end(), src.begin(),
+                              src.end());
   }
   return out;
 }

@@ -58,26 +58,67 @@ Table read_table_csv(const std::string& path) {
   return csv_to_table(util::read_csv_file(path));
 }
 
+std::span<const char* const> dataset_meta_columns() { return kMetaCols; }
+
+void encode_dataset_meta(const Dataset& ds, std::size_t row0, std::size_t n,
+                         std::span<std::vector<double>> out) {
+  if (out.size() != std::size(kMetaCols)) {
+    throw std::invalid_argument("encode_dataset_meta: column count");
+  }
+  if (row0 + n > ds.size()) {
+    throw std::out_of_range("encode_dataset_meta: row range");
+  }
+  for (auto& col : out) col.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = ds.meta[row0 + i];
+    out[0][i] = static_cast<double>(m.job_id);
+    out[1][i] = static_cast<double>(m.app_id);
+    out[2][i] = static_cast<double>(m.config_id);
+    out[3][i] = m.start_time;
+    out[4][i] = m.end_time;
+    out[5][i] = static_cast<double>(m.nodes);
+    out[6][i] = m.novel_app ? 1.0 : 0.0;
+    out[7][i] = m.log_fa;
+    out[8][i] = m.log_fg;
+    out[9][i] = m.log_fl;
+    out[10][i] = m.log_fn;
+    out[11][i] = ds.target[row0 + i];
+  }
+}
+
+void decode_dataset_meta(std::span<const std::span<const double>> cols,
+                         std::size_t n, std::vector<JobMeta>* meta,
+                         std::vector<double>* target) {
+  if (cols.size() != std::size(kMetaCols)) {
+    throw std::invalid_argument("decode_dataset_meta: column count");
+  }
+  for (const auto& c : cols) {
+    if (c.size() < n) throw std::out_of_range("decode_dataset_meta: rows");
+  }
+  meta->reserve(meta->size() + n);
+  target->reserve(target->size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    JobMeta m;
+    m.job_id = static_cast<std::uint64_t>(std::llround(cols[0][i]));
+    m.app_id = static_cast<std::uint64_t>(std::llround(cols[1][i]));
+    m.config_id = static_cast<std::uint64_t>(std::llround(cols[2][i]));
+    m.start_time = cols[3][i];
+    m.end_time = cols[4][i];
+    m.nodes = static_cast<std::uint32_t>(std::llround(cols[5][i]));
+    m.novel_app = cols[6][i] != 0.0;
+    m.log_fa = cols[7][i];
+    m.log_fg = cols[8][i];
+    m.log_fl = cols[9][i];
+    m.log_fn = cols[10][i];
+    meta->push_back(m);
+    target->push_back(cols[11][i]);
+  }
+}
+
 void write_dataset_csv(const std::string& path, const Dataset& ds) {
   Table combined = ds.features;
-  const std::size_t n = ds.size();
-  std::vector<std::vector<double>> meta_cols(std::size(kMetaCols),
-                                             std::vector<double>(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& m = ds.meta[i];
-    meta_cols[0][i] = static_cast<double>(m.job_id);
-    meta_cols[1][i] = static_cast<double>(m.app_id);
-    meta_cols[2][i] = static_cast<double>(m.config_id);
-    meta_cols[3][i] = m.start_time;
-    meta_cols[4][i] = m.end_time;
-    meta_cols[5][i] = static_cast<double>(m.nodes);
-    meta_cols[6][i] = m.novel_app ? 1.0 : 0.0;
-    meta_cols[7][i] = m.log_fa;
-    meta_cols[8][i] = m.log_fg;
-    meta_cols[9][i] = m.log_fl;
-    meta_cols[10][i] = m.log_fn;
-    meta_cols[11][i] = ds.target[i];
-  }
+  std::vector<std::vector<double>> meta_cols(std::size(kMetaCols));
+  encode_dataset_meta(ds, 0, ds.size(), meta_cols);
   for (std::size_t c = 0; c < std::size(kMetaCols); ++c) {
     combined.add_column(kMetaCols[c], std::move(meta_cols[c]));
   }
@@ -95,38 +136,10 @@ Dataset read_dataset_csv(const std::string& path,
   }
   ds.features = combined.select(feature_names);
   const std::size_t n = combined.n_rows();
-  ds.meta.resize(n);
-  ds.target.resize(n);
-  const auto col = [&combined](const char* name) {
-    return combined.col(name);
-  };
-  const auto job = col("__meta_job_id");
-  const auto app = col("__meta_app_id");
-  const auto cfg = col("__meta_config_id");
-  const auto start = col("__meta_start");
-  const auto end = col("__meta_end");
-  const auto nodes = col("__meta_nodes");
-  const auto novel = col("__meta_novel");
-  const auto fa = col("__meta_log_fa");
-  const auto fg = col("__meta_log_fg");
-  const auto fl = col("__meta_log_fl");
-  const auto fn = col("__meta_log_fn");
-  const auto target = col("__meta_target");
-  for (std::size_t i = 0; i < n; ++i) {
-    auto& m = ds.meta[i];
-    m.job_id = static_cast<std::uint64_t>(std::llround(job[i]));
-    m.app_id = static_cast<std::uint64_t>(std::llround(app[i]));
-    m.config_id = static_cast<std::uint64_t>(std::llround(cfg[i]));
-    m.start_time = start[i];
-    m.end_time = end[i];
-    m.nodes = static_cast<std::uint32_t>(std::llround(nodes[i]));
-    m.novel_app = novel[i] != 0.0;
-    m.log_fa = fa[i];
-    m.log_fg = fg[i];
-    m.log_fl = fl[i];
-    m.log_fn = fn[i];
-    ds.target[i] = target[i];
-  }
+  std::vector<std::span<const double>> meta_spans;
+  meta_spans.reserve(std::size(kMetaCols));
+  for (const char* name : kMetaCols) meta_spans.push_back(combined.col(name));
+  decode_dataset_meta(meta_spans, n, &ds.meta, &ds.target);
   return ds;
 }
 

@@ -1,8 +1,13 @@
 // Table and Dataset persistence as CSV, so experiments can be inspected
 // with standard tools and re-loaded without re-running the simulator.
+// The reserved `__meta_*` column encoding defined here is shared with
+// the on-disk ColumnStore (src/data/store.hpp) so both formats carry
+// metadata identically.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/data/dataset.hpp"
 #include "src/data/table.hpp"
@@ -11,6 +16,22 @@ namespace iotax::data {
 
 void write_table_csv(const std::string& path, const Table& table);
 Table read_table_csv(const std::string& path);
+
+/// The reserved meta/target column names, in serialization order:
+/// `__meta_job_id` ... `__meta_log_fn`, `__meta_target`.
+std::span<const char* const> dataset_meta_columns();
+
+/// Encode meta + target for rows [row0, row0+n) into `out` — one vector
+/// per dataset_meta_columns() entry, each resized to n. Chunk-friendly:
+/// streaming writers (StoreWriter) call it per chunk.
+void encode_dataset_meta(const Dataset& ds, std::size_t row0, std::size_t n,
+                         std::span<std::vector<double>> out);
+
+/// Decode meta + target from column spans ordered as
+/// dataset_meta_columns(); appends n entries to *meta / *target.
+void decode_dataset_meta(std::span<const std::span<const double>> cols,
+                         std::size_t n, std::vector<JobMeta>* meta,
+                         std::vector<double>* target);
 
 /// Dataset round-trip: writes features plus reserved `__meta_*` columns
 /// (job/app/config ids, times, ground-truth components).

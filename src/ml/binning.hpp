@@ -12,12 +12,25 @@
 // straight from a row/column subset without materializing it; a plain
 // Matrix converts implicitly. The code buffer is reported to
 // data::footprint alongside Matrix payloads.
+//
+// Out-of-core mode (data::ooc::settings().enabled): the quantile sweep
+// runs as an external sort — per-column sorted runs of chunk_rows each,
+// spilled to an unlinked mmap scratch file, k-way merged to read the
+// exact same order statistics the in-RAM std::sort path reads — and the
+// code planes land in a second mmap spill once they exceed the spill
+// threshold. Both choices are bit-identical to the in-RAM path: the
+// merged stream is the same sorted sequence, and the codes are the same
+// bytes in the same layout, just file-backed (mapped, not materialized).
+// Copies share the spill mapping; the footprint tally only counts
+// heap-resident code buffers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "src/data/mmapfile.hpp"
 #include "src/data/view.hpp"
 
 namespace iotax::ml {
@@ -47,14 +60,18 @@ class BinnedMatrix {
   /// Largest n_bins over all features (histogram workspace size).
   std::size_t max_bins_used() const { return max_bins_used_; }
 
+  /// True when the code planes live in an mmap spill file instead of the
+  /// heap (out-of-core mode).
+  bool spilled() const { return spill_ != nullptr; }
+
   /// Bin code of sample r, feature c.
   std::uint16_t code(std::size_t r, std::size_t c) const {
-    return codes_[r * cols_ + c];
+    return codes_ptr_[r * cols_ + c];
   }
 
   /// All codes of sample r (row-major, contiguous).
   std::span<const std::uint16_t> row_codes(std::size_t r) const {
-    return {codes_.data() + r * cols_, cols_};
+    return {codes_ptr_ + r * cols_, cols_};
   }
 
   /// All codes of feature c (feature-major mirror, contiguous). The
@@ -62,7 +79,7 @@ class BinnedMatrix {
   /// buffer would make that a 2-byte pick from every (cols x 2)-byte
   /// stride, so a transposed copy is kept for unit-stride access.
   std::span<const std::uint16_t> col_codes(std::size_t c) const {
-    return {fcodes_.data() + c * rows_, rows_};
+    return {fcodes_ptr_ + c * rows_, rows_};
   }
 
   /// Real-valued split threshold for "bin <= b goes left": the upper edge
@@ -82,9 +99,20 @@ class BinnedMatrix {
   /// raw view per model.
   std::vector<std::uint16_t> encode_all(const data::MatrixView& x) const;
 
+  /// encode_all with the code-plane spill policy: in out-of-core mode a
+  /// buffer past the spill threshold lands in an unlinked mmap scratch
+  /// file (mapped bytes) instead of the heap (materialized bytes). Same
+  /// bytes either way; only the backing storage differs.
+  class EncodedCodes encode_all_ooc(const data::MatrixView& x) const;
+
  private:
   void build(const data::MatrixView& x,
              const std::vector<std::size_t>& per_feature_bins);
+  void build_edges_chunked(const data::MatrixView& x,
+                           const std::vector<std::size_t>& per_feature_bins);
+  /// Point codes_ptr_/fcodes_ptr_ at the heap vectors (after any copy or
+  /// move that may have changed their addresses).
+  void rebind_pointers(const BinnedMatrix& other);
 
   std::size_t code_bytes() const {
     return (codes_.size() + fcodes_.size()) * sizeof(std::uint16_t);
@@ -93,9 +121,42 @@ class BinnedMatrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t max_bins_used_ = 1;
-  std::vector<std::uint16_t> codes_;         // row-major
+  std::vector<std::uint16_t> codes_;         // row-major (heap mode)
   std::vector<std::uint16_t> fcodes_;        // feature-major mirror
+  /// Spill mapping holding both planes in out-of-core mode: row-major
+  /// codes at offset 0, the feature-major mirror after it. Shared across
+  /// copies — the planes are immutable once built.
+  std::shared_ptr<data::MappedFile> spill_;
+  const std::uint16_t* codes_ptr_ = nullptr;
+  const std::uint16_t* fcodes_ptr_ = nullptr;
   std::vector<std::vector<double>> uppers_;  // per feature, ascending
+};
+
+/// Owner of an encode_all_ooc code buffer: either a heap vector
+/// (reported to data::footprint as materialized bytes, like BinnedMatrix
+/// planes) or an unlinked mmap spill (counted as mapped bytes by the
+/// mapping itself). Consumers only see the span.
+class EncodedCodes {
+ public:
+  EncodedCodes() = default;
+  EncodedCodes(EncodedCodes&& other) noexcept;
+  EncodedCodes& operator=(EncodedCodes&& other) noexcept;
+  EncodedCodes(const EncodedCodes&) = delete;
+  EncodedCodes& operator=(const EncodedCodes&) = delete;
+  ~EncodedCodes();
+
+  std::span<const std::uint16_t> codes() const { return view_; }
+  const std::uint16_t* data() const { return view_.data(); }
+  std::size_t size() const { return view_.size(); }
+  bool spilled() const { return spill_ != nullptr; }
+
+ private:
+  friend class BinnedMatrix;
+  void release();
+
+  std::vector<std::uint16_t> heap_;
+  std::unique_ptr<data::MappedFile> spill_;
+  std::span<const std::uint16_t> view_;
 };
 
 }  // namespace iotax::ml

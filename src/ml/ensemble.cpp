@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 
+#include "src/data/ooc.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
@@ -123,32 +125,49 @@ UncertaintyPrediction DeepEnsemble::predict_uncertainty(
   out.epistemic.assign(n, 0.0);
   std::vector<double> mean_sq(n, 0.0);
 
-  // Accumulate raw member sums and divide by k once at the end; the
-  // member-order accumulation below is identical in the serial and
-  // parallel branches, so both yield the same bits.
-  const auto accumulate = [&](const DistPrediction& pred) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out.mean[i] += pred.mean[i];
-      mean_sq[i] += pred.mean[i] * pred.mean[i];
-      out.aleatory[i] += pred.variance[i];
-    }
-  };
   // Every member holds the fit-time scaler fit() shared across the
   // ensemble, so the input transform is member-invariant: do it once
   // here instead of once per member, which at the parallel-member peak
-  // would hold k identical transformed copies at once.
-  const data::Matrix z = members_.front()->scaler().transform_log1p(x);
-  if (!util::in_parallel_region() && util::parallel_threads() > 1 && k > 1) {
-    std::vector<DistPrediction> preds(k);
-    util::parallel_for(k, [&](std::size_t m) {
-      members_[m]->predict_dist_preprocessed(z, &preds[m]);
-    });
-    for (const auto& pred : preds) accumulate(pred);
-  } else {
-    DistPrediction pred;  // one buffer reused across the member loop
-    for (const auto& member : members_) {
-      member->predict_dist_preprocessed(z, &pred);
-      accumulate(pred);
+  // would hold k identical transformed copies at once. The shared scaled
+  // copy is also the only O(rows x cols) buffer on the predict path, so
+  // it is produced one chunk of rows at a time: per-row math is
+  // independent and members accumulate in fixed order within each chunk,
+  // so the chunked walk is bit-identical to the one-shot transform while
+  // the transient buffer stays bounded by the out-of-core chunk budget.
+  const std::size_t chunk =
+      std::max<std::size_t>(std::size_t{1}, data::ooc::settings().chunk_rows);
+  const bool parallel_members =
+      !util::in_parallel_region() && util::parallel_threads() > 1 && k > 1;
+  std::vector<std::size_t> idx;
+  std::vector<std::size_t> base_rows;
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    idx.resize(hi - lo);
+    std::iota(idx.begin(), idx.end(), lo);
+    const data::MatrixView xc = x.take_rows(idx, &base_rows);
+    const data::Matrix z = members_.front()->scaler().transform_log1p(xc);
+    // Accumulate raw member sums and divide by k once at the end; the
+    // member-order accumulation is identical in the serial and parallel
+    // branches, so both yield the same bits.
+    const auto accumulate = [&](const DistPrediction& pred) {
+      for (std::size_t i = 0; i < hi - lo; ++i) {
+        out.mean[lo + i] += pred.mean[i];
+        mean_sq[lo + i] += pred.mean[i] * pred.mean[i];
+        out.aleatory[lo + i] += pred.variance[i];
+      }
+    };
+    if (parallel_members) {
+      std::vector<DistPrediction> preds(k);
+      util::parallel_for(k, [&](std::size_t m) {
+        members_[m]->predict_dist_preprocessed(z, &preds[m]);
+      });
+      for (const auto& pred : preds) accumulate(pred);
+    } else {
+      DistPrediction pred;  // one buffer reused across the member loop
+      for (const auto& member : members_) {
+        member->predict_dist_preprocessed(z, &pred);
+        accumulate(pred);
+      }
     }
   }
   const auto kd = static_cast<double>(k);

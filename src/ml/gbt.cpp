@@ -8,7 +8,6 @@
 #include <ostream>
 #include <stdexcept>
 
-#include "src/data/footprint.hpp"
 #include "src/ml/kernels/hist.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -284,10 +283,9 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
   const bool use_eval =
       params_.early_stopping_rounds > 0 && x_val.rows() > 0;
   std::vector<double> val_preds(x_val.rows(), base_score_);
-  std::vector<std::uint16_t> val_codes;
+  EncodedCodes val_codes;
   if (use_eval) {
-    val_codes = binned.encode_all(x_val);
-    data::footprint::add(val_codes.size() * sizeof(std::uint16_t));
+    val_codes = binned.encode_all_ooc(x_val);
   }
   double best_val_rmse = std::numeric_limits<double>::infinity();
   std::size_t best_round = 0;
@@ -367,7 +365,6 @@ void GradientBoostedTrees::fit_impl(const data::MatrixView& x,
   if (use_eval && best_round < trees_.size()) {
     trees_.resize(best_round);  // keep the best-validation prefix
   }
-  data::footprint::sub(val_codes.size() * sizeof(std::uint16_t));
   obs::span_arg("trees", static_cast<double>(trees_.size()));
   fitted_ = true;
   has_split_bins_ = true;

@@ -41,18 +41,10 @@ SearchPoint evaluate(const GbtParams& params, const data::MatrixView& x_train,
 // The validation matrix encoded against the shared search binning:
 // candidates all train on `binned`, so scoring them routes by these
 // codes (bit-identical to predicting the raw rows, one strided read
-// per value for the whole search instead of per trial). The uint16
-// buffer is reported to data::footprint like BinnedMatrix codes.
-struct EncodedVal {
-  std::vector<std::uint16_t> codes;
-  EncodedVal(const BinnedMatrix& binned, const data::MatrixView& x_val)
-      : codes(binned.encode_all(x_val)) {
-    data::footprint::add(codes.size() * sizeof(std::uint16_t));
-  }
-  ~EncodedVal() { data::footprint::sub(codes.size() * sizeof(std::uint16_t)); }
-  EncodedVal(const EncodedVal&) = delete;
-  EncodedVal& operator=(const EncodedVal&) = delete;
-};
+// per value for the whole search instead of per trial). The buffer
+// follows the out-of-core spill policy (EncodedCodes), so a large
+// validation side never pins an O(rows) heap block.
+using EncodedVal = EncodedCodes;
 
 // True when the two candidates run the identical fit except for how
 // many boosting rounds it keeps.
@@ -94,7 +86,7 @@ SearchResult evaluate_all(const std::vector<GbtParams>& points,
                           const SearchCallback& on_point) {
   points.front().validate();  // surface bad shared params before binning
   const BinnedMatrix binned = bin_for_search(points.front(), x_train);
-  const EncodedVal val(binned, x_val);
+  const EncodedVal val = binned.encode_all_ooc(x_val);
 
   // Group candidate indices into prefix families, members sorted by
   // ascending n_estimators. Searches with per-candidate seeds (random,
@@ -134,7 +126,7 @@ SearchResult evaluate_all(const std::vector<GbtParams>& points,
       point.params = points[idx];
       point.val_error = median_abs_log_error(
           y_val,
-          model.predict_codes_prefix(val.codes, points[idx].n_estimators));
+          model.predict_codes_prefix(val.codes(), points[idx].n_estimators));
       obs::span_arg("val_error", point.val_error);
       evaluated[idx] = std::move(point);
     }
@@ -264,11 +256,11 @@ SearchResult successive_halving(const GbtGrid& grid,
     // rung's bin edges come from its row subset, so the validation
     // encoding is per rung too.
     const BinnedMatrix binned_sub = bin_for_search(grid.base, x_sub);
-    const EncodedVal val(binned_sub, x_val);
+    const EncodedVal val = binned_sub.encode_all_ooc(x_val);
     std::vector<SearchPoint> rung(population.size());
     util::parallel_for(population.size(), [&](std::size_t i) {
       rung[i] =
-          evaluate(population[i], x_sub, y_sub, binned_sub, val.codes, y_val);
+          evaluate(population[i], x_sub, y_sub, binned_sub, val.codes(), y_val);
     });
     for (const auto& point : rung) {
       if (on_point) on_point(point);

@@ -5,8 +5,10 @@
 #include <unordered_set>
 
 #include "src/obs/metrics.hpp"
+#include "src/telemetry/binary_log.hpp"
 #include "src/telemetry/cobalt.hpp"
 #include "src/telemetry/counters.hpp"
+#include "src/util/parallel.hpp"
 
 namespace iotax::sim {
 
@@ -28,20 +30,23 @@ namespace {
 /// First defect found in one record, or repaired state. The check order
 /// is fixed (sizes, throughput, counter values, times, duplication,
 /// truth) so quarantine counts are reproducible and match the fault
-/// injector's expectations.
+/// injector's expectations. The duplicate check needs global state, so
+/// it lives with the caller (serial loop or sharded merge); everything
+/// up to it is record-local and safe to run on the thread pool.
 struct RecordVerdict {
   bool quarantined = false;
   util::Reason reason = util::Reason::kSizeMismatch;
   std::string detail;
-  std::size_t repairs = 0;  // fixes applied in kRepair mode
+  /// Fixes applied in kRepair mode, in application order. Repairs stick
+  /// even when a later check (duplication, truth) rejects the record,
+  /// exactly like the serial single-pass ingest.
+  std::vector<util::Reason> repairs;
 };
 
-/// Validate (and in repair mode fix) one record. `rec` may be mutated in
-/// kRepair mode only.
-RecordVerdict check_record(telemetry::JobLogRecord& rec, IngestMode mode,
-                           std::unordered_set<std::uint64_t>& seen_jobs,
-                           const TruthMap* truth,
-                           util::QuarantineReport& quarantine) {
+/// Record-local validation: sizes, throughput, counter values, times.
+/// `rec` may be mutated in kRepair mode only.
+RecordVerdict check_record_local(telemetry::JobLogRecord& rec,
+                                 IngestMode mode) {
   RecordVerdict v;
   const auto reject = [&v](util::Reason reason, std::string detail) {
     v.quarantined = true;
@@ -64,8 +69,7 @@ RecordVerdict check_record(telemetry::JobLogRecord& rec, IngestMode mode,
       if (!std::isfinite(value)) {
         if (mode == IngestMode::kRepair) {
           value = 0.0;
-          ++v.repairs;
-          quarantine.note_repair(util::Reason::kNonFiniteValue);
+          v.repairs.push_back(util::Reason::kNonFiniteValue);
           continue;
         }
         reject(util::Reason::kNonFiniteValue, "non-finite counter value");
@@ -74,8 +78,7 @@ RecordVerdict check_record(telemetry::JobLogRecord& rec, IngestMode mode,
       if (value < 0.0) {
         if (mode == IngestMode::kRepair) {
           value = 0.0;
-          ++v.repairs;
-          quarantine.note_repair(util::Reason::kNegativeCounter);
+          v.repairs.push_back(util::Reason::kNegativeCounter);
           continue;
         }
         reject(util::Reason::kNegativeCounter, "negative counter value");
@@ -90,34 +93,91 @@ RecordVerdict check_record(telemetry::JobLogRecord& rec, IngestMode mode,
   if (rec.end_time < rec.start_time) {
     if (mode == IngestMode::kRepair) {
       std::swap(rec.start_time, rec.end_time);
-      ++v.repairs;
-      quarantine.note_repair(util::Reason::kTimeInverted);
+      v.repairs.push_back(util::Reason::kTimeInverted);
     } else {
       reject(util::Reason::kTimeInverted, "job ends before it starts");
       return v;
     }
   }
-  if (!seen_jobs.insert(rec.job_id).second) {
-    reject(util::Reason::kDuplicateJobId,
-           "job id already ingested (duplicated log record)");
+  return v;
+}
+
+/// Ground-truth consistency — the last check in the canonical order
+/// (after duplication). Pure read of the truth map, thread-safe.
+RecordVerdict check_record_truth(const telemetry::JobLogRecord& rec,
+                                 const TruthMap* truth) {
+  RecordVerdict v;
+  if (truth == nullptr) return v;
+  const auto it = truth->find(rec.job_id);
+  if (it == truth->end()) {
+    v.quarantined = true;
+    v.reason = util::Reason::kMissingTruth;
+    v.detail = "job missing from truth";
     return v;
   }
-  if (truth != nullptr) {
-    const auto it = truth->find(rec.job_id);
-    if (it == truth->end()) {
-      reject(util::Reason::kMissingTruth, "job missing from truth");
-      return v;
-    }
-    const auto& t = it->second;
-    const double recomposed = t.log_fa + t.log_fg + t.log_fl + t.log_fn;
-    const double log_phi = std::log10(rec.agg_perf_mib);
-    if (std::fabs(recomposed - log_phi) > 1e-6) {
-      reject(util::Reason::kTruthMismatch,
-             "truth does not match measured throughput");
-      return v;
-    }
+  const auto& t = it->second;
+  const double recomposed = t.log_fa + t.log_fg + t.log_fl + t.log_fn;
+  const double log_phi = std::log10(rec.agg_perf_mib);
+  if (std::fabs(recomposed - log_phi) > 1e-6) {
+    v.quarantined = true;
+    v.reason = util::Reason::kTruthMismatch;
+    v.detail = "truth does not match measured throughput";
   }
   return v;
+}
+
+/// Append one accepted record's feature row, meta and target to `ds`.
+/// `row` is caller-owned scratch to avoid per-record allocation.
+void append_record(const telemetry::JobLogRecord& rec,
+                   const telemetry::LmtTimeline* lmt, const TruthMap* truth,
+                   data::Dataset& ds, std::vector<double>& row) {
+  row.clear();
+  row.insert(row.end(), rec.posix.begin(), rec.posix.end());
+  row.insert(row.end(), rec.mpiio.begin(), rec.mpiio.end());
+  telemetry::CobaltRecord cob;
+  cob.job_id = rec.job_id;
+  cob.nodes = rec.nodes;
+  cob.cores = rec.n_procs;  // Darshan nprocs as the core-count proxy
+  cob.start_time = rec.start_time;
+  cob.end_time = rec.end_time;
+  cob.placement_spread = rec.placement_spread;
+  const auto cob_f = telemetry::cobalt_features(cob);
+  row.insert(row.end(), cob_f.begin(), cob_f.end());
+  if (lmt != nullptr) {
+    const auto lmt_f = lmt->aggregate(rec.start_time, rec.end_time);
+    row.insert(row.end(), lmt_f.begin(), lmt_f.end());
+  }
+  ds.features.add_row(row);
+
+  data::JobMeta m;
+  m.job_id = rec.job_id;
+  m.app_id = rec.app_id;
+  m.config_id = rec.config_id;
+  m.start_time = rec.start_time;
+  m.end_time = rec.end_time;
+  m.nodes = rec.nodes;
+  const double log_phi = std::log10(rec.agg_perf_mib);
+  if (truth != nullptr) {
+    const auto& t = truth->at(rec.job_id);
+    m.log_fa = t.log_fa;
+    m.log_fg = t.log_fg;
+    m.log_fl = t.log_fl;
+    m.log_fn = t.log_fn;
+    m.novel_app = t.novel_app;
+    // Absorb the residual from the text round-trip of agg_perf_mib so
+    // Dataset::validate()'s exact check holds.
+    m.log_fn += log_phi - m.log_throughput();
+  } else {
+    m.log_fa = log_phi;
+  }
+  ds.meta.push_back(m);
+  ds.target.push_back(log_phi);
+}
+
+[[noreturn]] void throw_strict(const RecordVerdict& v, std::size_t idx) {
+  throw IngestError(v.reason, "build_dataset: " + v.detail + " [" +
+                                  util::reason_name(v.reason) + ", record " +
+                                  std::to_string(idx) + "]");
 }
 
 }  // namespace
@@ -146,61 +206,27 @@ IngestResult build_dataset_ingest(
     // Records are checked (and possibly repaired) on a copy; the caller's
     // archive stays exactly as parsed.
     telemetry::JobLogRecord rec = records[idx];
-    const auto verdict =
-        check_record(rec, mode, seen_jobs, truth, out.quarantine);
-    if (verdict.quarantined) {
-      if (mode == IngestMode::kStrict) {
-        throw IngestError(verdict.reason,
-                          "build_dataset: " + verdict.detail + " [" +
-                              util::reason_name(verdict.reason) +
-                              ", record " + std::to_string(idx) + "]");
+    RecordVerdict verdict = check_record_local(rec, mode);
+    for (const auto reason : verdict.repairs) {
+      out.quarantine.note_repair(reason);
+    }
+    repaired += verdict.repairs.size();
+    if (!verdict.quarantined) {
+      if (!seen_jobs.insert(rec.job_id).second) {
+        verdict.quarantined = true;
+        verdict.reason = util::Reason::kDuplicateJobId;
+        verdict.detail = "job id already ingested (duplicated log record)";
+      } else {
+        RecordVerdict t = check_record_truth(rec, truth);
+        if (t.quarantined) verdict = std::move(t);
       }
+    }
+    if (verdict.quarantined) {
+      if (mode == IngestMode::kStrict) throw_strict(verdict, idx);
       out.quarantine.add({verdict.reason, rec.job_id, idx, 0, verdict.detail});
       continue;
     }
-    repaired += verdict.repairs;
-
-    row.clear();
-    row.insert(row.end(), rec.posix.begin(), rec.posix.end());
-    row.insert(row.end(), rec.mpiio.begin(), rec.mpiio.end());
-    telemetry::CobaltRecord cob;
-    cob.job_id = rec.job_id;
-    cob.nodes = rec.nodes;
-    cob.cores = rec.n_procs;  // Darshan nprocs as the core-count proxy
-    cob.start_time = rec.start_time;
-    cob.end_time = rec.end_time;
-    cob.placement_spread = rec.placement_spread;
-    const auto cob_f = telemetry::cobalt_features(cob);
-    row.insert(row.end(), cob_f.begin(), cob_f.end());
-    if (with_lmt) {
-      const auto lmt_f = lmt->aggregate(rec.start_time, rec.end_time);
-      row.insert(row.end(), lmt_f.begin(), lmt_f.end());
-    }
-    ds.features.add_row(row);
-
-    data::JobMeta m;
-    m.job_id = rec.job_id;
-    m.app_id = rec.app_id;
-    m.config_id = rec.config_id;
-    m.start_time = rec.start_time;
-    m.end_time = rec.end_time;
-    m.nodes = rec.nodes;
-    const double log_phi = std::log10(rec.agg_perf_mib);
-    if (truth != nullptr) {
-      const auto& t = truth->at(rec.job_id);
-      m.log_fa = t.log_fa;
-      m.log_fg = t.log_fg;
-      m.log_fl = t.log_fl;
-      m.log_fn = t.log_fn;
-      m.novel_app = t.novel_app;
-      // Absorb the residual from the text round-trip of agg_perf_mib so
-      // Dataset::validate()'s exact check holds.
-      m.log_fn += log_phi - m.log_throughput();
-    } else {
-      m.log_fa = log_phi;
-    }
-    ds.meta.push_back(m);
-    ds.target.push_back(log_phi);
+    append_record(rec, lmt, truth, ds, row);
     out.kept_records.push_back(idx);
   }
   IOTAX_OBS_COUNT("ingest.records", records.size());
@@ -216,6 +242,178 @@ data::Dataset build_dataset(
   return build_dataset_ingest(records, lmt, system_name, truth,
                               IngestMode::kStrict)
       .dataset;
+}
+
+namespace {
+
+/// Everything one shard contributes, computed on the thread pool. Rows
+/// are pre-built for every record that passes its local and truth
+/// checks; the merge discards the ones the global duplicate check
+/// rejects, so no parallel state ever depends on another shard.
+struct ShardWork {
+  bool parse_ok = true;
+  std::string parse_error;
+  util::QuarantineReport parse_quarantine;
+  std::vector<telemetry::JobLogRecord> records;  // post-repair state
+  std::vector<RecordVerdict> verdicts;           // local checks
+  std::vector<RecordVerdict> truth_verdicts;     // deferred (post-dup) check
+  std::vector<char> has_row;                     // row built for record i?
+  data::Dataset rows;                            // candidate rows, in order
+};
+
+ShardWork process_shard(const IngestShard& shard,
+                        const telemetry::LmtTimeline* lmt,
+                        const std::string& system_name, const TruthMap* truth,
+                        IngestMode mode,
+                        const std::vector<std::string>& feature_names) {
+  ShardWork w;
+  auto outcome = shard.binary
+                     ? telemetry::read_binary_archive_file_outcome(
+                           shard.path, telemetry::ParseMode::kLenient)
+                     : telemetry::parse_archive_file_outcome(
+                           shard.path, telemetry::ParseMode::kLenient);
+  if (!outcome.ok) {
+    w.parse_ok = false;
+    w.parse_error = outcome.error;
+    return w;
+  }
+  w.parse_quarantine = std::move(outcome.quarantine);
+  w.records = std::move(outcome.records);
+  w.verdicts.reserve(w.records.size());
+  w.truth_verdicts.resize(w.records.size());
+  w.has_row.assign(w.records.size(), 0);
+  w.rows.system_name = system_name;
+  w.rows.features = data::Table(feature_names);
+  w.rows.features.reserve_rows(w.records.size());
+  std::vector<double> row;
+  row.reserve(feature_names.size());
+  for (std::size_t i = 0; i < w.records.size(); ++i) {
+    telemetry::JobLogRecord& rec = w.records[i];
+    w.verdicts.push_back(check_record_local(rec, mode));
+    if (w.verdicts.back().quarantined) continue;
+    w.truth_verdicts[i] = check_record_truth(rec, truth);
+    if (w.truth_verdicts[i].quarantined) continue;
+    append_record(rec, lmt, truth, w.rows, row);
+    w.has_row[i] = 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+ShardedIngestSummary ingest_shards(
+    const std::vector<IngestShard>& shards, const telemetry::LmtTimeline* lmt,
+    const std::string& system_name, const TruthMap* truth, IngestMode mode,
+    const std::function<void(data::Dataset&&)>& emit) {
+  const std::vector<std::string> feature_names =
+      dataset_feature_names(lmt != nullptr);
+  ShardedIngestSummary out;
+  std::unordered_set<std::uint64_t> seen_jobs;
+  std::size_t base = 0;  // global index of the current shard's record 0
+
+  // Shards are processed in waves of pool width, merged in shard order
+  // as each wave lands: bounded memory (one wave of parsed shards), and
+  // a merge whose outcome cannot depend on scheduling.
+  const std::size_t wave = std::max<std::size_t>(1, util::parallel_threads());
+  std::vector<std::size_t> ok_rows;
+  for (std::size_t s0 = 0; s0 < shards.size(); s0 += wave) {
+    const std::size_t s1 = std::min(s0 + wave, shards.size());
+    auto works = util::parallel_map<ShardWork>(s1 - s0, [&](std::size_t i) {
+      return process_shard(shards[s0 + i], lmt, system_name, truth, mode,
+                           feature_names);
+    });
+    for (std::size_t i = 0; i < works.size(); ++i) {
+      ShardWork& w = works[i];
+      const std::string& path = shards[s0 + i].path;
+      if (!w.parse_ok) {
+        throw std::runtime_error("ingest: unreadable archive '" + path +
+                                 "': " + w.parse_error);
+      }
+      if (mode == IngestMode::kStrict && w.parse_quarantine.total() > 0) {
+        const auto& e = w.parse_quarantine.entries().front();
+        throw IngestError(e.reason, "build_dataset: " + e.detail + " [" +
+                                        util::reason_name(e.reason) + ", " +
+                                        path + "]");
+      }
+      out.quarantine.merge(w.parse_quarantine);
+      ok_rows.clear();
+      std::size_t row_cursor = 0;
+      for (std::size_t r = 0; r < w.records.size(); ++r) {
+        const std::size_t global_idx = base + r;
+        RecordVerdict& v = w.verdicts[r];
+        for (const auto reason : v.repairs) {
+          out.quarantine.note_repair(reason);
+        }
+        out.repaired += v.repairs.size();
+        const bool local_ok = !v.quarantined;
+        if (local_ok) {
+          if (!seen_jobs.insert(w.records[r].job_id).second) {
+            v.quarantined = true;
+            v.reason = util::Reason::kDuplicateJobId;
+            v.detail = "job id already ingested (duplicated log record)";
+          } else if (w.truth_verdicts[r].quarantined) {
+            v = std::move(w.truth_verdicts[r]);
+          }
+        }
+        if (v.quarantined) {
+          if (mode == IngestMode::kStrict) throw_strict(v, global_idx);
+          out.quarantine.add(
+              {v.reason, w.records[r].job_id, global_idx, 0, v.detail});
+        } else {
+          ok_rows.push_back(row_cursor);
+          out.kept_records.push_back(global_idx);
+        }
+        if (w.has_row[r] != 0) ++row_cursor;
+      }
+      base += w.records.size();
+      out.total_records += w.records.size();
+      if (!ok_rows.empty()) {
+        data::Dataset chunk;
+        chunk.system_name = system_name;
+        chunk.features = w.rows.features.take(ok_rows);
+        chunk.meta.reserve(ok_rows.size());
+        chunk.target.reserve(ok_rows.size());
+        for (const std::size_t rr : ok_rows) {
+          chunk.meta.push_back(w.rows.meta[rr]);
+          chunk.target.push_back(w.rows.target[rr]);
+        }
+        emit(std::move(chunk));
+      }
+      w = ShardWork();  // free this shard before the next wave lands
+    }
+  }
+  IOTAX_OBS_COUNT("ingest.shards", shards.size());
+  IOTAX_OBS_COUNT("ingest.records", out.total_records);
+  IOTAX_OBS_COUNT("ingest.quarantined", out.quarantine.total());
+  IOTAX_OBS_COUNT("ingest.repaired", out.repaired);
+  return out;
+}
+
+IngestResult build_dataset_ingest_sharded(
+    const std::vector<IngestShard>& shards, const telemetry::LmtTimeline* lmt,
+    const std::string& system_name, const TruthMap* truth, IngestMode mode) {
+  IngestResult out;
+  data::Dataset& ds = out.dataset;
+  ds.system_name = system_name;
+  ds.features = data::Table(dataset_feature_names(lmt != nullptr));
+  bool first = true;
+  auto summary = ingest_shards(
+      shards, lmt, system_name, truth, mode, [&](data::Dataset&& chunk) {
+        if (first) {
+          ds.features = std::move(chunk.features);
+          ds.meta = std::move(chunk.meta);
+          ds.target = std::move(chunk.target);
+          first = false;
+          return;
+        }
+        ds.features = ds.features.vcat(chunk.features);
+        ds.meta.insert(ds.meta.end(), chunk.meta.begin(), chunk.meta.end());
+        ds.target.insert(ds.target.end(), chunk.target.begin(),
+                         chunk.target.end());
+      });
+  out.quarantine = std::move(summary.quarantine);
+  out.kept_records = std::move(summary.kept_records);
+  return out;
 }
 
 }  // namespace iotax::sim

@@ -3,6 +3,7 @@
 // aggregates by job time span, and attach scheduler features.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -84,5 +85,47 @@ IngestResult build_dataset_ingest(
 
 /// Names of the feature columns a built dataset contains, in order.
 std::vector<std::string> dataset_feature_names(bool with_lmt);
+
+/// One input archive of a sharded ingest (text or binary job-log format).
+struct IngestShard {
+  std::string path;
+  bool binary = false;
+};
+
+/// Counts and global bookkeeping of a sharded ingest pass.
+struct ShardedIngestSummary {
+  util::QuarantineReport quarantine;
+  /// Global parsed-record index (shard-order offsets applied) of every
+  /// row that was emitted, in emit order.
+  std::vector<std::size_t> kept_records;
+  std::size_t total_records = 0;  // parsed records across all shards
+  std::size_t repaired = 0;
+};
+
+/// Parallel sharded ingest: every archive is parsed and per-record
+/// checked/repaired on the thread pool, then merged serially in shard
+/// order — the duplicate-job-id check and the quarantine tallies run in
+/// the merge, so counts are exact and identical to feeding the
+/// concatenated record stream through build_dataset_ingest, at any
+/// IOTAX_THREADS. `emit` receives one Dataset chunk per shard (its
+/// surviving rows, in record order) and never sees more than a wave of
+/// shards materialized at once, so a caller streaming into a StoreWriter
+/// packs N archives with per-wave memory. Parse-level corruption is
+/// folded into the same quarantine report (entry record indices stay
+/// shard-local; counts are exact). Throws std::runtime_error on an
+/// unreadable archive and IngestError in strict mode, exactly like the
+/// sequential path.
+ShardedIngestSummary ingest_shards(
+    const std::vector<IngestShard>& shards, const telemetry::LmtTimeline* lmt,
+    const std::string& system_name, const TruthMap* truth, IngestMode mode,
+    const std::function<void(data::Dataset&&)>& emit);
+
+/// Sharded ingest materializing one concatenated Dataset (convenience
+/// wrapper over ingest_shards for callers that want the in-RAM result).
+IngestResult build_dataset_ingest_sharded(const std::vector<IngestShard>& shards,
+                                          const telemetry::LmtTimeline* lmt,
+                                          const std::string& system_name,
+                                          const TruthMap* truth,
+                                          IngestMode mode);
 
 }  // namespace iotax::sim

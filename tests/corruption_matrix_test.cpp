@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "src/data/store.hpp"
 #include "src/faults/injector.hpp"
 #include "src/faults/plan.hpp"
 #include "src/sim/dataset_builder.hpp"
@@ -18,6 +20,7 @@
 #include "src/taxonomy/report_io.hpp"
 #include "src/telemetry/binary_log.hpp"
 #include "src/telemetry/darshan_log.hpp"
+#include "src/util/rng.hpp"
 
 namespace iotax {
 namespace {
@@ -233,6 +236,105 @@ TEST(CorruptionMatrix, HealthRowsSurviveReportCsvRoundTrip) {
     EXPECT_EQ(rt->degraded, h.degraded) << h.step;
   }
   EXPECT_EQ(back.degraded(), report.degraded());
+}
+
+// ------------------------------------------- column-store truncation
+
+// A small dataset (3 feature columns) keeps the manifest short enough to
+// truncate at *every* byte offset in reasonable time.
+data::Dataset tiny_store_dataset(std::size_t rows) {
+  data::Dataset ds;
+  ds.system_name = "trunc";
+  util::Rng rng(31);
+  for (const char* name : {"A", "B", "C"}) {
+    std::vector<double> col(rows);
+    for (auto& v : col) v = rng.uniform(-5.0, 5.0);
+    ds.features.add_column(name, std::move(col));
+  }
+  ds.meta.resize(rows);
+  ds.target.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ds.meta[r].job_id = r + 1;
+    ds.meta[r].app_id = 10 + r % 3;
+    ds.meta[r].config_id = 100 + r % 5;
+    ds.meta[r].start_time = 1000.0 * static_cast<double>(r);
+    ds.meta[r].end_time = ds.meta[r].start_time + 500.0;
+    ds.meta[r].nodes = 4;
+    ds.meta[r].log_fa = rng.uniform(0.0, 3.0);
+    ds.target[r] = ds.meta[r].log_throughput();
+  }
+  return ds;
+}
+
+std::string file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_bytes(const std::filesystem::path& path, const std::string& bytes,
+                 std::size_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(n));
+}
+
+TEST(CorruptionMatrix, StoreManifestTruncatedAtEveryByteNeverCrashes) {
+  const auto ds = tiny_store_dataset(24);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "iotax_store_manifest_trunc";
+  std::filesystem::remove_all(dir);
+  data::pack_dataset(dir.string(), ds);
+  const auto manifest_path = dir / "manifest.json";
+  const auto manifest = file_bytes(manifest_path);
+  ASSERT_GT(manifest.size(), 2u);
+
+  for (std::size_t n = 0; n < manifest.size(); ++n) {
+    write_bytes(manifest_path, manifest, n);
+    data::ColumnStore::OpenOutcome outcome;
+    ASSERT_NO_THROW(outcome = data::ColumnStore::open(dir.string(), true))
+        << "manifest truncated to " << n << " byte(s)";
+    // The manifest ends in a single newline; cutting only that leaves a
+    // complete JSON document, which is the one prefix allowed to open.
+    if (n + 1 < manifest.size()) {
+      ASSERT_FALSE(outcome.ok())
+          << "manifest truncated to " << n << " byte(s) opened";
+      ASSERT_FALSE(outcome.quarantine.empty());
+      EXPECT_NE(outcome.first_error().find("manifest.json"),
+                std::string::npos)
+          << outcome.first_error();
+    }
+  }
+  write_bytes(manifest_path, manifest, manifest.size());
+  ASSERT_TRUE(data::ColumnStore::open(dir.string(), true).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorruptionMatrix, StoreColumnTruncatedAtEveryByteNeverCrashes) {
+  const auto ds = tiny_store_dataset(16);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "iotax_store_col_trunc";
+  std::filesystem::remove_all(dir);
+  data::pack_dataset(dir.string(), ds);
+  const auto col_path = dir / "c1.f64";
+  const auto col = file_bytes(col_path);
+  ASSERT_EQ(col.size(), ds.size() * sizeof(double));
+
+  for (std::size_t n = 0; n < col.size(); ++n) {
+    write_bytes(col_path, col, n);
+    data::ColumnStore::OpenOutcome outcome;
+    ASSERT_NO_THROW(outcome = data::ColumnStore::open(dir.string(), true))
+        << "column truncated to " << n << " byte(s)";
+    ASSERT_FALSE(outcome.ok())
+        << "column truncated to " << n << " byte(s) opened";
+    EXPECT_GE(outcome.quarantine.count(util::Reason::kTruncated), 1u)
+        << "column truncated to " << n << " byte(s)";
+    EXPECT_NE(outcome.first_error().find("c1.f64"), std::string::npos)
+        << outcome.first_error();
+  }
+  write_bytes(col_path, col, col.size());
+  ASSERT_TRUE(data::ColumnStore::open(dir.string(), true).ok());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

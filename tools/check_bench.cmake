@@ -149,6 +149,70 @@ if(KIND STREQUAL "kernels")
   return()
 endif()
 
+if(KIND STREQUAL "oocore")
+  # Out-of-core store A/B (bench_oocore). Gates:
+  #   * bit_identical must be true — the store-backed, spilled-code
+  #     training path produced a byte-different model or predictions
+  #     from the in-RAM path. No tolerance.
+  #   * ooc.peak_materialized_bytes may grow at most BYTES_TOL over
+  #     baseline: the whole point of the store is that training heap
+  #     stays bounded by the chunk budget, so a new materializing copy
+  #     in the streaming path jumps far past the tolerance.
+  #   * ooc pack+train wall time may grow at most WALL_TOL times
+  #     baseline (generous, catches algorithmic regressions only).
+  get_field(cur_rows "${current_json}" rows)
+  get_field(base_rows "${baseline_json}" rows)
+  if(NOT cur_rows EQUAL base_rows)
+    message(FATAL_ERROR "check_bench: row count ${cur_rows} != baseline "
+                        "${base_rows}; regenerate bench/baselines/ for the "
+                        "new workload")
+  endif()
+
+  get_field(identical "${current_json}" bit_identical)
+  if(NOT identical)
+    message(FATAL_ERROR "check_bench: bit_identical is '${identical}' — "
+                        "the out-of-core path diverged from the in-RAM "
+                        "path")
+  endif()
+  message(STATUS "check_bench: out-of-core path bit-identical ok")
+
+  get_field(cur_peak "${current_json}" ooc peak_materialized_bytes)
+  get_field(base_peak "${baseline_json}" ooc peak_materialized_bytes)
+  to_millis(bytes_tol_millis "${BYTES_TOL}")
+  math(EXPR peak_limit
+       "${base_peak} + ${base_peak} * ${bytes_tol_millis} / 1000")
+  if(cur_peak GREATER peak_limit)
+    message(FATAL_ERROR "check_bench: out-of-core peak materialized bytes "
+                        "regressed: ${cur_peak} > limit ${peak_limit} "
+                        "(baseline ${base_peak}, tol +${BYTES_TOL})")
+  endif()
+  message(STATUS "check_bench: ooc peak bytes ${cur_peak} <= ${peak_limit} "
+                 "(baseline ${base_peak}) ok")
+
+  get_field(cur_pack "${current_json}" ooc pack_ms)
+  get_field(cur_train "${current_json}" ooc train_ms)
+  get_field(base_pack "${baseline_json}" ooc pack_ms)
+  get_field(base_train "${baseline_json}" ooc train_ms)
+  to_millis(wall_tol_millis "${WALL_TOL}")
+  truncate(cur_pack_int "${cur_pack}")
+  truncate(cur_train_int "${cur_train}")
+  truncate(base_pack_int "${base_pack}")
+  truncate(base_train_int "${base_train}")
+  math(EXPR cur_wall_int "${cur_pack_int} + ${cur_train_int}")
+  math(EXPR base_wall_int "${base_pack_int} + ${base_train_int}")
+  math(EXPR wall_limit "${base_wall_int} * ${wall_tol_millis} / 1000")
+  if(cur_wall_int GREATER wall_limit)
+    message(FATAL_ERROR "check_bench: out-of-core pack+train wall time "
+                        "regressed: ${cur_wall_int} ms > limit "
+                        "${wall_limit} ms (baseline ${base_wall_int} ms, "
+                        "tol ${WALL_TOL}x)")
+  endif()
+  message(STATUS "check_bench: ooc wall ${cur_wall_int} ms <= "
+                 "${wall_limit} ms (baseline ${base_wall_int} ms) ok")
+  message(STATUS "check_bench: PASS")
+  return()
+endif()
+
 # ---- KIND=pipeline (default) -----------------------------------------
 
 # Comparable workloads only: a scale/preset change needs a new baseline.

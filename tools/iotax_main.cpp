@@ -22,10 +22,13 @@
 #include <chrono>
 #include <csignal>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "src/cli/args.hpp"
+#include "src/data/ooc.hpp"
 #include "src/data/split.hpp"
+#include "src/data/store.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/str.hpp"
@@ -59,38 +62,56 @@ int usage() {
   std::fprintf(stderr, R"(usage: iotax <command> [options]
 
 commands:
-  simulate   --preset theta|cori|tiny [--seed N] --out DIR
+  simulate   --preset theta|cori|tiny [--seed N] --out DIR [--shards N]
+             [--no-dataset]
              run the system simulator; writes jobs.darshan.txt,
-             jobs.darshan.bin and dataset.csv into DIR
+             jobs.darshan.bin and dataset.csv into DIR; --shards N
+             splits the records over jobs.darshan.<i>.bin archives
+             (contiguous slices, for sharded ingest); --no-dataset
+             skips the CSV (pack the logs instead)
   parse      --archive FILE [--binary] [--lenient]
              parse a job-log archive and report record/corruption counts
-  bound      --dataset FILE
+  pack       (--dataset CSV | --logs A[,B,...] [--binary]
+             [--mode strict|lenient|repair] [--system NAME]) --out DIR
+             write an mmap-backed column store: one f64 file per column
+             plus a checksummed manifest; --logs streams the archives
+             through the sharded quarantine/repair ingest, so N
+             archives pack with per-wave memory;
+             pack --check --store DIR verifies manifest + column
+             checksums (exit 0 intact, 1 any defect)
+  bound      (--dataset FILE | --store DIR)
              litmus 1: the application-modeling error lower bound
-  noise      --dataset FILE [--window SECS]
+  noise      (--dataset FILE | --store DIR) [--window SECS]
              litmus 4/5: concurrent duplicates, Student-t fit, I/O bands
-  taxonomy   --dataset FILE [--no-uq] [--report OUT.csv]
-             the full five-step framework (Fig. 7 of the paper)
-  importance --dataset FILE
+  taxonomy   (--dataset FILE | --store DIR) [--no-uq] [--report OUT.csv]
+             the full five-step framework (Fig. 7 of the paper);
+             --store runs it out-of-core over the mapped columns with
+             bit-identical reports
+  importance (--dataset FILE | --store DIR)
              train a GBT and report which counters it relies on
-  drift      --dataset FILE [--train-frac F] [--window DAYS]
+  drift      (--dataset FILE | --store DIR) [--train-frac F]
+             [--window DAYS]
              train on the first F of the timeline, monitor the rest
-  train      --dataset FILE --model NAME [--params JSON] --out MODEL
-             [--time-split]
+  train      (--dataset FILE | --store DIR) --model NAME [--params JSON]
+             --out MODEL [--time-split]
              fit any model family (mean|linear|gbt|mlp|ensemble) and
              save it; params is a JSON object of hyperparameters;
              --time-split trains on the earliest --train-frac of the
              timeline instead of a random split (deployment-style)
-  predict    --dataset FILE --model-file MODEL [--out CSV]
+  predict    (--dataset FILE | --store DIR) --model-file MODEL
+             [--out CSV]
              load a saved model and predict the dataset
   inject     --in FILE [--binary] [--plan FILE | --plan-json STR]
              [--seed N] --out FILE [--report FILE]
              deterministically corrupt a clean archive per a fault plan;
              --report saves the injection ground truth as JSON
-  audit      --archive FILE [--binary] [--mode strict|lenient|repair]
-             [--expect REPORT.json] [--quarantine-out FILE]
+  audit      (--archive FILE [--binary] | --store DIR)
+             [--mode strict|lenient|repair] [--expect REPORT.json]
+             [--quarantine-out FILE]
              parse + ingest an (possibly corrupted) archive; strict mode
              exits nonzero on any corruption; --expect checks quarantine
-             counts against an inject ground-truth report
+             counts against an inject ground-truth report; --store
+             verifies a column store's manifest and checksums instead
   serve      --models A[,B,...] (--socket PATH | --port N)
              [--batch-size N] [--batch-wait-us N] [--max-inflight N]
              [--ready-file FILE] [--shadow FILE] [--shadow-slot N]
@@ -99,14 +120,16 @@ commands:
              predict requests with micro-batching; --shadow serves a
              candidate checkpoint beside production with bit-exact
              divergence accounting; drains gracefully on SIGTERM/SIGINT
-  query      (--socket PATH | --host H --port N) [--ping | --dataset FILE]
+  query      (--socket PATH | --host H --port N)
+             [--ping | --dataset FILE | --store DIR]
              [--model IDX] [--dist] [--shadow] [--pipeline N] [--repeat N]
              [--wait-secs S] [--out CSV] [--shadow-out CSV]
              client driver: sends every dataset row to a serve daemon
              (responses are bit-identical to offline `predict`) or
              health-checks it with --ping; --shadow also collects the
              daemon's shadow-candidate predictions
-  monitor    --archive FILE --model-file MODEL [--follow] [--poll-ms N]
+  monitor    (--archive FILE | --store DIR) --model-file MODEL
+             [--follow] [--poll-ms N]
              [--idle-secs S] [--window-jobs N] [--reference-windows N]
              [--trigger RATIO] [--min-jobs N] [--extra-rounds N]
              [--candidate-out FILE] [--seed N]
@@ -122,8 +145,18 @@ commands:
              --min-shadow requests), roll a slot back, or report status
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
-  --version  print the build version and the selected kernel tier
+  --version  print the build version, the selected kernel tier
              (IOTAX_KERNELS=scalar|avx2|auto picks; auto is the default)
+             and the column-store format version (store=v1)
+
+out-of-core (any --store command; also honoured with --dataset):
+  IOTAX_OOC=0|1            force the in-RAM / out-of-core data path
+                           (--store turns it on unless IOTAX_OOC=0)
+  IOTAX_OOC_CHUNK_ROWS=N   rows per streaming chunk (default 65536)
+  IOTAX_OOC_SPILL_BYTES=N  spill bin-code planes to an unlinked mmap
+                           scratch file above this size (default 32MiB;
+                           0 spills always)
+  IOTAX_OOC_DIR=DIR        where spill files live (default TMPDIR)
 
 observability (any command):
   --metrics-out FILE   write counters/gauges/histograms as JSON
@@ -141,8 +174,39 @@ sim::SimConfig preset_by_name(const std::string& name, std::uint64_t seed) {
                               "' (theta|cori|tiny)");
 }
 
-data::Dataset load_dataset(const cli::Args& args) {
-  return data::read_dataset_csv(args.get("dataset"), "dataset");
+/// Where a command's dataset comes from: an in-RAM CSV (`--dataset`) or
+/// an mmap-backed column store (`--store`). The source must stay alive
+/// for as long as the dataset is used — a store-backed Dataset's feature
+/// table references the store's mappings (see src/data/store.hpp).
+struct DatasetSource {
+  data::Dataset owned;                       // CSV path: rows on the heap
+  std::unique_ptr<data::ColumnStore> store;  // store path: holds the maps
+  const data::Dataset& ds() const {
+    return store ? store->dataset() : owned;
+  }
+};
+
+DatasetSource load_dataset(const cli::Args& args) {
+  DatasetSource src;
+  if (args.has("store")) {
+    if (args.has("dataset")) {
+      throw std::invalid_argument(
+          "--dataset and --store are mutually exclusive");
+    }
+    // Out-of-core mode follows the data: a store-backed run streams the
+    // binning sweep and spills code planes unless IOTAX_OOC=0 forces the
+    // in-RAM path (results are bit-identical either way).
+    data::ooc::enable_for_store();
+    auto outcome = data::ColumnStore::open(args.get("store"));
+    if (!outcome.ok()) {
+      throw std::runtime_error("cannot open store " + args.get("store") +
+                               ": " + outcome.first_error());
+    }
+    src.store = std::move(outcome.store);
+  } else {
+    src.owned = data::read_dataset_csv(args.get("dataset"), "dataset");
+  }
+  return src;
 }
 
 /// Every command also accepts the observability output options.
@@ -153,7 +217,8 @@ std::set<std::string> with_obs(std::set<std::string> allowed) {
 }
 
 int cmd_simulate(const cli::Args& args) {
-  args.check_allowed(with_obs({"preset", "seed", "out"}));
+  args.check_allowed(with_obs({"preset", "seed", "out", "shards",
+                               "no-dataset"}));
   const auto cfg = preset_by_name(
       args.get_or("preset", "tiny"),
       static_cast<std::uint64_t>(args.get_int_or("seed", 7)));
@@ -162,13 +227,40 @@ int cmd_simulate(const cli::Args& args) {
   std::printf("simulating %s (seed %llu)...\n", cfg.name.c_str(),
               static_cast<unsigned long long>(cfg.seed));
   const auto res = sim::simulate(cfg);
-  telemetry::write_archive((dir / "jobs.darshan.txt").string(), res.records);
-  telemetry::write_binary_archive_file((dir / "jobs.darshan.bin").string(),
-                                       res.records);
-  data::write_dataset_csv((dir / "dataset.csv").string(), res.dataset);
-  std::printf("%zu jobs -> %s/{jobs.darshan.txt,jobs.darshan.bin,"
-              "dataset.csv}\n",
-              res.dataset.size(), dir.string().c_str());
+  const auto n_shards =
+      static_cast<std::size_t>(std::max<long long>(0,
+                                                   args.get_int_or("shards",
+                                                                   0)));
+  if (n_shards > 1) {
+    // Contiguous record slices: shard 0 + shard 1 + ... replayed in
+    // order is exactly the single-archive record stream, so a sharded
+    // ingest of these files is bit-identical to the sequential one.
+    const std::size_t n = res.records.size();
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::size_t lo = s * n / n_shards;
+      const std::size_t hi = (s + 1) * n / n_shards;
+      const std::vector<telemetry::JobLogRecord> slice(
+          res.records.begin() + static_cast<long>(lo),
+          res.records.begin() + static_cast<long>(hi));
+      const auto path =
+          dir / ("jobs.darshan." + std::to_string(s) + ".bin");
+      telemetry::write_binary_archive_file(path.string(), slice);
+    }
+    std::printf("%zu jobs -> %s/jobs.darshan.{0..%zu}.bin\n",
+                res.records.size(), dir.string().c_str(), n_shards - 1);
+  } else {
+    telemetry::write_archive((dir / "jobs.darshan.txt").string(),
+                             res.records);
+    telemetry::write_binary_archive_file((dir / "jobs.darshan.bin").string(),
+                                         res.records);
+    std::printf("%zu jobs -> %s/{jobs.darshan.txt,jobs.darshan.bin}\n",
+                res.records.size(), dir.string().c_str());
+  }
+  if (!args.has("no-dataset")) {
+    data::write_dataset_csv((dir / "dataset.csv").string(), res.dataset);
+    std::printf("%zu dataset row(s) -> %s/dataset.csv\n",
+                res.dataset.size(), dir.string().c_str());
+  }
   return 0;
 }
 
@@ -195,8 +287,9 @@ int cmd_parse(const cli::Args& args) {
 }
 
 int cmd_bound(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset"}));
-  const auto ds = load_dataset(args);
+  args.check_allowed(with_obs({"dataset", "store"}));
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   const auto bound = taxonomy::litmus_application_bound(ds);
   std::printf("jobs: %zu, duplicates: %zu (%.1f%%) in %zu sets "
               "(largest %zu)\n",
@@ -211,8 +304,9 @@ int cmd_bound(const cli::Args& args) {
 }
 
 int cmd_noise(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "window"}));
-  const auto ds = load_dataset(args);
+  args.check_allowed(with_obs({"dataset", "store", "window"}));
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   const auto noise = taxonomy::litmus_noise_bound(
       ds, args.get_double_or("window", 1.0));
   std::printf("concurrent duplicate sets: %zu (%zu jobs); pairs %.0f%%, "
@@ -231,8 +325,9 @@ int cmd_noise(const cli::Args& args) {
 }
 
 int cmd_taxonomy(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "no-uq", "report"}));
-  const auto ds = load_dataset(args);
+  args.check_allowed(with_obs({"dataset", "store", "no-uq", "report"}));
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   taxonomy::PipelineConfig pc;
   pc.run_uq = !args.has("no-uq");
   const auto report = taxonomy::run_taxonomy(ds, pc);
@@ -245,8 +340,9 @@ int cmd_taxonomy(const cli::Args& args) {
 }
 
 int cmd_importance(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset"}));
-  const auto ds = load_dataset(args);
+  args.check_allowed(with_obs({"dataset", "store"}));
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   util::Rng rng(3);
   const auto split = data::random_split(ds.size(), 0.8, 0.0, rng);
   std::vector<taxonomy::FeatureSet> feats = {taxonomy::FeatureSet::kPosix,
@@ -258,11 +354,14 @@ int cmd_importance(const cli::Args& args) {
   params.n_estimators = 96;
   params.max_depth = 8;
   ml::GradientBoostedTrees model(params);
-  model.fit(taxonomy::feature_matrix(ds, feats, split.train),
+  std::vector<std::size_t> fit_cols, fit_rows, ev_cols, ev_rows;
+  model.fit(taxonomy::feature_view(ds, feats, &fit_cols, &fit_rows,
+                                   split.train),
             taxonomy::targets(ds, split.train));
   const double err = ml::median_abs_log_error(
       taxonomy::targets(ds, split.test),
-      model.predict(taxonomy::feature_matrix(ds, feats, split.test)));
+      model.predict(taxonomy::feature_view(ds, feats, &ev_cols, &ev_rows,
+                                           split.test)));
   std::printf("model: %s, held-out error %.2f%%\n\n", model.name().c_str(),
               ml::log_error_to_percent(err));
   const auto ranked = taxonomy::ranked_importances(
@@ -272,8 +371,9 @@ int cmd_importance(const cli::Args& args) {
 }
 
 int cmd_drift(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "train-frac", "window"}));
-  const auto ds = load_dataset(args);
+  args.check_allowed(with_obs({"dataset", "store", "train-frac", "window"}));
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   const double train_frac = args.get_double_or("train-frac", 0.5);
   if (train_frac <= 0.0 || train_frac >= 1.0) {
     throw std::invalid_argument("--train-frac must be in (0,1)");
@@ -304,10 +404,11 @@ int cmd_drift(const cli::Args& args) {
   const std::vector<taxonomy::FeatureSet> feats = {
       taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
   ml::GradientBoostedTrees model({.n_estimators = 96, .max_depth = 8});
-  model.fit(taxonomy::feature_matrix(ds, feats, fit_rows),
+  std::vector<std::size_t> fc, fr, wc, wr;
+  model.fit(taxonomy::feature_view(ds, feats, &fc, &fr, fit_rows),
             taxonomy::targets(ds, fit_rows));
   const auto pred =
-      model.predict(taxonomy::feature_matrix(ds, feats, watch_rows));
+      model.predict(taxonomy::feature_view(ds, feats, &wc, &wr, watch_rows));
   const auto y = taxonomy::targets(ds, watch_rows);
   std::vector<double> times(watch_rows.size());
   std::vector<double> errors(watch_rows.size());
@@ -323,9 +424,10 @@ int cmd_drift(const cli::Args& args) {
 }
 
 int cmd_train(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "model", "params", "out",
+  args.check_allowed(with_obs({"dataset", "store", "model", "params", "out",
                                "train-frac", "seed", "time-split"}));
-  const auto ds = load_dataset(args);
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   auto model = ml::make_regressor(args.get("model"),
                                   args.get_or("params", "{}"));
   const double train_frac = args.get_double_or("train-frac", 0.8);
@@ -356,14 +458,20 @@ int cmd_train(const cli::Args& args) {
   }
   const std::vector<taxonomy::FeatureSet> feats = {
       taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
-  model->fit(taxonomy::feature_matrix(ds, feats, split.train),
+  // Feature views instead of materialized matrices: on a store-backed
+  // run the model reads straight from the mapped columns, so training a
+  // million-job dataset materializes targets + binning chunks only.
+  std::vector<std::size_t> fit_cols, fit_rows, ev_cols, ev_rows;
+  model->fit(taxonomy::feature_view(ds, feats, &fit_cols, &fit_rows,
+                                    split.train),
              taxonomy::targets(ds, split.train));
   std::printf("trained %s on %zu jobs\n", model->name().c_str(),
               split.train.size());
   if (!split.test.empty()) {
     const double err = ml::median_abs_log_error(
         taxonomy::targets(ds, split.test),
-        model->predict(taxonomy::feature_matrix(ds, feats, split.test)));
+        model->predict(taxonomy::feature_view(ds, feats, &ev_cols, &ev_rows,
+                                              split.test)));
     std::printf("held-out error: %.2f%% median |log10|\n",
                 ml::log_error_to_percent(err));
   }
@@ -377,20 +485,20 @@ int cmd_train(const cli::Args& args) {
 }
 
 int cmd_predict(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "model-file", "out"}));
+  args.check_allowed(with_obs({"dataset", "store", "model-file", "out"}));
   // Load the checkpoint first: a bad model file fails fast with the
   // path / offending-token / known-magics diagnostic before the
   // (possibly large) dataset is read.
   const auto model = ml::load_regressor_file(args.get("model-file"));
-  const auto ds = load_dataset(args);
-  std::vector<std::size_t> rows(ds.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   const std::vector<taxonomy::FeatureSet> feats = {
       taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
-  const auto pred =
-      model->predict(taxonomy::feature_matrix(ds, feats, rows));
+  std::vector<std::size_t> view_cols, view_rows;
+  const auto pred = model->predict(
+      taxonomy::feature_view(ds, feats, &view_cols, &view_rows));
   const double err =
-      ml::median_abs_log_error(taxonomy::targets(ds, rows), pred);
+      ml::median_abs_log_error(taxonomy::targets(ds), pred);
   std::printf("%s predicted %zu jobs, error %.2f%% median |log10|\n",
               model->name().c_str(), pred.size(),
               ml::log_error_to_percent(err));
@@ -443,17 +551,134 @@ int cmd_inject(const cli::Args& args) {
   return 0;
 }
 
+sim::IngestMode parse_ingest_mode(const std::string& command,
+                                  const cli::Args& args) {
+  const auto mode_name = args.get_or("mode", "lenient");
+  if (mode_name == "strict") return sim::IngestMode::kStrict;
+  if (mode_name == "lenient") return sim::IngestMode::kLenient;
+  if (mode_name == "repair") return sim::IngestMode::kRepair;
+  throw std::invalid_argument(command +
+                              ": --mode must be strict, lenient or repair");
+}
+
+int cmd_pack(const cli::Args& args) {
+  args.check_allowed(with_obs({"logs", "binary", "dataset", "out", "store",
+                               "mode", "system", "check"}));
+  if (args.has("check")) {
+    // `pack --check --store DIR`: structural + checksum verification with
+    // strict exit codes (0 intact, 1 any defect), mirroring
+    // `audit --expect` for archives.
+    const auto dir = args.has("store") ? args.get("store") : args.get("out");
+    const auto outcome = data::ColumnStore::open(dir, true);
+    if (!outcome.quarantine.empty()) {
+      std::fputs(outcome.quarantine.render().c_str(), stdout);
+    }
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "pack: store %s FAILED verification: %s\n",
+                   dir.c_str(), outcome.first_error().c_str());
+      return 1;
+    }
+    std::printf("store %s: ok (v%d, %zu row(s), %zu column(s), "
+                "%zu mapped byte(s), checksums verified)\n",
+                dir.c_str(), data::kStoreFormatVersion,
+                outcome.store->rows(), outcome.store->n_columns(),
+                outcome.store->mapped_bytes());
+    return 0;
+  }
+
+  const auto out = args.get("out");
+  if (args.has("dataset") == args.has("logs")) {
+    throw std::invalid_argument(
+        "pack: need exactly one of --dataset or --logs");
+  }
+  if (args.has("dataset")) {
+    // CSV -> store. The system name defaults to the one load_dataset()
+    // stamps, so `taxonomy --store` over the packed copy is bit-identical
+    // to `taxonomy --dataset` over the CSV.
+    const auto ds = data::read_dataset_csv(args.get("dataset"),
+                                           args.get_or("system", "dataset"));
+    data::pack_dataset(out, ds);
+    std::printf("packed %zu row(s), %zu feature column(s) -> %s\n",
+                ds.size(), ds.features.n_cols(), out.c_str());
+    return 0;
+  }
+
+  // Log archives -> store: sharded ingest streamed straight into the
+  // store writer, one surviving chunk per shard, so peak memory is a
+  // wave of shards regardless of how many jobs the archives hold.
+  const auto mode = parse_ingest_mode("pack", args);
+  std::vector<sim::IngestShard> shards;
+  for (const auto& path : util::split(args.get("logs"), ',')) {
+    const auto trimmed = util::trim(path);
+    if (!trimmed.empty()) {
+      sim::IngestShard shard;
+      shard.path = std::string(trimmed);
+      shard.binary = args.has("binary");
+      shards.push_back(std::move(shard));
+    }
+  }
+  if (shards.empty()) {
+    throw std::invalid_argument("pack: --logs needs at least one archive");
+  }
+  const auto system = args.get_or("system", "ingest");
+  std::unique_ptr<data::StoreWriter> writer;
+  const auto summary = sim::ingest_shards(
+      shards, nullptr, system, nullptr, mode,
+      [&](data::Dataset&& chunk) {
+        if (!writer) {
+          writer = std::make_unique<data::StoreWriter>(
+              out, chunk.features.names(), chunk.system_name);
+        }
+        writer->append(chunk);
+      });
+  if (!writer) {
+    throw std::runtime_error("pack: no rows survived ingest; nothing to pack");
+  }
+  writer->finish();
+  std::printf("packed %zu of %zu record(s) from %zu shard(s) -> %s "
+              "(%zu quarantined, %zu repaired)\n",
+              writer->rows_written(), summary.total_records, shards.size(),
+              out.c_str(), summary.quarantine.total(), summary.repaired);
+  if (!summary.quarantine.empty()) {
+    std::fputs(summary.quarantine.render().c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_audit(const cli::Args& args) {
   args.check_allowed(
-      with_obs({"archive", "binary", "mode", "expect", "quarantine-out"}));
-  const auto mode_name = args.get_or("mode", "lenient");
-  sim::IngestMode mode;
-  if (mode_name == "strict") mode = sim::IngestMode::kStrict;
-  else if (mode_name == "lenient") mode = sim::IngestMode::kLenient;
-  else if (mode_name == "repair") mode = sim::IngestMode::kRepair;
-  else {
-    throw std::invalid_argument(
-        "audit: --mode must be strict, lenient or repair");
+      with_obs({"archive", "binary", "store", "mode", "expect",
+                "quarantine-out"}));
+  const auto mode = parse_ingest_mode("audit", args);
+
+  if (args.has("store")) {
+    // Auditing a store verifies its manifest and column checksums; the
+    // defect report uses the same Reason vocabulary as archive audits.
+    if (args.has("expect")) {
+      throw std::invalid_argument(
+          "audit: --expect applies to archives, not stores");
+    }
+    const auto outcome = data::ColumnStore::open(args.get("store"), true);
+    if (!outcome.quarantine.empty()) {
+      std::fputs(outcome.quarantine.render().c_str(), stdout);
+    }
+    if (args.has("quarantine-out")) {
+      std::ofstream qout(args.get("quarantine-out"));
+      if (!qout) {
+        throw std::runtime_error("cannot open " + args.get("quarantine-out"));
+      }
+      qout << outcome.quarantine.to_json().dump(2) << '\n';
+    }
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "audit: store %s FAILED verification: %s\n",
+                   args.get("store").c_str(), outcome.first_error().c_str());
+      return 1;
+    }
+    std::printf("store %s: ok (%zu row(s), %zu column(s), "
+                "checksums verified)\n",
+                args.get("store").c_str(), outcome.store->rows(),
+                outcome.store->n_columns());
+    return 0;
   }
 
   const auto outcome =
@@ -661,9 +886,9 @@ serve::Client connect_query_client(const cli::Args& args) {
 }
 
 int cmd_query(const cli::Args& args) {
-  args.check_allowed(with_obs({"socket", "host", "port", "dataset", "model",
-                               "dist", "out", "pipeline", "repeat", "ping",
-                               "wait-secs", "shadow", "shadow-out"}));
+  args.check_allowed(with_obs({"socket", "host", "port", "dataset", "store",
+                               "model", "dist", "out", "pipeline", "repeat",
+                               "ping", "wait-secs", "shadow", "shadow-out"}));
   auto client = connect_query_client(args);
   if (args.has("ping")) {
     client.send_ping(1);
@@ -676,10 +901,13 @@ int cmd_query(const cli::Args& args) {
     return 0;
   }
 
-  const auto ds = load_dataset(args);
+  const auto src = load_dataset(args);
+  const auto& ds = src.ds();
   const std::vector<taxonomy::FeatureSet> feats = {
       taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
-  const auto x = taxonomy::feature_matrix(ds, feats);
+  std::vector<std::size_t> view_cols, view_rows;
+  const auto x =
+      taxonomy::feature_view(ds, feats, &view_cols, &view_rows);
   const auto model_index =
       static_cast<std::uint16_t>(args.get_int_or("model", 0));
   const bool want_dist = args.has("dist");
@@ -695,13 +923,14 @@ int cmd_query(const cli::Args& args) {
   if (want_shadow) shadow_pred.assign(n, 0.0);
   std::uint64_t busy_retries = 0;
   bool repeat_mismatch = false;
+  std::vector<double> row_scratch;
   const auto send_row = [&](std::uint64_t id, std::size_t row) {
     serve::PredictRequest req;
     req.request_id = id;
     req.model_index = model_index;
     req.want_dist = want_dist;
     req.want_shadow = want_shadow;
-    const auto src = x.row(row);
+    const auto src = x.row(row, row_scratch);
     req.features.assign(src.begin(), src.end());
     client.send_predict(req);
   };
@@ -820,8 +1049,8 @@ int cmd_query(const cli::Args& args) {
 }
 
 int cmd_monitor(const cli::Args& args) {
-  args.check_allowed(with_obs({"archive", "model-file", "follow", "poll-ms",
-                               "idle-secs", "window-jobs",
+  args.check_allowed(with_obs({"archive", "store", "model-file", "follow",
+                               "poll-ms", "idle-secs", "window-jobs",
                                "reference-windows", "trigger", "min-jobs",
                                "extra-rounds", "candidate-out", "seed"}));
   auto model = ml::load_regressor_file(args.get("model-file"));
@@ -838,7 +1067,6 @@ int cmd_monitor(const cli::Args& args) {
   mp.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 41));
   taxonomy::OnlineMonitor monitor(mp);
 
-  sim::LogTailer tailer(args.get("archive"));
   const bool follow = args.has("follow");
   const auto poll_ms = std::max<long long>(1, args.get_int_or("poll-ms", 100));
   const double idle_secs = args.get_double_or("idle-secs", 5.0);
@@ -913,42 +1141,79 @@ int cmd_monitor(const cli::Args& args) {
     std::fflush(stdout);
   };
 
-  while (true) {
-    const auto records = tailer.poll();
-    if (records.empty()) {
-      if (!follow) break;
-      const double idle = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - last_data)
-                              .count();
-      if (idle >= idle_secs) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
-      continue;
+  util::QuarantineReport combined;
+  if (args.has("store")) {
+    // Replay the packed rows through the monitor in window-sized chunks
+    // — same windows, same triggers as tailing the archive the store was
+    // packed from, but reading mapped columns instead of re-parsing.
+    auto outcome = data::ColumnStore::open(args.get("store"));
+    if (!outcome.ok()) {
+      throw std::runtime_error("cannot open store " + args.get("store") +
+                               ": " + outcome.first_error());
     }
-    last_data = std::chrono::steady_clock::now();
-    auto step = sim::ingest_stream_records(records, nullptr, "monitor");
-    ingest_quarantine.merge(step.quarantine);
-    if (step.dataset.size() == 0) continue;
-    const auto x = taxonomy::feature_matrix(step.dataset, feats);
-    const auto y = taxonomy::targets(step.dataset);
-    // Score with the *production* view of the model: after a retrain the
-    // monitor keeps tracking what live serving would see until the
-    // candidate is promoted, so windows stay comparable... except the
-    // retrained model object IS the candidate. Score first, then learn:
-    // predictions for this batch come from the pre-update weights.
-    const auto pred = model->predict(x);
-    for (std::size_t i = 0; i < step.dataset.size(); ++i) {
-      const auto row = x.row(i);
-      recent.emplace_back(std::vector<double>(row.begin(), row.end()), y[i]);
-      if (recent.size() > mp.window_jobs) recent.pop_front();
-      ++total_jobs;
-      const auto closed =
-          monitor.observe(step.dataset.meta[i].app_id, y[i], pred[i]);
-      if (closed.has_value()) handle_closed(*closed);
+    const auto& sds = outcome.store->dataset();
+    const std::size_t chunk = std::max<std::size_t>(1, mp.window_jobs);
+    std::vector<double> scratch;
+    for (std::size_t lo = 0; lo < sds.size(); lo += chunk) {
+      const std::size_t hi = std::min(sds.size(), lo + chunk);
+      std::vector<std::size_t> rows(hi - lo);
+      for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = lo + i;
+      std::vector<std::size_t> cs, rs;
+      const auto x = taxonomy::feature_view(sds, feats, &cs, &rs, rows);
+      const auto y = taxonomy::targets(sds, rows);
+      const auto pred = model->predict(x);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto row = x.row(i, scratch);
+        recent.emplace_back(std::vector<double>(row.begin(), row.end()),
+                            y[i]);
+        if (recent.size() > mp.window_jobs) recent.pop_front();
+        ++total_jobs;
+        const auto closed =
+            monitor.observe(sds.meta[rows[i]].app_id, y[i], pred[i]);
+        if (closed.has_value()) handle_closed(*closed);
+      }
     }
+  } else {
+    sim::LogTailer tailer(args.get("archive"));
+    while (true) {
+      const auto records = tailer.poll();
+      if (records.empty()) {
+        if (!follow) break;
+        const double idle = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - last_data)
+                                .count();
+        if (idle >= idle_secs) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+        continue;
+      }
+      last_data = std::chrono::steady_clock::now();
+      auto step = sim::ingest_stream_records(records, nullptr, "monitor");
+      ingest_quarantine.merge(step.quarantine);
+      if (step.dataset.size() == 0) continue;
+      const auto x = taxonomy::feature_matrix(step.dataset, feats);
+      const auto y = taxonomy::targets(step.dataset);
+      // Score with the *production* view of the model: after a retrain
+      // the monitor keeps tracking what live serving would see until the
+      // candidate is promoted, so windows stay comparable... except the
+      // retrained model object IS the candidate. Score first, then
+      // learn: predictions for this batch come from the pre-update
+      // weights.
+      const auto pred = model->predict(x);
+      for (std::size_t i = 0; i < step.dataset.size(); ++i) {
+        const auto row = x.row(i);
+        recent.emplace_back(std::vector<double>(row.begin(), row.end()),
+                            y[i]);
+        if (recent.size() > mp.window_jobs) recent.pop_front();
+        ++total_jobs;
+        const auto closed =
+            monitor.observe(step.dataset.meta[i].app_id, y[i], pred[i]);
+        if (closed.has_value()) handle_closed(*closed);
+      }
+    }
+    combined = tailer.quarantine();
   }
   if (const auto closed = monitor.flush()) handle_closed(*closed);
 
-  util::QuarantineReport combined = tailer.quarantine();
   combined.merge(ingest_quarantine);
   std::printf("monitor: %zu job(s) in %zu window(s), baseline %.4f, "
               "%s; %zu quarantined\n",
@@ -1055,7 +1320,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "--version" || command == "version") {
-    std::printf("iotax 1 kernels=%s\n", ml::kernels::describe().c_str());
+    std::printf("iotax 1 kernels=%s store=v%d\n",
+                ml::kernels::describe().c_str(), data::kStoreFormatVersion);
     return 0;
   }
   const cli::Args args(argc - 2, argv + 2);
@@ -1077,6 +1343,7 @@ int main(int argc, char** argv) {
     else if (command == "query") rc = cmd_query(args);
     else if (command == "monitor") rc = cmd_monitor(args);
     else if (command == "promote") rc = cmd_promote(args);
+    else if (command == "pack") rc = cmd_pack(args);
     else if (command == "inject") rc = cmd_inject(args);
     else if (command == "audit") rc = cmd_audit(args);
     else if (command == "checkjson") rc = cmd_checkjson(args);

@@ -1,0 +1,113 @@
+# End-to-end out-of-core smoke (the `iotax pack | --store` pair):
+# simulate a tiny system, pack the dataset into a column store, and check
+# that the taxonomy report over the store is byte-identical to the CSV
+# path with the out-of-core knobs forced (tiny chunks, spill-everything)
+# at IOTAX_THREADS=1 and 4; that sharded archives pack to byte-identical
+# stores; and that `pack --check` / `audit --store` refuse a corrupted
+# store with a nonzero exit. Invoked as
+#   cmake -DIOTAX_CLI=<path> -DWORK_DIR=<scratch> -P oocore_smoke.cmake
+# with IOTAX_SCALE=0.1 in the environment (set by the add_test wiring).
+foreach(var IOTAX_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "oocore_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run label expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_rc STREQUAL "zero" AND NOT rc EQUAL 0)
+    message(FATAL_ERROR "oocore_smoke: '${label}' failed (rc=${rc}): "
+                        "${out}${err}")
+  endif()
+  if(expect_rc STREQUAL "nonzero" AND rc EQUAL 0)
+    message(FATAL_ERROR "oocore_smoke: '${label}' exited 0, expected "
+                        "failure")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  message(STATUS "oocore_smoke: ok '${label}' (rc=${rc})")
+endfunction()
+
+function(expect_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oocore_smoke: '${label}': ${a} and ${b} differ — "
+                        "the out-of-core path is not bit-identical")
+  endif()
+  message(STATUS "oocore_smoke: ok '${label}' (byte-identical)")
+endfunction()
+
+# Tiny chunks + spill-everything force every out-of-core code path even
+# on a smoke-sized dataset.
+set(ooc_env ${CMAKE_COMMAND} -E env IOTAX_OOC_CHUNK_ROWS=64
+    IOTAX_OOC_SPILL_BYTES=0)
+
+run("simulate" zero "${IOTAX_CLI}" simulate --preset tiny --seed 7
+    --out "${WORK_DIR}")
+run("simulate shards" zero "${IOTAX_CLI}" simulate --preset tiny --seed 7
+    --out "${WORK_DIR}/sharded" --shards 3 --no-dataset)
+
+# CSV -> store, verified.
+run("pack dataset" zero "${IOTAX_CLI}" pack
+    --dataset "${WORK_DIR}/dataset.csv" --out "${WORK_DIR}/store")
+run("pack check" zero "${IOTAX_CLI}" pack --check
+    --store "${WORK_DIR}/store")
+
+# Taxonomy over the store must match the CSV path byte-for-byte at both
+# thread counts, with the out-of-core knobs forced.
+run("taxonomy csv" zero ${CMAKE_COMMAND} -E env IOTAX_THREADS=1
+    "${IOTAX_CLI}" taxonomy --dataset "${WORK_DIR}/dataset.csv" --no-uq
+    --report "${WORK_DIR}/report_csv.csv")
+foreach(threads 1 4)
+  run("taxonomy store t${threads}" zero ${ooc_env}
+      IOTAX_THREADS=${threads} "${IOTAX_CLI}" taxonomy
+      --store "${WORK_DIR}/store" --no-uq
+      --report "${WORK_DIR}/report_store_t${threads}.csv")
+  expect_identical("report t${threads}" "${WORK_DIR}/report_csv.csv"
+                   "${WORK_DIR}/report_store_t${threads}.csv")
+endforeach()
+
+# Sharded archives pack to the same bytes as the single archive.
+run("pack one" zero "${IOTAX_CLI}" pack
+    --logs "${WORK_DIR}/jobs.darshan.bin" --binary
+    --out "${WORK_DIR}/store_one")
+run("pack shards" zero ${CMAKE_COMMAND} -E env IOTAX_THREADS=4
+    "${IOTAX_CLI}" pack
+    --logs "${WORK_DIR}/sharded/jobs.darshan.0.bin,${WORK_DIR}/sharded/jobs.darshan.1.bin,${WORK_DIR}/sharded/jobs.darshan.2.bin"
+    --binary --out "${WORK_DIR}/store_shards")
+expect_identical("sharded manifest" "${WORK_DIR}/store_one/manifest.json"
+                 "${WORK_DIR}/store_shards/manifest.json")
+expect_identical("sharded column" "${WORK_DIR}/store_one/c0.f64"
+                 "${WORK_DIR}/store_shards/c0.f64")
+
+# Corruption: a flipped byte must fail pack --check and audit --store
+# with a nonzero exit, and a missing store must not crash anything.
+file(READ "${WORK_DIR}/store/manifest.json" manifest)
+string(REPLACE "iotax-store" "iotax-wrong" bad_manifest "${manifest}")
+file(WRITE "${WORK_DIR}/store/manifest.json" "${bad_manifest}")
+run("check bad format" nonzero "${IOTAX_CLI}" pack --check
+    --store "${WORK_DIR}/store")
+file(WRITE "${WORK_DIR}/store/manifest.json" "${manifest}")
+run("check restored" zero "${IOTAX_CLI}" pack --check
+    --store "${WORK_DIR}/store")
+
+run("audit store ok" zero "${IOTAX_CLI}" audit --store "${WORK_DIR}/store")
+file(WRITE "${WORK_DIR}/store/c1.f64" "short")
+run("check truncated column" nonzero "${IOTAX_CLI}" pack --check
+    --store "${WORK_DIR}/store")
+run("audit truncated column" nonzero "${IOTAX_CLI}" audit
+    --store "${WORK_DIR}/store"
+    --quarantine-out "${WORK_DIR}/store_quarantine.json")
+run("checkjson quarantine" zero "${IOTAX_CLI}" checkjson
+    "${WORK_DIR}/store_quarantine.json")
+run("open missing store" nonzero "${IOTAX_CLI}" pack --check
+    --store "${WORK_DIR}/no_such_store")
+
+message(STATUS "oocore_smoke: PASS")
