@@ -1,0 +1,168 @@
+#include "src/faults/chaos.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iotax::faults {
+
+namespace {
+
+constexpr const char* kActionNames[] = {"kill", "hang", "drop", "delay"};
+
+std::uint64_t parse_u64(const util::Json& value, const char* what) {
+  const long long v = value.as_int();
+  if (v < 0) {
+    throw std::invalid_argument(std::string("chaos plan: negative ") + what);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const char* chaos_action_name(ChaosAction action) {
+  return kActionNames[static_cast<std::size_t>(action)];
+}
+
+bool chaos_action_from_name(std::string_view name, ChaosAction* out) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (name == kActionNames[i]) {
+      *out = static_cast<ChaosAction>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ChaosPlan::expected_restarts() const {
+  return count(ChaosAction::kKill) + count(ChaosAction::kHang);
+}
+
+std::size_t ChaosPlan::count(ChaosAction action) const {
+  std::size_t n = 0;
+  for (const auto& e : events) {
+    if (e.action == action) ++n;
+  }
+  return n;
+}
+
+void ChaosPlan::validate(std::size_t n_groups, std::size_t n_replicas) const {
+  std::uint64_t prev = 0;
+  for (const auto& e : events) {
+    if (e.at_request == 0) {
+      throw std::invalid_argument("chaos plan: at_request must be >= 1");
+    }
+    if (e.at_request < prev) {
+      throw std::invalid_argument(
+          "chaos plan: events must be sorted by at_request");
+    }
+    prev = e.at_request;
+    if (e.action == ChaosAction::kDelay && e.delay_ms == 0) {
+      throw std::invalid_argument(
+          "chaos plan: delay event needs delay_ms > 0");
+    }
+    if (e.action != ChaosAction::kDelay && e.delay_ms != 0) {
+      throw std::invalid_argument(
+          "chaos plan: delay_ms only valid on delay events");
+    }
+    if (n_groups != 0 && e.group >= n_groups) {
+      throw std::invalid_argument(
+          "chaos plan: event group " + std::to_string(e.group) +
+          " outside fleet of " + std::to_string(n_groups) + " group(s)");
+    }
+    if (n_replicas != 0 && e.replica >= n_replicas) {
+      throw std::invalid_argument(
+          "chaos plan: event replica " + std::to_string(e.replica) +
+          " outside group of " + std::to_string(n_replicas) + " replica(s)");
+    }
+  }
+}
+
+util::Json ChaosPlan::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("seed", static_cast<double>(seed));
+  doc.set("accept_delay_ms", static_cast<double>(accept_delay_ms));
+  util::Json list = util::Json::array();
+  for (const auto& e : events) {
+    util::Json item = util::Json::object();
+    item.set("at_request", static_cast<double>(e.at_request));
+    item.set("action", chaos_action_name(e.action));
+    item.set("group", e.group);
+    item.set("replica", e.replica);
+    if (e.action == ChaosAction::kDelay) {
+      item.set("delay_ms", static_cast<double>(e.delay_ms));
+    }
+    list.push_back(std::move(item));
+  }
+  doc.set("events", std::move(list));
+  return doc;
+}
+
+ChaosPlan ChaosPlan::from_json(const util::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("chaos plan: document must be a JSON object");
+  }
+  ChaosPlan plan;
+  for (const auto& [key, value] : doc.items()) {
+    if (key == "seed") {
+      plan.seed = parse_u64(value, "seed");
+    } else if (key == "accept_delay_ms") {
+      plan.accept_delay_ms = parse_u64(value, "accept_delay_ms");
+    } else if (key == "events") {
+      if (!value.is_array()) {
+        throw std::invalid_argument("chaos plan: events must be an array");
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        const util::Json& ev = value[i];
+        if (!ev.is_object()) {
+          throw std::invalid_argument("chaos plan: event must be an object");
+        }
+        ChaosEvent event;
+        bool have_at = false;
+        bool have_action = false;
+        for (const auto& [ekey, evalue] : ev.items()) {
+          if (ekey == "at_request") {
+            event.at_request = parse_u64(evalue, "at_request");
+            have_at = true;
+          } else if (ekey == "action") {
+            if (!chaos_action_from_name(evalue.as_string(), &event.action)) {
+              throw std::invalid_argument("chaos plan: unknown action '" +
+                                          evalue.as_string() + "'");
+            }
+            have_action = true;
+          } else if (ekey == "group") {
+            event.group =
+                static_cast<std::size_t>(parse_u64(evalue, "group"));
+          } else if (ekey == "replica") {
+            event.replica =
+                static_cast<std::size_t>(parse_u64(evalue, "replica"));
+          } else if (ekey == "delay_ms") {
+            event.delay_ms = parse_u64(evalue, "delay_ms");
+          } else {
+            throw std::invalid_argument("chaos plan: unknown event key '" +
+                                        ekey + "'");
+          }
+        }
+        if (!have_at || !have_action) {
+          throw std::invalid_argument(
+              "chaos plan: event needs at_request and action");
+        }
+        plan.events.push_back(event);
+      }
+    } else {
+      throw std::invalid_argument("chaos plan: unknown key '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+ChaosPlan ChaosPlan::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("chaos plan: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(util::Json::parse(buf.str()));
+}
+
+}  // namespace iotax::faults

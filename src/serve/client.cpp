@@ -1,8 +1,10 @@
 #include "src/serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -12,18 +14,76 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/backoff.hpp"
+
 namespace iotax::serve {
 
 using util::FrameDecode;
 using util::FrameHeader;
 using util::FrameType;
 
+namespace {
+
+// Finish a connect() under a deadline: the socket goes nonblocking for
+// the handshake, poll() waits out the timeout, SO_ERROR reports the
+// verdict, and the socket is flipped back to blocking before use.
+// Returns 0 on success, a positive errno on connect failure, -1 on
+// timeout.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                         std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) {
+    while (::connect(fd, addr, len) < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    return 0;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, addr, len);
+  if (rc < 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    const int err = errno;
+    ::fcntl(fd, F_SETFL, flags);
+    return err;
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const auto deadline = util::Deadline::after_ms(timeout_ms);
+    while (true) {
+      const std::uint64_t left = deadline.remaining_ms();
+      if (left == 0) {
+        ::fcntl(fd, F_SETFL, flags);
+        return -1;
+      }
+      rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc == 0) {
+        ::fcntl(fd, F_SETFL, flags);
+        return -1;
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+    if (so_error != 0) {
+      ::fcntl(fd, F_SETFL, flags);
+      return so_error;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return 0;
+}
+
+}  // namespace
+
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       buf_(std::move(other.buf_)),
-      start_(std::exchange(other.start_, 0)) {}
+      start_(std::exchange(other.start_, 0)),
+      recv_timeout_ms_(std::exchange(other.recv_timeout_ms_, 0)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -31,11 +91,13 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     buf_ = std::move(other.buf_);
     start_ = std::exchange(other.start_, 0);
+    recv_timeout_ms_ = std::exchange(other.recv_timeout_ms_, 0);
   }
   return *this;
 }
 
-Client Client::connect_unix(const std::string& path) {
+Client Client::connect_unix(const std::string& path,
+                            std::uint64_t connect_timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -44,17 +106,23 @@ Client Client::connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw std::runtime_error("query: socket(AF_UNIX) failed");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const int err = errno;
+  const int rc = connect_with_timeout(
+      fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+      connect_timeout_ms);
+  if (rc != 0) {
     ::close(fd);
+    if (rc < 0) {
+      throw Timeout("query: connect to " + path + " timed out after " +
+                    std::to_string(connect_timeout_ms) + "ms");
+    }
     throw std::runtime_error("query: cannot connect to " + path + ": " +
-                             std::strerror(err));
+                             std::strerror(rc));
   }
   return Client(fd);
 }
 
-Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+Client Client::connect_tcp(const std::string& host, std::uint16_t port,
+                           std::uint64_t connect_timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -67,19 +135,27 @@ Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
   }
   int fd = -1;
   int last_err = 0;
+  bool timed_out = false;
   for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                   ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_err = errno;
+    const int rc = connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                        connect_timeout_ms);
+    if (rc == 0) break;
+    timed_out = rc < 0;
+    last_err = rc > 0 ? rc : ETIMEDOUT;
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(res);
   if (fd < 0) {
-    throw std::runtime_error("query: cannot connect to " + host + ":" +
-                             std::to_string(port) + ": " +
+    const std::string where = host + ":" + std::to_string(port);
+    if (timed_out) {
+      throw Timeout("query: connect to " + where + " timed out after " +
+                    std::to_string(connect_timeout_ms) + "ms");
+    }
+    throw std::runtime_error("query: cannot connect to " + where + ": " +
                              std::strerror(last_err));
   }
   return Client(fd);
@@ -90,10 +166,21 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  buf_.clear();
+  start_ = 0;
 }
 
 void Client::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::set_recv_timeout_ms(std::uint64_t ms) {
+  recv_timeout_ms_ = ms;
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void Client::send_raw(std::string_view bytes) {
@@ -169,6 +256,10 @@ bool Client::read_reply(Reply* out) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Timeout("query: no reply within " +
+                      std::to_string(recv_timeout_ms_) + "ms deadline");
+      }
       throw std::runtime_error(std::string("query: recv failed: ") +
                                std::strerror(errno));
     }

@@ -16,6 +16,7 @@ const char* serve_status_name(ServeStatus status) {
     case ServeStatus::kUnknownModel: return "unknown-model";
     case ServeStatus::kShuttingDown: return "shutting-down";
     case ServeStatus::kInternal: return "internal";
+    case ServeStatus::kDegraded: return "degraded";
   }
   return "unknown";
 }

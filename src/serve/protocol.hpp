@@ -42,6 +42,9 @@ enum class ServeStatus : std::uint16_t {
   kUnknownModel = 4,  // model_index outside the registry
   kShuttingDown = 5,  // daemon is draining; no new work accepted
   kInternal = 6,      // model threw during predict
+  kDegraded = 7,      // fleet router: replica group unavailable after
+                      // exhausting retries/failover within the deadline;
+                      // reason maps the terminal transport failure
 };
 
 const char* serve_status_name(ServeStatus status);

@@ -1,0 +1,194 @@
+#include "src/serve/retrying_client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+
+namespace iotax::serve {
+
+using util::Deadline;
+using util::Reason;
+
+Endpoint Endpoint::unix_path(std::string p) {
+  Endpoint e;
+  e.kind = Kind::kUnix;
+  e.path = std::move(p);
+  return e;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint e;
+  e.kind = Kind::kTcp;
+  e.host = std::move(host);
+  e.port = port;
+  return e;
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+RetryingClient::RetryingClient(std::vector<Endpoint> endpoints,
+                               RetryPolicy policy, util::Rng rng,
+                               RetryCounters* counters)
+    : endpoints_(std::move(endpoints)),
+      policy_(policy),
+      rng_(rng),
+      counters_(counters) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("retrying client: empty endpoint list");
+  }
+  policy_.backoff.validate();
+}
+
+void RetryingClient::ensure_connected(std::uint64_t timeout_ms) {
+  if (conn_.connected()) return;
+  const Endpoint& ep = endpoints_[current_];
+  conn_ = ep.kind == Endpoint::Kind::kUnix
+              ? Client::connect_unix(ep.path, timeout_ms)
+              : Client::connect_tcp(ep.host, ep.port, timeout_ms);
+}
+
+void RetryingClient::failover() {
+  conn_.close();
+  if (endpoints_.size() < 2) return;
+  current_ = (current_ + 1) % endpoints_.size();
+  if (counters_) {
+    counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+  }
+  IOTAX_OBS_COUNT("fleet.failovers", 1);
+}
+
+void RetryingClient::disconnect() { conn_.close(); }
+
+RetryingClient::Result RetryingClient::predict(const PredictRequest& req) {
+  const Deadline deadline = Deadline::after_ms(policy_.deadline_ms);
+  Reason last_reason = Reason::kDeadlineExpired;
+  std::string last_detail = "no attempt completed";
+  std::size_t attempt = 0;       // total attempts, drives the retry count
+  std::size_t backoff_step = 0;  // consecutive failures, drives the delay
+
+  while (!deadline.expired()) {
+    const std::uint64_t slice = deadline.slice_ms(policy_.try_timeout_ms);
+    if (slice == 0) break;
+    if (attempt > 0) {
+      if (counters_) {
+        counters_->retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      IOTAX_OBS_COUNT("fleet.retries", 1);
+    }
+    ++attempt;
+    try {
+      ensure_connected(slice);
+      conn_.set_recv_timeout_ms(slice);
+      conn_.send_predict(req);
+      Client::Reply reply;
+      if (!conn_.read_reply(&reply)) {
+        // Clean EOF mid-request: the shard is draining or just died.
+        throw std::runtime_error("connection closed by " +
+                                 endpoints_[current_].describe());
+      }
+      if (reply.request_id != req.request_id) {
+        // A stale reply can only mean this connection's request/reply
+        // stream desynced (e.g. a leftover answer from before a
+        // timeout). The connection is unusable; the replica is fine.
+        throw std::runtime_error("out-of-order reply from " +
+                                 endpoints_[current_].describe());
+      }
+      if (reply.type == util::FrameType::kPredictResponse) {
+        Result result;
+        result.ok = true;
+        result.response = std::move(reply.predict);
+        return result;
+      }
+      if (reply.type == util::FrameType::kErrorResponse) {
+        const ServeStatus status = reply.error.status;
+        if (status == ServeStatus::kBusy) {
+          // Transient admission-control shed: same replica, after a
+          // jittered pause (its queue needs a moment, not a failover).
+          if (counters_) {
+            counters_->busy_retries.fetch_add(1, std::memory_order_relaxed);
+          }
+          IOTAX_OBS_COUNT("fleet.busy_retries", 1);
+          const std::uint64_t delay = deadline.slice_ms(
+              util::backoff_delay_ms(policy_.backoff, backoff_step++, rng_));
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          continue;
+        }
+        if (status == ServeStatus::kShuttingDown) {
+          last_reason = Reason::kConnectionReset;
+          last_detail = endpoints_[current_].describe() + " shutting down";
+          failover();
+          continue;
+        }
+        // Model-level verdicts (bad request, unknown model, internal)
+        // are the answer, not a transport failure: pass through.
+        Result result;
+        result.ok = false;
+        result.error = std::move(reply.error);
+        return result;
+      }
+      throw std::runtime_error("unexpected reply frame type " +
+                               std::to_string(static_cast<int>(reply.type)) +
+                               " from " + endpoints_[current_].describe());
+    } catch (const Client::Timeout& e) {
+      last_reason = Reason::kDeadlineExpired;
+      last_detail = e.what();
+      // The request may still be answered later; failover() closes the
+      // connection, so no stale reply can match a future request.
+      failover();
+    } catch (const std::exception& e) {
+      last_reason = Reason::kConnectionReset;
+      last_detail = e.what();
+      failover();
+      // A dead replica fails fast (ECONNREFUSED); pace the spin so a
+      // whole group mid-restart does not burn the deadline in a busy
+      // loop.
+      const std::uint64_t delay = deadline.slice_ms(
+          util::backoff_delay_ms(policy_.backoff, backoff_step++, rng_));
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+
+  if (counters_) {
+    counters_->degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  IOTAX_OBS_COUNT("fleet.degraded", 1);
+  Result result;
+  result.ok = false;
+  result.error.request_id = req.request_id;
+  result.error.status = ServeStatus::kDegraded;
+  result.error.reason = last_reason;
+  result.error.detail = "replica group unavailable after " +
+                        std::to_string(attempt) + " attempt(s): " +
+                        last_detail;
+  return result;
+}
+
+bool RetryingClient::ping(std::uint64_t request_id, std::uint64_t timeout_ms) {
+  try {
+    ensure_connected(timeout_ms);
+    conn_.set_recv_timeout_ms(timeout_ms);
+    conn_.send_ping(request_id);
+    Client::Reply reply;
+    if (!conn_.read_reply(&reply)) {
+      conn_.close();
+      return false;
+    }
+    if (reply.type != util::FrameType::kPong ||
+        reply.request_id != request_id) {
+      conn_.close();
+      return false;
+    }
+    return true;
+  } catch (const std::exception&) {
+    conn_.close();
+    return false;
+  }
+}
+
+}  // namespace iotax::serve

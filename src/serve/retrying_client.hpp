@@ -1,0 +1,103 @@
+// RetryingClient: the fleet's answer to "a shard just died mid-load".
+// Wraps the blocking Client with a per-request deadline split across
+// attempts, jittered exponential backoff, BUSY-aware retry, and replica
+// failover over an endpoint list. One instance fronts one replica group
+// and is single-threaded by design — the router gives each session its
+// own instance per group, so there is no cross-request reply
+// interleaving to untangle.
+//
+// Outcome contract: predict() returns either the shard's own answer
+// (success or a typed model-level error, both passed through verbatim)
+// or, when every replica stayed unreachable past the deadline, a
+// synthesized kDegraded error carrying the terminal transport Reason
+// (kDeadlineExpired for silence, kConnectionReset for a vanished peer).
+// It never throws for peer failures — only for caller bugs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/client.hpp"
+#include "src/util/backoff.hpp"
+#include "src/util/rng.hpp"
+
+namespace iotax::serve {
+
+/// Where a shard listens. Stable across shard restarts (the supervisor
+/// rebinds the same socket path / port), which is what makes failover +
+/// retry converge back onto a freshly restarted replica.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  static Endpoint unix_path(std::string p);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  std::string describe() const;
+};
+
+struct RetryPolicy {
+  /// Total per-request budget across connects, retries and failovers.
+  std::uint64_t deadline_ms = 5000;
+  /// Per-attempt cap on connect and first-byte waits; keeps one hung
+  /// replica from eating the whole budget before failover.
+  std::uint64_t try_timeout_ms = 250;
+  util::BackoffPolicy backoff{};
+};
+
+/// Shared tallies, aggregated across every RetryingClient the router
+/// hands out (sessions increment concurrently; atomics keep it exact).
+struct RetryCounters {
+  std::atomic<std::uint64_t> retries{0};      // attempts after the first
+  std::atomic<std::uint64_t> failovers{0};    // replica switches
+  std::atomic<std::uint64_t> busy_retries{0}; // BUSY replies retried
+  std::atomic<std::uint64_t> degraded{0};     // deadlines fully exhausted
+};
+
+class RetryingClient {
+ public:
+  struct Result {
+    bool ok = false;
+    PredictResponse response;  // valid when ok
+    ErrorResponse error;       // valid when !ok
+  };
+
+  /// `endpoints` is the replica list for one hash slot (must be
+  /// non-empty). `rng` seeds the jitter stream; `counters` may be null.
+  RetryingClient(std::vector<Endpoint> endpoints, RetryPolicy policy,
+                 util::Rng rng, RetryCounters* counters = nullptr);
+
+  /// One request, synchronously, under the policy deadline.
+  Result predict(const PredictRequest& req);
+
+  /// Health probe: ping the current replica only (no failover — the
+  /// supervisor wants the verdict for a *specific* shard). True on a
+  /// matching pong within `timeout_ms`.
+  bool ping(std::uint64_t request_id, std::uint64_t timeout_ms);
+
+  /// Drop the live connection (chaos hook for the "drop" action and the
+  /// stale-reply guard after timeouts).
+  void disconnect();
+
+  std::size_t current_replica() const { return current_; }
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+ private:
+  /// Connect `conn_` to the current replica if needed. Throws like
+  /// Client::connect_* on failure.
+  void ensure_connected(std::uint64_t timeout_ms);
+  void failover();
+
+  std::vector<Endpoint> endpoints_;
+  RetryPolicy policy_;
+  util::Rng rng_;
+  RetryCounters* counters_;
+  Client conn_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace iotax::serve

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -101,6 +102,11 @@ void Server::start() {
   if (running_.load(std::memory_order_acquire)) {
     throw std::logic_error("serve: already running");
   }
+  // A client that closes its read side mid-reply must cost us an EPIPE
+  // errno on that one session, not a process-killing SIGPIPE. Writes
+  // already pass MSG_NOSIGNAL, but belt-and-braces for any path (e.g. a
+  // third-party lib) that writes without it.
+  ::signal(SIGPIPE, SIG_IGN);
   for (const auto& path : config_.model_files) registry_.add(path);
   if (registry_.size() == 0) {
     throw std::runtime_error("serve: no model checkpoints given");

@@ -29,6 +29,8 @@ constexpr std::array<const char*, kReasonCount> kReasonNames = {
     "duplicate-job-id",
     "missing-truth",
     "truth-mismatch",
+    "deadline-expired",
+    "connection-reset",
 };
 
 std::size_t index_of(Reason reason) {

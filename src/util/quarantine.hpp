@@ -46,9 +46,13 @@ enum class Reason : std::uint8_t {
   kDuplicateJobId,      // job id already ingested (log duplication)
   kMissingTruth,        // job absent from the ground-truth map
   kTruthMismatch,       // target disagrees with the truth decomposition
+  // Process / network level (serving fleet). Appended so every earlier
+  // code keeps its stable numeric value.
+  kDeadlineExpired,     // peer failed to answer within the deadline
+  kConnectionReset,     // peer vanished mid-conversation
 };
 
-inline constexpr std::size_t kReasonCount = 22;
+inline constexpr std::size_t kReasonCount = 24;
 
 /// Stable kebab-case name for a reason code ("bad-checksum").
 const char* reason_name(Reason reason);

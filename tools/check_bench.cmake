@@ -27,6 +27,10 @@
 #     warning. Floors are deliberately far below the measured speedups:
 #     they catch the vector path silently rotting back to scalar, not a
 #     noisy-runner wobble.
+# KIND=oocore gates the out-of-core store A/B (bit-identity, peak bytes,
+# pack+train wall). KIND=serve gates the fleet A/B (bench_serve --fleet):
+# routed-vs-direct bit-identity and zero failed requests are hard bits,
+# and the routed p99 must stay inside P99_TOL x direct + P99_SLACK_MS.
 # The baseline (bench/baselines/) must be regenerated whenever the bench
 # workload changes shape; the gate requires matching job/row counts so a
 # stale baseline fails loudly instead of gating garbage.
@@ -209,6 +213,69 @@ if(KIND STREQUAL "oocore")
   endif()
   message(STATUS "check_bench: ooc wall ${cur_wall_int} ms <= "
                  "${wall_limit} ms (baseline ${base_wall_int} ms) ok")
+  message(STATUS "check_bench: PASS")
+  return()
+endif()
+
+if(KIND STREQUAL "serve")
+  # Fleet A/B (bench_serve --fleet). Gates:
+  #   * fleet.bit_identical must be true — the routed answers diverged
+  #     from the direct daemon somewhere. No tolerance.
+  #   * fleet.failed_requests must be 0 — the mid-run kill -9 leaked a
+  #     client-visible error past the retry/failover machinery.
+  #   * routed p99 <= direct p99 * P99_TOL + P99_SLACK_MS, both measured
+  #     in this run so runner speed cancels out. The multiplier bounds
+  #     the steady-state router hop; the absolute slack absorbs the one
+  #     failover blip the kill injects into the tail.
+  if(NOT DEFINED P99_TOL)
+    set(P99_TOL 5)
+  endif()
+  if(NOT DEFINED P99_SLACK_MS)
+    set(P99_SLACK_MS 100)
+  endif()
+
+  get_field(cur_req "${current_json}" fleet requests)
+  get_field(base_req "${baseline_json}" fleet requests)
+  if(NOT cur_req EQUAL base_req)
+    message(FATAL_ERROR "check_bench: fleet request count ${cur_req} != "
+                        "baseline ${base_req}; regenerate bench/baselines/ "
+                        "for the new workload")
+  endif()
+
+  get_field(identical "${current_json}" fleet bit_identical)
+  if(NOT identical)
+    message(FATAL_ERROR "check_bench: fleet bit_identical is '${identical}' "
+                        "— routed answers diverged from the direct daemon")
+  endif()
+  message(STATUS "check_bench: fleet routed path bit-identical ok")
+
+  get_field(failed "${current_json}" fleet failed_requests)
+  if(NOT failed EQUAL 0)
+    message(FATAL_ERROR "check_bench: fleet leaked ${failed} failed "
+                        "request(s) past failover during the shard kill")
+  endif()
+  get_field(restarts "${current_json}" fleet restarts)
+  if(restarts LESS 1)
+    message(FATAL_ERROR "check_bench: fleet restarts is ${restarts} — the "
+                        "chaos kill never happened, the A/B is vacuous")
+  endif()
+  message(STATUS "check_bench: fleet survived the kill "
+                 "(0 failed, ${restarts} restart(s)) ok")
+
+  get_field(direct_p99 "${current_json}" fleet direct p99_ms)
+  get_field(routed_p99 "${current_json}" fleet routed p99_ms)
+  to_millis(direct_p99_mil "${direct_p99}")
+  to_millis(routed_p99_mil "${routed_p99}")
+  math(EXPR p99_limit_mil
+       "${direct_p99_mil} * ${P99_TOL} + ${P99_SLACK_MS} * 1000")
+  if(routed_p99_mil GREATER p99_limit_mil)
+    message(FATAL_ERROR "check_bench: routed p99 ${routed_p99} ms blew the "
+                        "failover envelope (direct ${direct_p99} ms, limit "
+                        "${P99_TOL}x + ${P99_SLACK_MS} ms)")
+  endif()
+  message(STATUS "check_bench: routed p99 ${routed_p99} ms within "
+                 "${P99_TOL}x + ${P99_SLACK_MS} ms of direct "
+                 "${direct_p99} ms ok")
   message(STATUS "check_bench: PASS")
   return()
 endif()

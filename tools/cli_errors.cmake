@@ -104,6 +104,26 @@ expect_fail("query without target" "need --socket or --port" query --ping)
 expect_fail("query dead socket" "cannot connect" query --ping
             --socket "${WORK_DIR}/nobody_home.sock")
 
+# Fleet contracts: bad topology and unstartable shards must refuse with
+# a diagnostic, never come up half-degraded.
+file(MAKE_DIRECTORY "${WORK_DIR}/shards")
+expect_fail("fleet zero replicas" "--replicas must be" fleet
+            --models "${WORK_DIR}/mean.model"
+            --socket "${WORK_DIR}/f.sock"
+            --shard-dir "${WORK_DIR}/shards" --replicas 0)
+expect_fail("fleet duplicate shard ports" "duplicate shard ports" fleet
+            --models "${WORK_DIR}/mean.model"
+            --socket "${WORK_DIR}/f.sock"
+            --shard-dir "${WORK_DIR}/shards"
+            --groups 1 --replicas 2 --shard-ports "7001,7001")
+# Every shard exec fails on the unloadable checkpoint; startup is
+# all-or-nothing, so zero healthy shards is a startup error.
+expect_fail("fleet zero healthy shards" "exited during startup" fleet
+            --models "${WORK_DIR}/garbage.model"
+            --socket "${WORK_DIR}/f.sock"
+            --shard-dir "${WORK_DIR}/shards"
+            --groups 1 --replicas 2)
+
 # Malformed expectation file for audit.
 file(WRITE "${WORK_DIR}/empty.log" "")
 file(WRITE "${WORK_DIR}/bad_truth.json" "{]")

@@ -25,13 +25,17 @@
 #include <memory>
 #include <thread>
 
+#include <unistd.h>
+
 #include "src/cli/args.hpp"
 #include "src/data/ooc.hpp"
 #include "src/data/split.hpp"
 #include "src/data/store.hpp"
 #include "src/serve/client.hpp"
+#include "src/serve/fleet.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/str.hpp"
+#include "src/faults/chaos.hpp"
 #include "src/faults/injector.hpp"
 #include "src/faults/plan.hpp"
 #include "src/data/table_io.hpp"
@@ -120,14 +124,32 @@ commands:
              predict requests with micro-batching; --shadow serves a
              candidate checkpoint beside production with bit-exact
              divergence accounting; drains gracefully on SIGTERM/SIGINT
+  fleet      --models A[,B,...] (--socket PATH | --port N)
+             --shard-dir DIR [--groups N] [--replicas N]
+             [--shard-ports P0,P1,...] [--batch-size N]
+             [--batch-wait-us N] [--max-inflight N] [--restart-budget N]
+             [--health-interval-ms N] [--health-timeout-ms N]
+             [--deadline-ms N] [--try-timeout-ms N]
+             [--chaos-plan FILE | --chaos-json STR] [--ready-file FILE]
+             [--iotax-bin PATH] [--spawn-timeout-ms N] [--seed N]
+             fault-tolerant serving fleet: supervises groups x replicas
+             shard daemons (each an `iotax serve` child), consistent-
+             hashes requests across groups, retries/fails over inside a
+             group, and restarts crashed or hung shards with exponential
+             backoff; a mid-load kill -9 of any shard is invisible to
+             clients and answers stay bit-identical to offline predict
   query      (--socket PATH | --host H --port N)
              [--ping | --dataset FILE | --store DIR]
              [--model IDX] [--dist] [--shadow] [--pipeline N] [--repeat N]
-             [--wait-secs S] [--out CSV] [--shadow-out CSV]
+             [--wait-secs S] [--deadline-ms N] [--fleet]
+             [--out CSV] [--shadow-out CSV]
              client driver: sends every dataset row to a serve daemon
              (responses are bit-identical to offline `predict`) or
              health-checks it with --ping; --shadow also collects the
-             daemon's shadow-candidate predictions
+             daemon's shadow-candidate predictions; --deadline-ms bounds
+             how long a silent daemon can stall the client (default
+             30000, 0 waits forever); --fleet reconnects and resends
+             outstanding requests when the connection drops
   monitor    (--archive FILE | --store DIR) --model-file MODEL
              [--follow] [--poll-ms N]
              [--idle-secs S] [--window-jobs N] [--reference-windows N]
@@ -863,6 +885,158 @@ int cmd_serve(const cli::Args& args) {
   return 0;
 }
 
+/// The running binary's own path: the default `iotax` the fleet
+/// supervisor execs its shard daemons from.
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "iotax";
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+int cmd_fleet(const cli::Args& args) {
+  args.check_allowed(with_obs(
+      {"models", "socket", "port", "shard-dir", "groups", "replicas",
+       "shard-ports", "batch-size", "batch-wait-us", "max-inflight",
+       "restart-budget", "health-interval-ms", "health-timeout-ms",
+       "deadline-ms", "try-timeout-ms", "chaos-plan", "chaos-json",
+       "ready-file", "iotax-bin", "spawn-timeout-ms", "seed"}));
+  const long long groups = args.get_int_or("groups", 1);
+  const long long replicas = args.get_int_or("replicas", 2);
+  if (groups < 1) {
+    throw std::invalid_argument("fleet: --groups must be >= 1");
+  }
+  if (replicas < 1) {
+    throw std::invalid_argument("fleet: --replicas must be >= 1");
+  }
+
+  serve::SupervisorConfig sup;
+  for (const auto& path : util::split(args.get("models"), ',')) {
+    const auto trimmed = util::trim(path);
+    if (!trimmed.empty()) sup.model_files.emplace_back(trimmed);
+  }
+  sup.iotax_bin = args.get_or("iotax-bin", self_exe_path());
+  sup.shard_dir = args.get("shard-dir");
+  sup.n_groups = static_cast<std::size_t>(groups);
+  sup.n_replicas = static_cast<std::size_t>(replicas);
+  for (const auto& tok : util::split(args.get_or("shard-ports", ""), ',')) {
+    const auto trimmed = util::trim(tok);
+    if (!trimmed.empty()) {
+      sup.shard_ports.push_back(std::stoi(std::string(trimmed)));
+    }
+  }
+  sup.batch_size =
+      static_cast<std::size_t>(args.get_int_or("batch-size", 32));
+  sup.batch_wait_us =
+      static_cast<std::uint64_t>(args.get_int_or("batch-wait-us", 200));
+  sup.max_inflight =
+      static_cast<std::size_t>(args.get_int_or("max-inflight", 256));
+  sup.health_interval_ms =
+      static_cast<std::uint64_t>(args.get_int_or("health-interval-ms", 100));
+  sup.health_timeout_ms =
+      static_cast<std::uint64_t>(args.get_int_or("health-timeout-ms", 1000));
+  sup.restart_budget =
+      static_cast<std::size_t>(args.get_int_or("restart-budget", 8));
+  sup.spawn_timeout_ms =
+      static_cast<std::uint64_t>(args.get_int_or("spawn-timeout-ms", 30000));
+  sup.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0xf1ee7));
+
+  serve::RouterConfig rc;
+  rc.unix_socket = args.get_or("socket", "");
+  rc.tcp_port = static_cast<int>(args.get_int_or("port", -1));
+  rc.deadline_ms =
+      static_cast<std::uint64_t>(args.get_int_or("deadline-ms", 5000));
+  rc.try_timeout_ms =
+      static_cast<std::uint64_t>(args.get_int_or("try-timeout-ms", 250));
+  rc.seed = sup.seed;
+  if (args.has("chaos-plan")) {
+    rc.chaos = faults::ChaosPlan::from_file(args.get("chaos-plan"));
+  } else if (args.has("chaos-json")) {
+    rc.chaos = faults::ChaosPlan::from_json(
+        util::Json::parse(args.get("chaos-json")));
+  }
+
+  serve::Supervisor supervisor(sup);
+  supervisor.start();
+  rc.supervisor = &supervisor;
+  serve::Router router(rc);
+  try {
+    router.start();
+  } catch (...) {
+    supervisor.stop();
+    throw;
+  }
+
+  std::printf("fleet: %zu group(s) x %zu replica(s) = %zu shard(s) of %s, "
+              "restart budget %zu\n",
+              sup.n_groups, sup.n_replicas, sup.n_groups * sup.n_replicas,
+              sup.iotax_bin.c_str(), sup.restart_budget);
+  if (!rc.unix_socket.empty()) {
+    std::printf("fleet: routing on unix socket %s\n", rc.unix_socket.c_str());
+  }
+  if (rc.tcp_port >= 0) {
+    std::printf("fleet: routing on 127.0.0.1:%d\n", router.tcp_port());
+  }
+  if (!rc.chaos.empty()) {
+    std::printf("fleet: chaos plan armed: %zu event(s), "
+                "%zu expected restart(s)\n",
+                rc.chaos.events.size(), rc.chaos.expected_restarts());
+  }
+  std::fflush(stdout);
+  if (args.has("ready-file")) {
+    std::ofstream ready(args.get("ready-file"));
+    if (!ready) {
+      throw std::runtime_error("cannot open " + args.get("ready-file"));
+    }
+    ready << "port " << router.tcp_port() << '\n';
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  while (g_serve_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("fleet: signal %d, draining...\n", g_serve_signal.load());
+  std::fflush(stdout);
+  router.stop();
+  supervisor.stop();
+
+  const auto fs = router.stats();
+  const auto ss = supervisor.stats();
+  std::printf("fleet: drained; %llu request(s), %llu response(s), "
+              "%llu error(s), %llu degraded\n",
+              static_cast<unsigned long long>(fs.requests),
+              static_cast<unsigned long long>(fs.responses),
+              static_cast<unsigned long long>(fs.errors),
+              static_cast<unsigned long long>(fs.degraded));
+  std::printf("fleet: backhaul retries %llu, failovers %llu, "
+              "busy-retries %llu\n",
+              static_cast<unsigned long long>(fs.retries),
+              static_cast<unsigned long long>(fs.failovers),
+              static_cast<unsigned long long>(fs.busy_retries));
+  std::printf("fleet: supervisor spawned %llu, restarted %llu "
+              "(%llu exit(s), %llu hang(s) detected, %llu gave up)\n",
+              static_cast<unsigned long long>(ss.spawns),
+              static_cast<unsigned long long>(ss.restarts),
+              static_cast<unsigned long long>(ss.exits_detected),
+              static_cast<unsigned long long>(ss.hangs_detected),
+              static_cast<unsigned long long>(ss.gave_up));
+  if (!rc.chaos.empty()) {
+    std::printf("fleet: chaos fired %llu kill(s), %llu hang(s), "
+                "%llu drop(s), %llu delay(s)\n",
+                static_cast<unsigned long long>(fs.chaos_kills),
+                static_cast<unsigned long long>(fs.chaos_hangs),
+                static_cast<unsigned long long>(fs.chaos_drops),
+                static_cast<unsigned long long>(fs.chaos_delays));
+  }
+  const auto quarantined = router.quarantine();
+  if (!quarantined.empty()) std::fputs(quarantined.render().c_str(), stdout);
+  return 0;
+}
+
 serve::Client connect_query_client(const cli::Args& args) {
   const double wait_secs = args.get_double_or("wait-secs", 0.0);
   const auto deadline = std::chrono::steady_clock::now() +
@@ -888,8 +1062,15 @@ serve::Client connect_query_client(const cli::Args& args) {
 int cmd_query(const cli::Args& args) {
   args.check_allowed(with_obs({"socket", "host", "port", "dataset", "store",
                                "model", "dist", "out", "pipeline", "repeat",
-                               "ping", "wait-secs", "shadow", "shadow-out"}));
+                               "ping", "wait-secs", "shadow", "shadow-out",
+                               "deadline-ms", "fleet"}));
+  // A daemon that hangs (rather than dies) must not stall the client
+  // forever: recv goes silent past this and raises a typed timeout.
+  const auto deadline_ms = static_cast<std::uint64_t>(
+      std::max<long long>(0, args.get_int_or("deadline-ms", 30000)));
+  const bool fleet_mode = args.has("fleet");
   auto client = connect_query_client(args);
+  client.set_recv_timeout_ms(deadline_ms);
   if (args.has("ping")) {
     client.send_ping(1);
     serve::Client::Reply reply;
@@ -935,12 +1116,33 @@ int cmd_query(const cli::Args& args) {
     client.send_predict(req);
   };
 
+  std::uint64_t reconnects = 0;
   for (long long rep = 0; rep < repeats; ++rep) {
     const std::uint64_t id_base =
         static_cast<std::uint64_t>(rep) * n + 1;
     std::map<std::uint64_t, std::size_t> inflight;  // id -> row
     std::size_t next = 0;
     std::size_t done = 0;
+    std::size_t consecutive_failures = 0;
+    // Fleet mode: the router may restart between loads; reconnect and
+    // resend every outstanding request instead of giving up. Safe
+    // because predictions are stateless and identified by request id.
+    const auto reconnect_and_resend = [&](const std::string& why) {
+      if (!fleet_mode) {
+        throw std::runtime_error("query: " + why + " with " +
+                                 std::to_string(n - done) +
+                                 " response(s) outstanding");
+      }
+      if (++consecutive_failures > 8) {
+        throw std::runtime_error(
+            "query: giving up after 8 consecutive reconnect(s): " + why);
+      }
+      client.close();
+      client = connect_query_client(args);
+      client.set_recv_timeout_ms(deadline_ms);
+      ++reconnects;
+      for (const auto& [id, row] : inflight) send_row(id, row);
+    };
     while (done < n) {
       while (next < n && inflight.size() < window) {
         send_row(id_base + next, next);
@@ -948,12 +1150,22 @@ int cmd_query(const cli::Args& args) {
         ++next;
       }
       serve::Client::Reply reply;
-      if (!client.read_reply(&reply)) {
-        throw std::runtime_error("query: daemon closed the connection with " +
-                                 std::to_string(n - done) +
-                                 " response(s) outstanding");
+      bool have_reply = false;
+      try {
+        have_reply = client.read_reply(&reply);
+      } catch (const serve::Client::Timeout&) {
+        reconnect_and_resend("daemon silent past the deadline");
+        continue;
+      } catch (const std::runtime_error& e) {
+        reconnect_and_resend(e.what());
+        continue;
+      }
+      if (!have_reply) {
+        reconnect_and_resend("daemon closed the connection");
+        continue;
       }
       if (reply.type == util::FrameType::kPredictResponse) {
+        consecutive_failures = 0;
         const auto it = inflight.find(reply.request_id);
         if (it == inflight.end()) {
           throw std::runtime_error("query: response for unknown request id " +
@@ -1006,6 +1218,10 @@ int cmd_query(const cli::Args& args) {
               "(%llu busy retried), error %.2f%% median |log10|\n",
               n, repeats, static_cast<unsigned long long>(busy_retries),
               ml::log_error_to_percent(err));
+  if (fleet_mode) {
+    std::printf("fleet client: %llu reconnect(s), 0 failed request(s)\n",
+                static_cast<unsigned long long>(reconnects));
+  }
   if (want_shadow) {
     std::printf("shadow answered %zu of %zu request(s)\n", n_shadowed, n);
   }
@@ -1340,6 +1556,7 @@ int main(int argc, char** argv) {
     else if (command == "train") rc = cmd_train(args);
     else if (command == "predict") rc = cmd_predict(args);
     else if (command == "serve") rc = cmd_serve(args);
+    else if (command == "fleet") rc = cmd_fleet(args);
     else if (command == "query") rc = cmd_query(args);
     else if (command == "monitor") rc = cmd_monitor(args);
     else if (command == "promote") rc = cmd_promote(args);
