@@ -4,6 +4,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/ml/classifier.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
 #include "src/ml/linear.hpp"
@@ -27,8 +28,8 @@ void Regressor::fit_continue(const data::MatrixView& /*x*/,
 
 const std::vector<std::string>& known_model_magics() {
   static const std::vector<std::string> kMagics = {
-      "iotax-ensemble", "iotax-gbt", "iotax-linear", "iotax-mean",
-      "iotax-mlp"};
+      "iotax-classifier", "iotax-ensemble", "iotax-gbt", "iotax-linear",
+      "iotax-mean", "iotax-mlp"};
   return kMagics;
 }
 
@@ -61,6 +62,9 @@ std::unique_ptr<Regressor> Regressor::load(std::istream& in,
   }
   if (magic == "iotax-ensemble") {
     return std::make_unique<DeepEnsemble>(DeepEnsemble::load(in));
+  }
+  if (magic == "iotax-classifier") {
+    return std::make_unique<BurstClassifier>(BurstClassifier::load(in));
   }
   std::string known;
   for (const auto& m : known_model_magics()) {

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "src/ml/classifier.hpp"
 #include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
 #include "src/ml/linear.hpp"
@@ -49,7 +50,8 @@ std::unique_ptr<Regressor> make_linear(const util::Json& params) {
   return std::make_unique<LinearRegressor>(l2, log_transform);
 }
 
-std::unique_ptr<Regressor> make_gbt(const util::Json& params) {
+GbtParams parse_gbt_params(const util::Json& params,
+                           const std::string& family) {
   GbtParams p;
   for (const auto& [key, value] : params.items()) {
     if (key == "n_estimators") {
@@ -90,10 +92,47 @@ std::unique_ptr<Regressor> make_gbt(const util::Json& params) {
     } else if (key == "seed") {
       p.seed = static_cast<std::uint64_t>(value.as_int());
     } else {
-      unknown_key("gbt", key);
+      unknown_key(family, key);
     }
   }
-  return std::make_unique<GradientBoostedTrees>(std::move(p));
+  return p;
+}
+
+std::unique_ptr<Regressor> make_gbt(const util::Json& params) {
+  return std::make_unique<GradientBoostedTrees>(
+      parse_gbt_params(params, "gbt"));
+}
+
+std::unique_ptr<Regressor> make_classifier(const util::Json& params) {
+  ClassifierParams p;
+  for (const auto& [key, value] : params.items()) {
+    if (key == "kind") {
+      const std::string& kind = value.as_string();
+      if (kind == "logistic") {
+        p.kind = ClassifierKind::kLogistic;
+      } else if (kind == "threshold") {
+        p.kind = ClassifierKind::kThreshold;
+      } else {
+        throw std::invalid_argument(
+            "make_regressor: classifier kind must be 'logistic' or "
+            "'threshold', got '" +
+            kind + "'");
+      }
+    } else if (key == "threshold") {
+      p.threshold = value.as_double();
+    } else if (key == "platt_max_iters") {
+      p.platt_max_iters = as_size(value);
+    } else if (key == "gbt") {
+      if (!value.is_object()) {
+        throw std::invalid_argument(
+            "make_regressor: classifier 'gbt' must be an object");
+      }
+      p.gbt = parse_gbt_params(value, "classifier.gbt");
+    } else {
+      unknown_key("classifier", key);
+    }
+  }
+  return std::make_unique<BurstClassifier>(std::move(p));
 }
 
 std::unique_ptr<Regressor> make_mlp(const util::Json& params) {
@@ -141,7 +180,7 @@ std::unique_ptr<Regressor> make_ensemble(const util::Json& params) {
 }  // namespace
 
 std::vector<std::string> regressor_names() {
-  return {"ensemble", "gbt", "linear", "mean", "mlp"};
+  return {"classifier", "ensemble", "gbt", "linear", "mean", "mlp"};
 }
 
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
@@ -164,6 +203,7 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
   }
   if (name == "linear") return make_linear(params);
   if (name == "gbt") return make_gbt(params);
+  if (name == "classifier") return make_classifier(params);
   if (name == "mlp") return make_mlp(params);
   if (name == "ensemble") return make_ensemble(params);
   throw std::invalid_argument("make_regressor: unknown model family '" + name +

@@ -20,9 +20,10 @@ std::vector<std::string> regressor_names();
 /// Construct an unfitted regressor.
 ///
 /// `name` is one of regressor_names() ("mean", "linear", "gbt", "mlp",
-/// "ensemble"); `params_json` is a JSON object whose keys map onto the
-/// family's params struct ({"n_estimators": 50, "max_depth": 4} for
-/// gbt, {"hidden": [32, 32], "nll_head": true} for mlp, ...). Throws
+/// "ensemble", "classifier"); `params_json` is a JSON object whose keys
+/// map onto the family's params struct ({"n_estimators": 50,
+/// "max_depth": 4} for gbt, {"hidden": [32, 32], "nll_head": true} for
+/// mlp, {"kind": "logistic", "gbt": {...}} for classifier, ...). Throws
 /// std::invalid_argument for an unknown family, malformed JSON, an
 /// unknown key, or a value of the wrong type — a typo never silently
 /// trains a default model.

@@ -1,0 +1,102 @@
+#include "src/sim/burst.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/telemetry/lmt.hpp"
+
+namespace iotax::sim {
+
+namespace {
+
+// MEAN is the third of the four aggregates per signal (lmt.cpp).
+constexpr std::size_t kSignals = 9;
+double mean_of(const std::vector<double>& agg, std::size_t signal) {
+  return agg[signal * 4 + 2];
+}
+
+constexpr std::size_t kReadSignal = 2;
+constexpr std::size_t kWriteSignal = 3;
+
+}  // namespace
+
+void BurstParams::validate() const {
+  if (!(window_seconds > 0.0) || !std::isfinite(window_seconds)) {
+    throw std::invalid_argument("BurstParams: non-positive window_seconds");
+  }
+  if (!(threshold_frac > 0.0) || !(threshold_frac < 1.0)) {
+    throw std::invalid_argument("BurstParams: threshold_frac not in (0,1)");
+  }
+}
+
+BurstDataset build_burst_dataset(const SimulationResult& sim,
+                                 const BurstParams& params) {
+  params.validate();
+  if (sim.lmt.size() == 0) {
+    throw std::invalid_argument(
+        "build_burst_dataset: simulation has no LMT telemetry "
+        "(platform.lmt_enabled is off)");
+  }
+  const double horizon = sim.config.workload.horizon;
+  const auto n_total =
+      static_cast<std::size_t>(std::floor(horizon / params.window_seconds));
+  if (n_total < 3) {
+    throw std::invalid_argument(
+        "build_burst_dataset: horizon shorter than three windows");
+  }
+  const double threshold_mib =
+      params.threshold_frac * sim.config.platform.peak_bandwidth_mib;
+
+  const auto& names = telemetry::burst_feature_names();
+  BurstDataset out;
+  out.threshold_mib = threshold_mib;
+  out.dataset.system_name = sim.config.name + "-burst";
+  out.dataset.features = data::Table(names);
+  out.dataset.features.reserve_rows(n_total - 2);
+
+  // One aggregate per window, reused for features (window i), deltas
+  // (window i-1) and labels (window i+1).
+  std::vector<std::vector<double>> agg(n_total);
+  for (std::size_t w = 0; w < n_total; ++w) {
+    const double t0 = static_cast<double>(w) * params.window_seconds;
+    agg[w] = sim.lmt.aggregate(t0, t0 + params.window_seconds);
+  }
+
+  std::vector<double> row(names.size());
+  for (std::size_t w = 1; w + 1 < n_total; ++w) {
+    const double t0 = static_cast<double>(w) * params.window_seconds;
+    const double t1 = t0 + params.window_seconds;
+    std::size_t c = 0;
+    for (const double v : agg[w]) row[c++] = v;
+    for (std::size_t sig = 0; sig < kSignals; ++sig) {
+      row[c++] = mean_of(agg[w], sig) - mean_of(agg[w - 1], sig);
+    }
+    const double tod = 2.0 * M_PI * std::fmod(t0, 86400.0) / 86400.0;
+    row[c++] = std::sin(tod);
+    row[c++] = std::cos(tod);
+    out.dataset.features.add_row(row);
+
+    const double next_rate = mean_of(agg[w + 1], kReadSignal) +
+                             mean_of(agg[w + 1], kWriteSignal);
+    const double label = next_rate > threshold_mib ? 1.0 : 0.0;
+
+    data::JobMeta meta;
+    meta.job_id = w;
+    meta.app_id = 0;
+    meta.config_id = w;
+    meta.start_time = t0;
+    meta.end_time = t1;
+    meta.nodes = 1;
+    // The label doubles as the full "decomposition" so the Dataset
+    // identity target == log_fa + log_fg + log_fl + log_fn holds.
+    meta.log_fa = label;
+    out.dataset.meta.push_back(meta);
+    out.dataset.target.push_back(label);
+    if (label == 1.0) ++out.n_bursts;
+    ++out.n_windows;
+  }
+  out.dataset.validate();
+  return out;
+}
+
+}  // namespace iotax::sim

@@ -1,0 +1,56 @@
+// The burst-prediction workload: turn a simulated cluster's LMT stream
+// into a windowed, labeled classification dataset — "given this
+// window's storage telemetry, will the *next* window run hot?" — per
+// the Darshan-log burst-prediction line of work the README cites.
+//
+// Each row is one telemetry window of `window_seconds`: features are
+// the window's 37 LMT aggregates, the mean-signal deltas against the
+// previous window, and the time-of-day phase (telemetry::
+// burst_feature_names()); the label is 1 when the next window's mean
+// total OST transfer rate exceeds threshold_frac of the platform peak.
+// Labels come from the same simulated telemetry the weather and load
+// timelines generated, so they are sim ground truth, not a heuristic
+// over noisy measurements.
+//
+// The result is a regular data::Dataset (window index as job id, label
+// stored as the target and as log_fa so Dataset::validate()'s
+// decomposition identity holds) — the whole CSV/feature-set/serve
+// tool-chain consumes it unchanged via taxonomy::FeatureSet::kBurst.
+#pragma once
+
+#include <cstddef>
+
+#include "src/data/dataset.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace iotax::sim {
+
+struct BurstParams {
+  /// Telemetry window length (seconds).
+  double window_seconds = 6.0 * 3600.0;
+  /// A window is a burst when its mean total OST rate (read + write)
+  /// exceeds this fraction of platform peak bandwidth. The default
+  /// labels roughly the top quarter of windows on the presets.
+  double threshold_frac = 0.35;
+
+  void validate() const;
+};
+
+struct BurstDataset {
+  /// Features (BURST_* columns) + binary target; system_name is the sim
+  /// name with a "-burst" suffix. Row i predicts window i+1.
+  data::Dataset dataset;
+  std::size_t n_windows = 0;  // rows
+  std::size_t n_bursts = 0;   // positive labels
+  /// The absolute rate threshold the labels used (MiB/s).
+  double threshold_mib = 0.0;
+};
+
+/// Build the windowed burst dataset from a finished simulation. The sim
+/// must have LMT telemetry (platform.lmt_enabled); throws
+/// std::invalid_argument otherwise, or when the horizon is too short
+/// for at least three windows (previous + current + label).
+BurstDataset build_burst_dataset(const SimulationResult& sim,
+                                 const BurstParams& params = {});
+
+}  // namespace iotax::sim

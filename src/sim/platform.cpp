@@ -38,6 +38,36 @@ PlatformConfig theta_platform() {
   return p;
 }
 
+PlatformConfig bb_platform() {
+  PlatformConfig p;
+  p.name = "bb";
+  p.n_nodes = 6174;
+  p.cores_per_node = 48;
+  p.n_oss = 40;
+  p.n_ost = 144;
+  p.peak_bandwidth_mib = 1600000.0;  // the buffer tier, not the PFS
+  p.per_proc_bandwidth_mib = 4000.0;
+  p.noise_sigma_log10 = 0.0360;  // buffer allocation variance dominates
+  p.contention_strength = 0.11;  // the buffer absorbs neighbour bursts
+  p.lmt_enabled = true;
+  return p;
+}
+
+PlatformConfig flash_platform() {
+  PlatformConfig p;
+  p.name = "flash";
+  p.n_nodes = 1536;
+  p.cores_per_node = 128;
+  p.n_oss = 24;
+  p.n_ost = 48;
+  p.peak_bandwidth_mib = 900000.0;
+  p.per_proc_bandwidth_mib = 6000.0;
+  p.noise_sigma_log10 = 0.0140;  // no spinning media, tight latency tails
+  p.contention_strength = 0.07;
+  p.lmt_enabled = true;
+  return p;
+}
+
 PlatformConfig cori_platform() {
   PlatformConfig p;
   p.name = "cori";

@@ -40,5 +40,13 @@ struct PlatformConfig {
 PlatformConfig theta_platform();
 /// Cori: 9688 KNL + 2388 Haswell nodes, ~700 GB/s scratch, LMT enabled.
 PlatformConfig cori_platform();
+/// Burst-buffer-heavy system (DataWarp-style): a high-peak absorbing
+/// tier in front of the filesystem — huge aggregate bandwidth, weak
+/// contention coupling, but noisy per-job behaviour from buffer
+/// allocation variance. One end of the cross-cluster transfer pair.
+PlatformConfig bb_platform();
+/// All-flash filesystem: modest node count, high per-process bandwidth,
+/// very low noise and contention. The other transfer-pair extreme.
+PlatformConfig flash_platform();
 
 }  // namespace iotax::sim

@@ -1,5 +1,7 @@
 #include "src/sim/presets.hpp"
 
+#include <algorithm>
+
 #include "src/util/env.hpp"
 
 namespace iotax::sim {
@@ -104,6 +106,91 @@ SimConfig tiny_system(std::uint64_t seed) {
 
   cfg.train_cutoff_frac = 0.70;
   return cfg;
+}
+
+SimConfig bb_like(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.name = "bb-like";
+  cfg.seed = seed;
+  cfg.platform = bb_platform();
+  set_horizon(cfg, 86400.0 * 365.0 * 1.5);
+
+  cfg.catalog.n_apps = 160;
+  cfg.catalog.min_configs_per_app = 1;
+  cfg.catalog.max_configs_per_app = 5;
+  cfg.catalog.novel_app_frac = 0.12;
+  cfg.catalog.novel_shift = 1.2;
+
+  cfg.workload.n_jobs = util::scaled_count(14000, 2000);
+  cfg.workload.config_reuse_prob = 0.20;
+  cfg.workload.batch_prob = 0.04;
+  cfg.workload.batch_zipf_s = 2.4;
+  cfg.workload.max_batch = 128;
+  cfg.workload.bench_period = 86400.0;
+  cfg.workload.bench_runs = 2;
+
+  // Buffer drains and reprovisioning show up as frequent short
+  // degradations with meaty epoch offsets.
+  cfg.weather.n_epochs = 4;
+  cfg.weather.epoch_offset_sigma = 0.030;
+  cfg.weather.degradations_per_year = 14.0;
+  cfg.weather.degradation_max_days = 4.0;
+
+  cfg.train_cutoff_frac = 0.70;
+  return cfg;
+}
+
+SimConfig flash_like(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.name = "flash-like";
+  cfg.seed = seed;
+  cfg.platform = flash_platform();
+  set_horizon(cfg, 86400.0 * 365.0);
+
+  cfg.catalog.n_apps = 100;
+  cfg.catalog.min_configs_per_app = 1;
+  cfg.catalog.max_configs_per_app = 4;
+  cfg.catalog.novel_app_frac = 0.08;
+  cfg.catalog.novel_shift = 1.2;
+
+  cfg.workload.n_jobs = util::scaled_count(12000, 2000);
+  cfg.workload.config_reuse_prob = 0.10;
+  cfg.workload.batch_prob = 0.04;
+  cfg.workload.batch_zipf_s = 2.6;
+  cfg.workload.max_batch = 64;
+  cfg.workload.bench_period = 86400.0;
+  cfg.workload.bench_runs = 2;
+
+  cfg.weather.n_epochs = 3;
+  cfg.weather.epoch_offset_sigma = 0.012;
+  cfg.weather.degradations_per_year = 5.0;
+
+  cfg.train_cutoff_frac = 0.70;
+  return cfg;
+}
+
+std::pair<SimConfig, SimConfig> make_transfer_pair(SimConfig train,
+                                                   SimConfig test,
+                                                   std::uint64_t seed) {
+  const double horizon =
+      std::min(train.workload.horizon, test.workload.horizon);
+  set_horizon(train, horizon);
+  set_horizon(test, horizon);
+  // One app population for both sides: same catalog params, same cutoff
+  // (novel_after = horizon * frac feeds catalog generation), same
+  // dedicated catalog stream sized against the train platform.
+  test.catalog = train.catalog;
+  test.train_cutoff_frac = train.train_cutoff_frac;
+  const std::uint64_t catalog_seed =
+      (seed * 0x9e3779b97f4a7c15ULL + 0xca7a106ULL) | 1ULL;
+  train.catalog_seed = catalog_seed;
+  test.catalog_seed = catalog_seed;
+  train.catalog_platform = train.platform;
+  test.catalog_platform = train.platform;
+  // Decorrelate everything else (workload draw, weather, noise).
+  train.seed = seed;
+  test.seed = seed ^ 0x5117c0deULL;
+  return {std::move(train), std::move(test)};
 }
 
 }  // namespace iotax::sim

@@ -3,6 +3,8 @@
 // jobs) to stay single-core friendly; IOTAX_SCALE grows them.
 #pragma once
 
+#include <utility>
+
 #include "src/sim/simulator.hpp"
 
 namespace iotax::sim {
@@ -17,5 +19,27 @@ SimConfig cori_like(std::uint64_t seed = 11);
 
 /// Small fast config for unit tests and the quickstart example.
 SimConfig tiny_system(std::uint64_t seed = 3);
+
+/// Burst-buffer-heavy cluster: 1.5 simulated years on bb_platform() —
+/// high absolute bandwidth, weak contention, noisy per-job behaviour,
+/// frequent buffer-drain degradations. One end of the transfer litmus.
+SimConfig bb_like(std::uint64_t seed = 13);
+
+/// All-flash cluster: one simulated year on flash_platform() — low
+/// noise, low contention, calm weather. The other transfer extreme.
+SimConfig flash_like(std::uint64_t seed = 19);
+
+/// Harmonize two preset configs into a cross-cluster transfer pair
+/// sharing one application catalog: horizons are clamped to the shorter
+/// of the two, the train config's catalog params and cutoff fraction
+/// apply to both, and both get the same nonzero catalog_seed with the
+/// train platform as the catalog sizing platform — so the app
+/// population (ids, signatures, sensitivities, introduction times) is
+/// bit-identical across the pair while platform response, workload
+/// draw and weather differ. `seed` drives both runs (the test side is
+/// decorrelated deterministically). Returns {train, test}.
+std::pair<SimConfig, SimConfig> make_transfer_pair(SimConfig train,
+                                                   SimConfig test,
+                                                   std::uint64_t seed);
 
 }  // namespace iotax::sim

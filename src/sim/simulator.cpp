@@ -21,6 +21,7 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "SimConfig: workload/weather/catalog horizons must agree");
   }
+  if (catalog_seed != 0) catalog_platform.validate();
 }
 
 SimulationResult simulate(const SimConfig& config) {
@@ -32,7 +33,8 @@ SimulationResult simulate(const SimConfig& config) {
   out.train_cutoff_time = config.workload.horizon * config.train_cutoff_frac;
 
   util::Rng root(config.seed);
-  util::Rng catalog_rng = root.fork(1);
+  util::Rng catalog_rng =
+      config.catalog_seed != 0 ? util::Rng(config.catalog_seed) : root.fork(1);
   util::Rng workload_rng = root.fork(2);
   util::Rng weather_rng = root.fork(3);
   util::Rng lmt_rng = root.fork(4);
@@ -42,7 +44,9 @@ SimulationResult simulate(const SimConfig& config) {
   cat.novel_after = out.train_cutoff_time;
   {
     IOTAX_TRACE_SPAN("sim.catalog");
-    out.catalog = generate_catalog(cat, config.platform, catalog_rng);
+    const PlatformConfig& cat_platform =
+        config.catalog_seed != 0 ? config.catalog_platform : config.platform;
+    out.catalog = generate_catalog(cat, cat_platform, catalog_rng);
   }
   IOTAX_OBS_COUNT("sim.apps", out.catalog.size());
 

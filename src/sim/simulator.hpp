@@ -54,6 +54,19 @@ struct SimConfig {
   /// applications only appear after this point.
   double train_cutoff_frac = 0.70;
 
+  /// When nonzero, the application catalog is generated from this seed
+  /// (instead of a fork of `seed`) against `catalog_platform` (instead
+  /// of `platform`). Two configs sharing catalog_seed, catalog_platform,
+  /// catalog params, horizon and train_cutoff_frac then produce the
+  /// *identical* application population — the knob the cross-cluster
+  /// transfer litmus turns to hold the app mix fixed while platform,
+  /// workload draw and weather differ. Zero keeps the historical
+  /// behaviour (per-run catalog) bit-for-bit.
+  std::uint64_t catalog_seed = 0;
+  /// Platform the shared catalog is sized against; only consulted when
+  /// catalog_seed != 0.
+  PlatformConfig catalog_platform;
+
   void validate() const;
 };
 

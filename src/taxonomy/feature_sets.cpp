@@ -37,6 +37,9 @@ std::vector<std::string> feature_columns(const data::DatasetView& ds,
       case FeatureSet::kStartTimeOnly:
         append({telemetry::start_time_feature_name()});
         break;
+      case FeatureSet::kBurst:
+        append(telemetry::burst_feature_names());
+        break;
     }
   }
   return cols;

@@ -23,6 +23,7 @@ enum class FeatureSet {
   kCobalt,         // 5 scheduler features (includes start/end times)
   kLmt,            // 37 storage-side aggregates
   kStartTimeOnly,  // the single COBALT_START_TIME column (litmus 2)
+  kBurst,          // 48 windowed-telemetry columns (burst prediction)
 };
 
 /// Column names for a combination of feature sets, in canonical order.

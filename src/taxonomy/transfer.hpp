@@ -1,0 +1,105 @@
+// Cross-cluster transfer litmus: train a throughput model on cluster A,
+// score it on cluster B, and attribute the transfer gap to the
+// taxonomy's error classes. The paper's authors could only speculate
+// about this decomposition — production logs never come with the
+// counterfactual "what would this model's error be if cluster B had no
+// weather/contention/noise?" — but the simulator's per-job ground-truth
+// decomposition (JobMeta log_fa/fg/fl/fn) answers it exactly: ablating
+// one truth component at a time from the test targets isolates how much
+// of the transferred model's error each class contributes.
+//
+// The out-of-distribution share is measured twice: as ground truth (the
+// fraction of B's jobs whose application never appears in A's training
+// rows — knowable only in simulation) and as a deployable estimate from
+// the existing cluster machinery (distance to the A-trained k-means
+// centroids, thresholded at a quantile of A's own distances). The
+// litmus reports both, plus the ranking quality of the estimator
+// against the ground truth, so the transfer smoke can check the
+// estimate against the oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/ml/gbt.hpp"
+#include "src/ml/kmeans.hpp"
+#include "src/taxonomy/drift.hpp"
+#include "src/taxonomy/feature_sets.hpp"
+
+namespace iotax::taxonomy {
+
+struct TransferParams {
+  /// Model trained on cluster A's training rows.
+  ml::GbtParams gbt;
+  /// Fraction of A (time-ordered tail) held out for the in-cluster
+  /// error the transfer gap is measured against.
+  double holdout_frac = 0.25;
+  /// Feature sets the model consumes; defaults to the counters every
+  /// platform collects (POSIX + MPI-IO), so A-trained models score B
+  /// rows even when only one side runs LMT.
+  std::vector<FeatureSet> feature_sets = {FeatureSet::kPosix,
+                                          FeatureSet::kMpiio};
+  /// Clusters for the OoD distance estimator.
+  ml::KMeansParams kmeans;
+  /// A B row is flagged OoD when its distance to the nearest A-train
+  /// centroid exceeds this quantile of A-train's own distances.
+  double ood_quantile = 0.98;
+  /// Feature-drift features reported (largest KS first).
+  std::size_t drift_top_k = 8;
+
+  void validate() const;
+};
+
+/// Fractions of the transferred model's error attributable to each
+/// taxonomy class, from ground-truth ablation; non-negative, sum to 1
+/// (when the transfer error is nonzero).
+struct TransferShares {
+  double application = 0.0;  // model vs f_a: app behaviour incl. OoD apps
+  double system = 0.0;       // f_g: I/O climate and weather
+  double contention = 0.0;   // f_l: neighbour interference
+  double noise = 0.0;        // f_n: inherent noise
+};
+
+struct TransferReport {
+  std::string train_system;
+  std::string test_system;
+  std::size_t n_train = 0;
+  std::size_t n_holdout = 0;
+  std::size_t n_test = 0;
+
+  double in_cluster_error = 0.0;  // median |log10 err| on the A holdout
+  double transfer_error = 0.0;    // median |log10 err| on all of B
+  double gap = 0.0;               // transfer_error - in_cluster_error
+
+  /// Ablation shares of the transfer error (on B). Cross-platform pairs
+  /// are dominated by the application term: the platform's throughput
+  /// response is part of f_a, and a model trained on A has learned A's.
+  TransferShares oracle;
+  /// The same ablation on the A holdout, for contrast: in-cluster error
+  /// splits across weather/contention/noise, transfer error does not.
+  TransferShares oracle_in_cluster;
+
+  /// Ground truth: share of B rows whose app never occurs in A-train.
+  double ood_fraction_truth = 0.0;
+  /// Estimate: share of B rows beyond the centroid-distance threshold.
+  double ood_fraction_est = 0.0;
+  /// Ranking quality of the distance score against the ground-truth OoD
+  /// labels (0.5 = blind, 1.0 = perfect).
+  double ood_auc = 0.0;
+
+  /// Features most drifted between A-train and B (two-sample KS).
+  std::vector<FeatureDrift> top_drift;
+};
+
+/// Run the litmus on two finished datasets (each carrying simulator
+/// ground truth in its JobMeta). Throws std::invalid_argument when
+/// either side is too small to split or the feature sets are absent.
+TransferReport run_transfer_litmus(const data::Dataset& train_ds,
+                                   const data::Dataset& test_ds,
+                                   const TransferParams& params = {});
+
+/// Render as aligned text rows.
+std::string render_transfer_report(const TransferReport& report);
+
+}  // namespace iotax::taxonomy

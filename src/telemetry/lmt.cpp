@@ -47,6 +47,22 @@ const std::vector<std::string>& lmt_feature_names() {
   return names;
 }
 
+const std::vector<std::string>& burst_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& lmt : lmt_feature_names()) {
+      out.push_back("BURST_" + lmt);
+    }
+    for (const char* base : kBaseSignals) {
+      out.push_back(std::string("BURST_DELTA_") + base);
+    }
+    out.emplace_back("BURST_TOD_SIN");
+    out.emplace_back("BURST_TOD_COS");
+    return out;
+  }();
+  return names;
+}
+
 void LmtTimeline::add_sample(const LmtSample& sample) {
   if (!samples_.empty() && sample.time < samples_.back().time) {
     throw std::invalid_argument("LmtTimeline: samples must be time-ordered");

@@ -29,6 +29,14 @@ struct LmtSample {
 /// The 37 LMT feature names, in model feature order.
 const std::vector<std::string>& lmt_feature_names();
 
+/// The 48 burst-window feature names, in model feature order: the 37
+/// window aggregates under a BURST_ prefix, the 9 mean-signal deltas
+/// against the previous window (BURST_DELTA_<signal>), and the
+/// time-of-day phase pair (BURST_TOD_SIN/COS). These are the columns of
+/// the windowed cluster-telemetry dataset the burst-prediction workload
+/// trains on (sim::build_burst_dataset).
+const std::vector<std::string>& burst_feature_names();
+
 /// Time-ordered store of LMT samples with window aggregation.
 class LmtTimeline {
  public:

@@ -1,9 +1,11 @@
 // Model persistence: saved models must restore bit-identical predictions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "src/ml/ensemble.hpp"
 #include "src/ml/gbt.hpp"
@@ -277,17 +279,28 @@ TEST(Registry, BuildsEveryAdvertisedFamily) {
   // Shrink the expensive families so the test stays fast; an absent key
   // keeps the family's default.
   const std::map<std::string, std::string> params = {
+      {"classifier", R"({"gbt": {"n_estimators": 5, "max_depth": 3}})"},
       {"ensemble", R"({"size": 2, "epochs": 2})"},
       {"gbt", R"({"n_estimators": 5, "max_depth": 3})"},
       {"mlp", R"({"hidden": [8], "epochs": 2})"},
   };
+  // The classifier family only accepts 0/1 targets; binarize at the
+  // median so the sweep exercises it like any other family.
+  std::vector<double> sorted = train.y;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::vector<double> binary(train.y.size());
+  for (std::size_t i = 0; i < train.y.size(); ++i) {
+    binary[i] = train.y[i] > median ? 1.0 : 0.0;
+  }
   for (const auto& family : ml::regressor_names()) {
     const auto it = params.find(family);
     const auto model = ml::make_regressor(
         family, it != params.end() ? it->second : "{}");
     ASSERT_NE(model, nullptr) << family;
-    model->fit(train.x, train.y);
-    EXPECT_EQ(model->predict(train.x).size(), train.y.size()) << family;
+    const auto& y = family == "classifier" ? binary : train.y;
+    model->fit(train.x, y);
+    EXPECT_EQ(model->predict(train.x).size(), y.size()) << family;
   }
 }
 

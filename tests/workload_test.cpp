@@ -1,0 +1,174 @@
+// The burst dataset builder and the cross-cluster transfer litmus:
+// labels recomputed independently from the telemetry, the feature-set
+// plumbing for kBurst, shared-catalog pairing, the new platform
+// presets, and the litmus report's invariants on a real (tiny) pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/sim/burst.hpp"
+#include "src/sim/platform.hpp"
+#include "src/sim/presets.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/taxonomy/feature_sets.hpp"
+#include "src/taxonomy/transfer.hpp"
+#include "src/telemetry/lmt.hpp"
+
+namespace iotax {
+namespace {
+
+sim::SimulationResult tiny_sim(std::uint64_t seed) {
+  auto cfg = sim::tiny_system(seed);
+  cfg.platform.lmt_enabled = true;
+  return sim::simulate(cfg);
+}
+
+TEST(BurstDataset, LabelsMatchIndependentRecompute) {
+  const auto res = tiny_sim(7);
+  sim::BurstParams bp;
+  const auto burst = sim::build_burst_dataset(res, bp);
+  const auto& ds = burst.dataset;
+  ASSERT_GT(ds.size(), 10u);
+  EXPECT_EQ(ds.size(), burst.n_windows);
+  EXPECT_EQ(ds.system_name, res.config.name + "-burst");
+  EXPECT_DOUBLE_EQ(
+      burst.threshold_mib,
+      bp.threshold_frac * res.config.platform.peak_bandwidth_mib);
+
+  // Row i covers window i+1; its label is the next window's mean total
+  // OST rate against the threshold. Recompute from the telemetry.
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::size_t w = ds.meta[i].job_id;
+    EXPECT_DOUBLE_EQ(ds.meta[i].start_time,
+                     static_cast<double>(w) * bp.window_seconds);
+    const double t0 = static_cast<double>(w + 1) * bp.window_seconds;
+    const auto agg = res.lmt.aggregate(t0, t0 + bp.window_seconds);
+    const double next_rate = agg[2 * 4 + 2] + agg[3 * 4 + 2];  // read+write
+    const double expect = next_rate > burst.threshold_mib ? 1.0 : 0.0;
+    EXPECT_EQ(ds.target[i], expect) << "window " << w;
+    EXPECT_EQ(ds.meta[i].log_fa, expect);  // decomposition identity
+    if (expect == 1.0) ++positives;
+  }
+  EXPECT_EQ(burst.n_bursts, positives);
+  // Both classes must be present at the default threshold, or the
+  // workload trains nothing.
+  EXPECT_GT(burst.n_bursts, 0u);
+  EXPECT_LT(burst.n_bursts, burst.n_windows);
+}
+
+TEST(BurstDataset, FeatureSetSelectsTheBurstColumns) {
+  const auto res = tiny_sim(3);
+  const auto burst = sim::build_burst_dataset(res);
+  const auto cols = taxonomy::feature_columns(
+      burst.dataset, {taxonomy::FeatureSet::kBurst});
+  EXPECT_EQ(cols, telemetry::burst_feature_names());
+  EXPECT_EQ(cols.size(), 48u);
+  // A darshan-shaped dataset lacks the burst columns and vice versa.
+  EXPECT_THROW(taxonomy::feature_columns(burst.dataset,
+                                         {taxonomy::FeatureSet::kPosix}),
+               std::invalid_argument);
+  EXPECT_THROW(taxonomy::feature_columns(res.dataset,
+                                         {taxonomy::FeatureSet::kBurst}),
+               std::invalid_argument);
+}
+
+TEST(BurstDataset, RequiresTelemetryAndEnoughWindows) {
+  auto cfg = sim::tiny_system(5);
+  cfg.platform.lmt_enabled = false;
+  const auto no_lmt = sim::simulate(cfg);
+  EXPECT_THROW(sim::build_burst_dataset(no_lmt), std::invalid_argument);
+
+  const auto res = tiny_sim(5);
+  sim::BurstParams wide;
+  wide.window_seconds = res.config.workload.horizon;  // one window only
+  EXPECT_THROW(sim::build_burst_dataset(res, wide), std::invalid_argument);
+  sim::BurstParams bad;
+  bad.threshold_frac = 1.5;
+  EXPECT_THROW(sim::build_burst_dataset(res, bad), std::invalid_argument);
+}
+
+TEST(Platforms, NewPresetsValidateAndDiffer) {
+  const auto bb = sim::bb_platform();
+  const auto flash = sim::flash_platform();
+  EXPECT_NO_THROW(bb.validate());
+  EXPECT_NO_THROW(flash.validate());
+  EXPECT_EQ(bb.name, "bb");
+  EXPECT_EQ(flash.name, "flash");
+  EXPECT_TRUE(bb.lmt_enabled);
+  EXPECT_TRUE(flash.lmt_enabled);
+  EXPECT_NE(bb.peak_bandwidth_mib, flash.peak_bandwidth_mib);
+  EXPECT_NO_THROW(sim::bb_like(13).validate());
+  EXPECT_NO_THROW(sim::flash_like(19).validate());
+}
+
+TEST(TransferPair, SharesOneApplicationCatalog) {
+  const auto [a_cfg, b_cfg] =
+      sim::make_transfer_pair(sim::theta_like(5), sim::tiny_system(5), 5);
+  EXPECT_NE(a_cfg.catalog_seed, 0u);
+  EXPECT_EQ(a_cfg.catalog_seed, b_cfg.catalog_seed);
+  EXPECT_EQ(a_cfg.catalog_platform.name, b_cfg.catalog_platform.name);
+  EXPECT_DOUBLE_EQ(a_cfg.workload.horizon, b_cfg.workload.horizon);
+  EXPECT_NE(a_cfg.seed, b_cfg.seed);  // weather/noise streams differ
+
+  const auto a = sim::simulate(a_cfg);
+  const auto b = sim::simulate(b_cfg);
+  std::unordered_set<std::uint64_t> a_apps, b_apps;
+  for (const auto& m : a.dataset.meta) a_apps.insert(m.app_id);
+  for (const auto& m : b.dataset.meta) b_apps.insert(m.app_id);
+  std::size_t shared = 0;
+  for (const auto id : b_apps) shared += a_apps.count(id);
+  // The whole point of the pairing: app ids are comparable across the
+  // two clusters, so most of B's population exists on A too.
+  EXPECT_GT(static_cast<double>(shared),
+            0.5 * static_cast<double>(b_apps.size()));
+}
+
+TEST(TransferLitmus, ReportInvariantsOnATinyPair) {
+  // tiny -> flash is a strongly contrasted pair (disk-era platform to
+  // all-flash), so the application share dominates with a wide margin.
+  const auto [a_cfg, b_cfg] =
+      sim::make_transfer_pair(sim::tiny_system(9), sim::flash_like(9), 9);
+  const auto a = sim::simulate(a_cfg);
+  const auto b = sim::simulate(b_cfg);
+  taxonomy::TransferParams tp;
+  tp.gbt.n_estimators = 40;
+  tp.gbt.max_depth = 4;
+  const auto r = taxonomy::run_transfer_litmus(a.dataset, b.dataset, tp);
+
+  EXPECT_EQ(r.train_system, a.dataset.system_name);
+  EXPECT_EQ(r.test_system, b.dataset.system_name);
+  EXPECT_EQ(r.n_train + r.n_holdout, a.dataset.size());
+  EXPECT_EQ(r.n_test, b.dataset.size());
+  EXPECT_GT(r.in_cluster_error, 0.0);
+  EXPECT_GT(r.transfer_error, 0.0);
+  // Cross-platform transfer must cost accuracy, and the oracle must
+  // blame the application term (the foreign platform response lives in
+  // f_a) while keeping shares a proper decomposition.
+  EXPECT_GT(r.gap, 0.0);
+  EXPECT_GT(r.oracle.application, 0.5);
+  EXPECT_NEAR(r.oracle.application + r.oracle.system + r.oracle.contention +
+                  r.oracle.noise,
+              1.0, 1e-9);
+  EXPECT_GE(r.ood_fraction_truth, 0.0);
+  EXPECT_LE(r.ood_fraction_truth, 1.0);
+  EXPECT_GE(r.ood_auc, 0.5);
+  EXPECT_FALSE(r.top_drift.empty());
+  EXPECT_FALSE(taxonomy::render_transfer_report(r).empty());
+}
+
+TEST(TransferLitmus, RejectsTinyInputsAndBadParams) {
+  const auto res = tiny_sim(2);
+  taxonomy::TransferParams bad;
+  bad.holdout_frac = 1.5;
+  EXPECT_THROW(
+      taxonomy::run_transfer_litmus(res.dataset, res.dataset, bad),
+      std::invalid_argument);
+  data::Dataset empty;
+  EXPECT_THROW(taxonomy::run_transfer_litmus(empty, res.dataset, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iotax

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end burst-workload smoke: train the burst classifier on the
+# tiny preset, demand bit-identical training at IOTAX_THREADS=1 and 4,
+# verify the checkpoint round-trips byte-exactly through --predict, then
+# stand up `iotax serve` and require the served probabilities to match
+# the offline CSV byte-for-byte. Also pins the --version magic listing
+# so a classifier checkpoint is diagnosable from the binary alone.
+#
+#   burst_smoke.sh <path-to-iotax> <work-dir>
+set -euo pipefail
+
+IOTAX="$1"
+WORK="$2"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+echo "== version lists the classifier magic =="
+"$IOTAX" --version | grep -q "iotax-classifier" \
+  || { echo "FAIL: --version does not list iotax-classifier"; exit 1; }
+
+echo "== train at IOTAX_THREADS=1 and 4 (must be bit-identical) =="
+IOTAX_THREADS=1 "$IOTAX" burst --preset tiny --seed 7 \
+  --out clf_t1.model --out-data burst.csv --pred-out offline.csv
+IOTAX_THREADS=4 "$IOTAX" burst --preset tiny --seed 7 \
+  --out clf_t4.model --out-data burst_t4.csv --pred-out offline_t4.csv
+cmp clf_t1.model clf_t4.model \
+  || { echo "FAIL: classifier checkpoints differ across thread counts"; exit 1; }
+cmp burst.csv burst_t4.csv \
+  || { echo "FAIL: burst datasets differ across thread counts"; exit 1; }
+cmp offline.csv offline_t4.csv \
+  || { echo "FAIL: probabilities differ across thread counts"; exit 1; }
+
+echo "== checkpoint round-trip =="
+"$IOTAX" burst --predict --model-file clf_t1.model --dataset burst.csv \
+  --out reload.csv
+cmp offline.csv reload.csv \
+  || { echo "FAIL: reloaded classifier drifted from the trainer"; exit 1; }
+
+N_ROWS=$(($(wc -l < offline.csv) - 1))
+echo "rows=$N_ROWS"
+
+run_daemon_pass() {
+  local threads="$1"
+  local sock="$WORK/burst_t${threads}.sock"
+  local served="served_t${threads}.csv"
+
+  echo "== daemon pass at IOTAX_THREADS=$threads =="
+  rm -f ready.txt
+  IOTAX_THREADS="$threads" "$IOTAX" serve --models clf_t1.model \
+    --socket "$sock" --ready-file ready.txt \
+    > "serve_t${threads}.log" 2>&1 &
+  DAEMON_PID=$!
+
+  for _ in $(seq 1 200); do
+    [[ -f ready.txt ]] && break
+    sleep 0.05
+  done
+  [[ -f ready.txt ]] || { echo "FAIL: daemon never became ready"; exit 1; }
+
+  "$IOTAX" query --socket "$sock" --ping
+  "$IOTAX" query --socket "$sock" --dataset burst.csv --features burst \
+    --out "$served"
+
+  kill -TERM "$DAEMON_PID"
+  local rc=0
+  wait "$DAEMON_PID" || rc=$?
+  DAEMON_PID=""
+  [[ $rc -eq 0 ]] || { echo "FAIL: daemon exit $rc after SIGTERM"; exit 1; }
+  grep -q "drained;" "serve_t${threads}.log" \
+    || { echo "FAIL: no drain summary in serve_t${threads}.log"; exit 1; }
+
+  cmp offline.csv "$served" \
+    || { echo "FAIL: served probabilities differ from offline at threads=$threads"; exit 1; }
+  echo "ok: $N_ROWS served burst probabilities byte-identical" \
+       "to offline (threads=$threads)"
+}
+
+run_daemon_pass 1
+run_daemon_pass 4
+
+echo "burst_smoke: PASS"

@@ -31,6 +31,9 @@
 # pack+train wall). KIND=serve gates the fleet A/B (bench_serve --fleet):
 # routed-vs-direct bit-identity and zero failed requests are hard bits,
 # and the routed p99 must stay inside P99_TOL x direct + P99_SLACK_MS.
+# KIND=workloads gates bench_workloads: classifier round-trip/adapter
+# bit-identity and transfer attribution are hard bits, burst AUC has a
+# MIN_BURST_AUC floor, and wall time has the usual WALL_TOL envelope.
 # The baseline (bench/baselines/) must be regenerated whenever the bench
 # workload changes shape; the gate requires matching job/row counts so a
 # stale baseline fails loudly instead of gating garbage.
@@ -276,6 +279,75 @@ if(KIND STREQUAL "serve")
   message(STATUS "check_bench: routed p99 ${routed_p99} ms within "
                  "${P99_TOL}x + ${P99_SLACK_MS} ms of direct "
                  "${direct_p99} ms ok")
+  message(STATUS "check_bench: PASS")
+  return()
+endif()
+
+if(KIND STREQUAL "workloads")
+  # Workload A/B (bench_workloads). Gates:
+  #   * bit_identical must be true — the classifier checkpoint stopped
+  #     round-tripping bit-exactly, or the threshold adapter diverged
+  #     from the logistic labels. No tolerance.
+  #   * transfer.attribution_ok must be true — the litmus stopped
+  #     attributing the transfer gap correctly (non-positive gap, the
+  #     application class no longer dominant, or the OoD estimate
+  #     disagreeing with the sim oracle).
+  #   * burst.auc must stay at or above MIN_BURST_AUC (default 0.90):
+  #     the classification-metric floor. The measured AUC sits near
+  #     0.99, so the floor catches the workload going blind, not noise.
+  #   * wall_ms may grow at most WALL_TOL times baseline (generous;
+  #     catches algorithmic regressions, not runner wobble).
+  if(NOT DEFINED MIN_BURST_AUC)
+    set(MIN_BURST_AUC 0.90)
+  endif()
+
+  get_field(cur_rows "${current_json}" rows)
+  get_field(base_rows "${baseline_json}" rows)
+  if(NOT cur_rows EQUAL base_rows)
+    message(FATAL_ERROR "check_bench: row count ${cur_rows} != baseline "
+                        "${base_rows}; regenerate bench/baselines/ for the "
+                        "new workload")
+  endif()
+
+  get_field(identical "${current_json}" bit_identical)
+  if(NOT identical)
+    message(FATAL_ERROR "check_bench: bit_identical is '${identical}' — the "
+                        "classifier checkpoint or the threshold adapter "
+                        "diverged")
+  endif()
+  message(STATUS "check_bench: classifier round-trip + adapter "
+                 "bit-identical ok")
+
+  get_field(attribution_ok "${current_json}" transfer attribution_ok)
+  if(NOT attribution_ok)
+    message(FATAL_ERROR "check_bench: transfer attribution_ok is "
+                        "'${attribution_ok}' — the litmus no longer agrees "
+                        "with the sim oracle")
+  endif()
+  message(STATUS "check_bench: transfer attribution ok")
+
+  get_field(cur_auc "${current_json}" burst auc)
+  to_millis(auc_millis "${cur_auc}")
+  to_millis(floor_millis "${MIN_BURST_AUC}")
+  if(auc_millis LESS floor_millis)
+    message(FATAL_ERROR "check_bench: burst AUC ${cur_auc} fell below the "
+                        "${MIN_BURST_AUC} floor — the classifier went blind")
+  endif()
+  message(STATUS "check_bench: burst auc ${cur_auc} >= ${MIN_BURST_AUC} ok")
+
+  get_field(cur_wall "${current_json}" wall_ms)
+  get_field(base_wall "${baseline_json}" wall_ms)
+  to_millis(wall_tol_millis "${WALL_TOL}")
+  truncate(cur_wall_int "${cur_wall}")
+  truncate(base_wall_int "${base_wall}")
+  math(EXPR wall_limit "${base_wall_int} * ${wall_tol_millis} / 1000")
+  if(cur_wall_int GREATER wall_limit)
+    message(FATAL_ERROR "check_bench: workload wall time regressed: "
+                        "${cur_wall} ms > limit ${wall_limit} ms "
+                        "(baseline ${base_wall} ms, tol ${WALL_TOL}x)")
+  endif()
+  message(STATUS "check_bench: workload wall ${cur_wall_int} ms <= "
+                 "${wall_limit} ms (baseline ${base_wall_int} ms) ok")
   message(STATUS "check_bench: PASS")
   return()
 endif()

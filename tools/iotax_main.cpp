@@ -23,6 +23,7 @@
 #include <csignal>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <thread>
 
 #include <unistd.h>
@@ -44,10 +45,14 @@
 #include "src/ml/registry.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/ml/classifier.hpp"
+#include "src/sim/burst.hpp"
 #include "src/sim/dataset_builder.hpp"
 #include "src/sim/presets.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/stream_ingest.hpp"
+#include "src/stats/classification.hpp"
+#include "src/taxonomy/transfer.hpp"
 #include "src/taxonomy/drift.hpp"
 #include "src/taxonomy/online.hpp"
 #include "src/taxonomy/interpret.hpp"
@@ -66,7 +71,8 @@ int usage() {
   std::fprintf(stderr, R"(usage: iotax <command> [options]
 
 commands:
-  simulate   --preset theta|cori|tiny [--seed N] --out DIR [--shards N]
+  simulate   --preset theta|cori|tiny|bb|flash [--seed N] --out DIR
+             [--shards N]
              [--no-dataset]
              run the system simulator; writes jobs.darshan.txt,
              jobs.darshan.bin and dataset.csv into DIR; --shards N
@@ -91,6 +97,24 @@ commands:
              the full five-step framework (Fig. 7 of the paper);
              --store runs it out-of-core over the mapped columns with
              bit-identical reports
+             --transfer A:B [--seed N] [--check] [--report OUT.json]
+             cross-cluster transfer litmus instead: simulate presets A
+             and B over a shared application catalog, train on A, score
+             B, and attribute the transfer gap to taxonomy classes
+             against sim ground truth; --check exits nonzero unless the
+             OoD estimate agrees with the oracle
+  burst      --preset NAME [--seed N] [--window-hours H]
+             [--threshold-frac F] [--train-frac F] [--params JSON]
+             [--out MODEL] [--out-data CSV] [--pred-out CSV]
+             burst-prediction workload: window the simulated cluster's
+             LMT telemetry, label windows whose successor runs over F of
+             peak bandwidth (sim ground truth), train a classifier and
+             report held-out accuracy/F1/AUC; --out-data saves the
+             windowed dataset for serve/query replay
+  burst      --predict --model-file MODEL --dataset CSV [--out CSV]
+             load a saved classifier and score a burst dataset offline;
+             --out writes probabilities byte-identical to a served
+             `query --features burst --out` run over the same files
   importance (--dataset FILE | --store DIR)
              train a GBT and report which counters it relies on
   drift      (--dataset FILE | --store DIR) [--train-frac F]
@@ -142,7 +166,7 @@ commands:
              [--ping | --dataset FILE | --store DIR]
              [--model IDX] [--dist] [--shadow] [--pipeline N] [--repeat N]
              [--wait-secs S] [--deadline-ms N] [--fleet]
-             [--out CSV] [--shadow-out CSV]
+             [--features darshan|burst] [--out CSV] [--shadow-out CSV]
              client driver: sends every dataset row to a serve daemon
              (responses are bit-identical to offline `predict`) or
              health-checks it with --ping; --shadow also collects the
@@ -168,8 +192,9 @@ commands:
   checkjson  FILE...
              validate that each file parses as JSON (exit 1 otherwise)
   --version  print the build version, the selected kernel tier
-             (IOTAX_KERNELS=scalar|avx2|auto picks; auto is the default)
-             and the column-store format version (store=v1)
+             (IOTAX_KERNELS=scalar|avx2|auto picks; auto is the default),
+             the column-store format version (store=v1) and the
+             checkpoint magics this build can load
 
 out-of-core (any --store command; also honoured with --dataset):
   IOTAX_OOC=0|1            force the in-RAM / out-of-core data path
@@ -192,8 +217,10 @@ sim::SimConfig preset_by_name(const std::string& name, std::uint64_t seed) {
   if (name == "theta") return sim::theta_like(seed);
   if (name == "cori") return sim::cori_like(seed);
   if (name == "tiny") return sim::tiny_system(seed);
+  if (name == "bb") return sim::bb_like(seed);
+  if (name == "flash") return sim::flash_like(seed);
   throw std::invalid_argument("unknown preset '" + name +
-                              "' (theta|cori|tiny)");
+                              "' (theta|cori|tiny|bb|flash)");
 }
 
 /// Where a command's dataset comes from: an in-RAM CSV (`--dataset`) or
@@ -346,8 +373,91 @@ int cmd_noise(const cli::Args& args) {
   return 0;
 }
 
+/// `taxonomy --transfer A:B`: the cross-cluster litmus. Simulates both
+/// presets over a shared application catalog (so app ids are
+/// comparable), trains on A, scores B, and prints the ground-truth
+/// attribution of the transfer gap. --check turns the smoke-test
+/// assertions into exit codes so CI never parses the report text.
+int cmd_transfer(const cli::Args& args) {
+  const auto spec = args.get("transfer");
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::invalid_argument(
+        "--transfer wants TRAIN:TEST presets, e.g. theta:cori");
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  const auto [a_cfg, b_cfg] = sim::make_transfer_pair(
+      preset_by_name(spec.substr(0, colon), seed),
+      preset_by_name(spec.substr(colon + 1), seed), seed);
+  std::printf("simulating %s and %s over a shared catalog (seed %llu)...\n",
+              a_cfg.name.c_str(), b_cfg.name.c_str(),
+              static_cast<unsigned long long>(seed));
+  const auto a = sim::simulate(a_cfg);
+  const auto b = sim::simulate(b_cfg);
+  const auto report = taxonomy::run_transfer_litmus(a.dataset, b.dataset);
+  std::fputs(taxonomy::render_transfer_report(report).c_str(), stdout);
+
+  if (args.has("report")) {
+    std::ofstream out(args.get("report"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("report"));
+    out.precision(17);
+    out << "{\n"
+        << "  \"train_system\": \"" << report.train_system << "\",\n"
+        << "  \"test_system\": \"" << report.test_system << "\",\n"
+        << "  \"n_train\": " << report.n_train << ",\n"
+        << "  \"n_holdout\": " << report.n_holdout << ",\n"
+        << "  \"n_test\": " << report.n_test << ",\n"
+        << "  \"in_cluster_error\": " << report.in_cluster_error << ",\n"
+        << "  \"transfer_error\": " << report.transfer_error << ",\n"
+        << "  \"gap\": " << report.gap << ",\n"
+        << "  \"shares\": {\"application\": " << report.oracle.application
+        << ", \"system\": " << report.oracle.system
+        << ", \"contention\": " << report.oracle.contention
+        << ", \"noise\": " << report.oracle.noise << "},\n"
+        << "  \"ood_fraction_truth\": " << report.ood_fraction_truth << ",\n"
+        << "  \"ood_fraction_est\": " << report.ood_fraction_est << ",\n"
+        << "  \"ood_auc\": " << report.ood_auc << "\n"
+        << "}\n";
+    std::printf("report written to %s\n", args.get("report").c_str());
+  }
+
+  if (args.has("check")) {
+    // Floors calibrated on the tiny-scale presets (IOTAX_SCALE=0.1):
+    // every preset pair clears them with wide margin, so a miss means
+    // the litmus broke, not that the simulation got unlucky.
+    int rc = 0;
+    const auto fail = [&rc](const char* what) {
+      std::fprintf(stderr, "transfer check FAILED: %s\n", what);
+      rc = 4;
+    };
+    if (!(report.gap > 0.0)) fail("transfer gap not positive");
+    if (!(report.oracle.application > 0.5)) {
+      fail("application share does not dominate the transfer error");
+    }
+    const double share_sum = report.oracle.application +
+                             report.oracle.system +
+                             report.oracle.contention + report.oracle.noise;
+    if (share_sum < 0.99 || share_sum > 1.01) {
+      fail("oracle shares do not sum to 1");
+    }
+    if (!(report.ood_auc > 0.75)) {
+      fail("OoD estimator does not rank ground-truth OoD rows");
+    }
+    if (std::abs(report.ood_fraction_est - report.ood_fraction_truth) >
+        0.03 + 0.5 * report.ood_fraction_truth) {
+      fail("estimated OoD fraction disagrees with the oracle");
+    }
+    std::printf("transfer check: %s\n", rc == 0 ? "ok" : "FAILED");
+    return rc;
+  }
+  return 0;
+}
+
 int cmd_taxonomy(const cli::Args& args) {
-  args.check_allowed(with_obs({"dataset", "store", "no-uq", "report"}));
+  args.check_allowed(with_obs(
+      {"dataset", "store", "no-uq", "report", "transfer", "seed", "check"}));
+  if (args.has("transfer")) return cmd_transfer(args);
   const auto src = load_dataset(args);
   const auto& ds = src.ds();
   taxonomy::PipelineConfig pc;
@@ -533,6 +643,144 @@ int cmd_predict(const cli::Args& args) {
       out << ds.meta[i].job_id << ',' << pred[i] << '\n';
     }
     std::printf("predictions written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+/// Write probabilities in the exact format `predict --out` and
+/// `query --out` use, so burst answers are byte-comparable across the
+/// offline and served paths.
+void write_prediction_csv(const std::string& path, const data::Dataset& ds,
+                          std::span<const double> pred) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "job_id,log10_pred\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    out << ds.meta[i].job_id << ',' << pred[i] << '\n';
+  }
+}
+
+/// Held-out classification quality; prints a dash row when the slice
+/// holds a single class (AUC undefined).
+void print_classification_metrics(const char* tag,
+                                  std::span<const double> y,
+                                  std::span<const double> labels,
+                                  std::span<const double> prob) {
+  const auto counts = stats::confusion_counts(y, labels);
+  if (counts.tp + counts.fn == 0 || counts.fp + counts.tn == 0) {
+    std::printf("%s: accuracy %.3f (single-class slice, F1/AUC undefined)\n",
+                tag, stats::accuracy(counts));
+    return;
+  }
+  std::printf("%s: accuracy %.3f precision %.3f recall %.3f f1 %.3f "
+              "auc %.3f\n",
+              tag, stats::accuracy(counts), stats::precision(counts),
+              stats::recall(counts), stats::f1_score(counts),
+              stats::roc_auc(y, prob));
+}
+
+int cmd_burst(const cli::Args& args) {
+  args.check_allowed(with_obs({"preset", "seed", "window-hours",
+                               "threshold-frac", "train-frac", "params",
+                               "out", "out-data", "pred-out", "predict",
+                               "model-file", "dataset", "store"}));
+  const std::vector<taxonomy::FeatureSet> feats = {
+      taxonomy::FeatureSet::kBurst};
+
+  if (args.has("predict")) {
+    // Offline scoring of a saved classifier over a burst dataset — the
+    // byte-identity reference for the served path.
+    const auto model = ml::load_regressor_file(args.get("model-file"));
+    const auto src = load_dataset(args);
+    const auto& ds = src.ds();
+    std::vector<std::size_t> view_cols, view_rows;
+    const auto x = taxonomy::feature_view(ds, feats, &view_cols, &view_rows);
+    const auto prob = model->predict(x);
+    std::printf("%s scored %zu window(s)\n", model->name().c_str(),
+                prob.size());
+    if (const auto* clf = dynamic_cast<const ml::BurstClassifier*>(
+            model.get())) {
+      print_classification_metrics("burst", taxonomy::targets(ds),
+                                   clf->predict_labels(x), prob);
+    }
+    if (args.has("out")) {
+      write_prediction_csv(args.get("out"), ds, prob);
+      std::printf("probabilities written to %s\n", args.get("out").c_str());
+    }
+    return 0;
+  }
+
+  // Train mode: simulate, window the telemetry, fit, report held out.
+  auto cfg = preset_by_name(
+      args.get_or("preset", "tiny"),
+      static_cast<std::uint64_t>(args.get_int_or("seed", 7)));
+  // The workload is storage-side by construction; presets without LMT
+  // (theta) get it switched on rather than erroring out.
+  cfg.platform.lmt_enabled = true;
+  sim::BurstParams bp;
+  bp.window_seconds = args.get_double_or("window-hours", 6.0) * 3600.0;
+  bp.threshold_frac = args.get_double_or("threshold-frac", 0.35);
+  bp.validate();
+  std::printf("simulating %s (seed %llu)...\n", cfg.name.c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+  const auto res = sim::simulate(cfg);
+  const auto burst = sim::build_burst_dataset(res, bp);
+  const auto& ds = burst.dataset;
+  std::printf("%zu window(s), %zu burst(s) (%.1f%%), threshold %.0f MiB/s\n",
+              burst.n_windows, burst.n_bursts,
+              100.0 * static_cast<double>(burst.n_bursts) /
+                  static_cast<double>(burst.n_windows),
+              burst.threshold_mib);
+
+  const double train_frac = args.get_double_or("train-frac", 0.75);
+  if (train_frac <= 0.0 || train_frac >= 1.0) {
+    throw std::invalid_argument("--train-frac must be in (0,1)");
+  }
+  // Rows are already in window (time) order; split on the timeline.
+  const auto n_train = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(ds.size()) *
+                                  train_frac));
+  if (n_train >= ds.size()) {
+    throw std::invalid_argument("burst: no held-out windows at this "
+                                "--train-frac");
+  }
+  std::vector<std::size_t> train_rows(n_train), test_rows(ds.size() - n_train);
+  std::iota(train_rows.begin(), train_rows.end(), std::size_t{0});
+  std::iota(test_rows.begin(), test_rows.end(), n_train);
+
+  auto model = ml::make_regressor("classifier", args.get_or("params", "{}"));
+  auto* clf = dynamic_cast<ml::BurstClassifier*>(model.get());
+  std::vector<std::size_t> fit_cols, fit_rows, ev_cols, ev_rows;
+  model->fit(taxonomy::feature_view(ds, feats, &fit_cols, &fit_rows,
+                                    train_rows),
+             taxonomy::targets(ds, train_rows));
+  std::printf("trained %s on %zu window(s)\n", model->name().c_str(),
+              train_rows.size());
+  const auto x_test = taxonomy::feature_view(ds, feats, &ev_cols, &ev_rows,
+                                             test_rows);
+  print_classification_metrics("held-out", taxonomy::targets(ds, test_rows),
+                               clf->predict_labels(x_test),
+                               clf->predict(x_test));
+
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    model->save(out);
+    std::printf("model saved to %s\n", args.get("out").c_str());
+  }
+  if (args.has("out-data")) {
+    data::write_dataset_csv(args.get("out-data"), ds);
+    std::printf("%zu window row(s) -> %s\n", ds.size(),
+                args.get("out-data").c_str());
+  }
+  if (args.has("pred-out")) {
+    std::vector<std::size_t> all_cols, all_rows;
+    write_prediction_csv(
+        args.get("pred-out"), ds,
+        model->predict(taxonomy::feature_view(ds, feats, &all_cols,
+                                              &all_rows)));
+    std::printf("probabilities written to %s\n", args.get("pred-out").c_str());
   }
   return 0;
 }
@@ -1063,7 +1311,7 @@ int cmd_query(const cli::Args& args) {
   args.check_allowed(with_obs({"socket", "host", "port", "dataset", "store",
                                "model", "dist", "out", "pipeline", "repeat",
                                "ping", "wait-secs", "shadow", "shadow-out",
-                               "deadline-ms", "fleet"}));
+                               "deadline-ms", "fleet", "features"}));
   // A daemon that hangs (rather than dies) must not stall the client
   // forever: recv goes silent past this and raises a typed timeout.
   const auto deadline_ms = static_cast<std::uint64_t>(
@@ -1084,8 +1332,19 @@ int cmd_query(const cli::Args& args) {
 
   const auto src = load_dataset(args);
   const auto& ds = src.ds();
-  const std::vector<taxonomy::FeatureSet> feats = {
-      taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  // The served model decides what it eats; the client only needs to
+  // assemble the matching columns (darshan counters by default, the
+  // windowed telemetry for burst classifiers).
+  const auto feat_name = args.get_or("features", "darshan");
+  std::vector<taxonomy::FeatureSet> feats;
+  if (feat_name == "darshan") {
+    feats = {taxonomy::FeatureSet::kPosix, taxonomy::FeatureSet::kMpiio};
+  } else if (feat_name == "burst") {
+    feats = {taxonomy::FeatureSet::kBurst};
+  } else {
+    throw std::invalid_argument("--features must be darshan or burst, got '" +
+                                feat_name + "'");
+  }
   std::vector<std::size_t> view_cols, view_rows;
   const auto x =
       taxonomy::feature_view(ds, feats, &view_cols, &view_rows);
@@ -1536,8 +1795,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "--version" || command == "version") {
-    std::printf("iotax 1 kernels=%s store=v%d\n",
-                ml::kernels::describe().c_str(), data::kStoreFormatVersion);
+    // Keep `kernels=` early in the line: the no-SIMD CI job greps it.
+    std::string magics;
+    for (const auto& m : ml::known_model_magics()) {
+      if (!magics.empty()) magics += ',';
+      magics += m;
+    }
+    std::printf("iotax 1 kernels=%s store=v%d models=%s\n",
+                ml::kernels::describe().c_str(), data::kStoreFormatVersion,
+                magics.c_str());
     return 0;
   }
   const cli::Args args(argc - 2, argv + 2);
@@ -1555,6 +1821,7 @@ int main(int argc, char** argv) {
     else if (command == "drift") rc = cmd_drift(args);
     else if (command == "train") rc = cmd_train(args);
     else if (command == "predict") rc = cmd_predict(args);
+    else if (command == "burst") rc = cmd_burst(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "fleet") rc = cmd_fleet(args);
     else if (command == "query") rc = cmd_query(args);

@@ -1,0 +1,82 @@
+# Cross-cluster transfer smoke (ctest label "cli"): run the transfer
+# litmus on a cross-platform preset pair and on the new bb/flash pair,
+# letting the binary's own --check assert against sim ground truth (the
+# OoD estimate must agree with the oracle, the application share must
+# dominate, the gap must be positive). Then pin determinism: the JSON
+# report must be byte-identical at IOTAX_THREADS=1 and 4. Invoked as
+#   cmake -DIOTAX_CLI=<path-to-iotax> -DWORK_DIR=<scratch> -P transfer_smoke.cmake
+# with IOTAX_SCALE=0.1 in the environment (set by the add_test wiring).
+foreach(var IOTAX_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "transfer_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# theta:cori at 1 thread — the ground-truth agreement gate lives in
+# --check so this smoke never parses report text.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env IOTAX_THREADS=1
+          "${IOTAX_CLI}" taxonomy --transfer theta:cori --check
+          --report "${WORK_DIR}/transfer_t1.json"
+  OUTPUT_FILE "${WORK_DIR}/transfer_t1.log"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "transfer_smoke: theta:cori --check failed (rc=${rc}); see "
+          "${WORK_DIR}/transfer_t1.log")
+endif()
+
+# Same pair at 4 threads: the litmus is deterministic in the thread
+# count, so the reports must be byte-identical.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env IOTAX_THREADS=4
+          "${IOTAX_CLI}" taxonomy --transfer theta:cori --check
+          --report "${WORK_DIR}/transfer_t4.json"
+  OUTPUT_FILE "${WORK_DIR}/transfer_t4.log"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "transfer_smoke: theta:cori --check failed at 4 threads (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/transfer_t1.json" "${WORK_DIR}/transfer_t4.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "transfer_smoke: transfer report differs across thread counts")
+endif()
+
+# The report must be valid JSON for the bench/CI tooling that reads it.
+execute_process(
+  COMMAND "${IOTAX_CLI}" checkjson "${WORK_DIR}/transfer_t1.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "transfer_smoke: transfer report is invalid JSON")
+endif()
+
+# The new platform pair in both directions: the litmus must hold on the
+# burst-buffer-heavy and all-flash presets, not just the paper's two.
+foreach(pair bb:flash flash:bb)
+  execute_process(
+    COMMAND "${IOTAX_CLI}" taxonomy --transfer ${pair} --check
+    OUTPUT_FILE "${WORK_DIR}/transfer_${pair}.log"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "transfer_smoke: ${pair} --check failed (rc=${rc})")
+  endif()
+endforeach()
+
+# Unknown presets and malformed specs must fail loudly, not fall back.
+execute_process(
+  COMMAND "${IOTAX_CLI}" taxonomy --transfer theta
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "transfer_smoke: malformed --transfer spec accepted")
+endif()
+
+message(STATUS "transfer_smoke: ok")
